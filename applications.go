@@ -1,0 +1,131 @@
+package recipemodel
+
+import (
+	"math/rand"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/cuisine"
+	"recipemodel/internal/flowgraph"
+	"recipemodel/internal/graph"
+	"recipemodel/internal/index"
+	"recipemodel/internal/textgen"
+	"recipemodel/internal/translate"
+)
+
+// This file exposes the downstream applications the paper motivates
+// (§I, §IV): knowledge graphs over mined models, cuisine prediction
+// from ingredient names, structure-based translation, and novel-recipe
+// generation.
+
+// KnowledgeGraph accumulates mined recipe models into a graph of
+// ingredients, utensils and processes (§IV).
+type KnowledgeGraph = graph.Graph
+
+// GraphNode identifies a knowledge-graph node.
+type GraphNode = graph.Node
+
+// WeightedNode pairs a node with an occurrence count.
+type WeightedNode = graph.Weighted
+
+// Knowledge-graph node kinds.
+const (
+	NodeIngredient = graph.Ingredient
+	NodeUtensil    = graph.Utensil
+	NodeProcess    = graph.Process
+)
+
+// BuildKnowledgeGraph folds mined models into a fresh knowledge graph.
+func BuildKnowledgeGraph(models []*RecipeModel) *KnowledgeGraph {
+	g := graph.New()
+	for _, m := range models {
+		g.AddRecipe(m)
+	}
+	return g
+}
+
+// Translate renders a mined model in the target language ("fr" or
+// "es") using per-field dictionary lookup over the structure — the
+// translation application of §IV.
+func Translate(m *RecipeModel, lang string) (string, error) {
+	tr, err := translate.New(translate.Lang(lang))
+	if err != nil {
+		return "", err
+	}
+	return tr.Recipe(m), nil
+}
+
+// GeneratedRecipe is a novel recipe composed from a knowledge graph.
+type GeneratedRecipe = textgen.Recipe
+
+// GenerateRecipe composes a novel recipe from the knowledge graph,
+// seeded by an ingredient name (empty = most common) — the
+// recipe-generation application of §IV.
+func GenerateRecipe(g *KnowledgeGraph, seedIngredient string, seed int64) (GeneratedRecipe, error) {
+	return textgen.Compose(g, seedIngredient, textgen.Config{}, rand.New(rand.NewSource(seed)))
+}
+
+// CuisineClassifier predicts a recipe's cuisine from its mined
+// ingredient names (§I's cuisine-prediction use case).
+type CuisineClassifier = cuisine.Classifier
+
+// CuisineExample is one labeled training instance for the cuisine
+// classifier.
+type CuisineExample = cuisine.Example
+
+// TrainCuisineClassifier fits a naive Bayes cuisine model.
+func TrainCuisineClassifier(examples []CuisineExample) *CuisineClassifier {
+	return cuisine.Train(examples)
+}
+
+// ScaleRecipe returns a copy of the model with every parseable
+// quantity multiplied by num/den, rendered back in recipe notation —
+// e.g. doubling "1 1/2 cups" to "3 cups" exactly. Unparseable
+// quantities carry over verbatim.
+func ScaleRecipe(m *RecipeModel, num, den int64) *RecipeModel {
+	return core.ScaleRecipe(m, num, den)
+}
+
+// FlowGraph is the dataflow DAG of a recipe: raw ingredients flow
+// through actions into intermediate mixtures and finally the dish
+// (the flow-graph representation of Mori et al. that the paper cites
+// as prior work and subsumes).
+type FlowGraph = flowgraph.Graph
+
+// FlowNode is one flow-graph vertex.
+type FlowNode = flowgraph.Node
+
+// BuildFlowGraph converts a mined model into its dataflow graph.
+func BuildFlowGraph(m *RecipeModel) *FlowGraph {
+	return flowgraph.Build(m)
+}
+
+// RecipeIndex is a structured retrieval index over mined models.
+type RecipeIndex = index.Index
+
+// RecipeQuery is a conjunctive structured query over the mined facets.
+type RecipeQuery = index.Query
+
+// FacetPair is a (process, ingredient) or (ingredient, state)
+// combination used in structured queries.
+type FacetPair = index.Pair
+
+// BuildIndex indexes mined models for structured search.
+func BuildIndex(models []*RecipeModel) *RecipeIndex {
+	return index.New(models)
+}
+
+// CuisineExamplesFrom converts mined models with known cuisines into
+// training examples.
+func CuisineExamplesFrom(models []*RecipeModel) []CuisineExample {
+	out := make([]CuisineExample, 0, len(models))
+	for _, m := range models {
+		ex := CuisineExample{Cuisine: m.Cuisine}
+		for _, r := range m.Ingredients {
+			if r.Name != "" {
+				ex.Ingredients = append(ex.Ingredients, r.Name)
+			}
+		}
+		out = append(out, ex)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOnlyTable2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Named Entity Recognition Tags") {
+		t.Fatalf("table2 missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Table IV") {
+		t.Fatal("-only leaked other artifacts")
+	}
+}
+
+func TestOnlyFig3(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dependency parse") {
+		t.Fatalf("fig3 missing:\n%s", out.String())
+	}
+}
+
+func TestScaledRunWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "40", "-out", dir, "-only", "table4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Testing Set") {
+		t.Fatalf("artifact content:\n%s", data)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,272 @@
+// Command recipemine is the CLI front end of the recipe-modeling
+// pipeline: generate synthetic RecipeDB-style recipes, annotate
+// ingredient phrases, and mine full recipes into the paper's uniform
+// structure.
+//
+// Usage:
+//
+//	recipemine generate  -n 3 -seed 7
+//	recipemine train     -o pipeline.bin
+//	recipemine annotate  [-model pipeline.bin] "2 cups chopped onion" [...]
+//	recipemine instruct  "Bring the water to a boil in a large pot."
+//	recipemine model     < recipe.txt     # title \n ingredients... \n -- \n instructions
+//	recipemine nutrition < recipe.txt
+//	recipemine translate -lang fr < recipe.txt
+//	recipemine flow      < recipe.txt     # dataflow graph as DOT
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"recipemodel"
+	"recipemodel/internal/recipedb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "recipemine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|model|nutrition> [args]")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:], out)
+	case "train":
+		return cmdTrain(args[1:], out)
+	case "annotate":
+		return cmdAnnotate(args[1:], out)
+	case "instruct":
+		return cmdInstruct(args[1:], out)
+	case "model":
+		return cmdModel(args[1:], in, out, modeStructure)
+	case "nutrition":
+		return cmdModel(args[1:], in, out, modeNutrition)
+	case "translate":
+		return cmdModel(args[1:], in, out, modeTranslate)
+	case "flow":
+		return cmdModel(args[1:], in, out, modeFlow)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// cmdTrain trains a pipeline and persists it.
+func cmdTrain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	output := fs.String("o", "pipeline.bin", "output model file")
+	seed := fs.Int64("seed", 1, "training seed")
+	phrases := fs.Int("phrases", 2500, "training phrases per source")
+	instructions := fs.Int("instructions", 1200, "training instructions per source")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := recipemodel.DefaultOptions()
+	opts.Seed = *seed
+	opts.TrainingPhrases = *phrases
+	opts.TrainingInstructions = *instructions
+	fmt.Fprintln(out, "training pipeline on synthetic gold corpus ...")
+	p, err := recipemodel.NewPipeline(opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "saved pipeline to %s\n", *output)
+	return nil
+}
+
+// loadOrTrain loads a persisted pipeline when path is non-empty, else
+// trains a fresh one.
+func loadOrTrain(path string, out io.Writer) (*recipemodel.Pipeline, error) {
+	if path == "" {
+		return trainPipeline(out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return recipemodel.LoadPipeline(f)
+}
+
+func cmdGenerate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of recipes")
+	seed := fs.Int64("seed", 1, "generator seed")
+	jsonl := fs.Bool("jsonl", false, "emit the gold-annotated corpus as JSON Lines")
+	src := fs.String("source", "allrecipes", "site style: allrecipes or foodcom")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jsonl {
+		source := recipedb.SourceAllRecipes
+		if strings.EqualFold(*src, "foodcom") {
+			source = recipedb.SourceFoodCom
+		}
+		g := recipedb.NewGenerator(source, *seed)
+		return recipedb.WriteJSONL(out, g.Recipes(*n))
+	}
+	for _, r := range recipemodel.SyntheticRecipes(*n, *seed) {
+		fmt.Fprintf(out, "# %s (%s)\n", r.Title, r.Cuisine)
+		fmt.Fprintln(out, "Ingredients:")
+		for _, line := range r.IngredientLines {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+		fmt.Fprintf(out, "Instructions:\n  %s\n\n", r.Instructions)
+	}
+	return nil
+}
+
+func trainPipeline(out io.Writer) (*recipemodel.Pipeline, error) {
+	fmt.Fprintln(out, "training pipeline on synthetic gold corpus ...")
+	return recipemodel.NewPipeline(recipemodel.DefaultOptions())
+}
+
+func cmdAnnotate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("annotate: need at least one ingredient phrase")
+	}
+	p, err := loadOrTrain(*modelPath, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-40s %-20s %-10s %-9s %-10s %-10s %-9s %-8s\n",
+		"Phrase", "Name", "State", "Quantity", "Unit", "Temp", "DryFresh", "Size")
+	for _, phrase := range args {
+		r := p.AnnotateIngredient(phrase)
+		fmt.Fprintf(out, "%-40s %-20s %-10s %-9s %-10s %-10s %-9s %-8s\n",
+			phrase, r.Name, r.State, r.Quantity, r.Unit, r.Temp, r.DryFresh, r.Size)
+	}
+	return nil
+}
+
+func cmdInstruct(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("instruct: need an instruction sentence")
+	}
+	p, err := trainPipeline(out)
+	if err != nil {
+		return err
+	}
+	for _, step := range args {
+		spans, tree, rels := p.AnnotateInstruction(step)
+		fmt.Fprintf(out, "%s\n", step)
+		fmt.Fprintln(out, "entities:")
+		tokens := tree.Tokens
+		for _, sp := range spans {
+			fmt.Fprintf(out, "  [%s] %s\n", sp.Type, strings.Join(tokens[sp.Start:sp.End], " "))
+		}
+		fmt.Fprintln(out, "dependency parse:")
+		fmt.Fprint(out, tree.String())
+		fmt.Fprintln(out, "relations:")
+		for _, r := range rels {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+	}
+	return nil
+}
+
+// output modes of cmdModel.
+type modelMode int
+
+const (
+	modeStructure modelMode = iota
+	modeNutrition
+	modeTranslate
+	modeFlow
+)
+
+// cmdModel reads a recipe from stdin: first line is the title, then
+// ingredient lines until a "--" separator, then instruction text.
+func cmdModel(args []string, in io.Reader, out io.Writer, mode modelMode) error {
+	fs := flag.NewFlagSet("model", flag.ContinueOnError)
+	cuisine := fs.String("cuisine", "", "cuisine label")
+	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
+	lang := fs.String("lang", "fr", "target language for translate (fr, es)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(in)
+	var title string
+	var ingredients []string
+	var instructions strings.Builder
+	stage := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case stage == 0:
+			title = line
+			stage = 1
+		case stage == 1 && line == "--":
+			stage = 2
+		case stage == 1 && line != "":
+			ingredients = append(ingredients, line)
+		case stage == 2 && line != "":
+			instructions.WriteString(line)
+			instructions.WriteByte(' ')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if title == "" || len(ingredients) == 0 {
+		return fmt.Errorf("model: expected 'title\\ningredients...\\n--\\ninstructions' on stdin")
+	}
+	p, err := loadOrTrain(*modelPath, out)
+	if err != nil {
+		return err
+	}
+	m := p.ModelRecipe(title, *cuisine, ingredients, instructions.String())
+
+	switch mode {
+	case modeTranslate:
+		text, err := recipemodel.Translate(m, *lang)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		return nil
+	case modeFlow:
+		fmt.Fprint(out, recipemodel.BuildFlowGraph(m).DOT())
+		return nil
+	}
+
+	fmt.Fprintf(out, "# %s\n", m.Title)
+	fmt.Fprintln(out, "Ingredient records:")
+	for _, r := range m.Ingredients {
+		fmt.Fprintf(out, "  name=%q state=%q qty=%q unit=%q temp=%q dryfresh=%q size=%q\n",
+			r.Name, r.State, r.Quantity, r.Unit, r.Temp, r.DryFresh, r.Size)
+	}
+	fmt.Fprintln(out, "Event chain:")
+	for _, e := range m.Events {
+		fmt.Fprintf(out, "  step %d: %s\n", e.Step+1, e.Relation)
+	}
+	if mode == modeNutrition {
+		profile, resolved := p.EstimateNutrition(m)
+		fmt.Fprintf(out, "Nutrition (%d/%d ingredients resolved): %s\n",
+			resolved, len(m.Ingredients), profile)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-n", "2", "-seed", "3"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "# ") != 2 {
+		t.Fatalf("expected 2 recipes:\n%s", s)
+	}
+	if !strings.Contains(s, "Ingredients:") || !strings.Contains(s, "Instructions:") {
+		t.Fatalf("missing sections:\n%s", s)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"generate", "-n", "1", "-seed", "9"}, strings.NewReader(""), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"generate", "-n", "1", "-seed", "9"}, strings.NewReader(""), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("generate not deterministic")
+	}
+}
+
+func TestAnnotateRequiresArgs(t *testing.T) {
+	if err := run([]string{"annotate"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestModelRequiresWellFormedInput(t *testing.T) {
+	if err := run([]string{"model"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error on empty stdin")
+	}
+}
+
+// TestModelEndToEnd exercises the full CLI path; it trains a pipeline,
+// so it is the slowest test in the package.
+func TestModelEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	in := "Pasta\n1 pound spaghetti\n2 cups flour\n--\nBring the water to a boil in a large pot.\n"
+	var out bytes.Buffer
+	if err := run([]string{"nutrition"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Ingredient records:") || !strings.Contains(s, "Event chain:") {
+		t.Fatalf("missing output sections:\n%s", s)
+	}
+	if !strings.Contains(s, "Nutrition") {
+		t.Fatalf("missing nutrition line:\n%s", s)
+	}
+}
+
+func TestTrainAndReuseModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "p.bin")
+	var out bytes.Buffer
+	if err := run([]string{"train", "-o", model, "-phrases", "400", "-instructions", "200"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"annotate", "-model", model, "2 cups chopped onion"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "onion") {
+		t.Fatalf("annotate output:\n%s", out.String())
+	}
+}
+
+func TestTranslateSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	in := "Pasta\n2 cups chopped onion\n--\nBoil the onion in a pot.\n"
+	var out bytes.Buffer
+	if err := run([]string{"translate", "-lang", "es"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cebolla") {
+		t.Fatalf("spanish output:\n%s", out.String())
+	}
+}
+
+func TestFlowSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	in := "Pasta\n1 pound spaghetti\n--\nBoil the spaghetti in a pot. Drain and serve.\n"
+	var out bytes.Buffer
+	if err := run([]string{"flow"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph flow") {
+		t.Fatalf("flow output:\n%s", out.String())
+	}
+}
+
+func TestGenerateJSONL(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-jsonl", "-n", "2", "-seed", "4", "-source", "foodcom"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 JSONL lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"id":`) || !strings.Contains(l, `"spans"`) {
+			t.Fatalf("bad JSONL line: %s", l[:60])
+		}
+	}
+}

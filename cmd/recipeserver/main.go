@@ -1,0 +1,88 @@
+// Command recipeserver serves the recipe-modeling pipeline over HTTP:
+// it trains (or loads) a pipeline, optionally mines and indexes a
+// synthetic corpus for /search, and listens.
+//
+// Usage:
+//
+//	recipeserver -addr :8080 -corpus 200
+//	recipeserver -model pipeline.bin -corpus 0
+//
+// Endpoints: POST /annotate, POST /model, POST /search, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"recipemodel"
+	"recipemodel/internal/core"
+	"recipemodel/internal/index"
+	"recipemodel/internal/server"
+)
+
+// pipeAdapter bridges the public Pipeline to the server's interface.
+type pipeAdapter struct {
+	p *recipemodel.Pipeline
+}
+
+func (a pipeAdapter) AnnotateIngredient(phrase string) core.IngredientRecord {
+	return a.p.AnnotateIngredient(phrase)
+}
+
+func (a pipeAdapter) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
+	return a.p.ModelRecipe(title, cuisine, ingredientLines, instructions)
+}
+
+// buildServer assembles the HTTP handler: load or train a pipeline,
+// optionally mine a corpus for /search. Extracted from main so tests
+// can drive the full assembly.
+func buildServer(modelPath string, corpusSize int, opts recipemodel.Options) (http.Handler, error) {
+	var p *recipemodel.Pipeline
+	var err error
+	if modelPath != "" {
+		f, ferr := os.Open(modelPath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		p, err = recipemodel.LoadPipeline(f)
+		f.Close()
+	} else {
+		log.Println("training pipeline on synthetic gold corpus ...")
+		p, err = recipemodel.NewPipeline(opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var ix *index.Index
+	if corpusSize > 0 {
+		log.Printf("mining %d recipes for /search ...", corpusSize)
+		raw := recipemodel.SyntheticRecipes(corpusSize, 1)
+		models := make([]*core.RecipeModel, len(raw))
+		for i, r := range raw {
+			models[i] = p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
+		}
+		ix = index.New(models)
+	}
+	return server.New(pipeAdapter{p}, ix), nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "persisted pipeline (empty: train fresh)")
+	corpusSize := flag.Int("corpus", 200, "synthetic recipes to mine and index for /search (0 disables)")
+	flag.Parse()
+
+	srv, err := buildServer(*modelPath, *corpusSize, recipemodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

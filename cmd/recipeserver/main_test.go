@@ -1,0 +1,86 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recipemodel"
+)
+
+// smallOpts keeps test training fast.
+func smallOpts() recipemodel.Options {
+	o := recipemodel.DefaultOptions()
+	o.TrainingPhrases = 400
+	o.TrainingInstructions = 200
+	o.Epochs = 3
+	return o
+}
+
+func TestBuildServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	h, err := buildServer("", 20, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// annotate
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/annotate",
+		strings.NewReader(`{"phrase":"2 cups chopped onion"}`)))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "onion") {
+		t.Fatalf("annotate: %d %s", w.Code, w.Body.String())
+	}
+	// search over the mined corpus
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/search",
+		strings.NewReader(`{"processes":["preheat"]}`)))
+	if w.Code != 200 {
+		t.Fatalf("search: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestBuildServerFromPersistedModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	p, err := recipemodel.NewPipeline(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	h, err := buildServer(path, 0, recipemodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != 200 {
+		t.Fatalf("health: %d", w.Code)
+	}
+	// /search disabled without a corpus.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(`{}`)))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("search without corpus: %d", w.Code)
+	}
+}
+
+func TestBuildServerMissingModelFile(t *testing.T) {
+	if _, err := buildServer("/nonexistent/model.bin", 0, recipemodel.Options{}); err == nil {
+		t.Fatal("expected error for missing model file")
+	}
+}

@@ -1,0 +1,63 @@
+package recipemodel_test
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"recipemodel"
+)
+
+// examplePipe trains one pipeline shared by the godoc examples.
+var (
+	examplePipeOnce sync.Once
+	examplePipe     *recipemodel.Pipeline
+)
+
+func pipeline() *recipemodel.Pipeline {
+	examplePipeOnce.Do(func() {
+		p, err := recipemodel.NewPipeline(recipemodel.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		examplePipe = p
+	})
+	return examplePipe
+}
+
+// ExamplePipeline_AnnotateIngredient decomposes one ingredient phrase
+// into the paper's seven attributes (Table II).
+func ExamplePipeline_AnnotateIngredient() {
+	rec := pipeline().AnnotateIngredient("2-3 medium tomatoes")
+	fmt.Printf("name=%s quantity=%s size=%s\n", rec.Name, rec.Quantity, rec.Size)
+	// Output: name=tomato quantity=2-3 size=medium
+}
+
+// ExamplePipeline_AnnotateInstruction extracts the many-to-many
+// relation of the paper's Fig 5.
+func ExamplePipeline_AnnotateInstruction() {
+	_, _, rels := pipeline().AnnotateInstruction("Bring the water to a boil in a large pot.")
+	for _, r := range rels {
+		fmt.Println(r)
+	}
+	// Output: bring{water | pot}
+}
+
+// ExampleScaleRecipe doubles mined quantities exactly.
+func ExampleScaleRecipe() {
+	m := &recipemodel.RecipeModel{Ingredients: []recipemodel.IngredientRecord{
+		{Name: "flour", Quantity: "1 1/2", Unit: "cups"},
+	}}
+	doubled := recipemodel.ScaleRecipe(m, 2, 1)
+	fmt.Println(doubled.Ingredients[0].Quantity, doubled.Ingredients[0].Unit)
+	// Output: 3 cups
+}
+
+// ExampleSimilarity compares two mined recipes structurally.
+func ExampleSimilarity() {
+	p := pipeline()
+	a := p.ModelRecipe("A", "", []string{"2 cups flour"}, "Mix the flour in a bowl. Bake for 30 minutes.")
+	b := p.ModelRecipe("B", "", []string{"2 cups flour"}, "Mix the flour in a bowl. Bake for 30 minutes.")
+	fmt.Printf("%.2f\n", recipemodel.Similarity(a, b))
+	// Output: 1.00
+}

@@ -1,0 +1,48 @@
+// Cuisine: the cuisine-prediction use case from the paper's
+// introduction (§I) — a naive Bayes classifier over mined ingredient
+// names, trained and evaluated on synthetic recipes whose cuisines
+// carry signature ingredient distributions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recipemodel"
+)
+
+func main() {
+	p, err := recipemodel.NewPipeline(recipemodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mine := func(n int, seed int64) []*recipemodel.RecipeModel {
+		raw := recipemodel.SyntheticRecipes(n, seed)
+		models := make([]*recipemodel.RecipeModel, len(raw))
+		for i, r := range raw {
+			m := p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
+			models[i] = m
+		}
+		return models
+	}
+
+	fmt.Println("mining 600 training and 150 test recipes ...")
+	train := recipemodel.CuisineExamplesFrom(mine(600, 21))
+	test := recipemodel.CuisineExamplesFrom(mine(150, 22))
+
+	clf := recipemodel.TrainCuisineClassifier(train)
+	acc := clf.Accuracy(test)
+	fmt.Printf("cuisines: %d, held-out accuracy: %.3f (random baseline %.3f)\n",
+		len(clf.Cuisines()), acc, 1.0/float64(len(clf.Cuisines())))
+	if acc < 3.0/float64(len(clf.Cuisines())) {
+		log.Fatal("classifier barely beats the baseline — no cuisine signal mined")
+	}
+
+	sample := test[0]
+	fmt.Printf("\nexample: ingredients %v\n", sample.Ingredients)
+	for i, s := range clf.Scores(sample.Ingredients)[:3] {
+		fmt.Printf("  %d. %-14s logP=%.2f\n", i+1, s.Cuisine, s.LogProb)
+	}
+	fmt.Printf("gold cuisine: %s\n", sample.Cuisine)
+}

@@ -1,0 +1,59 @@
+// Nutrition: the §IV application — estimate the nutritional profile
+// of recipes from their mined ingredient records (name, quantity,
+// unit), resolving against the embedded per-100g nutrient table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recipemodel"
+)
+
+func main() {
+	p, err := recipemodel.NewPipeline(recipemodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	recipes := []struct {
+		title       string
+		ingredients []string
+		steps       string
+	}{
+		{
+			"Simple Butter Cake",
+			[]string{
+				"2 cups all-purpose flour",
+				"1 cup sugar",
+				"1/2 pound butter, softened",
+				"4 eggs",
+				"1 cup whole milk",
+			},
+			"Preheat the oven to 350 °F. Cream the butter and the sugar in a bowl. " +
+				"Add the eggs and the milk to the bowl. Fold in the flour. Bake for 45 minutes.",
+		},
+		{
+			"Garden Salad",
+			[]string{
+				"1 head lettuce, torn",
+				"2-3 medium tomatoes",
+				"1 cucumber, thinly sliced",
+				"2 tablespoons olive oil",
+				"salt to taste",
+			},
+			"Toss the lettuce and the tomatoes in a bowl. Drizzle the olive oil over the salad. Season with salt.",
+		},
+	}
+
+	for _, r := range recipes {
+		m := p.ModelRecipe(r.title, "", r.ingredients, r.steps)
+		profile, resolved := p.EstimateNutrition(m)
+		fmt.Printf("%-20s %s  (%d/%d ingredients resolved)\n",
+			r.title, profile, resolved, len(m.Ingredients))
+		for _, rec := range m.Ingredients {
+			fmt.Printf("    %-20s qty=%-6s unit=%s\n", rec.Name, rec.Quantity, rec.Unit)
+		}
+		fmt.Println()
+	}
+}

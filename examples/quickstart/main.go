@@ -1,0 +1,47 @@
+// Quickstart: train the pipeline, model one recipe, and print the
+// paper's uniform structure (Fig 1) — ingredient records plus the
+// temporal chain of many-to-many cooking events.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recipemodel"
+)
+
+func main() {
+	p, err := recipemodel.NewPipeline(recipemodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// the paper's running example: Tomato and Blue Cheese Tart.
+	m := p.ModelRecipe("Heirloom Tomato and Blue Cheese Tart", "French",
+		[]string{
+			"1 sheet frozen puff pastry (thawed)",
+			"6 ounces blue cheese, at room temperature",
+			"1 tablespoon whole milk (or half-and-half)",
+			"2-3 medium tomatoes",
+			"1/2 teaspoon pepper, freshly ground",
+			"1/2 teaspoon fresh thyme, minced",
+			"1 teaspoon extra virgin olive oil",
+		},
+		"Preheat the oven to 400 °F. Mix the blue cheese and the milk in a bowl. "+
+			"Spread the cheese over the puff pastry. Slice the tomatoes and the thyme in a bowl. "+
+			"Add the tomatoes to the pastry. Bake for 30 minutes. Drain and serve.")
+
+	fmt.Printf("# %s (%s)\n\n", m.Title, m.Cuisine)
+	fmt.Println("Ingredient records (Table I structure):")
+	fmt.Printf("  %-22s %-10s %-9s %-12s %-18s %-9s %-7s\n",
+		"NAME", "STATE", "QUANTITY", "UNIT", "TEMP", "DRY/FRESH", "SIZE")
+	for _, r := range m.Ingredients {
+		fmt.Printf("  %-22s %-10s %-9s %-12s %-18s %-9s %-7s\n",
+			r.Name, r.State, r.Quantity, r.Unit, r.Temp, r.DryFresh, r.Size)
+	}
+
+	fmt.Println("\nTemporal event chain (many-to-many relations):")
+	for _, e := range m.Events {
+		fmt.Printf("  step %d: %s\n", e.Step+1, e.Relation)
+	}
+}

@@ -1,0 +1,38 @@
+// Translation: the §IV application — because the recipe is mined into
+// typed fields, translating it is per-field dictionary lookup plus
+// target-language re-ordering, with no MT system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recipemodel"
+)
+
+func main() {
+	p, err := recipemodel.NewPipeline(recipemodel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := p.ModelRecipe("Tomato Tart", "French",
+		[]string{
+			"1 sheet frozen puff pastry (thawed)",
+			"2-3 medium tomatoes",
+			"2 cups chopped onion",
+			"1/2 teaspoon pepper, freshly ground",
+		},
+		"Preheat the oven to 400 °F. Chop the onion and the tomatoes in a bowl. Bake for 30 minutes. Serve.")
+
+	for _, lang := range []string{"fr", "es"} {
+		out, err := recipemodel.Translate(m, lang)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if _, err := recipemodel.Translate(m, "xx"); err == nil {
+		log.Fatal("expected unsupported-language error")
+	}
+	fmt.Println("unsupported languages are rejected, as expected")
+}

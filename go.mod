@@ -1,0 +1,3 @@
+module recipemodel
+
+go 1.22

@@ -1,0 +1,110 @@
+// Package alias resolves ingredient-name aliases. The paper notes
+// that its census of 20,280 unique ingredient names is inflated by
+// aliases — "okhra and ladyfinger are counted as two different
+// ingredient names although they represent the same ingredient"
+// (§II.F). This package provides the canonicalization table that
+// de-inflates such a census and a resolver with normalization.
+package alias
+
+import (
+	"sort"
+	"strings"
+
+	"recipemodel/internal/lemma"
+)
+
+// table maps alias → canonical name. Canonical names map to
+// themselves implicitly.
+var table = map[string]string{
+	// the paper's own example
+	"okhra": "okra", "ladyfinger": "okra", "lady finger": "okra",
+	"bhindi": "okra",
+	// common US/UK/regional aliases
+	"cilantro": "coriander", "coriander leaf": "coriander",
+	"scallion": "green onion", "spring onion": "green onion",
+	"eggplant": "aubergine", "brinjal": "aubergine",
+	"zucchini":      "courgette",
+	"garbanzo bean": "chickpea", "garbanzo": "chickpea",
+	"powdered sugar": "confectioners sugar", "icing sugar": "confectioners sugar",
+	"corn flour": "cornstarch", "cornflour": "cornstarch",
+	"capsicum": "bell pepper", "sweet pepper": "bell pepper",
+	"prawn":    "shrimp",
+	"rocket":   "arugula",
+	"beetroot": "beet",
+	"snow pea": "mangetout",
+	"romaine":  "lettuce", "iceberg": "lettuce",
+	"ap flour": "all-purpose flour", "plain flour": "all-purpose flour",
+	"whole wheat flour": "wholemeal flour",
+	"heavy cream":       "whipping cream", "double cream": "whipping cream",
+	"half-and-half": "light cream",
+	"green bean":    "string bean",
+	"swede":         "rutabaga", "yellow turnip": "rutabaga",
+	"filbert": "hazelnut",
+	"pawpaw":  "papaya",
+	"maize":   "corn",
+	"sooji":   "semolina", "rava": "semolina",
+}
+
+// Resolver canonicalizes ingredient names.
+type Resolver struct {
+	table map[string]string
+	lem   *lemma.Lemmatizer
+}
+
+// NewResolver returns a resolver over the embedded alias table; the
+// table is flattened so chains (a→b, b→c) resolve in one lookup.
+func NewResolver() *Resolver {
+	flat := make(map[string]string, len(table))
+	for from, to := range table {
+		seen := map[string]bool{from: true}
+		for {
+			next, ok := table[to]
+			if !ok || seen[next] {
+				break
+			}
+			seen[to] = true
+			to = next
+		}
+		flat[from] = to
+	}
+	return &Resolver{table: flat, lem: lemma.New()}
+}
+
+// Canonical returns the canonical form of an ingredient name:
+// lower-cased, head-word lemmatized, alias-resolved.
+func (r *Resolver) Canonical(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" {
+		return n
+	}
+	ws := strings.Fields(n)
+	ws[len(ws)-1] = r.lem.Lemma(ws[len(ws)-1], lemma.Noun)
+	n = strings.Join(ws, " ")
+	if c, ok := r.table[n]; ok {
+		return c
+	}
+	return n
+}
+
+// IsAlias reports whether name resolves to a different canonical form.
+func (r *Resolver) IsAlias(name string) bool {
+	n := strings.ToLower(strings.TrimSpace(name))
+	return r.Canonical(n) != n
+}
+
+// Dedup canonicalizes and de-duplicates a name set, returning the
+// sorted canonical names.
+func (r *Resolver) Dedup(names []string) []string {
+	set := map[string]bool{}
+	for _, n := range names {
+		if c := r.Canonical(n); c != "" {
+			set[c] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package alias
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCanonicalPaperExample(t *testing.T) {
+	r := NewResolver()
+	if got := r.Canonical("okhra"); got != "okra" {
+		t.Fatalf("okhra → %q", got)
+	}
+	if got := r.Canonical("ladyfinger"); got != "okra" {
+		t.Fatalf("ladyfinger → %q", got)
+	}
+	if got := r.Canonical("okra"); got != "okra" {
+		t.Fatalf("okra → %q", got)
+	}
+}
+
+func TestCanonicalNormalizes(t *testing.T) {
+	r := NewResolver()
+	if got := r.Canonical("  Scallions "); got != "green onion" {
+		t.Fatalf("scallions → %q", got)
+	}
+	if got := r.Canonical("Prawns"); got != "shrimp" {
+		t.Fatalf("prawns → %q", got)
+	}
+	if got := r.Canonical("tomatoes"); got != "tomato" {
+		t.Fatalf("tomatoes → %q", got)
+	}
+	if got := r.Canonical(""); got != "" {
+		t.Fatalf("empty → %q", got)
+	}
+}
+
+func TestIsAlias(t *testing.T) {
+	r := NewResolver()
+	if !r.IsAlias("okhra") || !r.IsAlias("cilantro") {
+		t.Fatal("known aliases not detected")
+	}
+	if r.IsAlias("okra") || r.IsAlias("salt") {
+		t.Fatal("canonical names misdetected")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r := NewResolver()
+	got := r.Dedup([]string{"okhra", "ladyfinger", "okra", "Tomatoes", "tomato", "salt"})
+	want := []string{"okra", "salt", "tomato"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dedup = %v", got)
+	}
+}
+
+func TestNoCycles(t *testing.T) {
+	r := NewResolver()
+	for from := range table {
+		c := r.Canonical(from)
+		if c2 := r.Canonical(c); c2 != c {
+			t.Fatalf("canonical not idempotent: %q → %q → %q", from, c, c2)
+		}
+	}
+}

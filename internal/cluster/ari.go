@@ -1,0 +1,43 @@
+package cluster
+
+// AdjustedRandIndex measures agreement between two clusterings of the
+// same points, corrected for chance: 1.0 for identical partitions
+// (up to label permutation), ≈0 for independent ones. Used to verify
+// that the POS-vector clustering is robust to the tagger backend.
+func AdjustedRandIndex(a, b []int) float64 {
+	n := len(a)
+	if n != len(b) || n == 0 {
+		return 0
+	}
+	// contingency table.
+	type pair struct{ x, y int }
+	cont := map[pair]int{}
+	ca := map[int]int{}
+	cb := map[int]int{}
+	for i := 0; i < n; i++ {
+		cont[pair{a[i], b[i]}]++
+		ca[a[i]]++
+		cb[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumIJ, sumA, sumB float64
+	for _, c := range cont {
+		sumIJ += choose2(c)
+	}
+	for _, c := range ca {
+		sumA += choose2(c)
+	}
+	for _, c := range cb {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 0
+	}
+	expected := sumA * sumB / total
+	max := (sumA + sumB) / 2
+	if max == expected {
+		return 0
+	}
+	return (sumIJ - expected) / (max - expected)
+}

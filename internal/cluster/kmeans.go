@@ -1,0 +1,344 @@
+// Package cluster implements K-Means clustering with k-means++
+// seeding, Lloyd iterations, inertia, the elbow criterion for model
+// selection, and silhouette scoring. The paper clusters 1×36
+// POS-tag-frequency vectors of ingredient phrases into 23 clusters
+// selected by the elbow criterion (§II.E, Fig 2).
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"recipemodel/internal/mathx"
+)
+
+// Result is a fitted K-Means clustering.
+type Result struct {
+	K          int
+	Centroids  []mathx.Vector
+	Assignment []int // Assignment[i] = cluster of point i
+	Inertia    float64
+	Iterations int
+}
+
+// Config controls the K-Means run.
+type Config struct {
+	K             int
+	MaxIterations int     // default 100
+	Tolerance     float64 // centroid-shift convergence threshold, default 1e-6
+	Restarts      int     // independent seedings, best inertia wins; default 1
+}
+
+// ErrBadInput is returned on empty data or invalid K.
+var ErrBadInput = errors.New("cluster: need at least K non-empty points")
+
+// KMeans fits cfg.K clusters to points using the provided RNG for
+// seeding. The input points are not modified.
+func KMeans(points []mathx.Vector, cfg Config, rng *rand.Rand) (*Result, error) {
+	if cfg.K <= 0 || len(points) < cfg.K {
+		return nil, ErrBadInput
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-6
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res := runLloyd(points, cfg, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runLloyd(points []mathx.Vector, cfg Config, rng *rand.Rand) *Result {
+	cents := seedPlusPlus(points, cfg.K, rng)
+	assign := make([]int, len(points))
+	counts := make([]int, cfg.K)
+	dim := len(points[0])
+
+	var iter int
+	for iter = 0; iter < cfg.MaxIterations; iter++ {
+		// assignment step
+		for i, p := range points {
+			assign[i] = nearest(cents, p)
+		}
+		// update step
+		next := make([]mathx.Vector, cfg.K)
+		for c := range next {
+			next[c] = make(mathx.Vector, dim)
+			counts[c] = 0
+		}
+		for i, p := range points {
+			next[assign[i]].Add(p)
+			counts[assign[i]]++
+		}
+		shift := 0.0
+		for c := range next {
+			if counts[c] == 0 {
+				// re-seed an empty cluster at the point farthest from
+				// its current centroid, a standard Lloyd repair.
+				far := farthestPoint(points, cents, assign)
+				next[c] = points[far].Clone()
+				assign[far] = c
+				counts[c] = 1
+			} else {
+				next[c].Scale(1 / float64(counts[c]))
+			}
+			shift += mathx.Distance(cents[c], next[c])
+		}
+		cents = next
+		if shift < cfg.Tolerance {
+			iter++
+			break
+		}
+	}
+	// final assignment + inertia
+	inertia := 0.0
+	for i, p := range points {
+		assign[i] = nearest(cents, p)
+		inertia += mathx.SquaredDistance(p, cents[assign[i]])
+	}
+	return &Result{
+		K:          cfg.K,
+		Centroids:  cents,
+		Assignment: append([]int(nil), assign...),
+		Inertia:    inertia,
+		Iterations: iter,
+	}
+}
+
+// seedPlusPlus implements k-means++ initialization: each subsequent
+// centroid is sampled with probability proportional to its squared
+// distance from the nearest already-chosen centroid.
+func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
+	cents := make([]mathx.Vector, 0, k)
+	cents = append(cents, points[rng.Intn(len(points))].Clone())
+
+	// minD2[i] = squared distance from points[i] to its nearest centroid.
+	minD2 := make([]float64, len(points))
+	for i, p := range points {
+		minD2[i] = mathx.SquaredDistance(p, cents[0])
+	}
+	for len(cents) < k {
+		var sum float64
+		for _, d := range minD2 {
+			sum += d
+		}
+		var chosen int
+		if sum == 0 {
+			// all points coincide with chosen centroids: duplicate one.
+			chosen = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * sum
+			acc := 0.0
+			chosen = len(points) - 1
+			for i, d := range minD2 {
+				acc += d
+				if acc >= target {
+					chosen = i
+					break
+				}
+			}
+		}
+		cents = append(cents, points[chosen].Clone())
+		for i, p := range points {
+			if d := mathx.SquaredDistance(p, cents[len(cents)-1]); d < minD2[i] {
+				minD2[i] = d
+			}
+		}
+	}
+	return cents
+}
+
+func nearest(cents []mathx.Vector, p mathx.Vector) int {
+	best := 0
+	bestD := math.MaxFloat64
+	for c, cent := range cents {
+		if d := mathx.SquaredDistance(p, cent); d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best
+}
+
+func farthestPoint(points, cents []mathx.Vector, assign []int) int {
+	far, farD := 0, -1.0
+	for i, p := range points {
+		d := mathx.SquaredDistance(p, cents[assign[i]])
+		if d > farD {
+			farD = d
+			far = i
+		}
+	}
+	return far
+}
+
+// Members returns, for each cluster, the indices of its points.
+func (r *Result) Members() [][]int {
+	out := make([][]int, r.K)
+	for i, c := range r.Assignment {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// Sizes returns the number of points per cluster.
+func (r *Result) Sizes() []int {
+	out := make([]int, r.K)
+	for _, c := range r.Assignment {
+		out[c]++
+	}
+	return out
+}
+
+// Predict returns the index of the closest centroid to p.
+func (r *Result) Predict(p mathx.Vector) int {
+	return nearest(r.Centroids, p)
+}
+
+// ElbowPoint sweeps K over [kMin, kMax], fits each, and selects the
+// knee of the inertia curve by the maximum-distance-to-chord method
+// (the geometric formalization of the "Elbow Criterion" the paper
+// cites). It returns the chosen K and the inertia for every K tried.
+func ElbowPoint(points []mathx.Vector, kMin, kMax int, cfg Config, rng *rand.Rand) (int, []float64, error) {
+	if kMin < 1 || kMax < kMin {
+		return 0, nil, ErrBadInput
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	inertias := make([]float64, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c, rng)
+		if err != nil {
+			return 0, nil, err
+		}
+		inertias = append(inertias, res.Inertia)
+	}
+	return kMin + knee(inertias), inertias, nil
+}
+
+// knee returns the index of the point with the maximum perpendicular
+// distance from the chord joining the first and last curve points.
+func knee(ys []float64) int {
+	n := len(ys)
+	if n <= 2 {
+		return 0
+	}
+	x0, y0 := 0.0, ys[0]
+	x1, y1 := float64(n-1), ys[n-1]
+	dx, dy := x1-x0, y1-y0
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		return 0
+	}
+	best, bestD := 0, -1.0
+	for i := 0; i < n; i++ {
+		d := math.Abs(dy*float64(i)-dx*ys[i]+x1*y0-y1*x0) / norm
+		if d > bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering,
+// a standard internal validity measure in [-1, 1]. O(n²); intended for
+// evaluation-sized samples.
+func Silhouette(points []mathx.Vector, assign []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	var total float64
+	var counted int
+	dists := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for c := range dists {
+			dists[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dists[assign[j]] += mathx.Distance(points[i], points[j])
+		}
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // silhouette undefined for singleton's member
+		}
+		a := dists[own] / float64(sizes[own]-1)
+		b := math.MaxFloat64
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if v := dists[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if b == math.MaxFloat64 {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// StratifiedSample picks approximately frac of each cluster's members
+// (at least one per non-empty cluster), reproducing the paper's
+// cluster-stratified construction of NER training sets (§II.E: "From
+// each cluster, 1% unique ingredient phrases were picked"). exclude
+// marks indices that must not be selected (e.g. phrases already in the
+// training set when drawing the test set). The returned indices are
+// sorted.
+func (r *Result) StratifiedSample(frac float64, exclude map[int]bool, rng *rand.Rand) []int {
+	var out []int
+	for _, members := range r.Members() {
+		var pool []int
+		for _, i := range members {
+			if !exclude[i] {
+				pool = append(pool, i)
+			}
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		want := int(math.Round(frac * float64(len(pool))))
+		if want < 1 {
+			want = 1
+		}
+		if want > len(pool) {
+			want = len(pool)
+		}
+		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		out = append(out, pool[:want]...)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"recipemodel/internal/mathx"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(rng *rand.Rand, centers []mathx.Vector, n int, spread float64) ([]mathx.Vector, []int) {
+	var pts []mathx.Vector
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make(mathx.Vector, len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+			labels = append(labels, ci)
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := []mathx.Vector{{0, 0}, {10, 10}, {-10, 10}}
+	pts, labels := blobs(rng, centers, 50, 0.5)
+	res, err := KMeans(pts, Config{K: 3, Restarts: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every gold cluster must map to exactly one predicted cluster.
+	mapping := map[int]int{}
+	for i, l := range labels {
+		if prev, ok := mapping[l]; ok {
+			if prev != res.Assignment[i] {
+				t.Fatalf("gold cluster %d split across predicted clusters", l)
+			}
+		} else {
+			mapping[l] = res.Assignment[i]
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("expected 3 distinct predicted clusters, got %d", len(mapping))
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {8, 8}, {-8, 8}, {8, -8}}, 30, 1.0)
+	var prev float64 = math.MaxFloat64
+	for k := 1; k <= 6; k++ {
+		res, err := KMeans(pts, Config{K: k, Restarts: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.05 {
+			t.Fatalf("inertia increased markedly at k=%d: %v > %v", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := KMeans(nil, Config{K: 2}, rng); err == nil {
+		t.Error("nil points should error")
+	}
+	if _, err := KMeans([]mathx.Vector{{1}}, Config{K: 2}, rng); err == nil {
+		t.Error("fewer points than K should error")
+	}
+	if _, err := KMeans([]mathx.Vector{{1}, {2}}, Config{K: 0}, rng); err == nil {
+		t.Error("K=0 should error")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]mathx.Vector, 10)
+	for i := range pts {
+		pts[i] = mathx.Vector{1, 1}
+	}
+	res, err := KMeans(pts, Config{K: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	pts, _ := blobs(rand.New(rand.NewSource(5)), []mathx.Vector{{0, 0}, {5, 5}}, 20, 0.3)
+	a, _ := KMeans(pts, Config{K: 2}, rand.New(rand.NewSource(99)))
+	b, _ := KMeans(pts, Config{K: 2}, rand.New(rand.NewSource(99)))
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed should reproduce the same clustering")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("assignments differ under identical seeds")
+		}
+	}
+}
+
+func TestMembersAndSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {9, 9}}, 10, 0.1)
+	res, err := KMeans(pts, Config{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := res.Members()
+	sizes := res.Sizes()
+	total := 0
+	for c := range members {
+		if len(members[c]) != sizes[c] {
+			t.Fatalf("Members/Sizes disagree for cluster %d", c)
+		}
+		total += sizes[c]
+	}
+	if total != len(pts) {
+		t.Fatalf("cluster sizes sum to %d, want %d", total, len(pts))
+	}
+}
+
+func TestPredictMatchesAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {20, 0}}, 15, 0.5)
+	res, err := KMeans(pts, Config{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if res.Predict(p) != res.Assignment[i] {
+			t.Fatalf("Predict disagrees with Assignment at %d", i)
+		}
+	}
+}
+
+func TestElbowFindsTrueK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {30, 0}, {0, 30}, {30, 30}}, 40, 0.8)
+	k, inertias, err := ElbowPoint(pts, 1, 10, Config{Restarts: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inertias) != 10 {
+		t.Fatalf("inertias length = %d", len(inertias))
+	}
+	if k < 3 || k > 5 {
+		t.Fatalf("elbow found k=%d for 4 well-separated blobs", k)
+	}
+}
+
+func TestElbowErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, _, err := ElbowPoint(nil, 0, 5, Config{}, rng); err == nil {
+		t.Error("kMin=0 should error")
+	}
+	if _, _, err := ElbowPoint([]mathx.Vector{{1}, {2}}, 3, 2, Config{}, rng); err == nil {
+		t.Error("kMax < kMin should error")
+	}
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts, labels := blobs(rng, []mathx.Vector{{0, 0}, {50, 50}}, 25, 0.5)
+	s := Silhouette(pts, labels, 2)
+	if s < 0.9 {
+		t.Fatalf("well-separated blobs should have silhouette near 1, got %v", s)
+	}
+}
+
+func TestSilhouetteRandomLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}}, 60, 3.0)
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+	s := Silhouette(pts, labels, 3)
+	if s > 0.2 {
+		t.Fatalf("random labels should have low silhouette, got %v", s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette(nil, nil, 2); s != 0 {
+		t.Error("empty input")
+	}
+	if s := Silhouette([]mathx.Vector{{1}}, []int{0}, 1); s != 0 {
+		t.Error("k<2")
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {10, 10}, {-10, -10}}, 100, 0.5)
+	res, err := KMeans(pts, Config{K: 3, Restarts: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := res.StratifiedSample(0.1, nil, rng)
+	// ~10% of each 100-point cluster → about 30 total.
+	if len(sample) < 15 || len(sample) > 45 {
+		t.Fatalf("sample size %d out of expected range", len(sample))
+	}
+	// every cluster must be represented
+	seen := map[int]bool{}
+	for _, i := range sample {
+		seen[res.Assignment[i]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sample covers %d clusters, want 3", len(seen))
+	}
+	// sorted + unique
+	for i := 1; i < len(sample); i++ {
+		if sample[i] <= sample[i-1] {
+			t.Fatal("sample not sorted/unique")
+		}
+	}
+}
+
+func TestStratifiedSampleExcludes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {10, 10}}, 50, 0.5)
+	res, err := KMeans(pts, Config{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.StratifiedSample(0.2, nil, rng)
+	excl := map[int]bool{}
+	for _, i := range first {
+		excl[i] = true
+	}
+	second := res.StratifiedSample(0.2, excl, rng)
+	for _, i := range second {
+		if excl[i] {
+			t.Fatalf("excluded index %d re-sampled", i)
+		}
+	}
+}
+
+func TestStratifiedSampleMinimumOnePerCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts, _ := blobs(rng, []mathx.Vector{{0, 0}, {10, 10}}, 20, 0.1)
+	res, err := KMeans(pts, Config{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := res.StratifiedSample(0.0001, nil, rng)
+	if len(sample) != 2 {
+		t.Fatalf("tiny fraction should still pick 1 per cluster, got %d", len(sample))
+	}
+}
+
+func TestKneeOnSyntheticCurve(t *testing.T) {
+	// L-shaped curve with knee at index 2.
+	ys := []float64{100, 50, 10, 9, 8, 7}
+	if got := knee(ys); got != 2 {
+		t.Fatalf("knee = %d, want 2", got)
+	}
+	if got := knee([]float64{5}); got != 0 {
+		t.Fatalf("degenerate knee = %d", got)
+	}
+	if got := knee([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("flat knee = %d", got)
+	}
+}
+
+func TestAdjustedRandIndexIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := AdjustedRandIndex(a, a); got != 1 {
+		t.Fatalf("identical ARI = %v", got)
+	}
+	// label permutation is still perfect agreement.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := AdjustedRandIndex(a, b); got != 1 {
+		t.Fatalf("permuted ARI = %v", got)
+	}
+}
+
+func TestAdjustedRandIndexIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	n := 2000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(5)
+		b[i] = rng.Intn(5)
+	}
+	if got := AdjustedRandIndex(a, b); got < -0.05 || got > 0.05 {
+		t.Fatalf("independent ARI = %v, want ≈0", got)
+	}
+}
+
+func TestAdjustedRandIndexDegenerate(t *testing.T) {
+	if AdjustedRandIndex(nil, nil) != 0 {
+		t.Fatal("empty")
+	}
+	if AdjustedRandIndex([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("length mismatch")
+	}
+	// all points in one cluster on both sides: max == expected → 0 by
+	// convention.
+	if got := AdjustedRandIndex([]int{0, 0}, []int{0, 0}); got != 0 {
+		t.Fatalf("degenerate ARI = %v", got)
+	}
+}

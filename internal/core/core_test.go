@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/corpus"
+	"recipemodel/internal/gazetteer"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/recipedb"
+)
+
+// trainTestPipeline builds a small but functional pipeline for tests.
+func trainTestPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, 1)
+	ingTrain := corpus.IngredientSentences(g.UniquePhrases(600))
+	insTrain := corpus.InstructionSentences(g.Instructions(400))
+	ingNER := ner.Train(ingTrain, ner.IngredientTypes,
+		ner.NewIngredientExtractor(ner.DefaultFeatureOptions),
+		ner.TrainConfig{Epochs: 5, Seed: 2})
+	insNER := ner.Train(insTrain, ner.InstructionTypes,
+		ner.NewInstructionExtractor(ner.DefaultFeatureOptions),
+		ner.TrainConfig{Epochs: 5, Seed: 3})
+	return NewPipeline(nil, ingNER, insNER, nil)
+}
+
+func TestAnnotateIngredient(t *testing.T) {
+	p := trainTestPipeline(t)
+	rec := p.AnnotateIngredient("2 cups chopped onion")
+	if rec.Quantity != "2" || rec.Unit != "cups" || rec.State != "chopped" || rec.Name != "onion" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestAnnotateIngredientLemmatizesName(t *testing.T) {
+	p := trainTestPipeline(t)
+	rec := p.AnnotateIngredient("2-3 medium tomatoes")
+	if rec.Name != "tomato" {
+		t.Fatalf("name = %q, want lemmatized 'tomato'", rec.Name)
+	}
+	if rec.Size != "medium" || rec.Quantity != "2-3" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestAnnotateInstruction(t *testing.T) {
+	p := trainTestPipeline(t)
+	spans, tree, rels := p.AnnotateInstruction("Bring the water to a boil in a large pot.")
+	if len(spans) == 0 {
+		t.Fatal("no entities")
+	}
+	if tree.RootIndex() < 0 {
+		t.Fatal("no parse root")
+	}
+	if len(rels) == 0 {
+		t.Fatal("no relations")
+	}
+	found := false
+	for _, r := range rels {
+		if r.Process == "bring" {
+			found = true
+			if len(r.Ingredients) == 0 {
+				t.Fatalf("bring without ingredient: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("bring relation missing: %v", rels)
+	}
+}
+
+func TestModelRecipeEndToEnd(t *testing.T) {
+	p := trainTestPipeline(t)
+	m := p.ModelRecipe("Tomato Tart", "French",
+		[]string{
+			"1 sheet frozen puff pastry (thawed)",
+			"2-3 medium tomatoes",
+			"1/2 teaspoon pepper, freshly ground",
+			"",
+		},
+		"Preheat the oven to 375 ° F. Add the tomatoes to the skillet. Cook for 10 minutes.")
+	if m.Title != "Tomato Tart" || m.Cuisine != "French" {
+		t.Fatal("metadata lost")
+	}
+	if len(m.Ingredients) != 3 {
+		t.Fatalf("ingredients = %d", len(m.Ingredients))
+	}
+	if len(m.Instructions) != 3 {
+		t.Fatalf("instructions = %d: %v", len(m.Instructions), m.Instructions)
+	}
+	if len(m.Events) == 0 {
+		t.Fatal("no events extracted")
+	}
+	// events must be temporally ordered by step.
+	for i := 1; i < len(m.Events); i++ {
+		if m.Events[i].Step < m.Events[i-1].Step {
+			t.Fatal("events out of temporal order")
+		}
+	}
+}
+
+func TestRecordFromSpansMultipleValues(t *testing.T) {
+	tokens := strings.Fields("1 cup onion , chopped and drained")
+	spans := []ner.Span{
+		{Start: 0, End: 1, Type: ner.Quantity},
+		{Start: 1, End: 2, Type: ner.Unit},
+		{Start: 2, End: 3, Type: ner.Name},
+		{Start: 4, End: 5, Type: ner.State},
+		{Start: 6, End: 7, Type: ner.State},
+	}
+	rec := RecordFromSpans("1 cup onion, chopped and drained", tokens, spans, nil)
+	if rec.State != "chopped drained" {
+		t.Fatalf("states should concatenate: %q", rec.State)
+	}
+}
+
+func TestBuildDictionaries(t *testing.T) {
+	p := trainTestPipeline(t)
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, 9)
+	var steps [][]string
+	for _, in := range g.Instructions(600) {
+		steps = append(steps, in.Tokens)
+	}
+	tech, uten, techFreq, _ := BuildDictionaries(p.InstructionNER, steps,
+		gazetteer.TechniqueThreshold, gazetteer.UtensilThreshold)
+	if tech.Len() == 0 {
+		t.Fatal("technique dictionary empty at threshold 47")
+	}
+	if uten.Len() == 0 {
+		t.Fatal("utensil dictionary empty at threshold 10")
+	}
+	// high-frequency staples must survive the threshold.
+	if !tech.Contains("add") && !tech.Contains("cook") && !tech.Contains("preheat") {
+		t.Fatalf("staple techniques missing: %v", tech.Terms())
+	}
+	if techFreq.Count("add") == 0 && techFreq.Count("cook") == 0 {
+		t.Fatal("frequency table empty for staples")
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	got := Preprocess("2 Tomatoes, finely chopped (optional)")
+	joined := strings.Join(got, " ")
+	if strings.Contains(joined, "(") || strings.Contains(joined, ",") {
+		t.Fatalf("punctuation survived: %v", got)
+	}
+	if !strings.Contains(joined, "tomato") {
+		t.Fatalf("lemmatization failed: %v", got)
+	}
+	for _, w := range got {
+		if w != strings.ToLower(w) {
+			t.Fatalf("case folding failed: %v", got)
+		}
+	}
+}
+
+func TestSamplerStratifiedSplit(t *testing.T) {
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, 21)
+	ps := g.UniquePhrases(800)
+	texts := make([]string, len(ps))
+	for i, p := range ps {
+		texts[i] = p.Text
+	}
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewSampler(texts, nil, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := s.TrainTestSplit(0.10, 0.033, rng)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("empty split")
+	}
+	// disjoint
+	inTrain := map[int]bool{}
+	for _, i := range train {
+		inTrain[i] = true
+	}
+	for _, i := range test {
+		if inTrain[i] {
+			t.Fatal("train/test overlap")
+		}
+	}
+	// roughly proportional
+	if len(train) < 40 || len(train) > 160 {
+		t.Fatalf("train size %d far from 10%% of 800", len(train))
+	}
+}
+
+func TestSamplerErrorOnTinyCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewSampler([]string{"1 cup sugar"}, nil, 5, rng); err == nil {
+		t.Fatal("expected error for fewer phrases than clusters")
+	}
+}
+
+func TestPaperClusterK(t *testing.T) {
+	if PaperClusterK != 23 {
+		t.Fatal("the paper's cluster count is 23")
+	}
+}
+
+func TestScaleRecipe(t *testing.T) {
+	m := &RecipeModel{Ingredients: []IngredientRecord{
+		{Name: "flour", Quantity: "1 1/2", Unit: "cups"},
+		{Name: "tomato", Quantity: "2-4"},
+		{Name: "salt", Quantity: ""},
+		{Name: "mystery", Quantity: "a splash"},
+	}}
+	doubled := ScaleRecipe(m, 2, 1)
+	if got := doubled.Ingredients[0].Quantity; got != "3" {
+		t.Fatalf("1 1/2 × 2 = %q", got)
+	}
+	if got := doubled.Ingredients[1].Quantity; got != "4-8" {
+		t.Fatalf("2-4 × 2 = %q", got)
+	}
+	if doubled.Ingredients[2].Quantity != "" || doubled.Ingredients[3].Quantity != "a splash" {
+		t.Fatal("unparseable quantities must be preserved")
+	}
+	// original untouched
+	if m.Ingredients[0].Quantity != "1 1/2" {
+		t.Fatal("ScaleRecipe mutated its input")
+	}
+	halved := ScaleRecipe(m, 1, 2)
+	if got := halved.Ingredients[0].Quantity; got != "3/4" {
+		t.Fatalf("1 1/2 ÷ 2 = %q", got)
+	}
+	if ScaleRecipe(nil, 2, 1) != nil {
+		t.Fatal("nil input")
+	}
+	if ScaleRecipe(m, 1, 0) != m {
+		t.Fatal("zero denominator should be a no-op")
+	}
+}
+
+func TestRecipeModelString(t *testing.T) {
+	p := trainTestPipeline(t)
+	m := p.ModelRecipe("Tart", "French",
+		[]string{"2-3 medium tomatoes", "1/2 teaspoon pepper, freshly ground"},
+		"Preheat the oven to 400 ° F. Bake for 30 minutes.")
+	s := m.String()
+	for _, want := range []string{"Recipe: Tart (French)", "Ingredients", "temporal event chain", "tomato", "step 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCanonicalUnit(t *testing.T) {
+	cases := map[string]string{
+		"cups":        "cup",
+		"Cup":         "cup",
+		"tbsp":        "tablespoon",
+		"tbsp.":       "tablespoon",
+		"tsps":        "teaspoon",
+		"oz":          "ounce",
+		"ounces":      "ounce",
+		"lbs":         "pound",
+		"pinches":     "pinch",
+		"loaves":      "loaf",
+		"packages":    "package",
+		"pkg":         "package",
+		"sprigs":      "sprig",
+		"":            "",
+		"glass":       "glass",
+		"unknownunit": "unknownunit",
+	}
+	for in, want := range cases {
+		if got := CanonicalUnit(in); got != want {
+			t.Errorf("CanonicalUnit(%q) = %q, want %q", in, got, want)
+		}
+	}
+	r := IngredientRecord{Unit: "Tablespoons"}
+	if r.CanonicalUnit() != "tablespoon" {
+		t.Fatalf("record canonical unit = %q", r.CanonicalUnit())
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the model as the paper's Fig 1 structure: the recipe
+// decomposed into its ingredient records and its temporal chain of
+// many-to-many events.
+func (m *RecipeModel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recipe: %s", m.Title)
+	if m.Cuisine != "" {
+		fmt.Fprintf(&b, " (%s)", m.Cuisine)
+	}
+	b.WriteString("\n├── Ingredients\n")
+	for i, r := range m.Ingredients {
+		branch := "│   ├──"
+		if i == len(m.Ingredients)-1 {
+			branch = "│   └──"
+		}
+		fmt.Fprintf(&b, "%s %s", branch, orDash(r.Name))
+		var attrs []string
+		for _, k := range [...]struct{ label, v string }{
+			{"qty", r.Quantity}, {"unit", r.Unit}, {"state", r.State},
+			{"temp", r.Temp}, {"dry/fresh", r.DryFresh}, {"size", r.Size},
+		} {
+			if k.v != "" {
+				attrs = append(attrs, k.label+"="+k.v)
+			}
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("└── Instructions (temporal event chain)\n")
+	for i, e := range m.Events {
+		branch := "    ├──"
+		if i == len(m.Events)-1 {
+			branch = "    └──"
+		}
+		fmt.Fprintf(&b, "%s step %d: %s\n", branch, e.Step+1, e.Relation)
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+
+	"recipemodel/internal/cluster"
+	"recipemodel/internal/lemma"
+	"recipemodel/internal/mathx"
+	"recipemodel/internal/postag"
+	"recipemodel/internal/stopwords"
+)
+
+// stopSet is the shared recipe-safe stop-word set.
+var stopSet = stopwords.RecipeSafe()
+
+// sharedLemmatizer is the package-wide lemmatizer instance (read-only
+// after construction, safe for concurrent use).
+var sharedLemmatizer = lemma.New()
+
+// PaperClusterK is the cluster count the paper settles on via the
+// elbow criterion (§II.E, Fig 2).
+const PaperClusterK = 23
+
+// Sampler implements the paper's training-set construction (§II.D-E):
+// embed every unique ingredient phrase as a 1×36 POS-tag-frequency
+// vector, K-Means-cluster the vectors, then draw a cluster-stratified
+// sample for manual annotation.
+type Sampler struct {
+	Phrases []string
+	Vectors []mathx.Vector
+	Result  *cluster.Result
+}
+
+// NewSampler vectorizes the phrases with the tagger and fits K-Means
+// with k clusters. Pass nil for pos to use the default tagger.
+func NewSampler(phrases []string, pos *postag.Tagger, k int, rng *rand.Rand) (*Sampler, error) {
+	if pos == nil {
+		pos = postag.Default()
+	}
+	s := &Sampler{Phrases: phrases}
+	s.Vectors = make([]mathx.Vector, len(phrases))
+	for i, ph := range phrases {
+		s.Vectors[i] = pos.VectorizePhrase(Preprocess(ph))
+	}
+	res, err := cluster.KMeans(s.Vectors, cluster.Config{K: k, Restarts: 2}, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.Result = res
+	return s, nil
+}
+
+// TrainTestSplit draws the paper's two disjoint cluster-stratified
+// samples: trainFrac of each cluster for the training set, then
+// testFrac of each cluster excluding the training phrases (§II.E:
+// "specifically excluding the ingredient phrases in the training
+// set"). It returns phrase indices.
+func (s *Sampler) TrainTestSplit(trainFrac, testFrac float64, rng *rand.Rand) (train, test []int) {
+	train = s.Result.StratifiedSample(trainFrac, nil, rng)
+	exclude := make(map[int]bool, len(train))
+	for _, i := range train {
+		exclude[i] = true
+	}
+	test = s.Result.StratifiedSample(testFrac, exclude, rng)
+	return train, test
+}
+
+// ElbowK sweeps K and returns the elbow-criterion choice over the
+// sampler's vectors (used to justify PaperClusterK on fresh corpora).
+func ElbowK(vectors []mathx.Vector, kMin, kMax int, rng *rand.Rand) (int, []float64, error) {
+	return cluster.ElbowPoint(vectors, kMin, kMax, cluster.Config{Restarts: 2}, rng)
+}

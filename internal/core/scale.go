@@ -1,0 +1,44 @@
+package core
+
+import (
+	"recipemodel/internal/fraction"
+)
+
+// ScaleRecipe returns a copy of the model with every parseable
+// quantity multiplied by factor (numerator/denominator), rendered back
+// in recipe notation ("1 1/2", "2-4"). Unparseable quantities are kept
+// verbatim — a mined attribute is never silently dropped. This is the
+// kind of computation the paper's structure exists to enable: scaling
+// "1 1/2 cups" textually is fragile; scaling a parsed rational is
+// exact.
+func ScaleRecipe(m *RecipeModel, num, den int64) *RecipeModel {
+	if m == nil || den == 0 {
+		return m
+	}
+	factor := fraction.R(num, den)
+	out := *m
+	out.Ingredients = make([]IngredientRecord, len(m.Ingredients))
+	copy(out.Ingredients, m.Ingredients)
+	for i := range out.Ingredients {
+		out.Ingredients[i].Quantity = scaleQuantity(out.Ingredients[i].Quantity, factor)
+	}
+	return &out
+}
+
+// scaleQuantity scales a single quantity expression, preserving range
+// structure.
+func scaleQuantity(qty string, factor fraction.Rational) string {
+	if qty == "" {
+		return qty
+	}
+	q, err := fraction.Parse(qty)
+	if err != nil {
+		return qty
+	}
+	lo := q.Lo.Mul(factor)
+	if !q.IsRange() {
+		return lo.String()
+	}
+	hi := q.Hi.Mul(factor)
+	return lo.String() + "-" + hi.String()
+}

@@ -1,0 +1,52 @@
+package core
+
+import "strings"
+
+// unitAliases maps surface unit forms to canonical singular names.
+var unitAliases = map[string]string{
+	"tbsp": "tablespoon", "tbs": "tablespoon", "tbsps": "tablespoon",
+	"tsp": "teaspoon", "tsps": "teaspoon",
+	"oz": "ounce", "ozs": "ounce",
+	"lb": "pound", "lbs": "pound",
+	"g": "gram", "gr": "gram", "kg": "kilogram",
+	"ml": "milliliter", "l": "liter", "litre": "liter",
+	"c": "cup", "qt": "quart", "pt": "pint", "gal": "gallon",
+	"pkg": "package", "pkgs": "package",
+}
+
+// CanonicalUnit normalizes a mined unit surface form to its canonical
+// singular name: abbreviations expand ("tbsp" → "tablespoon") and
+// plurals reduce ("cups" → "cup"). Unknown units are returned
+// lower-cased but otherwise intact.
+func CanonicalUnit(unit string) string {
+	u := strings.ToLower(strings.TrimSpace(unit))
+	if u == "" {
+		return ""
+	}
+	u = strings.TrimSuffix(u, ".") // "tbsp."
+	if c, ok := unitAliases[u]; ok {
+		return c
+	}
+	// plural reduction with lexicon-free heuristics mirroring the
+	// lemmatizer's noun rules.
+	switch {
+	case strings.HasSuffix(u, "ches") || strings.HasSuffix(u, "shes") ||
+		strings.HasSuffix(u, "xes") || strings.HasSuffix(u, "sses"):
+		u = u[:len(u)-2]
+	case strings.HasSuffix(u, "ies") && len(u) > 4:
+		u = u[:len(u)-3] + "y"
+	case strings.HasSuffix(u, "ves") && len(u) > 4:
+		u = u[:len(u)-3] + "f"
+	case strings.HasSuffix(u, "s") && !strings.HasSuffix(u, "ss") && len(u) > 2:
+		u = u[:len(u)-1]
+	}
+	if c, ok := unitAliases[u]; ok {
+		return c
+	}
+	return u
+}
+
+// CanonicalUnit returns the record's unit in canonical singular form.
+func (r IngredientRecord) CanonicalUnit() string {
+	return CanonicalUnit(r.Unit)
+}

@@ -1,0 +1,95 @@
+// Package corpus bridges the synthetic RecipeDB corpus and the NER
+// training layer: conversion to labeled sentences, train/test splits,
+// and the 5-fold cross-validation protocol the paper uses to validate
+// its models (§II.F).
+package corpus
+
+import (
+	"math/rand"
+
+	"recipemodel/internal/ner"
+	"recipemodel/internal/recipedb"
+)
+
+// IngredientSentences converts gold-annotated ingredient phrases to
+// labeled NER sentences.
+func IngredientSentences(ps []recipedb.IngredientPhrase) []ner.Sentence {
+	out := make([]ner.Sentence, len(ps))
+	for i, p := range ps {
+		out[i] = ner.Sentence{Tokens: p.Tokens, Spans: p.Spans}
+	}
+	return out
+}
+
+// InstructionSentences converts gold-annotated instructions to labeled
+// NER sentences.
+func InstructionSentences(is []recipedb.Instruction) []ner.Sentence {
+	out := make([]ner.Sentence, len(is))
+	for i, in := range is {
+		out[i] = ner.Sentence{Tokens: in.Tokens, Spans: in.Spans}
+	}
+	return out
+}
+
+// Split shuffles and partitions sentences into train/test with the
+// given test fraction.
+func Split(sents []ner.Sentence, testFrac float64, rng *rand.Rand) (train, test []ner.Sentence) {
+	idx := rng.Perm(len(sents))
+	nTest := int(float64(len(sents)) * testFrac)
+	for i, j := range idx {
+		if i < nTest {
+			test = append(test, sents[j])
+		} else {
+			train = append(train, sents[j])
+		}
+	}
+	return train, test
+}
+
+// Fold is one cross-validation fold.
+type Fold struct {
+	Train []ner.Sentence
+	Test  []ner.Sentence
+}
+
+// KFold shuffles and partitions sentences into k folds; fold i's test
+// set is the i-th shard.
+func KFold(sents []ner.Sentence, k int, rng *rand.Rand) []Fold {
+	if k < 2 || len(sents) < k {
+		return nil
+	}
+	idx := rng.Perm(len(sents))
+	shards := make([][]ner.Sentence, k)
+	for i, j := range idx {
+		shards[i%k] = append(shards[i%k], sents[j])
+	}
+	folds := make([]Fold, k)
+	for i := 0; i < k; i++ {
+		folds[i].Test = shards[i]
+		for j := 0; j < k; j++ {
+			if j != i {
+				folds[i].Train = append(folds[i].Train, shards[j]...)
+			}
+		}
+	}
+	return folds
+}
+
+// Gold extracts the gold span sets, parallel to the sentences.
+func Gold(sents []ner.Sentence) [][]ner.Span {
+	out := make([][]ner.Span, len(sents))
+	for i, s := range sents {
+		out[i] = s.Spans
+	}
+	return out
+}
+
+// Predict runs the tagger over every sentence, returning predictions
+// parallel to the input.
+func Predict(t *ner.Tagger, sents []ner.Sentence) [][]ner.Span {
+	out := make([][]ner.Span, len(sents))
+	for i, s := range sents {
+		out[i] = t.Predict(s.Tokens)
+	}
+	return out
+}

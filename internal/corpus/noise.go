@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"recipemodel/internal/ner"
+)
+
+// confusions maps each entity type to the label a human annotator most
+// plausibly confuses it with ("" means the span is simply missed).
+// The paper's training data was manually tagged (§II.E); inter-
+// annotator inconsistency is what keeps real-world F1 below 1.0, so
+// the reproduction injects it explicitly at a configurable rate.
+var confusions = map[string]string{
+	ner.State:    ner.DryFresh, // "smoked" — state or dryness?
+	ner.DryFresh: ner.State,
+	ner.Temp:     ner.State, // "frozen" — temp or state?
+	ner.Size:     "",        // sizes get missed
+	ner.Unit:     ner.Name,  // "clove" homographs
+	ner.Name:     "",        // names occasionally missed
+	ner.Quantity: "",
+	// instruction-section confusions (§III.A annotation).
+	ner.Process:    "",             // technique verbs get missed
+	ner.Utensil:    ner.Ingredient, // "grill", "steamer" read as food
+	ner.Ingredient: "",
+}
+
+// Noisify returns a copy of sents where each span is independently
+// corrupted with probability rate: half the corruptions swap the label
+// for its confusable counterpart, the rest drop or truncate the span.
+func Noisify(sents []ner.Sentence, rate float64, rng *rand.Rand) []ner.Sentence {
+	out := make([]ner.Sentence, len(sents))
+	for i, s := range sents {
+		ns := ner.Sentence{Tokens: s.Tokens}
+		for _, sp := range s.Spans {
+			if rng.Float64() >= rate {
+				ns.Spans = append(ns.Spans, sp)
+				continue
+			}
+			switch {
+			case rng.Float64() < 0.5 && confusions[sp.Type] != "":
+				sp.Type = confusions[sp.Type]
+				ns.Spans = append(ns.Spans, sp)
+			case sp.End-sp.Start > 1:
+				sp.End-- // boundary error on a multiword span
+				ns.Spans = append(ns.Spans, sp)
+			default:
+				// span missed entirely.
+			}
+		}
+		out[i] = ns
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"recipemodel/internal/ner"
+)
+
+func TestNoisifyZeroRateIsIdentity(t *testing.T) {
+	ss := sents(50)
+	out := Noisify(ss, 0, rand.New(rand.NewSource(1)))
+	for i := range ss {
+		if len(out[i].Spans) != len(ss[i].Spans) {
+			t.Fatal("zero-rate noise changed spans")
+		}
+		for j := range ss[i].Spans {
+			if out[i].Spans[j] != ss[i].Spans[j] {
+				t.Fatal("zero-rate noise mutated a span")
+			}
+		}
+	}
+}
+
+func TestNoisifyDoesNotMutateInput(t *testing.T) {
+	ss := sents(30)
+	before := make([]int, len(ss))
+	for i := range ss {
+		before[i] = len(ss[i].Spans)
+	}
+	Noisify(ss, 0.5, rand.New(rand.NewSource(2)))
+	for i := range ss {
+		if len(ss[i].Spans) != before[i] {
+			t.Fatal("Noisify mutated its input")
+		}
+	}
+}
+
+func TestNoisifyRateProportional(t *testing.T) {
+	ss := sents(500)
+	var total, kept int
+	out := Noisify(ss, 0.3, rand.New(rand.NewSource(3)))
+	for i := range ss {
+		total += len(ss[i].Spans)
+		// count exact survivals
+		orig := map[ner.Span]bool{}
+		for _, sp := range ss[i].Spans {
+			orig[sp] = true
+		}
+		for _, sp := range out[i].Spans {
+			if orig[sp] {
+				kept++
+			}
+		}
+	}
+	frac := float64(kept) / float64(total)
+	if frac < 0.62 || frac > 0.80 {
+		t.Fatalf("survival fraction %.3f, want ≈0.70 at rate 0.3", frac)
+	}
+}
+
+func TestNoisifySpansRemainValid(t *testing.T) {
+	ss := sents(200)
+	out := Noisify(ss, 0.8, rand.New(rand.NewSource(4)))
+	for i := range out {
+		for _, sp := range out[i].Spans {
+			if sp.Start < 0 || sp.End > len(out[i].Tokens) || sp.Start >= sp.End {
+				t.Fatalf("invalid span %+v", sp)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package crf implements a linear-chain conditional random field — the
+// model class behind the Stanford NER tagger the paper trains (§II.B,
+// §III.A). It provides log-space forward–backward inference, Viterbi
+// decoding, maximum-likelihood training with AdaGrad and L2
+// regularization, and an averaged structured-perceptron trainer as an
+// alternative backend.
+//
+// Features are caller-extracted strings per position; the CRF itself
+// is agnostic to the tagging task.
+package crf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sequence is one training or decoding instance: a feature set per
+// position and (for training) the gold label index per position.
+type Sequence struct {
+	Features [][]string
+	Labels   []int
+}
+
+// Model is a linear-chain CRF.
+type Model struct {
+	Labels  []string
+	labelID map[string]int
+
+	// Emit[feature][label] are the emission weights.
+	Emit map[string][]float64
+	// Trans[from][to] are transition weights; row index len(Labels)
+	// is the virtual begin-of-sequence state.
+	Trans [][]float64
+	// TransEnd[label] scores ending a sequence in label.
+	TransEnd []float64
+}
+
+// New creates an empty model over the given label inventory.
+func New(labels []string) *Model {
+	m := &Model{
+		Labels:   append([]string(nil), labels...),
+		labelID:  make(map[string]int, len(labels)),
+		Emit:     make(map[string][]float64),
+		Trans:    make([][]float64, len(labels)+1),
+		TransEnd: make([]float64, len(labels)),
+	}
+	for i, l := range labels {
+		m.labelID[l] = i
+	}
+	for i := range m.Trans {
+		m.Trans[i] = make([]float64, len(labels))
+	}
+	return m
+}
+
+// L returns the number of labels.
+func (m *Model) L() int { return len(m.Labels) }
+
+// bos is the virtual begin state row in Trans.
+func (m *Model) bos() int { return len(m.Labels) }
+
+// LabelID returns the index of a label name, or -1.
+func (m *Model) LabelID(l string) int {
+	if id, ok := m.labelID[l]; ok {
+		return id
+	}
+	return -1
+}
+
+// emissionScores computes, for every position, the per-label sum of
+// emission weights for the active features.
+func (m *Model) emissionScores(features [][]string) [][]float64 {
+	L := m.L()
+	out := make([][]float64, len(features))
+	for t, feats := range features {
+		row := make([]float64, L)
+		for _, f := range feats {
+			if w, ok := m.Emit[f]; ok {
+				for y := 0; y < L; y++ {
+					row[y] += w[y]
+				}
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// Decode returns the Viterbi-optimal label sequence for the features,
+// along with its unnormalized path score.
+func (m *Model) Decode(features [][]string) ([]int, float64) {
+	n := len(features)
+	L := m.L()
+	if n == 0 || L == 0 {
+		return nil, 0
+	}
+	emit := m.emissionScores(features)
+
+	delta := make([][]float64, n)
+	back := make([][]int, n)
+	for t := range delta {
+		delta[t] = make([]float64, L)
+		back[t] = make([]int, L)
+	}
+	for y := 0; y < L; y++ {
+		delta[0][y] = m.Trans[m.bos()][y] + emit[0][y]
+		back[0][y] = -1
+	}
+	for t := 1; t < n; t++ {
+		for y := 0; y < L; y++ {
+			bestPrev, bestScore := 0, math.Inf(-1)
+			for yp := 0; yp < L; yp++ {
+				s := delta[t-1][yp] + m.Trans[yp][y]
+				if s > bestScore {
+					bestScore = s
+					bestPrev = yp
+				}
+			}
+			delta[t][y] = bestScore + emit[t][y]
+			back[t][y] = bestPrev
+		}
+	}
+	bestLast, bestScore := 0, math.Inf(-1)
+	for y := 0; y < L; y++ {
+		s := delta[n-1][y] + m.TransEnd[y]
+		if s > bestScore {
+			bestScore = s
+			bestLast = y
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bestLast
+	for t := n - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path, bestScore
+}
+
+// DecodeLabels is Decode returning label names.
+func (m *Model) DecodeLabels(features [][]string) []string {
+	ids, _ := m.Decode(features)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = m.Labels[id]
+	}
+	return out
+}
+
+// PathScore returns the unnormalized log score of a specific path.
+func (m *Model) PathScore(features [][]string, labels []int) float64 {
+	if len(features) != len(labels) {
+		panic(fmt.Sprintf("crf: %d positions vs %d labels", len(features), len(labels)))
+	}
+	emit := m.emissionScores(features)
+	s := 0.0
+	prev := m.bos()
+	for t, y := range labels {
+		s += m.Trans[prev][y] + emit[t][y]
+		prev = y
+	}
+	if len(labels) > 0 {
+		s += m.TransEnd[labels[len(labels)-1]]
+	}
+	return s
+}
+
+// lattice holds forward/backward tables for one sequence.
+type lattice struct {
+	emit  [][]float64
+	alpha [][]float64
+	beta  [][]float64
+	logZ  float64
+}
+
+// forwardBackward fills the lattice in log space.
+func (m *Model) forwardBackward(features [][]string) *lattice {
+	n := len(features)
+	L := m.L()
+	lat := &lattice{emit: m.emissionScores(features)}
+	lat.alpha = make([][]float64, n)
+	lat.beta = make([][]float64, n)
+	for t := 0; t < n; t++ {
+		lat.alpha[t] = make([]float64, L)
+		lat.beta[t] = make([]float64, L)
+	}
+	// forward
+	for y := 0; y < L; y++ {
+		lat.alpha[0][y] = m.Trans[m.bos()][y] + lat.emit[0][y]
+	}
+	buf := make([]float64, L)
+	for t := 1; t < n; t++ {
+		for y := 0; y < L; y++ {
+			for yp := 0; yp < L; yp++ {
+				buf[yp] = lat.alpha[t-1][yp] + m.Trans[yp][y]
+			}
+			lat.alpha[t][y] = logSumExp(buf) + lat.emit[t][y]
+		}
+	}
+	// backward
+	for y := 0; y < L; y++ {
+		lat.beta[n-1][y] = m.TransEnd[y]
+	}
+	for t := n - 2; t >= 0; t-- {
+		for yp := 0; yp < L; yp++ {
+			for y := 0; y < L; y++ {
+				buf[y] = m.Trans[yp][y] + lat.emit[t+1][y] + lat.beta[t+1][y]
+			}
+			lat.beta[t][yp] = logSumExp(buf)
+		}
+	}
+	for y := 0; y < L; y++ {
+		buf[y] = lat.alpha[n-1][y] + m.TransEnd[y]
+	}
+	lat.logZ = logSumExp(buf)
+	return lat
+}
+
+// LogZ returns the log partition function for the features.
+func (m *Model) LogZ(features [][]string) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	return m.forwardBackward(features).logZ
+}
+
+// LogLikelihood returns log p(labels | features) under the model.
+func (m *Model) LogLikelihood(seq Sequence) float64 {
+	if len(seq.Features) == 0 {
+		return 0
+	}
+	return m.PathScore(seq.Features, seq.Labels) - m.LogZ(seq.Features)
+}
+
+// Marginals returns p(y_t = y | x) for every position and label.
+func (m *Model) Marginals(features [][]string) [][]float64 {
+	n := len(features)
+	L := m.L()
+	out := make([][]float64, n)
+	if n == 0 {
+		return out
+	}
+	lat := m.forwardBackward(features)
+	for t := 0; t < n; t++ {
+		out[t] = make([]float64, L)
+		for y := 0; y < L; y++ {
+			out[t][y] = math.Exp(lat.alpha[t][y] + lat.beta[t][y] - lat.logZ)
+		}
+	}
+	return out
+}
+
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - max)
+	}
+	return max + math.Log(s)
+}

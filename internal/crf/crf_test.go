@@ -1,0 +1,328 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// enumerate all label paths of length n over L labels.
+func allPaths(n, L int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	for _, p := range allPaths(n-1, L) {
+		for y := 0; y < L; y++ {
+			q := append(append([]int(nil), p...), y)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// randomModel builds a CRF with random weights over the features that
+// appear in feats.
+func randomModel(rng *rand.Rand, labels []string, feats [][]string) *Model {
+	m := New(labels)
+	seen := map[string]bool{}
+	for _, row := range feats {
+		for _, f := range row {
+			if !seen[f] {
+				seen[f] = true
+				w := make([]float64, m.L())
+				for y := range w {
+					w[y] = rng.NormFloat64()
+				}
+				m.Emit[f] = w
+			}
+		}
+	}
+	for a := range m.Trans {
+		for b := range m.Trans[a] {
+			m.Trans[a][b] = rng.NormFloat64()
+		}
+	}
+	for y := range m.TransEnd {
+		m.TransEnd[y] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomFeatures(rng *rand.Rand, n int) [][]string {
+	vocab := []string{"f1", "f2", "f3", "f4", "f5"}
+	out := make([][]string, n)
+	for t := range out {
+		k := 1 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			out[t] = append(out[t], vocab[rng.Intn(len(vocab))])
+		}
+	}
+	return out
+}
+
+// Property: LogZ equals the log of the explicit sum over all paths.
+func TestLogZMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	labels := []string{"A", "B", "C"}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4)
+		feats := randomFeatures(rng, n)
+		m := randomModel(rng, labels, feats)
+
+		var sum float64
+		first := true
+		var max float64
+		scores := []float64{}
+		for _, path := range allPaths(n, m.L()) {
+			s := m.PathScore(feats, path)
+			scores = append(scores, s)
+			if first || s > max {
+				max = s
+				first = false
+			}
+		}
+		for _, s := range scores {
+			sum += math.Exp(s - max)
+		}
+		want := max + math.Log(sum)
+		got := m.LogZ(feats)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: LogZ = %v, brute force = %v", trial, got, want)
+		}
+	}
+}
+
+// Property: Viterbi finds the same best path score as brute force.
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := []string{"A", "B", "C", "D"}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4)
+		feats := randomFeatures(rng, n)
+		m := randomModel(rng, labels, feats)
+
+		best := math.Inf(-1)
+		for _, path := range allPaths(n, m.L()) {
+			if s := m.PathScore(feats, path); s > best {
+				best = s
+			}
+		}
+		path, score := m.Decode(feats)
+		if math.Abs(score-best) > 1e-9 {
+			t.Fatalf("trial %d: Viterbi score %v != best %v", trial, score, best)
+		}
+		if math.Abs(m.PathScore(feats, path)-best) > 1e-9 {
+			t.Fatalf("trial %d: returned path does not achieve best score", trial)
+		}
+	}
+}
+
+// Property: marginals are valid distributions at every position.
+func TestMarginalsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	labels := []string{"X", "Y", "Z"}
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(6)
+		feats := randomFeatures(rng, n)
+		m := randomModel(rng, labels, feats)
+		marg := m.Marginals(feats)
+		for t2, row := range marg {
+			var s float64
+			for _, p := range row {
+				if p < -1e-12 || p > 1+1e-12 {
+					t.Fatalf("marginal out of range: %v", p)
+				}
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("trial %d pos %d: marginals sum to %v", trial, t2, s)
+			}
+		}
+	}
+}
+
+func TestLogLikelihoodNonPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	labels := []string{"A", "B"}
+	feats := randomFeatures(rng, 5)
+	m := randomModel(rng, labels, feats)
+	seq := Sequence{Features: feats, Labels: []int{0, 1, 0, 1, 1}}
+	if ll := m.LogLikelihood(seq); ll > 1e-12 {
+		t.Fatalf("log-likelihood %v > 0", ll)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	m := New([]string{"A", "B"})
+	path, score := m.Decode(nil)
+	if path != nil || score != 0 {
+		t.Fatalf("empty decode = %v, %v", path, score)
+	}
+}
+
+func TestPathScoreMismatchPanics(t *testing.T) {
+	m := New([]string{"A"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.PathScore([][]string{{"f"}}, []int{0, 0})
+}
+
+// toyTask builds a deterministic tagging task: words carry their gold
+// label as a feature ("w=aX" → label X) but with one ambiguous word
+// whose label depends on the previous label, forcing the model to use
+// transitions.
+func toyTask(rng *rand.Rand, nseq int) []Sequence {
+	var data []Sequence
+	for i := 0; i < nseq; i++ {
+		n := 3 + rng.Intn(5)
+		feats := make([][]string, n)
+		labels := make([]int, n)
+		for t := 0; t < n; t++ {
+			switch {
+			case t > 0 && rng.Float64() < 0.3:
+				// ambiguous word: label copies the previous label.
+				feats[t] = []string{"w=amb"}
+				labels[t] = labels[t-1]
+			case rng.Float64() < 0.5:
+				feats[t] = []string{"w=a0", "shape=lower"}
+				labels[t] = 0
+			default:
+				feats[t] = []string{"w=a1", "shape=lower"}
+				labels[t] = 1
+			}
+		}
+		data = append(data, Sequence{Features: feats, Labels: labels})
+	}
+	return data
+}
+
+func accuracy(m *Model, data []Sequence) float64 {
+	var correct, total int
+	for _, seq := range data {
+		pred, _ := m.Decode(seq.Features)
+		for t := range pred {
+			if pred[t] == seq.Labels[t] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTrainSGDLearnsToyTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := toyTask(rng, 120)
+	test := toyTask(rng, 40)
+	m := New([]string{"L0", "L1"})
+	trace := m.Train(train, TrainConfig{Epochs: 8, Seed: 6})
+	if len(trace) != 8 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if trace[len(trace)-1] < trace[0] {
+		t.Fatalf("log-likelihood did not improve: %v", trace)
+	}
+	if acc := accuracy(m, test); acc < 0.95 {
+		t.Fatalf("SGD test accuracy = %v", acc)
+	}
+}
+
+func TestTrainPerceptronLearnsToyTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := toyTask(rng, 300)
+	test := toyTask(rng, 60)
+	m := New([]string{"L0", "L1"})
+	m.Train(train, TrainConfig{Epochs: 12, Seed: 8, Method: "perceptron"})
+	if acc := accuracy(m, test); acc < 0.95 {
+		t.Fatalf("perceptron test accuracy = %v", acc)
+	}
+}
+
+func TestTrainUsesTransitions(t *testing.T) {
+	// The ambiguous word is only solvable through transition weights;
+	// check that the learned model tags it by copying the previous
+	// label in both directions.
+	rng := rand.New(rand.NewSource(9))
+	train := toyTask(rng, 200)
+	m := New([]string{"L0", "L1"})
+	m.Train(train, TrainConfig{Epochs: 10, Seed: 10})
+	feats := [][]string{{"w=a0", "shape=lower"}, {"w=amb"}}
+	pred, _ := m.Decode(feats)
+	if pred[0] != 0 || pred[1] != 0 {
+		t.Fatalf("amb after L0 → %v", pred)
+	}
+	feats = [][]string{{"w=a1", "shape=lower"}, {"w=amb"}}
+	pred, _ = m.Decode(feats)
+	if pred[0] != 1 || pred[1] != 1 {
+		t.Fatalf("amb after L1 → %v", pred)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	train := toyTask(rng, 50)
+	m1 := New([]string{"L0", "L1"})
+	m1.Train(train, TrainConfig{Epochs: 3, Seed: 42})
+	m2 := New([]string{"L0", "L1"})
+	m2.Train(train, TrainConfig{Epochs: 3, Seed: 42})
+	feats := [][]string{{"w=a0"}, {"w=amb"}, {"w=a1"}}
+	p1, s1 := m1.Decode(feats)
+	p2, s2 := m2.Decode(feats)
+	if s1 != s2 {
+		t.Fatal("same seed should give identical models")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed should give identical decodes")
+		}
+	}
+}
+
+func TestLabelID(t *testing.T) {
+	m := New([]string{"O", "NAME"})
+	if m.LabelID("NAME") != 1 || m.LabelID("nope") != -1 {
+		t.Fatal("LabelID wrong")
+	}
+	if m.L() != 2 {
+		t.Fatal("L wrong")
+	}
+}
+
+func TestDecodeLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	train := toyTask(rng, 80)
+	m := New([]string{"L0", "L1"})
+	m.Train(train, TrainConfig{Epochs: 5, Seed: 13})
+	got := m.DecodeLabels([][]string{{"w=a1"}})
+	if len(got) != 1 || got[0] != "L1" {
+		t.Fatalf("DecodeLabels = %v", got)
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	train := toyTask(rng, 60)
+	weak := New([]string{"L0", "L1"})
+	weak.Train(train, TrainConfig{Epochs: 5, Seed: 15, L2: 1e-4})
+	strong := New([]string{"L0", "L1"})
+	strong.Train(train, TrainConfig{Epochs: 5, Seed: 15, L2: 0.5})
+	norm := func(m *Model) float64 {
+		var s float64
+		for _, w := range m.Emit {
+			for _, v := range w {
+				s += v * v
+			}
+		}
+		return s
+	}
+	if norm(strong) >= norm(weak) {
+		t.Fatalf("strong L2 should shrink weights: %v vs %v", norm(strong), norm(weak))
+	}
+}

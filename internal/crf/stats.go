@@ -1,0 +1,64 @@
+package crf
+
+import "fmt"
+
+// Stats summarizes a model's parameter footprint.
+type Stats struct {
+	Labels       int
+	Features     int // distinct emission features
+	EmitNonZero  int // non-zero emission weights
+	TransNonZero int // non-zero transition weights (incl. BOS and end)
+}
+
+// String renders "labels=15 features=48210 emit-nnz=312k trans-nnz=240".
+func (s Stats) String() string {
+	return fmt.Sprintf("labels=%d features=%d emit-nnz=%d trans-nnz=%d",
+		s.Labels, s.Features, s.EmitNonZero, s.TransNonZero)
+}
+
+// Stats computes the model's parameter statistics.
+func (m *Model) Stats() Stats {
+	s := Stats{Labels: m.L(), Features: len(m.Emit)}
+	for _, w := range m.Emit {
+		for _, v := range w {
+			if v != 0 {
+				s.EmitNonZero++
+			}
+		}
+	}
+	for _, row := range m.Trans {
+		for _, v := range row {
+			if v != 0 {
+				s.TransNonZero++
+			}
+		}
+	}
+	for _, v := range m.TransEnd {
+		if v != 0 {
+			s.TransNonZero++
+		}
+	}
+	return s
+}
+
+// Prune removes emission features whose largest absolute weight is
+// below minAbs, shrinking the model (and anything persisted from it)
+// with negligible accuracy impact for small thresholds. It returns the
+// number of features removed.
+func (m *Model) Prune(minAbs float64) int {
+	removed := 0
+	for f, w := range m.Emit {
+		keep := false
+		for _, v := range w {
+			if v >= minAbs || v <= -minAbs {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			delete(m.Emit, f)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,37 @@
+package crf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestStatsAndPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	train := toyTask(rng, 150)
+	m := New([]string{"L0", "L1"})
+	m.Train(train, TrainConfig{Epochs: 6, Seed: 32})
+
+	st := m.Stats()
+	if st.Labels != 2 || st.Features == 0 || st.EmitNonZero == 0 || st.TransNonZero == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "features=") {
+		t.Fatal("render")
+	}
+
+	test := toyTask(rng, 50)
+	before := accuracy(m, test)
+
+	// prune tiny weights: accuracy must not collapse.
+	removed := m.Prune(1e-3)
+	after := accuracy(m, test)
+	if after < before-0.02 {
+		t.Fatalf("pruning at 1e-3 cost too much: %v → %v (removed %d)", before, after, removed)
+	}
+	// pruning at a huge threshold removes everything.
+	m.Prune(1e9)
+	if m.Stats().Features != 0 {
+		t.Fatal("full prune left features behind")
+	}
+}

@@ -1,0 +1,262 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TrainConfig controls CRF training.
+type TrainConfig struct {
+	Epochs       int     // default 10
+	LearningRate float64 // AdaGrad base step, default 0.2
+	L2           float64 // L2 regularization strength, default 1e-4
+	Seed         int64
+	// Method selects the trainer: "sgd" (AdaGrad maximum likelihood,
+	// default) or "perceptron" (averaged structured perceptron).
+	Method string
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.2
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.Method == "" {
+		c.Method = "sgd"
+	}
+}
+
+// Train fits the model to the data. It returns the per-epoch mean
+// log-likelihood (SGD) or training sequence accuracy (perceptron).
+func (m *Model) Train(data []Sequence, cfg TrainConfig) []float64 {
+	cfg.defaults()
+	switch cfg.Method {
+	case "perceptron":
+		return m.trainPerceptron(data, cfg)
+	default:
+		return m.trainSGD(data, cfg)
+	}
+}
+
+// trainSGD maximizes conditional log-likelihood with per-parameter
+// AdaGrad steps; gradients are exact (forward–backward) per sequence.
+func (m *Model) trainSGD(data []Sequence, cfg TrainConfig) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	L := m.L()
+	bos := m.bos()
+
+	// AdaGrad caches.
+	emitCache := make(map[string][]float64)
+	transCache := make([][]float64, L+1)
+	for i := range transCache {
+		transCache[i] = make([]float64, L)
+	}
+	endCache := make([]float64, L)
+
+	const eps = 1e-8
+	step := func(w *float64, g float64, cache *float64) {
+		*cache += g * g
+		*w += cfg.LearningRate * g / (math.Sqrt(*cache) + eps)
+	}
+
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	trace := make([]float64, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		var llSum float64
+		for _, di := range idx {
+			seq := data[di]
+			n := len(seq.Features)
+			if n == 0 {
+				continue
+			}
+			lat := m.forwardBackward(seq.Features)
+			llSum += m.PathScore(seq.Features, seq.Labels) - lat.logZ
+
+			// --- emission gradients: observed - expected ---
+			for t := 0; t < n; t++ {
+				gold := seq.Labels[t]
+				for _, f := range seq.Features[t] {
+					w, ok := m.Emit[f]
+					if !ok {
+						w = make([]float64, L)
+						m.Emit[f] = w
+						emitCache[f] = make([]float64, L)
+					}
+					c := emitCache[f]
+					for y := 0; y < L; y++ {
+						p := math.Exp(lat.alpha[t][y] + lat.beta[t][y] - lat.logZ)
+						g := -p - cfg.L2*w[y]
+						if y == gold {
+							g += 1
+						}
+						step(&w[y], g, &c[y])
+					}
+				}
+			}
+			// --- transition gradients ---
+			// BOS → y at t=0.
+			for y := 0; y < L; y++ {
+				p := math.Exp(lat.alpha[0][y] + lat.beta[0][y] - lat.logZ)
+				g := -p - cfg.L2*m.Trans[bos][y]
+				if y == seq.Labels[0] {
+					g += 1
+				}
+				step(&m.Trans[bos][y], g, &transCache[bos][y])
+			}
+			// y' → y for t ≥ 1: pairwise marginals.
+			for t := 1; t < n; t++ {
+				for yp := 0; yp < L; yp++ {
+					for y := 0; y < L; y++ {
+						p := math.Exp(lat.alpha[t-1][yp] + m.Trans[yp][y] +
+							lat.emit[t][y] + lat.beta[t][y] - lat.logZ)
+						g := -p - cfg.L2*m.Trans[yp][y]
+						if yp == seq.Labels[t-1] && y == seq.Labels[t] {
+							g += 1
+						}
+						step(&m.Trans[yp][y], g, &transCache[yp][y])
+					}
+				}
+			}
+			// end transitions.
+			for y := 0; y < L; y++ {
+				p := math.Exp(lat.alpha[n-1][y] + m.TransEnd[y] - lat.logZ)
+				g := -p - cfg.L2*m.TransEnd[y]
+				if y == seq.Labels[n-1] {
+					g += 1
+				}
+				step(&m.TransEnd[y], g, &endCache[y])
+			}
+		}
+		if len(data) > 0 {
+			trace = append(trace, llSum/float64(len(data)))
+		}
+	}
+	return trace
+}
+
+// trainPerceptron runs the averaged structured perceptron: decode with
+// Viterbi, promote the gold path, demote the predicted path.
+func (m *Model) trainPerceptron(data []Sequence, cfg TrainConfig) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	L := m.L()
+	bos := m.bos()
+
+	// Averaging accumulators (Daumé's trick).
+	emitTot := make(map[string][]float64)
+	emitStamp := make(map[string][]int)
+	transTot := make([][]float64, L+1)
+	transStamp := make([][]int, L+1)
+	for i := range transTot {
+		transTot[i] = make([]float64, L)
+		transStamp[i] = make([]int, L)
+	}
+	endTot := make([]float64, L)
+	endStamp := make([]int, L)
+	tick := 0
+
+	bumpEmit := func(f string, y int, d float64) {
+		w, ok := m.Emit[f]
+		if !ok {
+			w = make([]float64, L)
+			m.Emit[f] = w
+			emitTot[f] = make([]float64, L)
+			emitStamp[f] = make([]int, L)
+		}
+		emitTot[f][y] += float64(tick-emitStamp[f][y]) * w[y]
+		emitStamp[f][y] = tick
+		w[y] += d
+	}
+	bumpTrans := func(a, b int, d float64) {
+		transTot[a][b] += float64(tick-transStamp[a][b]) * m.Trans[a][b]
+		transStamp[a][b] = tick
+		m.Trans[a][b] += d
+	}
+	bumpEnd := func(y int, d float64) {
+		endTot[y] += float64(tick-endStamp[y]) * m.TransEnd[y]
+		endStamp[y] = tick
+		m.TransEnd[y] += d
+	}
+
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	trace := make([]float64, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		correct := 0
+		for _, di := range idx {
+			seq := data[di]
+			n := len(seq.Features)
+			if n == 0 {
+				continue
+			}
+			tick++
+			pred, _ := m.Decode(seq.Features)
+			same := true
+			for t := range pred {
+				if pred[t] != seq.Labels[t] {
+					same = false
+					break
+				}
+			}
+			if same {
+				correct++
+				continue
+			}
+			prevG, prevP := bos, bos
+			for t := 0; t < n; t++ {
+				g, p := seq.Labels[t], pred[t]
+				if g != p {
+					for _, f := range seq.Features[t] {
+						bumpEmit(f, g, 1)
+						bumpEmit(f, p, -1)
+					}
+				}
+				if prevG != prevP || g != p {
+					bumpTrans(prevG, g, 1)
+					bumpTrans(prevP, p, -1)
+				}
+				prevG, prevP = g, p
+			}
+			if prevG != prevP {
+				bumpEnd(prevG, 1)
+				bumpEnd(prevP, -1)
+			}
+		}
+		if len(data) > 0 {
+			trace = append(trace, float64(correct)/float64(len(data)))
+		}
+	}
+	// finalize averages.
+	if tick > 0 {
+		for f, w := range m.Emit {
+			for y := range w {
+				emitTot[f][y] += float64(tick-emitStamp[f][y]) * w[y]
+				w[y] = emitTot[f][y] / float64(tick)
+			}
+		}
+		for a := range m.Trans {
+			for b := range m.Trans[a] {
+				transTot[a][b] += float64(tick-transStamp[a][b]) * m.Trans[a][b]
+				m.Trans[a][b] = transTot[a][b] / float64(tick)
+			}
+		}
+		for y := range m.TransEnd {
+			endTot[y] += float64(tick-endStamp[y]) * m.TransEnd[y]
+			m.TransEnd[y] = endTot[y] / float64(tick)
+		}
+	}
+	return trace
+}

@@ -1,0 +1,128 @@
+// Package cuisine predicts a recipe's cuisine from its mined
+// ingredient names — one of the use cases the paper's introduction
+// gives for accurate ingredient-section modeling ("food pairing,
+// flavor prediction, nutritional estimation, cost estimation and
+// cuisine prediction", §I). The classifier is multinomial naive Bayes
+// with add-one smoothing over ingredient-name features.
+package cuisine
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Classifier is a multinomial naive Bayes cuisine model.
+type Classifier struct {
+	cuisines []string
+	prior    map[string]float64
+	// counts[cuisine][ingredient] and totals[cuisine].
+	counts map[string]map[string]float64
+	totals map[string]float64
+	vocab  map[string]bool
+}
+
+// Example is one training instance: the mined ingredient names of a
+// recipe and its cuisine label.
+type Example struct {
+	Ingredients []string
+	Cuisine     string
+}
+
+// Train fits the classifier.
+func Train(examples []Example) *Classifier {
+	c := &Classifier{
+		prior:  map[string]float64{},
+		counts: map[string]map[string]float64{},
+		totals: map[string]float64{},
+		vocab:  map[string]bool{},
+	}
+	for _, ex := range examples {
+		if ex.Cuisine == "" {
+			continue
+		}
+		if c.counts[ex.Cuisine] == nil {
+			c.counts[ex.Cuisine] = map[string]float64{}
+			c.cuisines = append(c.cuisines, ex.Cuisine)
+		}
+		c.prior[ex.Cuisine]++
+		for _, ing := range ex.Ingredients {
+			ing = strings.ToLower(strings.TrimSpace(ing))
+			if ing == "" {
+				continue
+			}
+			c.counts[ex.Cuisine][ing]++
+			c.totals[ex.Cuisine]++
+			c.vocab[ing] = true
+		}
+	}
+	sort.Strings(c.cuisines)
+	total := 0.0
+	for _, n := range c.prior {
+		total += n
+	}
+	for k := range c.prior {
+		c.prior[k] /= total
+	}
+	return c
+}
+
+// Cuisines returns the label inventory seen in training.
+func (c *Classifier) Cuisines() []string {
+	return append([]string(nil), c.cuisines...)
+}
+
+// Scores returns the per-cuisine log-posterior (unnormalized) for a
+// set of ingredient names, sorted descending.
+func (c *Classifier) Scores(ingredients []string) []Scored {
+	v := float64(len(c.vocab))
+	out := make([]Scored, 0, len(c.cuisines))
+	for _, cu := range c.cuisines {
+		s := math.Log(c.prior[cu])
+		for _, ing := range ingredients {
+			ing = strings.ToLower(strings.TrimSpace(ing))
+			if ing == "" || !c.vocab[ing] {
+				continue // unseen ingredients carry no signal
+			}
+			s += math.Log((c.counts[cu][ing] + 1) / (c.totals[cu] + v))
+		}
+		out = append(out, Scored{Cuisine: cu, LogProb: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LogProb != out[j].LogProb {
+			return out[i].LogProb > out[j].LogProb
+		}
+		return out[i].Cuisine < out[j].Cuisine
+	})
+	return out
+}
+
+// Scored pairs a cuisine with its log-posterior.
+type Scored struct {
+	Cuisine string
+	LogProb float64
+}
+
+// Predict returns the most probable cuisine, or "" for an untrained
+// classifier.
+func (c *Classifier) Predict(ingredients []string) string {
+	scores := c.Scores(ingredients)
+	if len(scores) == 0 {
+		return ""
+	}
+	return scores[0].Cuisine
+}
+
+// Accuracy evaluates the classifier on held-out examples.
+func (c *Classifier) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if c.Predict(ex.Ingredients) == ex.Cuisine {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}

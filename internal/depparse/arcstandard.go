@@ -1,0 +1,367 @@
+package depparse
+
+import (
+	"strconv"
+	"strings"
+
+	"recipemodel/internal/perceptron"
+)
+
+// ArcStandardParser is a learned transition-based dependency parser
+// (arc-standard system with an averaged-perceptron action classifier)
+// — the same model family as the SpaCy parser the paper uses. It is
+// trained by imitation of gold trees (here: the deterministic rule
+// parser over synthetic instructions), giving the repository both a
+// rule-driven and a learned parsing backend to compare.
+type ArcStandardParser struct {
+	model *perceptron.Model
+}
+
+// transition actions. Labeled arcs: actions are "S" (shift),
+// "L:<label>" (left-arc), "R:<label>" (right-arc).
+const shiftAction = "S"
+
+// parserState is an arc-standard configuration over n tokens plus the
+// virtual root (index n).
+type parserState struct {
+	stack  []int
+	buffer int // next buffer index; buffer is [buffer, n)
+	n      int
+	heads  []int
+	labels []string
+}
+
+func newState(n int) *parserState {
+	s := &parserState{
+		stack:  []int{n}, // virtual root at the bottom
+		buffer: 0,
+		n:      n,
+		heads:  make([]int, n),
+		labels: make([]string, n),
+	}
+	for i := range s.heads {
+		s.heads[i] = -2
+	}
+	return s
+}
+
+func (s *parserState) done() bool {
+	return s.buffer >= s.n && len(s.stack) == 1
+}
+
+// canShift / canLeft / canRight report action validity.
+func (s *parserState) canShift() bool { return s.buffer < s.n }
+func (s *parserState) canLeft() bool {
+	// left-arc head = top, dependent = second; the virtual root may
+	// never become a dependent.
+	return len(s.stack) >= 2 && s.stack[len(s.stack)-2] != s.n
+}
+func (s *parserState) canRight() bool { return len(s.stack) >= 2 }
+
+func (s *parserState) apply(action string) {
+	switch {
+	case action == shiftAction:
+		s.stack = append(s.stack, s.buffer)
+		s.buffer++
+	case strings.HasPrefix(action, "L:"):
+		top := s.stack[len(s.stack)-1]
+		second := s.stack[len(s.stack)-2]
+		s.heads[second] = normalizeHead(top, s.n)
+		s.labels[second] = action[2:]
+		s.stack = append(s.stack[:len(s.stack)-2], top)
+	case strings.HasPrefix(action, "R:"):
+		top := s.stack[len(s.stack)-1]
+		second := s.stack[len(s.stack)-2]
+		s.heads[top] = normalizeHead(second, s.n)
+		s.labels[top] = action[2:]
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+}
+
+// normalizeHead maps the virtual root index to -1.
+func normalizeHead(h, n int) int {
+	if h == n {
+		return -1
+	}
+	return h
+}
+
+// features extracts the action-classifier features for a state.
+func stateFeatures(s *parserState, tokens, tags []string) []string {
+	word := func(i int) string {
+		switch {
+		case i == s.n:
+			return "-ROOT-"
+		case i < 0 || i > s.n:
+			return "-NONE-"
+		default:
+			return strings.ToLower(tokens[i])
+		}
+	}
+	tag := func(i int) string {
+		switch {
+		case i == s.n:
+			return "ROOT"
+		case i < 0 || i > s.n:
+			return "NONE"
+		default:
+			return tags[i]
+		}
+	}
+	s1, s2 := -10, -10
+	if len(s.stack) >= 1 {
+		s1 = s.stack[len(s.stack)-1]
+	}
+	if len(s.stack) >= 2 {
+		s2 = s.stack[len(s.stack)-2]
+	}
+	b1, b2 := -10, -10
+	if s.buffer < s.n {
+		b1 = s.buffer
+	}
+	if s.buffer+1 < s.n {
+		b2 = s.buffer + 1
+	}
+	dist := "-"
+	if s1 >= 0 && s2 >= 0 && s1 != s.n && s2 != s.n {
+		d := s1 - s2
+		if d < 0 {
+			d = -d
+		}
+		if d > 4 {
+			d = 4
+		}
+		dist = strconv.Itoa(d)
+	}
+	return []string{
+		"bias",
+		"s1w=" + word(s1), "s1t=" + tag(s1),
+		"s2w=" + word(s2), "s2t=" + tag(s2),
+		"b1w=" + word(b1), "b1t=" + tag(b1),
+		"b2t=" + tag(b2),
+		"s1ts2t=" + tag(s1) + "|" + tag(s2),
+		"s1tb1t=" + tag(s1) + "|" + tag(b1),
+		"s1ws2t=" + word(s1) + "|" + tag(s2),
+		"s2ws1t=" + word(s2) + "|" + tag(s1),
+		"s1ts2tb1t=" + tag(s1) + "|" + tag(s2) + "|" + tag(b1),
+		"dist=" + dist,
+	}
+}
+
+// oracle returns the gold action for a state under a projective gold
+// tree (static arc-standard oracle).
+func oracle(s *parserState, goldHeads []int, goldLabels []string) string {
+	if len(s.stack) >= 2 {
+		top := s.stack[len(s.stack)-1]
+		second := s.stack[len(s.stack)-2]
+		// LEFT: second's head is top.
+		if second != s.n && goldHead(goldHeads, second, s.n) == top {
+			return "L:" + goldLabels[second]
+		}
+		// RIGHT: top's head is second, and all of top's gold dependents
+		// are already attached.
+		if top != s.n && goldHead(goldHeads, top, s.n) == second {
+			ready := true
+			for d := 0; d < s.n; d++ {
+				if goldHead(goldHeads, d, s.n) == top && s.heads[d] == -2 {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				return "R:" + goldLabels[top]
+			}
+		}
+	}
+	if s.canShift() {
+		return shiftAction
+	}
+	// non-projective or malformed gold: force a right-arc to unwind.
+	if s.canRight() {
+		top := s.stack[len(s.stack)-1]
+		if top != s.n {
+			return "R:" + Dep
+		}
+	}
+	return shiftAction
+}
+
+// goldHead maps -1 (root) to the virtual root index n.
+func goldHead(heads []int, i, n int) int {
+	if heads[i] == -1 {
+		return n
+	}
+	return heads[i]
+}
+
+// TrainArcStandard fits the action classifier by imitation of gold
+// trees. Epochs defaults to 5.
+func TrainArcStandard(trees []*Tree, epochs int, seed int64) *ArcStandardParser {
+	if epochs <= 0 {
+		epochs = 5
+	}
+	// collect the action inventory from the gold trees.
+	actionSet := map[string]bool{shiftAction: true}
+	for _, t := range trees {
+		for _, l := range t.Labels {
+			actionSet["L:"+l] = true
+			actionSet["R:"+l] = true
+		}
+	}
+	actions := make([]string, 0, len(actionSet))
+	for a := range actionSet {
+		actions = append(actions, a)
+	}
+	sortStrings(actions)
+	model := perceptron.New(actions)
+
+	var examples []perceptron.Example
+	for _, t := range trees {
+		n := len(t.Tokens)
+		if n == 0 {
+			continue
+		}
+		s := newState(n)
+		for steps := 0; !s.done() && steps < 4*n+8; steps++ {
+			gold := oracle(s, t.Heads, t.Labels)
+			examples = append(examples, perceptron.Example{
+				Features: stateFeatures(s, t.Tokens, t.POS),
+				Class:    model.ClassID(gold),
+			})
+			s.apply(gold)
+		}
+	}
+	model.Train(examples, perceptron.TrainConfig{Epochs: epochs, Seed: seed})
+	return &ArcStandardParser{model: model}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Parse runs the greedy learned parser.
+func (p *ArcStandardParser) Parse(tokens, tags []string) *Tree {
+	n := len(tokens)
+	t := &Tree{Tokens: tokens, POS: tags, Heads: make([]int, n), Labels: make([]string, n)}
+	if n == 0 {
+		return t
+	}
+	s := newState(n)
+	for steps := 0; !s.done() && steps < 4*n+8; steps++ {
+		scores := p.model.Scores(stateFeatures(s, tokens, tags))
+		best, bestScore := "", 0.0
+		for ci, a := range p.model.Classes {
+			valid := false
+			switch {
+			case a == shiftAction:
+				valid = s.canShift()
+			case strings.HasPrefix(a, "L:"):
+				valid = s.canLeft()
+			case strings.HasPrefix(a, "R:"):
+				valid = s.canRight() &&
+					!(s.stack[len(s.stack)-1] == s.n) // root never a dependent
+			}
+			if !valid {
+				continue
+			}
+			if best == "" || scores[ci] > bestScore {
+				best = a
+				bestScore = scores[ci]
+			}
+		}
+		if best == "" {
+			break
+		}
+		s.apply(best)
+	}
+	copy(t.Heads, s.heads)
+	copy(t.Labels, s.labels)
+	// repair any unattached tokens (can happen on early loop exit).
+	root := -1
+	for i, h := range t.Heads {
+		if h == -1 {
+			root = i
+			break
+		}
+	}
+	if root == -1 {
+		for i, h := range t.Heads {
+			if h == -2 {
+				t.Heads[i] = -1
+				t.Labels[i] = Root
+				root = i
+				break
+			}
+		}
+		if root == -1 {
+			t.Heads[0] = -1
+			t.Labels[0] = Root
+			root = 0
+		}
+	}
+	for i, h := range t.Heads {
+		if h == -2 {
+			t.Heads[i] = root
+			if i == root {
+				t.Heads[i] = -1
+			} else {
+				t.Labels[i] = Dep
+			}
+		}
+	}
+	// exactly one root.
+	seenRoot := false
+	for i, h := range t.Heads {
+		if h == -1 {
+			if seenRoot {
+				t.Heads[i] = root
+				t.Labels[i] = Dep
+			} else {
+				seenRoot = true
+				t.Labels[i] = Root
+			}
+		}
+	}
+	return t
+}
+
+// UAS computes unlabeled attachment agreement between two parses of
+// the same sentence set.
+func UAS(gold, pred []*Tree) float64 {
+	var correct, total int
+	for i := range gold {
+		for j := range gold[i].Heads {
+			if j < len(pred[i].Heads) && gold[i].Heads[j] == pred[i].Heads[j] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// LAS computes labeled attachment agreement.
+func LAS(gold, pred []*Tree) float64 {
+	var correct, total int
+	for i := range gold {
+		for j := range gold[i].Heads {
+			if j < len(pred[i].Heads) &&
+				gold[i].Heads[j] == pred[i].Heads[j] &&
+				gold[i].Labels[j] == pred[i].Labels[j] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,388 @@
+// Package depparse implements a deterministic dependency parser for
+// imperative recipe instructions, producing the arc types the paper's
+// relation-extraction stage consumes from SpaCy (§III.B, Fig 3):
+// root, conj between coordinated verbs, dobj/nsubj on noun heads,
+// prep/pobj chains, and the usual NP-internal relations (det, amod,
+// nummod, compound).
+//
+// The parser is rule-driven over POS tags. Recipe instructions are
+// short imperative clauses with a rigid structure ("Bring water to a
+// boil in a large pot"), which a grammar of chunking plus attachment
+// rules recovers reliably — and deterministically, which matters for
+// reproducibility.
+package depparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dependency relation labels.
+const (
+	Root     = "root"
+	Dobj     = "dobj"
+	Nsubj    = "nsubj"
+	Conj     = "conj"
+	CC       = "cc"
+	Det      = "det"
+	Amod     = "amod"
+	Nummod   = "nummod"
+	Compound = "compound"
+	Prep     = "prep"
+	Pobj     = "pobj"
+	Advmod   = "advmod"
+	Prt      = "prt"
+	Punct    = "punct"
+	Dep      = "dep"
+	Acomp    = "acomp"
+	Mark     = "mark"
+	Advcl    = "advcl"
+)
+
+// Tree is a dependency parse: Heads[i] is the index of token i's head
+// (-1 for the root), Labels[i] the relation to that head.
+type Tree struct {
+	Tokens []string
+	POS    []string
+	Heads  []int
+	Labels []string
+}
+
+// RootIndex returns the index of the root token, or -1 on an empty
+// tree.
+func (t *Tree) RootIndex() int {
+	for i, h := range t.Heads {
+		if h == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Children returns the indices whose head is i, in order.
+func (t *Tree) Children(i int) []int {
+	var out []int
+	for j, h := range t.Heads {
+		if h == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ChildrenByLabel returns children of i holding the given relation.
+func (t *Tree) ChildrenByLabel(i int, label string) []int {
+	var out []int
+	for j, h := range t.Heads {
+		if h == i && t.Labels[j] == label {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// isVerbTag reports a verb POS (any VB*).
+func isVerbTag(tag string) bool { return strings.HasPrefix(tag, "VB") }
+
+// isNounTag reports a noun POS (any NN*) or pronoun.
+func isNounTag(tag string) bool {
+	return strings.HasPrefix(tag, "NN") || tag == "PRP"
+}
+
+func isPrepTag(tag string) bool { return tag == "IN" || tag == "TO" }
+
+// Parse builds the dependency tree for tokens with the given POS tags.
+// len(tokens) must equal len(tags).
+func Parse(tokens, tags []string) *Tree {
+	n := len(tokens)
+	if n != len(tags) {
+		panic(fmt.Sprintf("depparse: %d tokens vs %d tags", n, len(tags)))
+	}
+	t := &Tree{
+		Tokens: tokens,
+		POS:    tags,
+		Heads:  make([]int, n),
+		Labels: make([]string, n),
+	}
+	if n == 0 {
+		return t
+	}
+	for i := range t.Heads {
+		t.Heads[i] = -2 // unattached sentinel
+	}
+
+	// --- 1. chunk noun phrases and pick their heads ---
+	npHead := make([]int, n) // npHead[i] = head index of the NP containing i, or -1
+	for i := range npHead {
+		npHead[i] = -1
+	}
+	i := 0
+	for i < n {
+		if !npStart(tags[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && npInternal(tags[j]) {
+			j++
+		}
+		// head of the chunk = last noun in [i, j); if no noun, last token.
+		head := -1
+		for k := j - 1; k >= i; k-- {
+			if isNounTag(tags[k]) {
+				head = k
+				break
+			}
+		}
+		if head == -1 {
+			head = j - 1
+		}
+		for k := i; k < j; k++ {
+			npHead[k] = head
+		}
+		// NP-internal attachments.
+		for k := i; k < j; k++ {
+			if k == head {
+				continue
+			}
+			t.Heads[k] = head
+			switch {
+			case tags[k] == "DT" || tags[k] == "PDT" || tags[k] == "PRP$":
+				t.Labels[k] = Det
+			case tags[k] == "CD":
+				t.Labels[k] = Nummod
+			case tags[k] == "JJ" || tags[k] == "JJR" || tags[k] == "JJS" ||
+				tags[k] == "VBN" || tags[k] == "VBG":
+				t.Labels[k] = Amod
+			case isNounTag(tags[k]):
+				t.Labels[k] = Compound
+			case tags[k] == "RB":
+				t.Labels[k] = Advmod
+			default:
+				t.Labels[k] = Dep
+			}
+		}
+		i = j
+	}
+
+	// --- 2. find the verbs; first verb is the root ---
+	var verbs []int
+	for k := 0; k < n; k++ {
+		if isVerbTag(tags[k]) && npHead[k] == -1 {
+			verbs = append(verbs, k)
+		}
+	}
+	root := -1
+	if len(verbs) > 0 {
+		root = verbs[0]
+	} else {
+		// verbless fragment: root the first NP head, else token 0.
+		for k := 0; k < n; k++ {
+			if npHead[k] == k {
+				root = k
+				break
+			}
+		}
+		if root == -1 {
+			root = 0
+		}
+	}
+	t.Heads[root] = -1
+	t.Labels[root] = Root
+
+	// later verbs: conjuncts of the previous verb.
+	for vi := 1; vi < len(verbs); vi++ {
+		t.Heads[verbs[vi]] = verbs[vi-1]
+		t.Labels[verbs[vi]] = Conj
+	}
+
+	// --- 3. attach prepositions and their objects ---
+	// prepAt[k] = true marks prepositions; their pobj is the next NP head.
+	for k := 0; k < n; k++ {
+		if !isPrepTag(tags[k]) || npHead[k] != -1 || t.Heads[k] != -2 {
+			continue
+		}
+		// subordinating use: "until golden", "while stirring" → mark/advcl
+		// handled below; standard prep attaches to nearest verb or noun
+		// to the left.
+		gov := nearestGovernor(t, npHead, verbs, k)
+		t.Heads[k] = gov
+		t.Labels[k] = Prep
+		// object: first NP head or verb (gerund) to the right before the
+		// next preposition/verb boundary.
+		obj := -1
+		for m := k + 1; m < n; m++ {
+			if npHead[m] == m {
+				obj = m
+				break
+			}
+			if isPrepTag(tags[m]) && npHead[m] == -1 {
+				break
+			}
+			if isVerbTag(tags[m]) && npHead[m] == -1 {
+				if tags[m] == "VBG" {
+					obj = m
+				}
+				break
+			}
+		}
+		if obj >= 0 && t.Heads[obj] == -2 {
+			t.Heads[obj] = k
+			t.Labels[obj] = Pobj
+		}
+	}
+
+	// --- 4. attach remaining NP heads to verbs ---
+	for k := 0; k < n; k++ {
+		if npHead[k] != k || t.Heads[k] != -2 {
+			continue
+		}
+		// find nearest verb to the left → dobj; if none, nearest verb to
+		// the right → nsubj ("water boils").
+		leftVerb := -1
+		for _, v := range verbs {
+			if v < k {
+				leftVerb = v
+			}
+		}
+		if leftVerb >= 0 {
+			// conjoined object? if there is an already-attached NP head
+			// between leftVerb and k separated only by CC/comma, attach as
+			// conj to that NP instead.
+			if cj := conjTarget(t, tags, npHead, leftVerb, k); cj >= 0 {
+				t.Heads[k] = cj
+				t.Labels[k] = Conj
+			} else {
+				t.Heads[k] = leftVerb
+				t.Labels[k] = Dobj
+			}
+			continue
+		}
+		rightVerb := -1
+		for _, v := range verbs {
+			if v > k {
+				rightVerb = v
+				break
+			}
+		}
+		if rightVerb >= 0 {
+			t.Heads[k] = rightVerb
+			t.Labels[k] = Nsubj
+		} else if k != root {
+			// verbless fragment ("salt and pepper to taste"): coordinate
+			// with an earlier attached NP head when only CC/comma
+			// intervenes, else attach loosely to the root.
+			if cj := conjTarget(t, tags, npHead, root-1, k); cj >= 0 && cj != k {
+				t.Heads[k] = cj
+				t.Labels[k] = Conj
+			} else {
+				t.Heads[k] = root
+				t.Labels[k] = Dep
+			}
+		}
+	}
+
+	// --- 5. everything else ---
+	for k := 0; k < n; k++ {
+		if t.Heads[k] != -2 {
+			continue
+		}
+		gov := nearestGovernor(t, npHead, verbs, k)
+		t.Heads[k] = gov
+		switch {
+		case tags[k] == "RB" || tags[k] == "RBR" || tags[k] == "RBS":
+			t.Labels[k] = Advmod
+		case tags[k] == "RP":
+			t.Labels[k] = Prt
+		case tags[k] == "CC":
+			t.Labels[k] = CC
+		case tags[k] == "JJ":
+			t.Labels[k] = Acomp
+		case tags[k] == "." || tags[k] == "," || tags[k] == ":" ||
+			tokens[k] == "." || tokens[k] == "," || tokens[k] == ";":
+			t.Labels[k] = Punct
+		default:
+			t.Labels[k] = Dep
+		}
+	}
+	// safety: no -2 heads remain, and exactly one root.
+	for k := range t.Heads {
+		if t.Heads[k] == -2 {
+			t.Heads[k] = root
+			t.Labels[k] = Dep
+		}
+	}
+	return t
+}
+
+// npStart reports whether a chunk may begin at this tag.
+func npStart(tag string) bool {
+	switch tag {
+	case "DT", "PDT", "PRP$", "CD", "JJ", "JJR", "JJS":
+		return true
+	}
+	return isNounTag(tag)
+}
+
+// npInternal reports whether the tag may continue an NP chunk.
+func npInternal(tag string) bool {
+	switch tag {
+	case "DT", "PDT", "PRP$", "CD", "JJ", "JJR", "JJS", "VBN":
+		return true
+	}
+	return isNounTag(tag)
+}
+
+// nearestGovernor picks the closest verb to the left, else the closest
+// NP head to the left, else the closest verb to the right, else 0-ish
+// root fallback.
+func nearestGovernor(t *Tree, npHead []int, verbs []int, k int) int {
+	for m := k - 1; m >= 0; m-- {
+		if isVerbTag(t.POS[m]) && npHead[m] == -1 {
+			return m
+		}
+	}
+	for m := k - 1; m >= 0; m-- {
+		if npHead[m] == m {
+			return m
+		}
+	}
+	for m := k + 1; m < len(t.POS); m++ {
+		if isVerbTag(t.POS[m]) && npHead[m] == -1 {
+			return m
+		}
+	}
+	if r := t.RootIndex(); r >= 0 && r != k {
+		return r
+	}
+	if k > 0 {
+		return k - 1
+	}
+	if k+1 < len(t.POS) {
+		return k + 1
+	}
+	return -1
+}
+
+// conjTarget looks for an NP head attached between verb v and k with
+// only CC/comma/NP material between it and k — the "potatoes and
+// carrots" pattern — and returns it, or -1.
+func conjTarget(t *Tree, tags []string, npHead []int, v, k int) int {
+	sawCC := false
+	for m := k - 1; m > v; m-- {
+		switch {
+		case tags[m] == "CC" || tags[m] == ",":
+			sawCC = true
+		case npHead[m] == m && t.Heads[m] != -2:
+			if sawCC {
+				return m
+			}
+			return -1
+		case npHead[m] != -1:
+			// inside an NP chunk: keep scanning.
+		default:
+			return -1
+		}
+	}
+	return -1
+}

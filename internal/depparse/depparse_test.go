@@ -1,0 +1,241 @@
+package depparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// tagged is a convenience for hand-tagged inputs.
+func parse(t *testing.T, text, tagstr string) *Tree {
+	t.Helper()
+	tokens := strings.Fields(text)
+	tags := strings.Fields(tagstr)
+	if len(tokens) != len(tags) {
+		t.Fatalf("bad fixture: %d tokens vs %d tags", len(tokens), len(tags))
+	}
+	return Parse(tokens, tags)
+}
+
+func label(tr *Tree, tok string) (string, int) {
+	for i, w := range tr.Tokens {
+		if w == tok {
+			return tr.Labels[i], tr.Heads[i]
+		}
+	}
+	return "", -99
+}
+
+func TestParseBringWaterToABoil(t *testing.T) {
+	// the paper's running example (Figs 3–5).
+	tr := parse(t,
+		"Bring water to a boil in a large pot",
+		"VB NN TO DT NN IN DT JJ NN")
+	if tr.RootIndex() != 0 {
+		t.Fatalf("root = %d", tr.RootIndex())
+	}
+	if l, h := label(tr, "water"); l != Dobj || h != 0 {
+		t.Errorf("water: %s → %d", l, h)
+	}
+	if l, h := label(tr, "to"); l != Prep || h != 0 {
+		t.Errorf("to: %s → %d", l, h)
+	}
+	if l, h := label(tr, "boil"); l != Pobj || h != 2 {
+		t.Errorf("boil: %s → %d", l, h)
+	}
+	if l, h := label(tr, "in"); l != Prep || h != 0 {
+		t.Errorf("in: %s → %d", l, h)
+	}
+	if l, h := label(tr, "pot"); l != Pobj || h != 5 {
+		t.Errorf("pot: %s → %d", l, h)
+	}
+	if l, h := label(tr, "large"); l != Amod || h != 8 {
+		t.Errorf("large: %s → %d", l, h)
+	}
+}
+
+func TestParseConjoinedObjects(t *testing.T) {
+	tr := parse(t,
+		"fry the potatoes and carrots in a pan",
+		"VB DT NNS CC NNS IN DT NN")
+	if l, h := label(tr, "potatoes"); l != Dobj || h != 0 {
+		t.Errorf("potatoes: %s → %d", l, h)
+	}
+	if l, h := label(tr, "carrots"); l != Conj || h != 2 {
+		t.Errorf("carrots: %s → %d", l, h)
+	}
+	if l, _ := label(tr, "and"); l != CC {
+		t.Errorf("and: %s", l)
+	}
+	if l, h := label(tr, "pan"); l != Pobj || h != 5 {
+		t.Errorf("pan: %s → %d", l, h)
+	}
+}
+
+func TestParseConjoinedVerbs(t *testing.T) {
+	tr := parse(t,
+		"drain and serve the pasta",
+		"VB CC VB DT NN")
+	if tr.RootIndex() != 0 {
+		t.Fatalf("root = %d", tr.RootIndex())
+	}
+	if l, h := label(tr, "serve"); l != Conj || h != 0 {
+		t.Errorf("serve: %s → %d", l, h)
+	}
+	if l, h := label(tr, "pasta"); l != Dobj || h != 2 {
+		t.Errorf("pasta: %s → %d", l, h)
+	}
+}
+
+func TestParseSubjectBeforeVerb(t *testing.T) {
+	tr := parse(t,
+		"the water boils",
+		"DT NN VBZ")
+	if tr.RootIndex() != 2 {
+		t.Fatalf("root = %d", tr.RootIndex())
+	}
+	if l, h := label(tr, "water"); l != Nsubj || h != 2 {
+		t.Errorf("water: %s → %d", l, h)
+	}
+}
+
+func TestParseParticleAndAdverb(t *testing.T) {
+	tr := parse(t,
+		"gently stir in the flour",
+		"RB VB RP DT NN")
+	if tr.RootIndex() != 1 {
+		t.Fatalf("root = %d", tr.RootIndex())
+	}
+	if l, h := label(tr, "gently"); l != Advmod || h != 1 {
+		t.Errorf("gently: %s → %d", l, h)
+	}
+	if l, h := label(tr, "in"); l != Prt || h != 1 {
+		t.Errorf("in: %s → %d", l, h)
+	}
+	if l, _ := label(tr, "flour"); l != Dobj {
+		t.Errorf("flour: %s", l)
+	}
+}
+
+func TestParseNPInternals(t *testing.T) {
+	tr := parse(t,
+		"add 2 cups chopped fresh basil",
+		"VB CD NNS VBN JJ NN")
+	// head of "2 cups chopped fresh basil" = basil
+	if l, h := label(tr, "basil"); l != Dobj || h != 0 {
+		t.Errorf("basil: %s → %d", l, h)
+	}
+	if l, h := label(tr, "2"); l != Nummod || h != 5 {
+		t.Errorf("2: %s → %d", l, h)
+	}
+	if l, h := label(tr, "cups"); l != Compound || h != 5 {
+		t.Errorf("cups: %s → %d", l, h)
+	}
+	if l, h := label(tr, "chopped"); l != Amod || h != 5 {
+		t.Errorf("chopped: %s → %d", l, h)
+	}
+}
+
+func TestParseVerblessFragment(t *testing.T) {
+	tr := parse(t, "salt and pepper to taste", "NN CC NN TO NN")
+	if tr.RootIndex() != 0 {
+		t.Fatalf("root = %d", tr.RootIndex())
+	}
+	if l, h := label(tr, "pepper"); l != Conj || h != 0 {
+		t.Errorf("pepper: %s → %d", l, h)
+	}
+}
+
+func TestParseEmptyAndSingle(t *testing.T) {
+	tr := Parse(nil, nil)
+	if tr.RootIndex() != -1 {
+		t.Fatal("empty tree should have no root")
+	}
+	tr = Parse([]string{"Serve"}, []string{"VB"})
+	if tr.RootIndex() != 0 || tr.Labels[0] != Root {
+		t.Fatalf("single token tree: %+v", tr)
+	}
+}
+
+func TestParseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Parse([]string{"a", "b"}, []string{"DT"})
+}
+
+func TestTreeIsWellFormed(t *testing.T) {
+	// every token has a head in range (or -1 exactly once), no self-loops.
+	cases := []struct{ text, tags string }{
+		{"Bring water to a boil in a large pot", "VB NN TO DT NN IN DT JJ NN"},
+		{"preheat the oven to 350 ° F", "VB DT NN TO CD SYM NNP"},
+		{"mix the flour , sugar and salt in a bowl", "VB DT NN , NN CC NN IN DT NN"},
+		{"cook until golden brown", "VB IN JJ JJ"},
+		{"season with salt and pepper", "VB IN NN CC NN"},
+		{"cover and simmer for 20 minutes", "VB CC VB IN CD NNS"},
+	}
+	for _, c := range cases {
+		tr := parse(t, c.text, c.tags)
+		roots := 0
+		for i, h := range tr.Heads {
+			if h == -1 {
+				roots++
+				continue
+			}
+			if h < 0 || h >= len(tr.Tokens) {
+				t.Fatalf("%q: head out of range at %d: %d", c.text, i, h)
+			}
+			if h == i {
+				t.Fatalf("%q: self-loop at %d", c.text, i)
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("%q: %d roots", c.text, roots)
+		}
+		// acyclicity: walking up from any node reaches the root.
+		for i := range tr.Heads {
+			seen := map[int]bool{}
+			j := i
+			for j != -1 {
+				if seen[j] {
+					t.Fatalf("%q: cycle through %d", c.text, j)
+				}
+				seen[j] = true
+				j = tr.Heads[j]
+			}
+		}
+	}
+}
+
+func TestChildrenByLabel(t *testing.T) {
+	tr := parse(t,
+		"Bring water to a boil in a large pot",
+		"VB NN TO DT NN IN DT JJ NN")
+	preps := tr.ChildrenByLabel(0, Prep)
+	if len(preps) != 2 {
+		t.Fatalf("preps of root = %v", preps)
+	}
+	dobjs := tr.ChildrenByLabel(0, Dobj)
+	if len(dobjs) != 1 || tr.Tokens[dobjs[0]] != "water" {
+		t.Fatalf("dobjs = %v", dobjs)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tr := parse(t, "Bring water to a boil", "VB NN TO DT NN")
+	s := tr.String()
+	if !strings.Contains(s, "root") || !strings.Contains(s, "Bring") {
+		t.Fatalf("String() = %q", s)
+	}
+	a := tr.ASCII()
+	if !strings.HasPrefix(a, "Bring") {
+		t.Fatalf("ASCII() = %q", a)
+	}
+	if !strings.Contains(a, "  water") {
+		t.Fatalf("ASCII() should indent children: %q", a)
+	}
+	if Parse(nil, nil).ASCII() != "" {
+		t.Fatal("empty ASCII should be empty")
+	}
+}

@@ -1,0 +1,42 @@
+package depparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree as an arc table, one token per line:
+//
+//	0  Bring  VB   root
+//	1  water  NN   dobj  → Bring(0)
+func (t *Tree) String() string {
+	var b strings.Builder
+	for i, tok := range t.Tokens {
+		fmt.Fprintf(&b, "%2d  %-14s %-5s %-8s", i, tok, t.POS[i], t.Labels[i])
+		if t.Heads[i] >= 0 {
+			fmt.Fprintf(&b, " → %s(%d)", t.Tokens[t.Heads[i]], t.Heads[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCII renders the tree as an indented hierarchy rooted at the root
+// token — the textual analogue of the paper's Fig 3.
+func (t *Tree) ASCII() string {
+	root := t.RootIndex()
+	if root < 0 {
+		return ""
+	}
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		fmt.Fprintf(&b, "%s%s [%s/%s]\n",
+			strings.Repeat("  ", depth), t.Tokens[i], t.POS[i], t.Labels[i])
+		for _, c := range t.Children(i) {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"recipemodel/internal/cluster"
+	"recipemodel/internal/core"
+	"recipemodel/internal/corpus"
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/mathx"
+	"recipemodel/internal/metrics"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/postag"
+	"recipemodel/internal/recipedb"
+)
+
+// Ablation compares two pipeline variants on the same data.
+type Ablation struct {
+	Name     string
+	VariantA string
+	VariantB string
+	F1A      float64
+	F1B      float64
+}
+
+// Render formats the comparison.
+func (a Ablation) Render() string {
+	return fmt.Sprintf("%-28s %-26s F1=%.4f | %-26s F1=%.4f",
+		a.Name, a.VariantA, a.F1A, a.VariantB, a.F1B)
+}
+
+// ablationData builds one noisified train/test pair on the AllRecipes
+// source for the ingredient ablations.
+func ablationData(cfg Config, nTrain, nTest int) (train, test []ner.Sentence) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 70))
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+71)
+	train = corpus.Noisify(corpus.IngredientSentences(g.UniquePhrases(nTrain)), cfg.NoiseRate, rng)
+	test = corpus.Noisify(corpus.IngredientSentences(g.UniquePhrases(nTest)), cfg.NoiseRate, rng)
+	return train, test
+}
+
+func f1Of(t *ner.Tagger, test []ner.Sentence) float64 {
+	return metrics.EvaluateEntities(corpus.Gold(test), corpus.Predict(t, test)).Micro.F1
+}
+
+// AblationTrainer compares the CRF's SGD trainer against the averaged
+// structured perceptron.
+func AblationTrainer(cfg Config) Ablation {
+	train, test := ablationData(cfg, 1200, 400)
+	sgd := ner.Train(train, ner.IngredientTypes, ner.NewIngredientExtractor(cfg.Features),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed, Method: "sgd"})
+	perc := ner.Train(train, ner.IngredientTypes, ner.NewIngredientExtractor(cfg.Features),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed, Method: "perceptron"})
+	return Ablation{
+		Name: "trainer", VariantA: "CRF/AdaGrad", VariantB: "structured perceptron",
+		F1A: f1Of(sgd, test), F1B: f1Of(perc, test),
+	}
+}
+
+// AblationGazetteer compares the full feature set against one without
+// gazetteer features.
+func AblationGazetteer(cfg Config) Ablation {
+	train, test := ablationData(cfg, 1200, 400)
+	full := ner.Train(train, ner.IngredientTypes,
+		ner.NewIngredientExtractor(ner.FeatureOptions{Gazetteers: true, Lemmas: true}),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed})
+	bare := ner.Train(train, ner.IngredientTypes,
+		ner.NewIngredientExtractor(ner.FeatureOptions{Gazetteers: false, Lemmas: true}),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed})
+	return Ablation{
+		Name: "gazetteer features", VariantA: "with gazetteers", VariantB: "without gazetteers",
+		F1A: f1Of(full, test), F1B: f1Of(bare, test),
+	}
+}
+
+// AblationPreprocess compares the full feature set against one without
+// lemma features (the paper's pre-processing contribution).
+func AblationPreprocess(cfg Config) Ablation {
+	train, test := ablationData(cfg, 1200, 400)
+	full := ner.Train(train, ner.IngredientTypes,
+		ner.NewIngredientExtractor(ner.FeatureOptions{Gazetteers: true, Lemmas: true}),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed})
+	bare := ner.Train(train, ner.IngredientTypes,
+		ner.NewIngredientExtractor(ner.FeatureOptions{Gazetteers: true, Lemmas: false}),
+		ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed})
+	return Ablation{
+		Name: "lemma features", VariantA: "with lemmas", VariantB: "without lemmas",
+		F1A: f1Of(full, test), F1B: f1Of(bare, test),
+	}
+}
+
+// AblationSampling compares cluster-stratified sampling against a
+// uniform random sample of the same budget — the pipeline's central
+// design claim (§II.E).
+func AblationSampling(cfg Config) (Ablation, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 72))
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+73)
+	pool := cfg.PoolAllRecipes / 2
+	if pool < 2000 {
+		pool = 2000
+	}
+	phrases := g.UniquePhrases(pool)
+	texts := make([]string, len(phrases))
+	for i, p := range phrases {
+		texts[i] = p.Text
+	}
+	sampler, err := core.NewSampler(texts, nil, cfg.ClusterK, rng)
+	if err != nil {
+		return Ablation{}, err
+	}
+	trainIdx, testIdx := sampler.TrainTestSplit(0.05, 0.02, rng)
+	budget := len(trainIdx)
+
+	pick := func(idx []int) []ner.Sentence {
+		ps := make([]recipedb.IngredientPhrase, len(idx))
+		for i, j := range idx {
+			ps[i] = phrases[j]
+		}
+		return corpus.IngredientSentences(ps)
+	}
+	test := corpus.Noisify(pick(testIdx), cfg.NoiseRate, rng)
+
+	// uniform sample of the same budget, also excluding test items.
+	inTest := map[int]bool{}
+	for _, i := range testIdx {
+		inTest[i] = true
+	}
+	var uniformIdx []int
+	for _, i := range rng.Perm(len(phrases)) {
+		if len(uniformIdx) == budget {
+			break
+		}
+		if !inTest[i] {
+			uniformIdx = append(uniformIdx, i)
+		}
+	}
+
+	cfgT := ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed}
+	strat := ner.Train(corpus.Noisify(pick(trainIdx), cfg.NoiseRate, rng),
+		ner.IngredientTypes, ner.NewIngredientExtractor(cfg.Features), cfgT)
+	unif := ner.Train(corpus.Noisify(pick(uniformIdx), cfg.NoiseRate, rng),
+		ner.IngredientTypes, ner.NewIngredientExtractor(cfg.Features), cfgT)
+	return Ablation{
+		Name:     "training-set sampling",
+		VariantA: fmt.Sprintf("cluster-stratified (n=%d)", budget),
+		VariantB: fmt.Sprintf("uniform random (n=%d)", budget),
+		F1A:      f1Of(strat, test), F1B: f1Of(unif, test),
+	}, nil
+}
+
+// AblationThreshold compares instruction-NER evaluation with and
+// without the frequency-dictionary filter of §III.A.
+func AblationThreshold(cfg Config) Ablation {
+	small := cfg
+	res := RunInstruction(small)
+
+	// recompute without the dictionary filter.
+	rng := rand.New(rand.NewSource(cfg.Seed + 40))
+	gA := recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+41)
+	gF := recipedb.NewGenerator(recipedb.SourceFoodCom, cfg.Seed+42)
+	// regenerate the same test corpus (same seeds and sizes as
+	// RunInstruction, consuming the generators identically).
+	half := cfg.InstructionTrain / 2
+	_ = corpus.Noisify(append(
+		corpus.InstructionSentences(gA.Instructions(half)),
+		corpus.InstructionSentences(gF.Instructions(cfg.InstructionTrain-half))...), cfg.NoiseRate, rng)
+	halfT := cfg.InstructionTest / 2
+	testInstr := append(gA.Instructions(halfT), gF.Instructions(cfg.InstructionTest-halfT)...)
+	test := corpus.Noisify(corpus.InstructionSentences(testInstr), cfg.NoiseRate, rng)
+
+	var unfiltered metrics.PRF
+	for _, s := range test {
+		pred := res.Tagger.Predict(s.Tokens)
+		g := map[ner.Span]bool{}
+		for _, sp := range s.Spans {
+			if sp.Type == ner.Process {
+				g[sp] = true
+			}
+		}
+		for _, sp := range pred {
+			if sp.Type != ner.Process {
+				continue
+			}
+			if g[sp] {
+				unfiltered.TP++
+				delete(g, sp)
+			} else {
+				unfiltered.FP++
+			}
+		}
+		unfiltered.FN += len(g)
+	}
+	tmp := metrics.PRF{}
+	tmp.Add(unfiltered)
+	return Ablation{
+		Name:     "dictionary threshold (processes)",
+		VariantA: "filtered (threshold 47)",
+		VariantB: "unfiltered",
+		F1A:      res.Processes.F1, F1B: tmp.F1,
+	}
+}
+
+// AblationParser compares the deterministic rule parser against the
+// learned arc-standard parser: agreement (UAS) of the learned parser
+// with the rule parser it imitates, on held-out instructions.
+func AblationParser(cfg Config) Ablation {
+	tagger := postag.Default()
+	trees := func(n int, seed int64) []*depparse.Tree {
+		g := recipedb.NewGenerator(recipedb.SourceAllRecipes, seed)
+		var out []*depparse.Tree
+		for _, in := range g.Instructions(n) {
+			out = append(out, depparse.Parse(in.Tokens, tagger.Tag(in.Tokens)))
+		}
+		return out
+	}
+	train := trees(cfg.InstructionTrain, cfg.Seed+90)
+	test := trees(cfg.InstructionTest, cfg.Seed+91)
+	learned := depparse.TrainArcStandard(train, cfg.Epochs, cfg.Seed+92)
+	pred := make([]*depparse.Tree, len(test))
+	for i, g := range test {
+		pred[i] = learned.Parse(g.Tokens, g.POS)
+	}
+	return Ablation{
+		Name:     "dependency parser",
+		VariantA: "rule-based (reference)",
+		VariantB: "learned arc-standard (UAS/LAS vs A)",
+		F1A:      depparse.UAS(test, pred),
+		F1B:      depparse.LAS(test, pred),
+	}
+}
+
+// AblationTagger checks that the K-Means clustering of POS vectors is
+// robust to the tagger backend: the same phrases are vectorized with
+// the perceptron tagger and with the bigram HMM, clustered separately,
+// and compared with the Adjusted Rand Index (F1A; 1.0 = identical
+// partitions). F1B reports raw token-level agreement of the two
+// taggers.
+func AblationTagger(cfg Config) (Ablation, error) {
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+95)
+	n := cfg.PoolAllRecipes / 8
+	if n < 300 {
+		n = 300
+	}
+	phrases := g.UniquePhrases(n)
+	perc := postag.Default()
+	hmm := postag.TrainHMM(postag.Corpus())
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 96))
+	var vecsP, vecsH []mathx.Vector
+	var agree, total int
+	for _, p := range phrases {
+		pre := core.Preprocess(p.Text)
+		tp := perc.Tag(pre)
+		th := hmm.Tag(pre)
+		for i := range tp {
+			if tp[i] == th[i] {
+				agree++
+			}
+			total++
+		}
+		vecsP = append(vecsP, postag.Vectorize(tp))
+		vecsH = append(vecsH, postag.Vectorize(th))
+	}
+	k := cfg.ClusterK
+	cp, err := cluster.KMeans(vecsP, cluster.Config{K: k, Restarts: 2}, rng)
+	if err != nil {
+		return Ablation{}, err
+	}
+	ch, err := cluster.KMeans(vecsH, cluster.Config{K: k, Restarts: 2}, rng)
+	if err != nil {
+		return Ablation{}, err
+	}
+	return Ablation{
+		Name:     "POS tagger backend",
+		VariantA: "clustering ARI (perceptron vs HMM)",
+		VariantB: "token-level tag agreement",
+		F1A:      cluster.AdjustedRandIndex(cp.Assignment, ch.Assignment),
+		F1B:      float64(agree) / float64(total),
+	}, nil
+}
+
+// RenderAblations runs every ablation and formats the comparison
+// table.
+func RenderAblations(cfg Config) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation benches (DESIGN.md §5)\n")
+	for _, a := range []Ablation{AblationTrainer(cfg), AblationGazetteer(cfg), AblationPreprocess(cfg)} {
+		b.WriteString(a.Render())
+		b.WriteByte('\n')
+	}
+	s, err := AblationSampling(cfg)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(s.Render())
+	b.WriteByte('\n')
+	b.WriteString(AblationThreshold(cfg).Render())
+	b.WriteByte('\n')
+	b.WriteString(AblationParser(cfg).Render())
+	b.WriteByte('\n')
+	tg, err := AblationTagger(cfg)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(tg.Render())
+	b.WriteByte('\n')
+	return b.String(), nil
+}

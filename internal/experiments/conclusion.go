@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"recipemodel/internal/alias"
+	"recipemodel/internal/core"
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/mathx"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/recipedb"
+)
+
+// ConclusionResult reproduces the §V statistics: the relations-per-
+// instruction distribution over a large recipe corpus and the unique
+// ingredient-name census.
+type ConclusionResult struct {
+	Recipes          int
+	Instructions     int
+	RelationsPerStep mathx.Summary
+	UniqueNames      int
+	// DedupedNames is the census after alias resolution — the paper
+	// notes its 20,280 count is inflated by aliases such as
+	// okhra/ladyfinger; this is the de-inflated figure.
+	DedupedNames int
+}
+
+// RunConclusion applies the trained pipeline to cfg.ConclusionRecipes
+// synthetic recipes (half per source), extracting relations from every
+// instruction and ingredient names from every phrase.
+func RunConclusion(cfg Config, ingredientNER, instructionNER *ner.Tagger) *ConclusionResult {
+	pipe := core.NewPipeline(nil, ingredientNER, instructionNER, nil)
+
+	// Recipe generation is sequential (the generators own their RNGs),
+	// but annotation — the expensive part — fans out over a worker
+	// pool. Results are reduced deterministically: per-recipe outputs
+	// are collected by index, so the summary is identical to the
+	// sequential pass regardless of scheduling.
+	gens := []*recipedb.Generator{
+		recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+60),
+		recipedb.NewGenerator(recipedb.SourceFoodCom, cfg.Seed+61),
+	}
+	recipes := make([]recipedb.Recipe, 0, cfg.ConclusionRecipes)
+	for gi, g := range gens {
+		n := cfg.ConclusionRecipes / 2
+		if gi == 0 {
+			n = cfg.ConclusionRecipes - cfg.ConclusionRecipes/2
+		}
+		recipes = append(recipes, g.Recipes(n)...)
+	}
+
+	type recipeStats struct {
+		perStep []float64
+		names   []string
+	}
+	stats := make([]recipeStats, len(recipes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(recipes) {
+		workers = len(recipes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				r := recipes[idx]
+				var st recipeStats
+				for _, in := range r.Instructions {
+					spans := pipe.InstructionNER.Predict(in.Tokens)
+					tags := pipe.POS.Tag(in.Tokens)
+					tree := depparse.Parse(in.Tokens, tags)
+					rels := pipe.Extractor.Extract(tree, spans)
+					pairs := 0
+					for _, rel := range rels {
+						pairs += rel.PairCount()
+					}
+					st.perStep = append(st.perStep, float64(pairs))
+				}
+				for _, p := range r.Ingredients {
+					rec := pipe.AnnotateIngredient(p.Text)
+					if rec.Name != "" {
+						st.names = append(st.names, rec.Name)
+					}
+				}
+				stats[idx] = st
+			}
+		}()
+	}
+	for i := range recipes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &ConclusionResult{Recipes: len(recipes)}
+	var perStep []float64
+	names := map[string]bool{}
+	for _, st := range stats {
+		res.Instructions += len(st.perStep)
+		perStep = append(perStep, st.perStep...)
+		for _, n := range st.names {
+			names[n] = true
+		}
+	}
+	res.RelationsPerStep = mathx.Summarize(perStep)
+	res.UniqueNames = len(names)
+	resolver := alias.NewResolver()
+	all := make([]string, 0, len(names))
+	for n := range names {
+		all = append(all, n)
+	}
+	res.DedupedNames = len(resolver.Dedup(all))
+	return res
+}
+
+// Render formats the §V statistics.
+func (r *ConclusionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Conclusion statistics (§V)\n")
+	fmt.Fprintf(&b, "recipes processed:            %d\n", r.Recipes)
+	fmt.Fprintf(&b, "instruction steps:            %d\n", r.Instructions)
+	fmt.Fprintf(&b, "relations per instruction:    mean=%.3f std=%.2f (paper: 6.164 ± 5.70)\n",
+		r.RelationsPerStep.Mean, r.RelationsPerStep.StdDev)
+	fmt.Fprintf(&b, "unique ingredient names:      %d (paper: 20,280 from 118k recipes)\n", r.UniqueNames)
+	fmt.Fprintf(&b, "after alias resolution:       %d (okhra/ladyfinger de-inflation, §II.F)\n", r.DedupedNames)
+	return b.String()
+}

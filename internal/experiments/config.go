@@ -1,0 +1,107 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation on the synthetic RecipeDB corpus. Each experiment
+// is a pure function of a Config, returns a typed result, and renders
+// itself as text so cmd/benchtables and the benchmark harness share
+// one implementation.
+//
+// Scale note: the paper's phrase pools are 1.5M (AllRecipes) and 10M
+// (FOOD.com) with sampling fractions 1%/0.33% and 0.5%/0.165%. The
+// reproduction shrinks the pools (×10 / ×40) and raises the fractions
+// by the same factor so the *absolute* training and testing set sizes
+// match Table III exactly (1470/483 and 5142/1705).
+package experiments
+
+import (
+	"recipemodel/internal/ner"
+)
+
+// Config controls every experiment. DefaultConfig reproduces the
+// paper-scale runs; Scaled produces cheaper variants for unit tests.
+type Config struct {
+	Seed int64
+
+	// unique-phrase pool sizes per source.
+	PoolAllRecipes int
+	PoolFoodCom    int
+
+	// cluster-stratified sampling fractions (train, test) per source.
+	TrainFracA, TestFracA float64
+	TrainFracF, TestFracF float64
+
+	// NoiseRate simulates human annotation inconsistency on both the
+	// training and testing annotations (§II.E manual tagging).
+	NoiseRate float64
+
+	// ClusterK is the K-Means cluster count (paper: 23).
+	ClusterK int
+
+	// CRF training.
+	Epochs int
+	Method string // "sgd" or "perceptron"
+
+	// feature ablation toggles.
+	Features ner.FeatureOptions
+
+	// instruction experiment sizes.
+	InstructionTrain int
+	InstructionTest  int
+
+	// conclusion-stats corpus size (paper: 40,000 recipes).
+	ConclusionRecipes int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		PoolAllRecipes:    14700,
+		PoolFoodCom:       25710,
+		TrainFracA:        0.10,
+		TestFracA:         0.0365, // of the pool minus the training set → ≈483
+		TrainFracF:        0.20,
+		TestFracF:         0.083, // → ≈1705
+		NoiseRate:         0.04,
+		ClusterK:          23,
+		Epochs:            6,
+		Method:            "sgd",
+		Features:          ner.DefaultFeatureOptions,
+		InstructionTrain:  1200,
+		InstructionTest:   400,
+		ConclusionRecipes: 40000,
+	}
+}
+
+// Scaled returns a configuration shrunk by factor f (>1 shrinks) for
+// fast tests, preserving all proportions.
+func (c Config) Scaled(f int) Config {
+	if f <= 1 {
+		return c
+	}
+	c.PoolAllRecipes /= f
+	c.PoolFoodCom /= f
+	c.TrainFracA *= 1 // fractions unchanged: sizes shrink with pools
+	c.InstructionTrain /= f
+	c.InstructionTest /= f
+	c.ConclusionRecipes /= f
+	if c.ClusterK > c.PoolAllRecipes/20 {
+		c.ClusterK = max(2, c.PoolAllRecipes/20)
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Corpus labels, in the order Tables III and IV use.
+const (
+	CorpusAllRecipes = "AllRecipes"
+	CorpusFoodCom    = "FOOD.com"
+	CorpusBoth       = "BOTH"
+)
+
+// CorpusOrder is the row/column order of the paper's tables.
+var CorpusOrder = []string{CorpusAllRecipes, CorpusFoodCom, CorpusBoth}

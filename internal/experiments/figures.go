@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"recipemodel/internal/cluster"
+	"recipemodel/internal/core"
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/mathx"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/plot"
+	"recipemodel/internal/postag"
+	"recipemodel/internal/recipedb"
+	"recipemodel/internal/relations"
+	"recipemodel/internal/tokenize"
+)
+
+// Figure2Result holds both Fig 2 variants: (a) cluster in 36-D then
+// project with PCA, and (b) project to 2-D with PCA then cluster.
+type Figure2Result struct {
+	K int
+	// PointsA: cluster-then-project; PointsB: project-then-cluster.
+	PointsA []plot.Point
+	PointsB []plot.Point
+	// Inertias over the elbow sweep and the chosen elbow K.
+	Inertias []float64
+	ElbowK   int
+	// Phrases sampled for visualization (≤50 per cluster, variant A).
+	SampledPhrases []string
+}
+
+// RunFigure2 reproduces Fig 2 on a fresh phrase pool.
+func RunFigure2(cfg Config) (*Figure2Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 50))
+	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, cfg.Seed+51)
+	pool := cfg.PoolAllRecipes / 4
+	if pool < cfg.ClusterK*4 {
+		pool = cfg.ClusterK * 4
+	}
+	phrases := g.UniquePhrases(pool)
+	pos := postag.Default()
+	vectors := make([]mathx.Vector, len(phrases))
+	texts := make([]string, len(phrases))
+	for i, p := range phrases {
+		texts[i] = p.Text
+		vectors[i] = pos.VectorizePhrase(core.Preprocess(p.Text))
+	}
+
+	res := &Figure2Result{K: cfg.ClusterK}
+
+	// elbow sweep (justifies the paper's k=23).
+	kMax := cfg.ClusterK + 7
+	elbow, inertias, err := cluster.ElbowPoint(vectors, 2, kMax, cluster.Config{MaxIterations: 30}, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.ElbowK = elbow
+	res.Inertias = inertias
+
+	// (a) cluster in 36-D, then PCA to 2-D.
+	ca, err := cluster.KMeans(vectors, cluster.Config{K: cfg.ClusterK, Restarts: 2}, rng)
+	if err != nil {
+		return nil, err
+	}
+	pca := mathx.FitPCA(vectors, 2)
+	proj := pca.TransformAll(vectors)
+
+	// sample ≤50 phrases per cluster for the visualization, as the
+	// paper does.
+	perCluster := map[int]int{}
+	for i, v := range proj {
+		c := ca.Assignment[i]
+		if perCluster[c] >= 50 {
+			continue
+		}
+		perCluster[c]++
+		res.PointsA = append(res.PointsA, plot.Point{X: v[0], Y: v[1], C: c})
+		res.SampledPhrases = append(res.SampledPhrases, texts[i])
+	}
+
+	// (b) PCA to 2-D first, then cluster the projections.
+	cb, err := cluster.KMeans(proj, cluster.Config{K: cfg.ClusterK, Restarts: 2}, rng)
+	if err != nil {
+		return nil, err
+	}
+	perCluster = map[int]int{}
+	for i, v := range proj {
+		c := cb.Assignment[i]
+		if perCluster[c] >= 50 {
+			continue
+		}
+		perCluster[c]++
+		res.PointsB = append(res.PointsB, plot.Point{X: v[0], Y: v[1], C: c})
+	}
+	return res, nil
+}
+
+// SVGA renders variant (a) as SVG.
+func (r *Figure2Result) SVGA() string {
+	return plot.SVG(r.PointsA, fmt.Sprintf("Fig 2(a): k-means in 36-D, PCA projection (k=%d)", r.K), 720, 540)
+}
+
+// SVGB renders variant (b) as SVG.
+func (r *Figure2Result) SVGB() string {
+	return plot.SVG(r.PointsB, fmt.Sprintf("Fig 2(b): PCA first, k-means in 2-D (k=%d)", r.K), 720, 540)
+}
+
+// Render summarizes the figure as text with ASCII scatters.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2: K-Means over POS-tag-frequency vectors (k=%d, elbow suggests k=%d)\n", r.K, r.ElbowK)
+	fmt.Fprintf(&b, "inertia sweep (k=2..%d): ", len(r.Inertias)+1)
+	for _, in := range r.Inertias {
+		fmt.Fprintf(&b, "%.0f ", in)
+	}
+	b.WriteString("\n(a) cluster-then-project:\n")
+	b.WriteString(plot.ASCII(r.PointsA, 72, 20))
+	b.WriteString("(b) project-then-cluster:\n")
+	b.WriteString(plot.ASCII(r.PointsB, 72, 20))
+	return b.String()
+}
+
+// RunFigure1 renders the proposed recipe data structure (the paper's
+// Fig 1) populated with the running tart example, using the given
+// trained pipeline components.
+func RunFigure1(ingredientNER, instructionNER *ner.Tagger) string {
+	pipe := core.NewPipeline(nil, ingredientNER, instructionNER, nil)
+	m := pipe.ModelRecipe("Heirloom Tomato and Blue Cheese Tart", "French",
+		TableIExamples,
+		"Preheat the oven to 400 ° F. Spread the blue cheese over the puff pastry. Add the tomatoes to the pastry. Bake for 30 minutes.")
+	return "Fig 1: the proposed Recipe Data Structure, populated\n" + m.String()
+}
+
+// Figure3Instruction is the running example instruction used by Figs
+// 3–5 (the paper's pot-of-water example).
+const Figure3Instruction = "Bring the water to a boil in a large pot."
+
+// RunFigure3 produces the dependency parse of the example instruction.
+func RunFigure3() (*depparse.Tree, string) {
+	tokens := tokenize.Words(tokenize.Tokenize(Figure3Instruction))
+	tags := postag.Default().Tag(tokens)
+	tree := depparse.Parse(tokens, tags)
+	var b strings.Builder
+	b.WriteString("Fig 3: dependency parse of a typical instruction\n")
+	b.WriteString(tree.String())
+	b.WriteString("\n")
+	b.WriteString(tree.ASCII())
+	return tree, b.String()
+}
+
+// Figure4Section is a short instruction section for the NER inference
+// demonstration of Fig 4.
+const Figure4Section = "Bring the water to a boil in a large pot. Add the pasta and the salt to the pot. Cook for 10 minutes. Drain and serve."
+
+// RunFigure4 tags the section with the instruction NER.
+func RunFigure4(tagger *ner.Tagger) (string, [][]ner.Span) {
+	var b strings.Builder
+	b.WriteString("Fig 4: NER inference over an instruction section\n")
+	var all [][]ner.Span
+	for _, step := range tokenize.SplitSentences(Figure4Section) {
+		tokens := tokenize.Words(tokenize.Tokenize(step))
+		spans := tagger.Predict(tokens)
+		all = append(all, spans)
+		fmt.Fprintf(&b, "%s\n", step)
+		for _, sp := range spans {
+			fmt.Fprintf(&b, "    [%s] %s\n", sp.Type, strings.Join(tokens[sp.Start:sp.End], " "))
+		}
+	}
+	return b.String(), all
+}
+
+// RunFigure5 extracts the relation tuples for the first instruction of
+// the section, reproducing the Bring+Water / Bring+Pot merge of Fig 5.
+func RunFigure5(tagger *ner.Tagger) ([]relations.Relation, string) {
+	pipe := core.NewPipeline(nil, nil, tagger, nil)
+	_, _, rels := pipe.AnnotateInstruction(Figure3Instruction)
+	var b strings.Builder
+	b.WriteString("Fig 5: many-to-many relations for the first instruction\n")
+	fmt.Fprintf(&b, "%s\n", Figure3Instruction)
+	for _, r := range rels {
+		fmt.Fprintf(&b, "    %s\n", r)
+	}
+	return rels, b.String()
+}

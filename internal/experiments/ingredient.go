@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/corpus"
+	"recipemodel/internal/metrics"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/recipedb"
+)
+
+// IngredientResult holds everything the ingredient-section experiments
+// produce: the dataset sizes of Table III, the 3×3 F1 matrix of Table
+// IV, and the trained models (reused by Table I and the examples).
+type IngredientResult struct {
+	// TrainSize/TestSize per corpus (Table III).
+	TrainSize map[string]int
+	TestSize  map[string]int
+	// F1[test][train] over CorpusOrder (Table IV).
+	F1 [3][3]float64
+	// Models per training corpus.
+	Models map[string]*ner.Tagger
+	// Tests per test corpus (kept for cross-validation reuse).
+	Tests map[string][]ner.Sentence
+	// CI is the bootstrap 95% confidence interval of the BOTH model on
+	// the BOTH test set.
+	CI metrics.BootstrapCI
+}
+
+// RunIngredient executes the full §II pipeline for both sources:
+// generate unique phrase pools, embed + cluster + stratified-sample
+// (Table III), train the three NER models and evaluate the 3×3 matrix
+// (Table IV).
+func RunIngredient(cfg Config) (*IngredientResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	build := func(src recipedb.Source, pool int, trainFrac, testFrac float64, seed int64) (train, test []ner.Sentence, err error) {
+		g := recipedb.NewGenerator(src, seed)
+		phrases := g.UniquePhrases(pool)
+		texts := make([]string, len(phrases))
+		for i, p := range phrases {
+			texts[i] = p.Text
+		}
+		sampler, err := core.NewSampler(texts, nil, cfg.ClusterK, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sampler(%s): %w", src, err)
+		}
+		trainIdx, testIdx := sampler.TrainTestSplit(trainFrac, testFrac, rng)
+		pick := func(idx []int) []recipedb.IngredientPhrase {
+			out := make([]recipedb.IngredientPhrase, len(idx))
+			for i, j := range idx {
+				out[i] = phrases[j]
+			}
+			return out
+		}
+		train = corpus.Noisify(corpus.IngredientSentences(pick(trainIdx)), cfg.NoiseRate, rng)
+		test = corpus.Noisify(corpus.IngredientSentences(pick(testIdx)), cfg.NoiseRate, rng)
+		return train, test, nil
+	}
+
+	trainA, testA, err := build(recipedb.SourceAllRecipes, cfg.PoolAllRecipes, cfg.TrainFracA, cfg.TestFracA, cfg.Seed+10)
+	if err != nil {
+		return nil, err
+	}
+	trainF, testF, err := build(recipedb.SourceFoodCom, cfg.PoolFoodCom, cfg.TrainFracF, cfg.TestFracF, cfg.Seed+20)
+	if err != nil {
+		return nil, err
+	}
+	trainB := append(append([]ner.Sentence{}, trainA...), trainF...)
+	testB := append(append([]ner.Sentence{}, testA...), testF...)
+
+	res := &IngredientResult{
+		TrainSize: map[string]int{
+			CorpusAllRecipes: len(trainA), CorpusFoodCom: len(trainF), CorpusBoth: len(trainB),
+		},
+		TestSize: map[string]int{
+			CorpusAllRecipes: len(testA), CorpusFoodCom: len(testF), CorpusBoth: len(testB),
+		},
+		Models: map[string]*ner.Tagger{},
+		Tests: map[string][]ner.Sentence{
+			CorpusAllRecipes: testA, CorpusFoodCom: testF, CorpusBoth: testB,
+		},
+	}
+
+	trains := map[string][]ner.Sentence{
+		CorpusAllRecipes: trainA, CorpusFoodCom: trainF, CorpusBoth: trainB,
+	}
+	for _, name := range CorpusOrder {
+		res.Models[name] = ner.Train(trains[name], ner.IngredientTypes,
+			ner.NewIngredientExtractor(cfg.Features),
+			ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed + 30, Method: cfg.Method})
+	}
+	for ti, testName := range CorpusOrder {
+		gold := corpus.Gold(res.Tests[testName])
+		for mi, trainName := range CorpusOrder {
+			pred := corpus.Predict(res.Models[trainName], res.Tests[testName])
+			res.F1[ti][mi] = metrics.EvaluateEntities(gold, pred).Micro.F1
+			if testName == CorpusBoth && trainName == CorpusBoth {
+				res.CI = metrics.BootstrapF1(gold, pred, 300, 0.95, rng)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderTableIII formats the dataset sizes like the paper's Table III.
+func (r *IngredientResult) RenderTableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III: Training and Testing Dataset Sizes For NER on Ingredients Section\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", "Datasets", "AllRecipes", "FOOD.com", "BOTH")
+	fmt.Fprintf(&b, "%-18s %12d %12d %12d\n", "Training Set Size",
+		r.TrainSize[CorpusAllRecipes], r.TrainSize[CorpusFoodCom], r.TrainSize[CorpusBoth])
+	fmt.Fprintf(&b, "%-18s %12d %12d %12d\n", "Testing Set Size",
+		r.TestSize[CorpusAllRecipes], r.TestSize[CorpusFoodCom], r.TestSize[CorpusBoth])
+	return b.String()
+}
+
+// RenderTableIV formats the F1 matrix like the paper's Table IV
+// (rows = testing set, columns = training-set model).
+func (r *IngredientResult) RenderTableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV: Evaluation of NER Model for Ingredients Section (F1)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s\n", "Testing Set", "AllRecipes", "FOOD.com", "BOTH")
+	for ti, testName := range CorpusOrder {
+		fmt.Fprintf(&b, "%-12s %12.4f %12.4f %12.4f\n", testName,
+			r.F1[ti][0], r.F1[ti][1], r.F1[ti][2])
+	}
+	fmt.Fprintf(&b, "BOTH/BOTH bootstrap %.0f%% CI: [%.4f, %.4f]\n",
+		r.CI.Level*100, r.CI.Lo, r.CI.Hi)
+	return b.String()
+}
+
+// TableIExamples are the seven ingredient phrases of the paper's
+// Table I, verbatim.
+var TableIExamples = []string{
+	"1 sheet frozen puff pastry ( thawed )",
+	"6 ounces blue cheese , at room temperature",
+	"1 tablespoon whole milk ( or half-and-half )",
+	"2-3 medium tomatoes",
+	"1/2 teaspoon pepper , freshly ground",
+	"1/2 teaspoon fresh thyme , minced",
+	"1 teaspoon extra virgin olive oil",
+}
+
+// RunTableI annotates the Table I examples with the given model and
+// renders the attribute table.
+func RunTableI(model *ner.Tagger) ([]core.IngredientRecord, string) {
+	pipe := core.NewPipeline(nil, model, nil, nil)
+	var recs []core.IngredientRecord
+	var b strings.Builder
+	b.WriteString("Table I: Annotations on the Ingredients Section by the NER Model\n")
+	fmt.Fprintf(&b, "%-48s %-22s %-10s %-9s %-12s %-18s %-10s %-8s\n",
+		"Ingredient Phrase", "Name", "State", "Quantity", "Unit", "Temperature", "Dry/Fresh", "Size")
+	for _, phrase := range TableIExamples {
+		rec := pipe.AnnotateIngredient(phrase)
+		recs = append(recs, rec)
+		fmt.Fprintf(&b, "%-48s %-22s %-10s %-9s %-12s %-18s %-10s %-8s\n",
+			rec.Phrase, rec.Name, rec.State, rec.Quantity, rec.Unit, rec.Temp, rec.DryFresh, rec.Size)
+	}
+	return recs, b.String()
+}
+
+// RenderTableII reproduces the static tag-definition table.
+func RenderTableII() string {
+	rows := []struct{ tag, sig, ex string }{
+		{ner.Name, "Name of Ingredient", "salt, pepper"},
+		{ner.State, "Processing State of Ingredient", "ground, thawed"},
+		{ner.Unit, "Measuring unit(s)", "gram, cup"},
+		{ner.Quantity, "Quantity associated with the unit(s)", "1, 1 1/2, 2-4"},
+		{ner.Size, "Portion sizes mentioned", "small, large"},
+		{ner.Temp, "Temperature applied prior to cooking", "hot, frozen"},
+		{ner.DryFresh, "Fresh otherwise as mentioned", "dry, fresh"},
+	}
+	var b strings.Builder
+	b.WriteString("Table II: Named Entity Recognition Tags\n")
+	fmt.Fprintf(&b, "%-10s %-40s %s\n", "Tag", "Significance", "Example")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-40s %s\n", r.tag, r.sig, r.ex)
+	}
+	return b.String()
+}

@@ -1,0 +1,304 @@
+// Package flowgraph converts a mined recipe model into a dataflow
+// graph — the representation of Mori et al.'s "Flow Graph Corpus from
+// Recipe Texts" that the paper cites as the traditional modeling of
+// recipes ([3], §I) and subsumes with its event chains. Each cooking
+// event consumes ingredients (and the running intermediate mixtures in
+// its utensil) and produces a new intermediate node; the final node is
+// the dish.
+//
+// The flow graph makes the implicit temporal structure explicit and
+// queryable: which raw ingredients end up in the final dish, which
+// steps are independent (parallelizable), and what the critical path
+// of the preparation is.
+package flowgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recipemodel/internal/core"
+)
+
+// NodeKind distinguishes raw inputs, intermediate products, and
+// process applications.
+type NodeKind int
+
+// Node kinds.
+const (
+	RawIngredient NodeKind = iota
+	Intermediate
+	Action
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case RawIngredient:
+		return "ingredient"
+	case Intermediate:
+		return "intermediate"
+	default:
+		return "action"
+	}
+}
+
+// Node is one flow-graph vertex.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Label is the ingredient name, the process name (actions), or a
+	// generated mixture label (intermediates).
+	Label string
+	// Step is the instruction index for action nodes, -1 otherwise.
+	Step int
+	// Utensil holds the location of an action, when known.
+	Utensil string
+}
+
+// Graph is the dataflow DAG. Edges point from inputs to the action
+// that consumes them and from each action to its output node.
+type Graph struct {
+	Nodes []Node
+	// Edges[i] lists the successor node ids of node i.
+	Edges map[int][]int
+	// Final is the id of the final product node, or -1 for an empty
+	// recipe.
+	Final int
+}
+
+// Build constructs the flow graph from a mined model. Heuristics
+// follow the event chain: an action consumes (a) every raw ingredient
+// named in its relation that has not been consumed yet, (b) the
+// current intermediate held in its utensil if that utensil was used
+// before, and (c) with no utensil, the most recent intermediate.
+func Build(m *core.RecipeModel) *Graph {
+	g := &Graph{Edges: map[int][]int{}, Final: -1}
+	newNode := func(k NodeKind, label string, step int, utensil string) int {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{ID: id, Kind: k, Label: label, Step: step, Utensil: utensil})
+		return id
+	}
+	addEdge := func(from, to int) {
+		g.Edges[from] = append(g.Edges[from], to)
+	}
+
+	// raw ingredient nodes, by canonical name.
+	rawOf := map[string]int{}
+	for _, rec := range m.Ingredients {
+		n := strings.ToLower(rec.Name)
+		if n == "" {
+			continue
+		}
+		if _, ok := rawOf[n]; !ok {
+			rawOf[n] = newNode(RawIngredient, n, -1, "")
+		}
+	}
+
+	consumed := map[string]bool{}    // raw ingredients already flowed in
+	ingredientAt := map[string]int{} // ingredient → intermediate containing it
+	inUtensil := map[string]int{}    // utensil → current intermediate node
+	lastIntermediate := -1           // most recent product
+	mixCounter := 0
+
+	for _, e := range m.Events {
+		act := newNode(Action, strings.ToLower(e.Process), e.Step, firstUtensil(e))
+
+		inputs := map[int]bool{} // dedupe edges into act
+		consume := func(from int) {
+			if !inputs[from] {
+				inputs[from] = true
+				addEdge(from, act)
+			}
+		}
+		var touched []string
+
+		// (a) ingredients named by the relation: raw on first mention,
+		// else the intermediate currently containing them.
+		for _, a := range e.Ingredients {
+			name := canonical(a.Text, rawOf)
+			if name == "" {
+				continue
+			}
+			touched = append(touched, name)
+			if !consumed[name] {
+				consumed[name] = true
+				consume(rawOf[name])
+			} else if at, ok := ingredientAt[name]; ok {
+				consume(at)
+			}
+		}
+		// (b)/(c) intermediate inputs.
+		ut := firstUtensil(e)
+		if ut != "" {
+			if prev, ok := inUtensil[ut]; ok {
+				consume(prev)
+			}
+		} else if lastIntermediate >= 0 && len(g.Edges[lastIntermediate]) == 0 {
+			// utensil-less verbs ("drain", "serve") chain off the latest
+			// unconsumed product.
+			consume(lastIntermediate)
+		}
+		// implicit transfer: an action with no inputs at all operates on
+		// the running preparation ("transfer the mixture to a platter").
+		if len(inputs) == 0 && lastIntermediate >= 0 {
+			consume(lastIntermediate)
+		}
+
+		// output intermediate.
+		mixCounter++
+		out := newNode(Intermediate, fmt.Sprintf("mixture-%d", mixCounter), -1, ut)
+		addEdge(act, out)
+		if ut != "" {
+			inUtensil[ut] = out
+		}
+		// everything that flowed in now lives in the output, as does
+		// anything carried by a consumed intermediate.
+		for _, name := range touched {
+			ingredientAt[name] = out
+		}
+		for name, at := range ingredientAt {
+			if inputs[at] {
+				ingredientAt[name] = out
+			}
+		}
+		lastIntermediate = out
+		g.Final = out
+	}
+	return g
+}
+
+func firstUtensil(e core.Event) string {
+	if len(e.Utensils) > 0 {
+		return strings.ToLower(e.Utensils[0].Text)
+	}
+	return ""
+}
+
+// canonical maps an argument surface to a known raw-ingredient name
+// (exact, then head-word containment).
+func canonical(text string, rawOf map[string]int) string {
+	t := strings.ToLower(text)
+	if _, ok := rawOf[t]; ok {
+		return t
+	}
+	for name := range rawOf {
+		if strings.Contains(t, name) || strings.Contains(name, t) {
+			return name
+		}
+	}
+	return ""
+}
+
+// Predecessors returns the node ids with an edge into id.
+func (g *Graph) Predecessors(id int) []int {
+	var out []int
+	for from, tos := range g.Edges {
+		for _, to := range tos {
+			if to == id {
+				out = append(out, from)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReachesFinal reports which raw ingredients flow (transitively) into
+// the final product.
+func (g *Graph) ReachesFinal() map[string]bool {
+	out := map[string]bool{}
+	if g.Final < 0 {
+		return out
+	}
+	// reverse reachability from Final.
+	seen := map[int]bool{g.Final: true}
+	queue := []int{g.Final}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Predecessors(cur) {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for id := range seen {
+		if g.Nodes[id].Kind == RawIngredient {
+			out[g.Nodes[id].Label] = true
+		}
+	}
+	return out
+}
+
+// CriticalPath returns the longest action chain (by node count) ending
+// at the final node — the steps that cannot be parallelized.
+func (g *Graph) CriticalPath() []Node {
+	if g.Final < 0 {
+		return nil
+	}
+	memo := map[int][]int{}
+	var longest func(id int) []int
+	longest = func(id int) []int {
+		if p, ok := memo[id]; ok {
+			return p
+		}
+		var best []int
+		for _, pred := range g.Predecessors(id) {
+			if p := longest(pred); len(p) > len(best) {
+				best = p
+			}
+		}
+		path := append(append([]int(nil), best...), id)
+		memo[id] = path
+		return path
+	}
+	var out []Node
+	for _, id := range longest(g.Final) {
+		if g.Nodes[id].Kind == Action {
+			out = append(out, g.Nodes[id])
+		}
+	}
+	return out
+}
+
+// Actions returns the action nodes in step order.
+func (g *Graph) Actions() []Node {
+	var out []Node
+	for _, n := range g.Nodes {
+		if n.Kind == Action {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DOT renders the flow graph as a Graphviz document.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph flow {\n  rankdir=TB;\n")
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		switch n.Kind {
+		case Action:
+			shape = "box"
+		case Intermediate:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Label, shape)
+	}
+	var froms []int
+	for from := range g.Edges {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		for _, to := range g.Edges[from] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package flowgraph
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/relations"
+)
+
+// pastaModel is a hand-built mined model:
+//
+//	step 0: boil water in pot
+//	step 1: add pasta to pot
+//	step 2: chop tomato (in bowl)
+//	step 3: toss tomato into pot
+//	step 4: serve
+func pastaModel() *core.RecipeModel {
+	arg := func(names ...string) []relations.Argument {
+		var out []relations.Argument
+		for _, n := range names {
+			out = append(out, relations.Argument{Text: n})
+		}
+		return out
+	}
+	return &core.RecipeModel{
+		Ingredients: []core.IngredientRecord{
+			{Name: "water"}, {Name: "pasta"}, {Name: "tomato"}, {Name: "basil"},
+		},
+		Events: []core.Event{
+			{Step: 0, Relation: relations.Relation{Process: "boil", Ingredients: arg("water"), Utensils: arg("pot")}},
+			{Step: 1, Relation: relations.Relation{Process: "add", Ingredients: arg("pasta"), Utensils: arg("pot")}},
+			{Step: 2, Relation: relations.Relation{Process: "chop", Ingredients: arg("tomato"), Utensils: arg("bowl")}},
+			{Step: 3, Relation: relations.Relation{Process: "toss", Ingredients: arg("tomato"), Utensils: arg("pot")}},
+			{Step: 4, Relation: relations.Relation{Process: "serve"}},
+		},
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	g := Build(pastaModel())
+	if g.Final < 0 {
+		t.Fatal("no final node")
+	}
+	actions := g.Actions()
+	if len(actions) != 5 {
+		t.Fatalf("actions = %d", len(actions))
+	}
+	// every action has exactly one product edge.
+	for _, a := range actions {
+		outs := g.Edges[a.ID]
+		if len(outs) != 1 || g.Nodes[outs[0]].Kind != Intermediate {
+			t.Fatalf("action %s has outputs %v", a.Label, outs)
+		}
+	}
+}
+
+func TestUtensilChaining(t *testing.T) {
+	g := Build(pastaModel())
+	// the "add" action must consume the boil product (same pot).
+	var addID, boilOut int = -1, -1
+	for _, n := range g.Nodes {
+		if n.Kind == Action && n.Label == "add" {
+			addID = n.ID
+		}
+		if n.Kind == Action && n.Label == "boil" {
+			boilOut = g.Edges[n.ID][0]
+		}
+	}
+	found := false
+	for _, p := range g.Predecessors(addID) {
+		if p == boilOut {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("add does not consume the pot's previous contents")
+	}
+}
+
+func TestReachesFinal(t *testing.T) {
+	g := Build(pastaModel())
+	reach := g.ReachesFinal()
+	for _, want := range []string{"water", "pasta", "tomato"} {
+		if !reach[want] {
+			t.Errorf("%s should reach the final dish: %v", want, reach)
+		}
+	}
+	// basil is declared but never used in any event.
+	if reach["basil"] {
+		t.Error("basil never flows into the dish")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := Build(pastaModel())
+	path := g.CriticalPath()
+	if len(path) < 3 {
+		t.Fatalf("critical path too short: %v", path)
+	}
+	// the path must end at the last action feeding the final node and
+	// be ordered by step.
+	for i := 1; i < len(path); i++ {
+		if path[i].Step < path[i-1].Step {
+			t.Fatalf("critical path out of order: %v", path)
+		}
+	}
+	// chop (bowl branch) is parallel to the pot branch: boil → add →
+	// toss (+serve) is longer, so chop should not be on the critical
+	// path's pot prefix.
+	labels := map[string]bool{}
+	for _, n := range path {
+		labels[n.Label] = true
+	}
+	if !labels["boil"] || !labels["toss"] {
+		t.Fatalf("pot chain missing from critical path: %v", path)
+	}
+}
+
+func TestEmptyRecipe(t *testing.T) {
+	g := Build(&core.RecipeModel{})
+	if g.Final != -1 {
+		t.Fatal("empty recipe should have no final node")
+	}
+	if len(g.ReachesFinal()) != 0 || g.CriticalPath() != nil {
+		t.Fatal("empty graph queries should be empty")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Build(pastaModel())
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph flow") {
+		t.Fatal("not a DOT document")
+	}
+	if !strings.Contains(dot, "\"boil\"") || !strings.Contains(dot, "shape=box") {
+		t.Fatalf("DOT content:\n%s", dot)
+	}
+	if !strings.Contains(dot, "->") {
+		t.Fatal("no edges")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if RawIngredient.String() != "ingredient" || Intermediate.String() != "intermediate" || Action.String() != "action" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestCanonicalMatching(t *testing.T) {
+	// relation argument "tomatoes" should map onto raw node "tomato".
+	m := pastaModel()
+	m.Events[3].Ingredients[0].Text = "tomatoes"
+	g := Build(m)
+	if !g.ReachesFinal()["tomato"] {
+		t.Fatal("surface-form argument did not resolve to the raw ingredient")
+	}
+}

@@ -1,0 +1,297 @@
+// Package fraction parses the numeric quantity expressions that occur
+// in ingredient phrases: integers ("2"), decimals ("2.5"), fractions
+// ("3/4"), mixed numbers ("1 1/2"), unicode vulgar fractions ("½",
+// "1½"), ranges ("2-4", "1-1/2"), and number words ("one", "dozen").
+// Quantities evaluate to an exact rational interval [Lo, Hi].
+package fraction
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rational is an exact fraction Num/Den with Den > 0.
+type Rational struct {
+	Num int64
+	Den int64
+}
+
+// R constructs a normalized rational.
+func R(num, den int64) Rational {
+	if den == 0 {
+		return Rational{0, 1}
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rational{num, den}
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Float returns the floating-point value of r.
+func (r Rational) Float() float64 {
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Add returns r + o.
+func (r Rational) Add(o Rational) Rational {
+	return R(r.Num*o.Den+o.Num*r.Den, r.Den*o.Den)
+}
+
+// Mul returns r * o.
+func (r Rational) Mul(o Rational) Rational {
+	return R(r.Num*o.Num, r.Den*o.Den)
+}
+
+// Cmp compares r and o: -1, 0, or +1.
+func (r Rational) Cmp(o Rational) int {
+	l := r.Num * o.Den
+	rr := o.Num * r.Den
+	switch {
+	case l < rr:
+		return -1
+	case l > rr:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders r as an integer, proper fraction, or mixed number.
+func (r Rational) String() string {
+	if r.Den == 1 {
+		return strconv.FormatInt(r.Num, 10)
+	}
+	if abs64(r.Num) > r.Den {
+		whole := r.Num / r.Den
+		rem := abs64(r.Num % r.Den)
+		return fmt.Sprintf("%d %d/%d", whole, rem, r.Den)
+	}
+	return fmt.Sprintf("%d/%d", r.Num, r.Den)
+}
+
+// Quantity is a parsed amount: a point value (Lo == Hi) or a range.
+type Quantity struct {
+	Lo Rational
+	Hi Rational
+}
+
+// IsRange reports whether the quantity spans an interval.
+func (q Quantity) IsRange() bool { return q.Lo.Cmp(q.Hi) != 0 }
+
+// Mid returns the midpoint of the interval as a float (used by the
+// nutrition estimator when a recipe says "2-3 tomatoes").
+func (q Quantity) Mid() float64 {
+	return (q.Lo.Float() + q.Hi.Float()) / 2
+}
+
+// String renders the quantity the way a recipe would print it.
+func (q Quantity) String() string {
+	if q.IsRange() {
+		return q.Lo.String() + "-" + q.Hi.String()
+	}
+	return q.Lo.String()
+}
+
+var vulgar = map[string]Rational{
+	"½": R(1, 2), "⅓": R(1, 3), "⅔": R(2, 3), "¼": R(1, 4),
+	"¾": R(3, 4), "⅕": R(1, 5), "⅖": R(2, 5), "⅗": R(3, 5),
+	"⅘": R(4, 5), "⅙": R(1, 6), "⅚": R(5, 6), "⅛": R(1, 8),
+	"⅜": R(3, 8), "⅝": R(5, 8), "⅞": R(7, 8),
+}
+
+var numberWords = map[string]Rational{
+	"zero": R(0, 1), "one": R(1, 1), "two": R(2, 1), "three": R(3, 1),
+	"four": R(4, 1), "five": R(5, 1), "six": R(6, 1), "seven": R(7, 1),
+	"eight": R(8, 1), "nine": R(9, 1), "ten": R(10, 1),
+	"eleven": R(11, 1), "twelve": R(12, 1), "dozen": R(12, 1),
+	"half": R(1, 2), "quarter": R(1, 4), "couple": R(2, 1),
+	"a": R(1, 1), "an": R(1, 1), "few": R(3, 1), "several": R(3, 1),
+}
+
+// ErrNotQuantity is returned when the input cannot be read as an
+// amount.
+var ErrNotQuantity = errors.New("fraction: not a quantity")
+
+// Parse reads a quantity expression. It accepts the full surface
+// grammar found in RecipeDB-style ingredient phrases.
+func Parse(s string) (Quantity, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Quantity{}, ErrNotQuantity
+	}
+	// Range "a-b" or "a–b" at the top level (but not a leading minus).
+	if i := rangeSplit(s); i > 0 {
+		lo, err := parsePoint(strings.TrimSpace(s[:i]))
+		if err != nil {
+			return Quantity{}, err
+		}
+		hi, err := parsePoint(strings.TrimSpace(s[i+len(rangeRuneAt(s, i)):]))
+		if err != nil {
+			return Quantity{}, err
+		}
+		if hi.Cmp(lo) < 0 {
+			lo, hi = hi, lo
+		}
+		return Quantity{Lo: lo, Hi: hi}, nil
+	}
+	v, err := parsePoint(s)
+	if err != nil {
+		return Quantity{}, err
+	}
+	return Quantity{Lo: v, Hi: v}, nil
+}
+
+func rangeRuneAt(s string, i int) string {
+	if strings.HasPrefix(s[i:], "–") {
+		return "–"
+	}
+	return "-"
+}
+
+// rangeSplit returns the index of the top-level range dash, or -1.
+func rangeSplit(s string) int {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '-' {
+			return i
+		}
+		if strings.HasPrefix(s[i:], "–") {
+			return i
+		}
+	}
+	return -1
+}
+
+// parsePoint reads a single (non-range) value.
+func parsePoint(s string) (Rational, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return Rational{}, ErrNotQuantity
+	}
+	if v, ok := numberWords[s]; ok {
+		return v, nil
+	}
+	if v, ok := vulgar[s]; ok {
+		return v, nil
+	}
+	// mixed with space: "1 1/2"
+	if sp := strings.IndexByte(s, ' '); sp > 0 {
+		whole, err := parsePoint(s[:sp])
+		if err != nil {
+			return Rational{}, err
+		}
+		frac, err := parsePoint(s[sp+1:])
+		if err != nil {
+			return Rational{}, err
+		}
+		return whole.Add(frac), nil
+	}
+	// attached vulgar: "1½"
+	for v, r := range vulgar {
+		if strings.HasSuffix(s, v) {
+			head := strings.TrimSuffix(s, v)
+			if head == "" {
+				return r, nil
+			}
+			whole, err := parsePoint(head)
+			if err != nil {
+				return Rational{}, err
+			}
+			return whole.Add(r), nil
+		}
+	}
+	// simple fraction "a/b"
+	if i := strings.IndexByte(s, '/'); i > 0 {
+		num, err1 := strconv.ParseInt(s[:i], 10, 64)
+		den, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil || den == 0 {
+			return Rational{}, ErrNotQuantity
+		}
+		return R(num, den), nil
+	}
+	// decimal "2.5" → exact rational
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart := s[:i]
+		fracPart := s[i+1:]
+		if fracPart == "" || !allDigits(fracPart) || (intPart != "" && !allDigits(intPart)) {
+			return Rational{}, ErrNotQuantity
+		}
+		if len(fracPart) > 9 {
+			fracPart = fracPart[:9]
+		}
+		den := int64(1)
+		for range fracPart {
+			den *= 10
+		}
+		fn, _ := strconv.ParseInt(fracPart, 10, 64)
+		var in int64
+		if intPart != "" {
+			in, _ = strconv.ParseInt(intPart, 10, 64)
+		}
+		return R(in*den+fn, den), nil
+	}
+	// plain integer
+	if allDigits(s) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Rational{}, ErrNotQuantity
+		}
+		return R(n, 1), nil
+	}
+	return Rational{}, ErrNotQuantity
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Looks reports whether s plausibly begins a quantity expression; it
+// is cheaper than Parse and is used as a tagging feature.
+func Looks(s string) bool {
+	if s == "" {
+		return false
+	}
+	if _, ok := numberWords[strings.ToLower(s)]; ok {
+		return true
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return true
+	}
+	for v := range vulgar {
+		if strings.HasPrefix(s, v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package fraction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Quantity {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseInteger(t *testing.T) {
+	q := mustParse(t, "2")
+	if q.Lo != R(2, 1) || q.IsRange() {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseFraction(t *testing.T) {
+	q := mustParse(t, "3/4")
+	if q.Lo != R(3, 4) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseMixed(t *testing.T) {
+	q := mustParse(t, "1 1/2")
+	if q.Lo != R(3, 2) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseDecimal(t *testing.T) {
+	q := mustParse(t, "2.5")
+	if q.Lo != R(5, 2) {
+		t.Fatalf("got %+v", q)
+	}
+	q = mustParse(t, "0.25")
+	if q.Lo != R(1, 4) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseVulgar(t *testing.T) {
+	if q := mustParse(t, "½"); q.Lo != R(1, 2) {
+		t.Fatalf("got %+v", q)
+	}
+	if q := mustParse(t, "1½"); q.Lo != R(3, 2) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	q := mustParse(t, "2-4")
+	if !q.IsRange() || q.Lo != R(2, 1) || q.Hi != R(4, 1) {
+		t.Fatalf("got %+v", q)
+	}
+	if got := q.Mid(); got != 3 {
+		t.Fatalf("Mid = %v", got)
+	}
+}
+
+func TestParseRangeWithFraction(t *testing.T) {
+	q := mustParse(t, "1-1/2")
+	// "1-1/2" in recipes means the range [1/2, 1] — unusual but legal;
+	// our parser reads lo=1, hi=1/2 and normalizes order.
+	if q.Lo != R(1, 2) || q.Hi != R(1, 1) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseEnDashRange(t *testing.T) {
+	q := mustParse(t, "2–3")
+	if !q.IsRange() || q.Hi != R(3, 1) {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestParseNumberWords(t *testing.T) {
+	cases := map[string]Rational{
+		"one": R(1, 1), "two": R(2, 1), "dozen": R(12, 1),
+		"half": R(1, 2), "a": R(1, 1),
+	}
+	for in, want := range cases {
+		if q := mustParse(t, in); q.Lo != want {
+			t.Errorf("Parse(%q).Lo = %v, want %v", in, q.Lo, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1/0", "x/2", "..", "1.a", "-"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestRationalString(t *testing.T) {
+	cases := map[Rational]string{
+		R(2, 1):  "2",
+		R(1, 2):  "1/2",
+		R(3, 2):  "1 1/2",
+		R(10, 4): "2 1/2",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuantityString(t *testing.T) {
+	q := mustParse(t, "2-4")
+	if q.String() != "2-4" {
+		t.Fatalf("got %q", q.String())
+	}
+	q = mustParse(t, "1 1/2")
+	if q.String() != "1 1/2" {
+		t.Fatalf("got %q", q.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := R(1, 2).Add(R(1, 3)); got != R(5, 6) {
+		t.Errorf("1/2+1/3 = %v", got)
+	}
+	if got := R(2, 3).Mul(R(3, 4)); got != R(1, 2) {
+		t.Errorf("2/3*3/4 = %v", got)
+	}
+	if R(1, 2).Cmp(R(2, 3)) != -1 || R(1, 1).Cmp(R(1, 1)) != 0 {
+		t.Error("Cmp broken")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	if R(2, 4) != R(1, 2) {
+		t.Error("R does not normalize")
+	}
+	if r := R(1, -2); r.Num != -1 || r.Den != 2 {
+		t.Errorf("negative denominator: %+v", r)
+	}
+	if r := R(5, 0); r != (Rational{0, 1}) {
+		t.Errorf("zero denominator: %+v", r)
+	}
+}
+
+func TestLooks(t *testing.T) {
+	for _, s := range []string{"2", "1/2", "½", "one", "dozen", "2-4"} {
+		if !Looks(s) {
+			t.Errorf("Looks(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "salt", "fresh"} {
+		if Looks(s) {
+			t.Errorf("Looks(%q) = true", s)
+		}
+	}
+}
+
+// Property: R always returns a normalized fraction with positive
+// denominator and gcd(|num|, den) == 1.
+func TestRationalNormalizedProperty(t *testing.T) {
+	f := func(n int32, d int32) bool {
+		r := R(int64(n), int64(d))
+		if r.Den <= 0 {
+			return false
+		}
+		return gcd(abs64(r.Num), r.Den) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing a rendered rational round-trips.
+func TestRationalRoundTripProperty(t *testing.T) {
+	f := func(n uint16, d uint8) bool {
+		den := int64(d%64) + 1
+		r := R(int64(n%500), den)
+		q, err := Parse(r.String())
+		if err != nil {
+			return false
+		}
+		return q.Lo == r && q.Hi == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Float of Add equals sum of Floats (within epsilon).
+func TestAddFloatProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x := R(int64(a%40), int64(a%7)+1)
+		y := R(int64(b%40), int64(b%9)+1)
+		return math.Abs(x.Add(y).Float()-(x.Float()+y.Float())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

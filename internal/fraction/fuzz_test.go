@@ -1,0 +1,31 @@
+package fraction
+
+import "testing"
+
+// FuzzParse checks that the quantity parser never panics and that
+// successful parses satisfy basic interval invariants.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1", "1/2", "1 1/2", "2-4", "2.5", "½", "1½", "2–3",
+		"dozen", "a", "1/0", "-", "9999999999999999999",
+		"1.googol", "0.000000001",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if q.Lo.Den <= 0 || q.Hi.Den <= 0 {
+			t.Fatalf("non-positive denominator from %q: %+v", s, q)
+		}
+		if q.Lo.Cmp(q.Hi) > 0 {
+			t.Fatalf("inverted interval from %q: %+v", s, q)
+		}
+		// rendering a parsed quantity must itself re-parse.
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("render of %q (%q) does not re-parse", s, q.String())
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package gazetteer
+
+// Term inventories. These double as the generative inventory for the
+// synthetic RecipeDB corpus, so every entry is a term that really
+// occurs in AllRecipes/FOOD.com-style recipe text.
+
+// IngredientTerms are ingredient names, including multiword names.
+var IngredientTerms = []string{
+	"allspice", "almond", "almond extract", "anchovy", "apple",
+	"apple cider", "apple cider vinegar", "apricot", "artichoke",
+	"arugula", "asparagus", "avocado", "bacon", "baking powder",
+	"baking soda", "balsamic vinegar", "banana", "barley", "basil",
+	"bay leaf", "bean", "beef", "beef broth", "beet", "bell pepper",
+	"black bean", "black pepper", "blackberry", "blue cheese",
+	"blueberry", "bran", "bread", "breadcrumb", "broccoli", "broth",
+	"brown rice", "brown sugar", "butter", "buttermilk", "cabbage",
+	"canola oil", "caper", "cardamom", "carrot", "cashew",
+	"cauliflower", "cayenne pepper", "celery", "cheddar cheese",
+	"cheese", "cherry", "cherry tomato", "chicken", "chicken breast",
+	"chicken broth", "chicken stock", "chickpea", "chili", "chili pepper",
+	"chili powder", "chive", "chocolate", "chocolate chip", "cilantro",
+	"cinnamon", "clam", "clove", "cocoa powder", "coconut",
+	"coconut milk", "cod", "coffee", "condensed milk", "coriander",
+	"corn", "corn syrup", "cornmeal", "cornstarch", "cottage cheese",
+	"crab", "cracker", "cranberry", "cream", "cream cheese",
+	"cream of tartar", "cucumber", "cumin", "currant", "curry powder",
+	"date", "dill", "dough", "dressing", "duck", "egg", "egg white",
+	"egg yolk", "eggplant", "evaporated milk", "extra virgin olive oil",
+	"fennel", "feta cheese", "fig", "fillet", "fish sauce", "flour",
+	"all-purpose flour", "garlic", "garlic clove", "garlic powder",
+	"gelatin", "ginger", "goat cheese", "gravy", "grape", "grapefruit",
+	"green bean", "green onion", "ground beef", "ground cinnamon",
+	"ground cumin", "ground ginger", "ground pepper", "ham",
+	"hazelnut", "heavy cream", "honey", "horseradish", "hot sauce",
+	"jalapeno", "jam", "juice", "kale", "ketchup", "kidney bean",
+	"lamb", "lard", "leek", "lemon", "lemon juice", "lemon zest",
+	"lemongrass", "lentil", "lettuce", "lime", "lime juice", "liver",
+	"lobster", "macaroni", "mango", "maple syrup", "margarine",
+	"marjoram", "mayonnaise", "milk", "mint", "molasses", "mozzarella",
+	"mozzarella cheese", "mushroom", "mussel", "mustard", "noodle",
+	"nutmeg", "oat", "oatmeal", "oil", "okra", "olive", "olive oil",
+	"onion", "onion powder", "orange", "orange juice", "orange zest",
+	"oregano", "oyster", "paprika", "parmesan", "parmesan cheese",
+	"parsley", "parsnip", "pasta", "pastry", "pea", "peach",
+	"peanut", "peanut butter", "pear", "pecan", "pepper", "peppercorn",
+	"pickle", "pie crust", "pineapple", "pine nut", "pistachio",
+	"plum", "pork", "pork chop", "potato", "powdered sugar", "prune",
+	"puff pastry", "pumpkin", "quinoa", "radish", "raisin",
+	"raspberry", "red onion", "red pepper", "red pepper flake",
+	"red wine", "red wine vinegar", "rhubarb", "rice", "ricotta",
+	"rosemary", "rum", "saffron", "sage", "salmon", "salsa", "salt",
+	"sausage", "scallion", "scallop", "sesame oil", "sesame seed",
+	"shallot", "sherry", "shortening", "shrimp", "sour cream",
+	"soy sauce", "spaghetti", "spinach", "squash", "steak",
+	"strawberry", "sugar", "sweet potato", "swiss cheese", "syrup",
+	"tahini", "tarragon", "thyme", "tofu", "tomato", "tomato paste",
+	"tomato sauce", "tortilla", "trout", "tuna", "turkey", "turmeric",
+	"turnip", "vanilla", "vanilla extract", "veal", "vegetable broth",
+	"vegetable oil", "vinegar", "walnut", "water", "watercress",
+	"watermelon", "wheat", "whipping cream", "white pepper",
+	"white sugar", "white wine", "whole milk", "wine", "worcestershire sauce",
+	"yeast", "yogurt", "zucchini",
+}
+
+// UnitTerms are measuring units and packaging counts.
+var UnitTerms = []string{
+	"bag", "batch", "block", "bottle", "box", "bunch", "can", "carton",
+	"clove", "container", "cube", "cup", "dash", "dollop", "drop",
+	"envelope", "fillet", "gallon", "gram", "handful", "head", "inch",
+	"jar", "jigger", "kilogram", "liter", "loaf", "milliliter",
+	"ounce", "package", "packet", "pinch", "pint", "pound", "quart",
+	"scoop", "sheet", "slice", "sliver", "splash", "sprig", "stalk",
+	"stick", "strip", "tablespoon", "teaspoon", "wedge", "piece",
+}
+
+// StateTerms are processing states applied to ingredients before or
+// during cooking.
+var StateTerms = []string{
+	"beaten", "blanched", "boiled", "boned", "browned", "chopped",
+	"coarsely chopped", "cooked", "cooled", "cored", "crumbled",
+	"crushed", "cubed", "cut", "deveined", "diced", "drained",
+	"finely chopped", "flaked", "grated", "grilled", "ground",
+	"halved", "hard-boiled", "hulled", "juiced", "julienned", "mashed",
+	"melted", "minced", "packed", "peeled", "pitted", "pounded",
+	"pureed", "quartered", "rinsed", "roasted", "scalded", "seeded",
+	"separated", "shelled", "shredded", "shucked", "sifted", "skinned",
+	"sliced", "slivered", "smashed", "softened", "squeezed", "steamed",
+	"stemmed", "strained", "thawed", "thinly sliced", "toasted",
+	"torn", "trimmed", "washed", "whipped", "zested",
+}
+
+// SizeTerms are portion-size attributes.
+var SizeTerms = []string{
+	"small", "medium", "large", "extra-large", "jumbo", "baby",
+	"bite-size", "heaping", "scant", "thick", "thin", "mini",
+}
+
+// TempTerms are temperature attributes applied before cooking.
+var TempTerms = []string{
+	"frozen", "chilled", "cold", "iced", "cool", "room temperature",
+	"warm", "warmed", "hot", "lukewarm", "tepid", "boiling",
+	"refrigerated",
+}
+
+// DryFreshTerms mark dryness/freshness state.
+var DryFreshTerms = []string{
+	"dry", "dried", "fresh", "freshly", "canned", "jarred", "smoked",
+	"cured", "pickled", "preserved",
+}
+
+// UtensilTerms are the utensils and equipment inventory (the paper
+// annotates 69 utensils).
+var UtensilTerms = []string{
+	"baking dish", "baking pan", "baking sheet", "blender", "bowl",
+	"bundt pan", "cake pan", "can opener", "casserole", "casserole dish",
+	"cheesecloth", "colander", "cookie cutter", "cookie sheet",
+	"cutting board", "double boiler", "dutch oven", "food processor",
+	"fork", "freezer", "frying pan", "grater", "griddle", "grill",
+	"grill pan", "grinder", "kettle", "knife", "ladle", "lid",
+	"loaf pan", "mandoline", "masher", "measuring cup",
+	"measuring spoon", "microwave", "mixer", "mixing bowl", "mold",
+	"mortar", "muffin tin", "oven", "pan", "parchment paper",
+	"pastry bag", "pastry brush", "peeler", "pestle", "pie dish",
+	"pie plate", "plate", "platter", "pot", "pressure cooker",
+	"ramekin", "refrigerator", "roasting pan", "rolling pin",
+	"saucepan", "saute pan", "sieve", "skewer", "skillet",
+	"slow cooker", "spatula", "spoon", "springform pan", "steamer",
+	"stockpot", "stove", "strainer", "thermometer", "toaster",
+	"tongs", "tray", "whisk", "wire rack", "wok", "wooden spoon",
+	"zester", "aluminum foil", "plastic wrap", "paper towel",
+}
+
+// TechniqueTerms are cooking techniques/processes (the paper annotates
+// 268 processes; this inventory covers the common surface verbs and
+// their frequent variants).
+var TechniqueTerms = []string{
+	"add", "adjust", "arrange", "bake", "baste", "beat", "blanch",
+	"blend", "boil", "braise", "bread", "bring", "broil", "brown",
+	"brush", "bury", "butter", "caramelize", "carve", "char", "check",
+	"chill", "chop", "coat", "combine", "cook", "cool", "core",
+	"cover", "cream", "crimp", "crumble", "crush", "cube", "cut",
+	"debone", "decorate", "deep-fry", "deglaze", "degrease", "dice",
+	"dilute", "dip", "discard", "dissolve", "divide", "dot", "drain",
+	"dredge", "drizzle", "drop", "dry", "dust", "emulsify", "fill",
+	"filter", "flambe", "flatten", "flip", "fold", "form", "freeze",
+	"fry", "garnish", "glaze", "grate", "grease", "grill", "grind",
+	"halve", "heat", "hull", "incorporate", "insert", "julienne",
+	"knead", "ladle", "layer", "let", "lift", "line", "marinate",
+	"mash", "measure", "melt", "microwave", "mince", "mix", "moisten",
+	"mound", "open", "overlap", "pan-fry", "parboil", "pat", "peel",
+	"pierce", "pinch", "pipe", "pit", "place", "poach", "pound",
+	"pour", "preheat", "prepare", "press", "prick", "puree", "push",
+	"put", "quarter", "reduce", "refrigerate", "reheat", "remove",
+	"repeat", "reserve", "rest", "return", "rinse", "roast", "roll",
+	"rotate", "rub", "saute", "scald", "scatter", "scoop", "score",
+	"scrape", "scrub", "sear", "season", "separate", "serve", "set",
+	"shake", "shape", "shred", "sift", "simmer", "skewer", "skim",
+	"slice", "slit", "smear", "smoke", "soak", "soften", "spoon",
+	"spread", "sprinkle", "squeeze", "stack", "steam", "steep",
+	"sterilize", "stir", "strain", "stretch", "stuff", "submerge",
+	"swirl", "taste", "temper", "tenderize", "thaw", "thicken",
+	"thin", "tie", "tilt", "toast", "top", "toss", "transfer",
+	"trim", "turn", "twist", "uncover", "unmold", "warm", "wash",
+	"whip", "whisk", "wilt", "wipe", "work", "wrap", "zest",
+}

@@ -1,0 +1,155 @@
+// Package gazetteer holds the curated recipe-domain vocabularies used
+// across the pipeline: ingredient names, measuring units, processing
+// states, sizes, temperatures, dry/fresh markers, utensils and cooking
+// techniques. The instruction-section pipeline additionally builds
+// frequency-thresholded dictionaries of techniques and utensils from
+// NER output, reproducing §III.A of the paper (thresholds 47 and 10).
+package gazetteer
+
+import (
+	"sort"
+	"strings"
+)
+
+// Lexicon is a set of lower-case terms; multiword terms use single
+// spaces.
+type Lexicon struct {
+	terms map[string]bool
+	// maxWords is the longest term length in words, for greedy
+	// longest-match scanning.
+	maxWords int
+}
+
+// NewLexicon builds a lexicon from terms (case-insensitive).
+func NewLexicon(terms []string) *Lexicon {
+	l := &Lexicon{terms: make(map[string]bool, len(terms))}
+	for _, t := range terms {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t == "" {
+			continue
+		}
+		l.terms[t] = true
+		if n := len(strings.Fields(t)); n > l.maxWords {
+			l.maxWords = n
+		}
+	}
+	return l
+}
+
+// Contains reports whether term is in the lexicon (case-insensitive).
+func (l *Lexicon) Contains(term string) bool {
+	return l.terms[strings.ToLower(term)]
+}
+
+// Len returns the number of terms.
+func (l *Lexicon) Len() int { return len(l.terms) }
+
+// MaxWords returns the longest term length in words.
+func (l *Lexicon) MaxWords() int { return l.maxWords }
+
+// Terms returns the sorted term list.
+func (l *Lexicon) Terms() []string {
+	out := make([]string, 0, len(l.terms))
+	for t := range l.terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchSpans finds all non-overlapping longest matches of lexicon
+// terms in the token slice (tokens should be lower-cased). It returns
+// [start, end) index pairs.
+func (l *Lexicon) MatchSpans(tokens []string) [][2]int {
+	var spans [][2]int
+	i := 0
+	for i < len(tokens) {
+		matched := 0
+		limit := l.maxWords
+		if rem := len(tokens) - i; rem < limit {
+			limit = rem
+		}
+		for n := limit; n >= 1; n-- {
+			cand := strings.Join(tokens[i:i+n], " ")
+			if l.terms[strings.ToLower(cand)] {
+				matched = n
+				break
+			}
+		}
+		if matched > 0 {
+			spans = append(spans, [2]int{i, i + matched})
+			i += matched
+		} else {
+			i++
+		}
+	}
+	return spans
+}
+
+// Singletons: the standard domain vocabularies. Each call returns a
+// fresh Lexicon over the shared term lists.
+
+// Ingredients returns the ingredient-name lexicon.
+func Ingredients() *Lexicon { return NewLexicon(IngredientTerms) }
+
+// Units returns the measuring-unit lexicon.
+func Units() *Lexicon { return NewLexicon(UnitTerms) }
+
+// States returns the processing-state lexicon.
+func States() *Lexicon { return NewLexicon(StateTerms) }
+
+// Sizes returns the portion-size lexicon.
+func Sizes() *Lexicon { return NewLexicon(SizeTerms) }
+
+// Temperatures returns the temperature-attribute lexicon.
+func Temperatures() *Lexicon { return NewLexicon(TempTerms) }
+
+// DryFresh returns the dryness/freshness lexicon.
+func DryFresh() *Lexicon { return NewLexicon(DryFreshTerms) }
+
+// Utensils returns the utensil lexicon.
+func Utensils() *Lexicon { return NewLexicon(UtensilTerms) }
+
+// Techniques returns the cooking-technique lexicon.
+func Techniques() *Lexicon { return NewLexicon(TechniqueTerms) }
+
+// FrequencyDictionary accumulates how often the NER model emitted each
+// surface form for an entity type, then filters by a minimum count.
+// The paper builds dictionaries of Cooking Techniques and Utensils
+// with thresholds 47 and 10 to remove tagger inconsistencies (§III.A).
+type FrequencyDictionary struct {
+	counts map[string]int
+}
+
+// NewFrequencyDictionary returns an empty dictionary.
+func NewFrequencyDictionary() *FrequencyDictionary {
+	return &FrequencyDictionary{counts: make(map[string]int)}
+}
+
+// Observe records one occurrence of term.
+func (d *FrequencyDictionary) Observe(term string) {
+	d.counts[strings.ToLower(term)]++
+}
+
+// Count returns the number of observations of term.
+func (d *FrequencyDictionary) Count(term string) int {
+	return d.counts[strings.ToLower(term)]
+}
+
+// Filter returns the lexicon of terms observed at least threshold
+// times.
+func (d *FrequencyDictionary) Filter(threshold int) *Lexicon {
+	var keep []string
+	for t, c := range d.counts {
+		if c >= threshold {
+			keep = append(keep, t)
+		}
+	}
+	return NewLexicon(keep)
+}
+
+// Paper-specified dictionary thresholds (§III.A).
+const (
+	TechniqueThreshold = 47
+	UtensilThreshold   = 10
+)

@@ -1,0 +1,142 @@
+package gazetteer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexiconContains(t *testing.T) {
+	l := Ingredients()
+	for _, w := range []string{"tomato", "olive oil", "Olive Oil", "extra virgin olive oil", "cream cheese"} {
+		if !l.Contains(w) {
+			t.Errorf("Ingredients should contain %q", w)
+		}
+	}
+	if l.Contains("skillet") {
+		t.Error("Ingredients should not contain skillet")
+	}
+}
+
+func TestLexiconMaxWords(t *testing.T) {
+	if got := Ingredients().MaxWords(); got < 4 {
+		t.Errorf("MaxWords = %d, want >= 4 (extra virgin olive oil)", got)
+	}
+	if got := NewLexicon([]string{"a"}).MaxWords(); got != 1 {
+		t.Errorf("MaxWords = %d", got)
+	}
+}
+
+func TestNewLexiconNormalizes(t *testing.T) {
+	l := NewLexicon([]string{"  Olive OIL ", "", "salt"})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if !l.Contains("olive oil") {
+		t.Fatal("normalized term missing")
+	}
+}
+
+func TestMatchSpansLongest(t *testing.T) {
+	l := Ingredients()
+	tokens := strings.Fields("add extra virgin olive oil and salt to the pan")
+	spans := l.MatchSpans(tokens)
+	// "extra virgin olive oil" [1,5) and "salt" [6,7).
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0] != [2]int{1, 5} {
+		t.Errorf("first span = %v, want [1 5) (longest match)", spans[0])
+	}
+	if spans[1] != [2]int{6, 7} {
+		t.Errorf("second span = %v", spans[1])
+	}
+}
+
+func TestMatchSpansNoOverlap(t *testing.T) {
+	l := NewLexicon([]string{"cream cheese", "cheese cake"})
+	spans := l.MatchSpans([]string{"cream", "cheese", "cake"})
+	if len(spans) != 1 || spans[0] != [2]int{0, 2} {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestMatchSpansEmpty(t *testing.T) {
+	if spans := Ingredients().MatchSpans(nil); spans != nil {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	terms := Units().Terms()
+	for i := 1; i < len(terms); i++ {
+		if terms[i] < terms[i-1] {
+			t.Fatal("Terms not sorted")
+		}
+	}
+}
+
+func TestInventorySizes(t *testing.T) {
+	// sanity floor: the paper annotates 268 processes and 69 utensils.
+	if n := Techniques().Len(); n < 150 {
+		t.Errorf("techniques inventory too small: %d", n)
+	}
+	if n := Utensils().Len(); n < 69 {
+		t.Errorf("utensils inventory too small: %d", n)
+	}
+	if n := Ingredients().Len(); n < 200 {
+		t.Errorf("ingredients inventory too small: %d", n)
+	}
+	if n := States().Len(); n < 40 {
+		t.Errorf("states inventory too small: %d", n)
+	}
+}
+
+func TestDisjointAttributeClasses(t *testing.T) {
+	// Sizes, temps and dry/fresh must not overlap each other: the NER
+	// tags are mutually exclusive.
+	sets := map[string]*Lexicon{
+		"sizes": Sizes(), "temps": Temperatures(), "dryfresh": DryFresh(),
+	}
+	for an, a := range sets {
+		for bn, b := range sets {
+			if an >= bn {
+				continue
+			}
+			for _, term := range a.Terms() {
+				if b.Contains(term) {
+					t.Errorf("%q in both %s and %s", term, an, bn)
+				}
+			}
+		}
+	}
+}
+
+func TestFrequencyDictionary(t *testing.T) {
+	d := NewFrequencyDictionary()
+	for i := 0; i < 50; i++ {
+		d.Observe("boil")
+	}
+	for i := 0; i < 46; i++ {
+		d.Observe("Glorp") // below the technique threshold
+	}
+	if d.Count("BOIL") != 50 {
+		t.Fatalf("Count = %d", d.Count("BOIL"))
+	}
+	lex := d.Filter(TechniqueThreshold)
+	if !lex.Contains("boil") {
+		t.Error("boil should survive threshold 47")
+	}
+	if lex.Contains("glorp") {
+		t.Error("glorp should be filtered at threshold 47")
+	}
+	lex10 := d.Filter(UtensilThreshold)
+	if !lex10.Contains("glorp") {
+		t.Error("glorp should survive threshold 10")
+	}
+}
+
+func TestThresholdConstants(t *testing.T) {
+	if TechniqueThreshold != 47 || UtensilThreshold != 10 {
+		t.Fatal("paper thresholds changed")
+	}
+}

@@ -1,0 +1,222 @@
+// Package graph builds a knowledge graph over mined recipe models —
+// the §IV direction of "interpreting Knowledge Graphs and Thought
+// Graphs from such relationships". Nodes are ingredients, utensils and
+// processes; weighted edges record how often a process was applied to
+// an entity, how often two ingredients co-occur in a recipe, and which
+// process follows which in the temporal chains.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recipemodel/internal/core"
+)
+
+// Kind classifies a node.
+type Kind int
+
+// Node kinds.
+const (
+	Ingredient Kind = iota
+	Utensil
+	Process
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Ingredient:
+		return "ingredient"
+	case Utensil:
+		return "utensil"
+	default:
+		return "process"
+	}
+}
+
+// Node identifies a graph node.
+type Node struct {
+	Kind Kind
+	Name string
+}
+
+// Weighted pairs a node with an occurrence count.
+type Weighted struct {
+	Node  Node
+	Count int
+}
+
+// Graph is the accumulated knowledge graph. The zero value is not
+// usable; call New.
+type Graph struct {
+	recipes int
+	nodes   map[Node]int // node → occurrence count
+	// appliedTo[process][entity node] — the many-to-many relations.
+	appliedTo map[string]map[Node]int
+	// pairings[a][b] — ingredient co-occurrence within a recipe (a < b).
+	pairings map[string]map[string]int
+	// follows[p1][p2] — temporal process bigrams.
+	follows map[string]map[string]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:     map[Node]int{},
+		appliedTo: map[string]map[Node]int{},
+		pairings:  map[string]map[string]int{},
+		follows:   map[string]map[string]int{},
+	}
+}
+
+// AddRecipe folds one mined recipe model into the graph.
+func (g *Graph) AddRecipe(m *core.RecipeModel) {
+	g.recipes++
+	var names []string
+	seen := map[string]bool{}
+	for _, rec := range m.Ingredients {
+		n := strings.ToLower(rec.Name)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		names = append(names, n)
+		g.nodes[Node{Ingredient, n}]++
+	}
+	sort.Strings(names)
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if g.pairings[names[i]] == nil {
+				g.pairings[names[i]] = map[string]int{}
+			}
+			g.pairings[names[i]][names[j]]++
+		}
+	}
+	var prevProc string
+	for _, e := range m.Events {
+		p := strings.ToLower(e.Process)
+		g.nodes[Node{Process, p}]++
+		if g.appliedTo[p] == nil {
+			g.appliedTo[p] = map[Node]int{}
+		}
+		for _, a := range e.Ingredients {
+			n := Node{Ingredient, strings.ToLower(a.Text)}
+			g.appliedTo[p][n]++
+			g.nodes[n]++
+		}
+		for _, a := range e.Utensils {
+			n := Node{Utensil, strings.ToLower(a.Text)}
+			g.appliedTo[p][n]++
+			g.nodes[n]++
+		}
+		if prevProc != "" {
+			if g.follows[prevProc] == nil {
+				g.follows[prevProc] = map[string]int{}
+			}
+			g.follows[prevProc][p]++
+		}
+		prevProc = p
+	}
+}
+
+// Recipes returns how many recipes the graph has absorbed.
+func (g *Graph) Recipes() int { return g.recipes }
+
+// NodeCount returns the number of distinct nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// topOf converts a count map to a sorted Weighted list (ties by name).
+func topOf(m map[Node]int, n int) []Weighted {
+	out := make([]Weighted, 0, len(m))
+	for node, c := range m {
+		out = append(out, Weighted{Node: node, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Node.Name < out[j].Node.Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ArgumentsOf returns the entities a process is most often applied to.
+func (g *Graph) ArgumentsOf(process string, n int) []Weighted {
+	return topOf(g.appliedTo[strings.ToLower(process)], n)
+}
+
+// ProcessesFor returns the processes most often applied to the entity.
+func (g *Graph) ProcessesFor(entity string, n int) []Weighted {
+	entity = strings.ToLower(entity)
+	acc := map[Node]int{}
+	for p, args := range g.appliedTo {
+		for node, c := range args {
+			if node.Name == entity {
+				acc[Node{Process, p}] += c
+			}
+		}
+	}
+	return topOf(acc, n)
+}
+
+// Pairings returns the ingredients that most often co-occur with the
+// given ingredient inside a recipe — the "food pairing" use case of
+// the paper's introduction.
+func (g *Graph) Pairings(ingredient string, n int) []Weighted {
+	ingredient = strings.ToLower(ingredient)
+	acc := map[Node]int{}
+	for b, c := range g.pairings[ingredient] {
+		acc[Node{Ingredient, b}] += c
+	}
+	for a, m := range g.pairings {
+		if c, ok := m[ingredient]; ok {
+			acc[Node{Ingredient, a}] += c
+		}
+	}
+	return topOf(acc, n)
+}
+
+// NextProcesses returns the processes that most often follow the given
+// process in the temporal chains.
+func (g *Graph) NextProcesses(process string, n int) []Weighted {
+	acc := map[Node]int{}
+	for p, c := range g.follows[strings.ToLower(process)] {
+		acc[Node{Process, p}] += c
+	}
+	return topOf(acc, n)
+}
+
+// TopNodes returns the most frequent nodes of a kind.
+func (g *Graph) TopNodes(kind Kind, n int) []Weighted {
+	acc := map[Node]int{}
+	for node, c := range g.nodes {
+		if node.Kind == kind {
+			acc[node] += c
+		}
+	}
+	return topOf(acc, n)
+}
+
+// DOT renders the strongest process→entity edges as a Graphviz
+// document (top edges per process).
+func (g *Graph) DOT(edgesPerProcess int) string {
+	var b strings.Builder
+	b.WriteString("digraph recipes {\n  rankdir=LR;\n")
+	var procs []string
+	for p := range g.appliedTo {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		for _, w := range topOf(g.appliedTo[p], edgesPerProcess) {
+			fmt.Fprintf(&b, "  %q -> %q [label=%d];\n", p, w.Node.Name, w.Count)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

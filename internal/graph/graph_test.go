@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/relations"
+)
+
+func demoModel() *core.RecipeModel {
+	return &core.RecipeModel{
+		Ingredients: []core.IngredientRecord{
+			{Name: "tomato"}, {Name: "basil"}, {Name: "pasta"},
+		},
+		Events: []core.Event{
+			{Step: 0, Relation: relations.Relation{
+				Process:     "boil",
+				Ingredients: []relations.Argument{{Text: "pasta"}},
+				Utensils:    []relations.Argument{{Text: "pot"}},
+			}},
+			{Step: 1, Relation: relations.Relation{
+				Process:     "chop",
+				Ingredients: []relations.Argument{{Text: "tomato"}, {Text: "basil"}},
+			}},
+			{Step: 2, Relation: relations.Relation{
+				Process:     "toss",
+				Ingredients: []relations.Argument{{Text: "pasta"}, {Text: "tomato"}},
+			}},
+		},
+	}
+}
+
+func TestAddRecipeAndCounts(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	g.AddRecipe(demoModel())
+	if g.Recipes() != 2 {
+		t.Fatalf("recipes = %d", g.Recipes())
+	}
+	if g.NodeCount() == 0 {
+		t.Fatal("no nodes")
+	}
+}
+
+func TestArgumentsOf(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	args := g.ArgumentsOf("boil", 5)
+	if len(args) != 2 {
+		t.Fatalf("args = %v", args)
+	}
+	names := map[string]bool{}
+	for _, w := range args {
+		names[w.Node.Name] = true
+	}
+	if !names["pasta"] || !names["pot"] {
+		t.Fatalf("args = %v", args)
+	}
+	if got := g.ArgumentsOf("levitate", 5); len(got) != 0 {
+		t.Fatalf("unknown process: %v", got)
+	}
+}
+
+func TestProcessesFor(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	procs := g.ProcessesFor("pasta", 5)
+	if len(procs) != 2 {
+		t.Fatalf("procs = %v", procs)
+	}
+	seen := map[string]bool{}
+	for _, w := range procs {
+		seen[w.Node.Name] = true
+	}
+	if !seen["boil"] || !seen["toss"] {
+		t.Fatalf("procs = %v", procs)
+	}
+}
+
+func TestPairingsSymmetric(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	a := g.Pairings("tomato", 5)
+	b := g.Pairings("basil", 5)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("pairings: %v / %v", a, b)
+	}
+	find := func(ws []Weighted, name string) int {
+		for _, w := range ws {
+			if w.Node.Name == name {
+				return w.Count
+			}
+		}
+		return -1
+	}
+	if find(a, "basil") != find(b, "tomato") {
+		t.Fatal("pairing counts not symmetric")
+	}
+}
+
+func TestNextProcesses(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	next := g.NextProcesses("boil", 5)
+	if len(next) != 1 || next[0].Node.Name != "chop" {
+		t.Fatalf("next = %v", next)
+	}
+	if got := g.NextProcesses("toss", 5); len(got) != 0 {
+		t.Fatalf("terminal process: %v", got)
+	}
+}
+
+func TestTopNodesAndRanking(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.AddRecipe(demoModel())
+	}
+	top := g.TopNodes(Ingredient, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Count < top[1].Count {
+		t.Fatal("not sorted by count")
+	}
+	if kinds := []string{Ingredient.String(), Utensil.String(), Process.String()}; kinds[0] != "ingredient" || kinds[1] != "utensil" || kinds[2] != "process" {
+		t.Fatalf("kind names: %v", kinds)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New()
+	g.AddRecipe(demoModel())
+	dot := g.DOT(2)
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "\"boil\" -> \"pasta\"") {
+		t.Fatalf("DOT:\n%s", dot)
+	}
+}

@@ -1,0 +1,233 @@
+// Package lemma implements a WordNet-morphy-style lemmatizer: an
+// exception list consulted first, then POS-specific suffix detachment
+// rules whose candidates are validated against an embedded lexicon of
+// base forms. This mirrors the behaviour of the NLTK WordNetLemmatizer
+// the paper uses during pre-processing ("tomatoes" → "tomato").
+package lemma
+
+import "strings"
+
+// POS selects the detachment rule set, following WordNet's four
+// syntactic categories.
+type POS int
+
+// Part-of-speech categories understood by the lemmatizer.
+const (
+	Noun POS = iota
+	Verb
+	Adj
+	Adv
+)
+
+// rule is one suffix detachment: strip old, append new.
+type rule struct {
+	old, new string
+}
+
+var detachments = map[POS][]rule{
+	Noun: {
+		{"ses", "s"}, {"ves", "f"}, {"xes", "x"}, {"zes", "z"},
+		{"ches", "ch"}, {"shes", "sh"}, {"oes", "o"}, {"men", "man"},
+		{"ies", "y"}, {"s", ""},
+	},
+	Verb: {
+		{"ies", "y"}, {"es", "e"}, {"es", ""}, {"ed", "e"},
+		{"ed", ""}, {"ing", "e"}, {"ing", ""}, {"s", ""},
+	},
+	Adj: {
+		{"er", ""}, {"est", ""}, {"er", "e"}, {"est", "e"},
+	},
+	Adv: {},
+}
+
+// Lemmatizer maps inflected forms to base forms.
+type Lemmatizer struct {
+	exceptions map[POS]map[string]string
+	lexicon    map[string]bool
+}
+
+// New returns a lemmatizer loaded with the embedded exception lists
+// and base-form lexicon.
+func New() *Lemmatizer {
+	l := &Lemmatizer{
+		exceptions: map[POS]map[string]string{
+			Noun: nounExceptions,
+			Verb: verbExceptions,
+			Adj:  adjExceptions,
+			Adv:  {},
+		},
+		lexicon: baseLexicon,
+	}
+	return l
+}
+
+// Lemma returns the base form of word under the given part of speech.
+// Unknown words are returned unchanged (lower-cased), matching
+// WordNet-morphy's contract of never inventing forms it cannot verify.
+func (l *Lemmatizer) Lemma(word string, pos POS) string {
+	w := strings.ToLower(word)
+	if w == "" {
+		return w
+	}
+	if base, ok := l.exceptions[pos][w]; ok {
+		return base
+	}
+	// If the surface form itself is a known base form, keep it. This is
+	// what prevents "molasses" from becoming "molasse".
+	if l.lexicon[w] && !looksInflected(w, pos) {
+		return w
+	}
+	for _, r := range detachments[pos] {
+		if !strings.HasSuffix(w, r.old) || len(w) <= len(r.old) {
+			continue
+		}
+		cand := w[:len(w)-len(r.old)] + r.new
+		if len(cand) < 2 {
+			continue
+		}
+		if l.lexicon[cand] {
+			return cand
+		}
+	}
+	// Second pass: accept the highest-priority morphologically plausible
+	// candidate even when the lexicon has no entry, but only for the
+	// regular plural/participle endings where over-stripping is rare.
+	if cand, ok := fallback(w, pos); ok {
+		return cand
+	}
+	return w
+}
+
+// looksInflected reports whether a lexicon word should nevertheless be
+// run through detachment (e.g. "cookies" appears in the lexicon as a
+// plural by accident of the corpus; we only shortcut words that do not
+// end in an inflection suffix for the POS).
+func looksInflected(w string, pos POS) bool {
+	switch pos {
+	case Noun:
+		// Nouns ending in "ss"/"us"/"is" are not plural inflections.
+		if strings.HasSuffix(w, "ss") || strings.HasSuffix(w, "us") || strings.HasSuffix(w, "is") {
+			return false
+		}
+		return strings.HasSuffix(w, "s")
+	case Verb:
+		if strings.HasSuffix(w, "ing") || strings.HasSuffix(w, "ed") {
+			return true
+		}
+		return strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss")
+	}
+	return false
+}
+
+// fallback applies conservative regular-morphology stripping for
+// out-of-lexicon words.
+func fallback(w string, pos POS) (string, bool) {
+	switch pos {
+	case Noun:
+		switch {
+		case strings.HasSuffix(w, "ies") && len(w) > 4:
+			return w[:len(w)-3] + "y", true
+		case strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes") ||
+			strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "sses") ||
+			strings.HasSuffix(w, "zes"):
+			return w[:len(w)-2], true
+		case strings.HasSuffix(w, "oes") && len(w) > 4:
+			return w[:len(w)-2], true
+		case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") &&
+			!strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is") && len(w) > 3:
+			return w[:len(w)-1], true
+		}
+	case Verb:
+		switch {
+		case strings.HasSuffix(w, "ies") && len(w) > 4:
+			return w[:len(w)-3] + "y", true
+		case strings.HasSuffix(w, "ing") && len(w) > 5:
+			stem := w[:len(w)-3]
+			if isDoubledFinal(stem) {
+				return stem[:len(stem)-1], true
+			}
+			return restoreE(stem), true
+		case strings.HasSuffix(w, "ed") && len(w) > 4:
+			stem := w[:len(w)-2]
+			if isDoubledFinal(stem) {
+				return stem[:len(stem)-1], true
+			}
+			return restoreE(stem), true
+		case strings.HasSuffix(w, "es") && len(w) > 4:
+			// sibilant stems take -es ("mixes", "washes"); elsewhere the
+			// "e" belongs to the base ("sizes" → "size").
+			stem := w[:len(w)-2]
+			if strings.HasSuffix(stem, "ch") || strings.HasSuffix(stem, "sh") ||
+				strings.HasSuffix(stem, "ss") || strings.HasSuffix(stem, "x") ||
+				strings.HasSuffix(stem, "zz") || strings.HasSuffix(stem, "o") {
+				return stem, true
+			}
+			return w[:len(w)-1], true
+		case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+			return w[:len(w)-1], true
+		}
+	}
+	return "", false
+}
+
+// restoreE appends the silent "e" that -ed/-ing stripping removed when
+// the stem shape demands it: "caramelize", "crumble", "serve",
+// "dance", "rescue".
+func restoreE(stem string) string {
+	n := len(stem)
+	if n < 2 {
+		return stem
+	}
+	last := stem[n-1]
+	switch {
+	case last == 'v' || last == 'c' || last == 'u' || last == 'z':
+		return stem + "e"
+	case last == 'l' && n >= 2 && !isVowelByte(stem[n-2]):
+		return stem + "e"
+	}
+	return stem
+}
+
+func isVowelByte(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// isDoubledFinal reports whether the stem ends in a doubled consonant
+// produced by gemination ("chopp" from "chopped").
+func isDoubledFinal(stem string) bool {
+	n := len(stem)
+	if n < 3 {
+		return false
+	}
+	a, b := stem[n-2], stem[n-1]
+	if a != b {
+		return false
+	}
+	switch b {
+	case 'b', 'd', 'g', 'l', 'm', 'n', 'p', 'r', 't':
+		return true
+	}
+	return false
+}
+
+// LemmaAuto lemmatizes trying Noun then Verb then Adj categories,
+// returning the first analysis that changes the word; this mirrors how
+// the paper's pre-processing lemmatizes without gold POS.
+func (l *Lemmatizer) LemmaAuto(word string) string {
+	w := strings.ToLower(word)
+	for _, pos := range []POS{Noun, Verb, Adj} {
+		if out := l.Lemma(w, pos); out != w {
+			return out
+		}
+	}
+	return w
+}
+
+// KnownBase reports whether w is in the embedded base-form lexicon.
+func (l *Lemmatizer) KnownBase(w string) bool {
+	return l.lexicon[strings.ToLower(w)]
+}

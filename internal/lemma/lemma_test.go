@@ -1,0 +1,252 @@
+package lemma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNounPlurals(t *testing.T) {
+	l := New()
+	cases := map[string]string{
+		"tomatoes":  "tomato",
+		"Tomatoes":  "tomato",
+		"potatoes":  "potato",
+		"onions":    "onion",
+		"berries":   "berry",
+		"knives":    "knife",
+		"leaves":    "leaf",
+		"loaves":    "loaf",
+		"children":  "child",
+		"peaches":   "peach",
+		"dishes":    "dish",
+		"boxes":     "box",
+		"cups":      "cup",
+		"teaspoons": "teaspoon",
+		"sprigs":    "sprig",
+	}
+	for in, want := range cases {
+		if got := l.Lemma(in, Noun); got != want {
+			t.Errorf("Lemma(%q, Noun) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInvariantNouns(t *testing.T) {
+	l := New()
+	for _, w := range []string{"molasses", "couscous", "hummus", "asparagus", "salmon", "shrimp", "tongs"} {
+		if got := l.Lemma(w, Noun); got != w {
+			t.Errorf("Lemma(%q, Noun) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestVerbForms(t *testing.T) {
+	l := New()
+	cases := map[string]string{
+		"chopped":   "chop",
+		"chopping":  "chop",
+		"boiled":    "boil",
+		"boiling":   "boil",
+		"mixed":     "mix",
+		"stirring":  "stir",
+		"frozen":    "freeze",
+		"thawed":    "thaw",
+		"ground":    "grind",
+		"simmering": "simmer",
+		"brought":   "bring",
+		"minces":    "mince",
+		"bakes":     "bake",
+		"baked":     "bake",
+		"sliced":    "slice",
+		"dicing":    "dice",
+		"whisked":   "whisk",
+		"preheated": "preheat",
+	}
+	for in, want := range cases {
+		if got := l.Lemma(in, Verb); got != want {
+			t.Errorf("Lemma(%q, Verb) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAdjectives(t *testing.T) {
+	l := New()
+	cases := map[string]string{
+		"larger":   "large",
+		"hottest":  "hot",
+		"finer":    "fine",
+		"driest":   "dry",
+		"fresher":  "fresh",
+		"thinnest": "thin",
+	}
+	for in, want := range cases {
+		if got := l.Lemma(in, Adj); got != want {
+			t.Errorf("Lemma(%q, Adj) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLemmaAuto(t *testing.T) {
+	l := New()
+	cases := map[string]string{
+		"tomatoes": "tomato",
+		"chopped":  "chop",
+		"cups":     "cup",
+		"salt":     "salt",
+	}
+	for in, want := range cases {
+		if got := l.LemmaAuto(in); got != want {
+			t.Errorf("LemmaAuto(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLemmaEmptyAndShort(t *testing.T) {
+	l := New()
+	if got := l.Lemma("", Noun); got != "" {
+		t.Errorf("empty lemma = %q", got)
+	}
+	if got := l.Lemma("a", Noun); got != "a" {
+		t.Errorf("short lemma = %q", got)
+	}
+	if got := l.Lemma("as", Noun); got != "as" {
+		t.Errorf("Lemma(as) = %q, want as", got)
+	}
+}
+
+func TestLemmaCaseInsensitive(t *testing.T) {
+	l := New()
+	if got := l.Lemma("TOMATOES", Noun); got != "tomato" {
+		t.Errorf("uppercase lemma = %q", got)
+	}
+}
+
+func TestKnownBase(t *testing.T) {
+	l := New()
+	if !l.KnownBase("tomato") || !l.KnownBase("Boil") {
+		t.Error("expected known bases")
+	}
+	if l.KnownBase("zzzzz") {
+		t.Error("unexpected known base")
+	}
+}
+
+// Property: lemmatization is idempotent — Lemma(Lemma(w)) == Lemma(w).
+func TestLemmaIdempotentProperty(t *testing.T) {
+	l := New()
+	f := func(s string) bool {
+		for _, pos := range []POS{Noun, Verb, Adj} {
+			once := l.Lemma(s, pos)
+			twice := l.Lemma(once, pos)
+			// Allow at most one more reduction step for chained
+			// out-of-lexicon fallbacks, but it must then be stable.
+			if twice != once && l.Lemma(twice, pos) != twice {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output is never longer than input + 2 (detachment only
+// shrinks or swaps short suffixes) and is always lower-case.
+func TestLemmaLengthProperty(t *testing.T) {
+	l := New()
+	f := func(s string) bool {
+		out := l.Lemma(s, Noun)
+		return len(out) <= len(s)+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNounFallbackOOV(t *testing.T) {
+	// out-of-lexicon nouns exercise the conservative fallback rules.
+	l := New()
+	cases := map[string]string{
+		"flamingoes": "flamingo",
+		"wombats":    "wombat",
+		"gazpachos":  "gazpacho",
+		"kumquats":   "kumquat",
+		"brioches":   "brioch", // ambiguous without a lexicon entry (peaches→peach pattern wins)
+		"blintzes":   "blintz",
+		"knishes":    "knish",
+		"latkes":     "latke",
+		"ramenis":    "ramenis", // "-is" endings are not plurals
+		"hibiscus":   "hibiscus",
+		"mess":       "mess",
+	}
+	for in, want := range cases {
+		if got := l.Lemma(in, Noun); got != want {
+			t.Errorf("Lemma(%q, Noun) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerbFallbackOOV(t *testing.T) {
+	l := New()
+	cases := map[string]string{
+		"spiralizes":   "spiralize",
+		"spiralized":   "spiralize",
+		"flumbled":     "flumble", // consonant+l stem restores the silent e
+		"zhuzhing":     "zhuzh",
+		"caramelizes":  "caramelize",
+		"spatchcocked": "spatchcock",
+		"glopped":      "glop", // doubled-consonant gemination undone
+		"whirring":     "whir",
+	}
+	for in, want := range cases {
+		got := l.Lemma(in, Verb)
+		if got != want {
+			t.Errorf("Lemma(%q, Verb) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerbIesFallback(t *testing.T) {
+	l := New()
+	if got := l.Lemma("zombifies", Verb); got != "zombify" {
+		t.Errorf("zombifies → %q", got)
+	}
+}
+
+func TestAdvPassthrough(t *testing.T) {
+	l := New()
+	// Adv has no detachment rules: words pass through lower-cased.
+	if got := l.Lemma("Quickly", Adv); got != "quickly" {
+		t.Errorf("adv lemma = %q", got)
+	}
+}
+
+func TestNounVesDetachment(t *testing.T) {
+	l := New()
+	// "ves"→"f" detachment validated by lexicon ("loaves" is in the
+	// exception list; "calves" too — use a rule-path case).
+	if got := l.Lemma("wolves", Noun); got != "wolf" {
+		t.Errorf("wolves → %q", got)
+	}
+}
+
+func TestAdjOOVPassthrough(t *testing.T) {
+	l := New()
+	// out-of-lexicon adjectives have no fallback: unchanged.
+	if got := l.Lemma("zestier", Adj); got != "zestier" {
+		t.Errorf("zestier → %q", got)
+	}
+}
+
+func TestLemmaAutoVerbOnly(t *testing.T) {
+	l := New()
+	// a word only analyzable as a verb form routes through the Verb
+	// pass of LemmaAuto.
+	if got := l.LemmaAuto("simmering"); got != "simmer" {
+		t.Errorf("simmering → %q", got)
+	}
+	if got := l.LemmaAuto("largest"); got != "large" {
+		t.Errorf("largest → %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Eigen holds an eigendecomposition of a symmetric matrix: Values are
+// sorted descending, and Vectors[i] is the unit eigenvector for
+// Values[i].
+type Eigen struct {
+	Values  []float64
+	Vectors []Vector
+}
+
+// SymmetricEigen computes the eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi rotation method. The input is not modified.
+// It converges quadratically; 100 sweeps is far more than ever needed
+// for the ≤36-dimensional matrices this repository produces.
+func SymmetricEigen(m *Matrix) Eigen {
+	n := m.Rows
+	if n == 0 {
+		return Eigen{}
+	}
+	// working copy a, accumulated rotations v (starts as identity).
+	a := make([]float64, len(m.Data))
+	copy(a, m.Data)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a[i*n+j] * a[i*n+j]
+			}
+		}
+		return s
+	}
+
+	const eps = 1e-14
+	for sweep := 0; sweep < 100 && off() > eps; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := a[p*n+p]
+				aqq := a[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// rotate rows/cols p and q of a.
+				for k := 0; k < n; k++ {
+					akp := a[k*n+p]
+					akq := a[k*n+q]
+					a[k*n+p] = c*akp - s*akq
+					a[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := a[p*n+k]
+					aqk := a[q*n+k]
+					a[p*n+k] = c*apk - s*aqk
+					a[q*n+k] = s*apk + c*aqk
+				}
+				// accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v[k*n+p]
+					vkq := v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	eig := Eigen{
+		Values:  make([]float64, n),
+		Vectors: make([]Vector, n),
+	}
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		eig.Values[i] = a[i*n+i]
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return eig.Values[idx[x]] > eig.Values[idx[y]] })
+
+	sortedVals := make([]float64, n)
+	for rank, i := range idx {
+		sortedVals[rank] = eig.Values[i]
+		vec := make(Vector, n)
+		for k := 0; k < n; k++ {
+			vec[k] = v[k*n+i]
+		}
+		eig.Vectors[rank] = vec
+	}
+	eig.Values = sortedVals
+	return eig
+}
+
+// PCA holds a fitted principal-component analysis.
+type PCA struct {
+	Mean       Vector
+	Components []Vector  // unit principal axes, strongest first
+	Explained  []float64 // eigenvalues (variance along each axis)
+}
+
+// FitPCA fits a PCA with the given number of components on the rows.
+// k is clamped to the data dimension.
+func FitPCA(rows []Vector, k int) *PCA {
+	if len(rows) == 0 {
+		return &PCA{}
+	}
+	d := len(rows[0])
+	if k > d {
+		k = d
+	}
+	cov := Covariance(rows)
+	eig := SymmetricEigen(cov)
+	p := &PCA{
+		Mean:       Mean(rows),
+		Components: eig.Vectors[:k],
+		Explained:  eig.Values[:k],
+	}
+	return p
+}
+
+// Transform projects v onto the fitted components.
+func (p *PCA) Transform(v Vector) Vector {
+	if len(p.Components) == 0 {
+		return Vector{}
+	}
+	c := v.Sub(p.Mean)
+	out := make(Vector, len(p.Components))
+	for i, axis := range p.Components {
+		out[i] = c.Dot(axis)
+	}
+	return out
+}
+
+// TransformAll projects every row.
+func (p *PCA) TransformAll(rows []Vector) []Vector {
+	out := make([]Vector, len(rows))
+	for i, r := range rows {
+		out[i] = p.Transform(r)
+	}
+	return out
+}
+
+// ExplainedRatio returns the fraction of total variance captured by
+// each retained component (sums to ≤ 1).
+func (p *PCA) ExplainedRatio(totalVariance float64) []float64 {
+	out := make([]float64, len(p.Explained))
+	if totalVariance <= 0 {
+		return out
+	}
+	for i, e := range p.Explained {
+		out[i] = e / totalVariance
+	}
+	return out
+}
+
+// TotalVariance returns the trace of the covariance of rows — the
+// denominator for ExplainedRatio.
+func TotalVariance(rows []Vector) float64 {
+	cov := Covariance(rows)
+	var tr float64
+	for i := 0; i < cov.Rows; i++ {
+		tr += cov.At(i, i)
+	}
+	return tr
+}

@@ -1,0 +1,235 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	o := Vector{4, 5, 6}
+	if got := v.Dot(o); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Distance(v, o); !almost(got, math.Sqrt(27), 1e-12) {
+		t.Errorf("Distance = %v", got)
+	}
+	s := v.Sub(o)
+	if s[0] != -3 || s[1] != -3 || s[2] != -3 {
+		t.Errorf("Sub = %v", s)
+	}
+	c := v.Clone()
+	c.Scale(2)
+	if v[0] != 1 || c[0] != 2 {
+		t.Error("Clone/Scale aliasing")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity(Vector{1, 0}, Vector{1, 0}); !almost(got, 1, 1e-12) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := CosineSimilarity(Vector{1, 0}, Vector{0, 1}); !almost(got, 0, 1e-12) {
+		t.Errorf("orthogonal = %v", got)
+	}
+	if got := CosineSimilarity(Vector{0, 0}, Vector{1, 1}); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+func TestMeanCovariance(t *testing.T) {
+	rows := []Vector{{1, 2}, {3, 4}, {5, 6}}
+	mu := Mean(rows)
+	if !almost(mu[0], 3, 1e-12) || !almost(mu[1], 4, 1e-12) {
+		t.Fatalf("Mean = %v", mu)
+	}
+	cov := Covariance(rows)
+	// var of {1,3,5} = 4; cov(x,y) = 4 since y = x+1.
+	if !almost(cov.At(0, 0), 4, 1e-12) || !almost(cov.At(0, 1), 4, 1e-12) ||
+		!almost(cov.At(1, 1), 4, 1e-12) {
+		t.Fatalf("Covariance = %+v", cov)
+	}
+}
+
+func TestCovarianceEdgeCases(t *testing.T) {
+	if cov := Covariance(nil); cov.Rows != 0 {
+		t.Error("nil rows")
+	}
+	cov := Covariance([]Vector{{1, 2}})
+	if cov.At(0, 0) != 0 {
+		t.Error("single row should give zero covariance")
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	eig := SymmetricEigen(m)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almost(eig.Values[i], w, 1e-10) {
+			t.Fatalf("Values = %v", eig.Values)
+		}
+	}
+}
+
+func TestSymmetricEigen2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eig := SymmetricEigen(m)
+	if !almost(eig.Values[0], 3, 1e-10) || !almost(eig.Values[1], 1, 1e-10) {
+		t.Fatalf("Values = %v", eig.Values)
+	}
+	// eigenvector for 3 is (1,1)/√2 up to sign.
+	v := eig.Vectors[0]
+	if !almost(math.Abs(v[0]), 1/math.Sqrt2, 1e-8) || !almost(math.Abs(v[1]), 1/math.Sqrt2, 1e-8) {
+		t.Fatalf("Vector = %v", v)
+	}
+}
+
+// Property: for random symmetric matrices, A·v = λ·v for every
+// eigenpair, eigenvectors are unit length, and the eigenvalue sum
+// equals the trace.
+func TestEigenReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				m.Set(i, j, x)
+				m.Set(j, i, x)
+			}
+		}
+		eig := SymmetricEigen(m)
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			sum += eig.Values[i]
+		}
+		if !almost(trace, sum, 1e-8) {
+			t.Fatalf("trace %v != eigenvalue sum %v", trace, sum)
+		}
+		for k := 0; k < n; k++ {
+			v := eig.Vectors[k]
+			if !almost(v.Norm(), 1, 1e-8) {
+				t.Fatalf("eigenvector %d not unit: %v", k, v.Norm())
+			}
+			// A v
+			av := make(Vector, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					av[i] += m.At(i, j) * v[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !almost(av[i], eig.Values[k]*v[i], 1e-7) {
+					t.Fatalf("Av != λv at trial %d, pair %d", trial, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along direction (1,1) with small noise: first PC ≈ (1,1)/√2.
+	rng := rand.New(rand.NewSource(42))
+	var rows []Vector
+	for i := 0; i < 200; i++ {
+		tt := rng.NormFloat64() * 10
+		rows = append(rows, Vector{tt + rng.NormFloat64()*0.1, tt + rng.NormFloat64()*0.1})
+	}
+	p := FitPCA(rows, 2)
+	pc1 := p.Components[0]
+	if !almost(math.Abs(pc1[0]), 1/math.Sqrt2, 0.02) || !almost(math.Abs(pc1[1]), 1/math.Sqrt2, 0.02) {
+		t.Fatalf("PC1 = %v", pc1)
+	}
+	if p.Explained[0] < 100*p.Explained[1] {
+		t.Fatalf("explained variance not dominant: %v", p.Explained)
+	}
+}
+
+func TestPCATransformDimensions(t *testing.T) {
+	rows := []Vector{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {0, 1, 0}}
+	p := FitPCA(rows, 2)
+	proj := p.TransformAll(rows)
+	if len(proj) != 4 || len(proj[0]) != 2 {
+		t.Fatalf("projection shape wrong: %d×%d", len(proj), len(proj[0]))
+	}
+	// k larger than dimension clamps.
+	p = FitPCA(rows, 10)
+	if len(p.Components) != 3 {
+		t.Fatalf("clamp failed: %d", len(p.Components))
+	}
+}
+
+func TestPCAExplainedRatio(t *testing.T) {
+	rows := []Vector{{1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	p := FitPCA(rows, 2)
+	total := TotalVariance(rows)
+	ratios := p.ExplainedRatio(total)
+	if !almost(ratios[0], 1, 1e-9) || !almost(ratios[1], 0, 1e-9) {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	if got := p.ExplainedRatio(0); got[0] != 0 {
+		t.Fatal("zero total variance should yield zeros")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almost(s.StdDev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle
+// inequality on random small vectors.
+func TestDistanceMetricProperty(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		va, vb, vc := Vector(a[:]), Vector(b[:]), Vector(c[:])
+		for _, v := range [][4]float64{a, b, c} {
+			for _, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+					return true // skip degenerate float inputs
+				}
+			}
+		}
+		if !almost(Distance(va, vb), Distance(vb, va), 1e-9) {
+			return false
+		}
+		return Distance(va, vc) <= Distance(va, vb)+Distance(vb, vc)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

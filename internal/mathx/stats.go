@@ -1,0 +1,42 @@
+package mathx
+
+import "math"
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = xs[0]
+	s.Max = xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+// Package mathx provides the small dense linear-algebra and statistics
+// kernel used by the clustering and visualization stages: vectors,
+// matrices, mean/covariance, a Jacobi eigensolver for symmetric
+// matrices, and PCA projection (Fig 2 of the paper).
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add accumulates o into v in place. Panics on dimension mismatch.
+func (v Vector) Add(o Vector) {
+	checkDim(len(v), len(o))
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Sub returns v - o as a new vector.
+func (v Vector) Sub(o Vector) Vector {
+	checkDim(len(v), len(o))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - o[i]
+	}
+	return out
+}
+
+// Scale multiplies v by s in place.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and o.
+func (v Vector) Dot(o Vector) float64 {
+	checkDim(len(v), len(o))
+	var s float64
+	for i := range v {
+		s += v[i] * o[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// SquaredDistance returns ||v-o||².
+func SquaredDistance(v, o Vector) float64 {
+	checkDim(len(v), len(o))
+	var s float64
+	for i := range v {
+		d := v[i] - o[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between v and o.
+func Distance(v, o Vector) float64 {
+	return math.Sqrt(SquaredDistance(v, o))
+}
+
+// CosineSimilarity returns the cosine of the angle between v and o,
+// and 0 when either vector is all-zero.
+func CosineSimilarity(v, o Vector) float64 {
+	nv, no := v.Norm(), o.Norm()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	return v.Dot(o) / (nv * no)
+}
+
+func checkDim(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("mathx: dimension mismatch %d vs %d", a, b))
+	}
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a vector view (not a copy).
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Mean returns the column-wise mean of the rows of a data matrix given
+// as a slice of equal-length vectors.
+func Mean(rows []Vector) Vector {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make(Vector, len(rows[0]))
+	for _, r := range rows {
+		out.Add(r)
+	}
+	out.Scale(1 / float64(len(rows)))
+	return out
+}
+
+// Covariance returns the sample covariance matrix of the rows
+// (features along columns). With fewer than two rows it returns the
+// zero matrix of the right shape.
+func Covariance(rows []Vector) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	d := len(rows[0])
+	cov := NewMatrix(d, d)
+	if len(rows) < 2 {
+		return cov
+	}
+	mu := Mean(rows)
+	for _, r := range rows {
+		c := r.Sub(mu)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				cov.Data[i*d+j] += c[i] * c[j]
+			}
+		}
+	}
+	inv := 1 / float64(len(rows)-1)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.Data[i*d+j] * inv
+			cov.Data[i*d+j] = v
+			cov.Data[j*d+i] = v
+		}
+	}
+	return cov
+}

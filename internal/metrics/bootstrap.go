@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+
+	"recipemodel/internal/ner"
+)
+
+// BootstrapCI is a percentile bootstrap confidence interval for the
+// micro-F1 of an entity evaluation.
+type BootstrapCI struct {
+	Point float64 // F1 on the full sample
+	Lo    float64 // lower percentile bound
+	Hi    float64 // upper percentile bound
+	Level float64 // confidence level, e.g. 0.95
+}
+
+// BootstrapF1 resamples sentences with replacement iters times and
+// returns the percentile CI at the given level (e.g. 0.95). gold and
+// pred are parallel per-sentence span sets.
+func BootstrapF1(gold, pred [][]ner.Span, iters int, level float64, rng *rand.Rand) BootstrapCI {
+	if iters <= 0 {
+		iters = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	n := len(gold)
+	out := BootstrapCI{
+		Point: EvaluateEntities(gold, pred).Micro.F1,
+		Level: level,
+	}
+	if n == 0 {
+		return out
+	}
+	f1s := make([]float64, iters)
+	rg := make([][]ner.Span, n)
+	rp := make([][]ner.Span, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			rg[i] = gold[j]
+			rp[i] = pred[j]
+		}
+		f1s[it] = EvaluateEntities(rg, rp).Micro.F1
+	}
+	sort.Float64s(f1s)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(iters))
+	hi := int((1 - alpha) * float64(iters))
+	if hi >= iters {
+		hi = iters - 1
+	}
+	out.Lo = f1s[lo]
+	out.Hi = f1s[hi]
+	return out
+}
+
+// Contains reports whether the interval covers x.
+func (c BootstrapCI) Contains(x float64) bool {
+	return x >= c.Lo && x <= c.Hi
+}

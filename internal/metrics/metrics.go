@@ -1,0 +1,213 @@
+// Package metrics computes the evaluation measures the paper reports:
+// precision, recall and F1 at the entity level (exact span + type
+// match, the CoNLL convention the Stanford NER evaluator uses) and at
+// the token level, plus confusion matrices and micro/macro averaging.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recipemodel/internal/ner"
+)
+
+// PRF holds precision, recall, F1 and the supporting counts.
+type PRF struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// compute fills the derived fields from the counts.
+func (p *PRF) compute() {
+	if p.TP+p.FP > 0 {
+		p.Precision = float64(p.TP) / float64(p.TP+p.FP)
+	}
+	if p.TP+p.FN > 0 {
+		p.Recall = float64(p.TP) / float64(p.TP+p.FN)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+}
+
+// Add merges counts from o and recomputes.
+func (p *PRF) Add(o PRF) {
+	p.TP += o.TP
+	p.FP += o.FP
+	p.FN += o.FN
+	p.compute()
+}
+
+// String renders "P=0.92 R=0.85 F1=0.88".
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.4f R=%.4f F1=%.4f", p.Precision, p.Recall, p.F1)
+}
+
+// EntityReport is a per-type and overall entity-level evaluation.
+type EntityReport struct {
+	PerType map[string]*PRF
+	Micro   PRF
+}
+
+// EvaluateEntities scores predicted spans against gold spans for a
+// collection of sentences (slices must be parallel). A prediction is a
+// true positive iff both the span boundaries and the type match
+// exactly.
+func EvaluateEntities(gold, pred [][]ner.Span) *EntityReport {
+	if len(gold) != len(pred) {
+		panic(fmt.Sprintf("metrics: %d gold vs %d predicted sentence sets", len(gold), len(pred)))
+	}
+	rep := &EntityReport{PerType: make(map[string]*PRF)}
+	get := func(typ string) *PRF {
+		if p, ok := rep.PerType[typ]; ok {
+			return p
+		}
+		p := &PRF{}
+		rep.PerType[typ] = p
+		return p
+	}
+	for i := range gold {
+		gset := make(map[ner.Span]bool, len(gold[i]))
+		for _, s := range gold[i] {
+			gset[s] = true
+		}
+		pset := make(map[ner.Span]bool, len(pred[i]))
+		for _, s := range pred[i] {
+			pset[s] = true
+		}
+		for s := range pset {
+			if gset[s] {
+				get(s.Type).TP++
+				rep.Micro.TP++
+			} else {
+				get(s.Type).FP++
+				rep.Micro.FP++
+			}
+		}
+		for s := range gset {
+			if !pset[s] {
+				get(s.Type).FN++
+				rep.Micro.FN++
+			}
+		}
+	}
+	for _, p := range rep.PerType {
+		p.compute()
+	}
+	rep.Micro.compute()
+	return rep
+}
+
+// MacroF1 returns the unweighted mean F1 across types.
+func (r *EntityReport) MacroF1() float64 {
+	if len(r.PerType) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range r.PerType {
+		s += p.F1
+	}
+	return s / float64(len(r.PerType))
+}
+
+// String renders the report sorted by type name.
+func (r *EntityReport) String() string {
+	var types []string
+	for t := range r.PerType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var b strings.Builder
+	for _, t := range types {
+		fmt.Fprintf(&b, "%-10s %s\n", t, r.PerType[t])
+	}
+	fmt.Fprintf(&b, "%-10s %s\n", "micro", r.Micro)
+	return b.String()
+}
+
+// TokenAccuracy computes per-token tag accuracy over parallel tag
+// sequences.
+func TokenAccuracy(gold, pred [][]string) float64 {
+	var correct, total int
+	for i := range gold {
+		for j := range gold[i] {
+			if j < len(pred[i]) && gold[i][j] == pred[i][j] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Confusion is a labeled confusion matrix.
+type Confusion struct {
+	Labels []string
+	index  map[string]int
+	Counts [][]int
+}
+
+// NewConfusion creates an empty matrix over the label inventory.
+func NewConfusion(labels []string) *Confusion {
+	c := &Confusion{
+		Labels: append([]string(nil), labels...),
+		index:  make(map[string]int, len(labels)),
+		Counts: make([][]int, len(labels)),
+	}
+	for i, l := range c.Labels {
+		c.index[l] = i
+		c.Counts[i] = make([]int, len(labels))
+	}
+	return c
+}
+
+// Observe records one (gold, predicted) pair; unknown labels are
+// ignored.
+func (c *Confusion) Observe(gold, pred string) {
+	gi, ok1 := c.index[gold]
+	pi, ok2 := c.index[pred]
+	if ok1 && ok2 {
+		c.Counts[gi][pi]++
+	}
+}
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	var diag, total int
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				diag += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// String renders the matrix with row=gold, col=predicted.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "gold\\pred")
+	for _, l := range c.Labels {
+		fmt.Fprintf(&b, "%8s", l)
+	}
+	b.WriteByte('\n')
+	for i, l := range c.Labels {
+		fmt.Fprintf(&b, "%-10s", l)
+		for j := range c.Labels {
+			fmt.Fprintf(&b, "%8d", c.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/ner"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvaluateEntitiesPerfect(t *testing.T) {
+	gold := [][]ner.Span{{{Start: 0, End: 1, Type: "NAME"}, {Start: 2, End: 3, Type: "UNIT"}}}
+	rep := EvaluateEntities(gold, gold)
+	if !almost(rep.Micro.F1, 1) || rep.Micro.TP != 2 {
+		t.Fatalf("perfect eval: %+v", rep.Micro)
+	}
+	if !almost(rep.MacroF1(), 1) {
+		t.Fatalf("macro = %v", rep.MacroF1())
+	}
+}
+
+func TestEvaluateEntitiesPartial(t *testing.T) {
+	gold := [][]ner.Span{{
+		{Start: 0, End: 1, Type: "NAME"},
+		{Start: 2, End: 4, Type: "UNIT"},
+	}}
+	pred := [][]ner.Span{{
+		{Start: 0, End: 1, Type: "NAME"}, // TP
+		{Start: 2, End: 3, Type: "UNIT"}, // boundary wrong: FP + FN
+		{Start: 5, End: 6, Type: "SIZE"}, // spurious: FP
+	}}
+	rep := EvaluateEntities(gold, pred)
+	if rep.Micro.TP != 1 || rep.Micro.FP != 2 || rep.Micro.FN != 1 {
+		t.Fatalf("counts: %+v", rep.Micro)
+	}
+	if !almost(rep.Micro.Precision, 1.0/3.0) || !almost(rep.Micro.Recall, 0.5) {
+		t.Fatalf("P/R: %+v", rep.Micro)
+	}
+	if p := rep.PerType["NAME"]; p.TP != 1 || p.FP != 0 {
+		t.Fatalf("NAME: %+v", p)
+	}
+	if p := rep.PerType["UNIT"]; p.TP != 0 || p.FP != 1 || p.FN != 1 {
+		t.Fatalf("UNIT: %+v", p)
+	}
+}
+
+func TestEvaluateEntitiesTypeMismatch(t *testing.T) {
+	gold := [][]ner.Span{{{Start: 0, End: 1, Type: "NAME"}}}
+	pred := [][]ner.Span{{{Start: 0, End: 1, Type: "UNIT"}}}
+	rep := EvaluateEntities(gold, pred)
+	if rep.Micro.TP != 0 || rep.Micro.FP != 1 || rep.Micro.FN != 1 {
+		t.Fatalf("type mismatch: %+v", rep.Micro)
+	}
+}
+
+func TestEvaluateEntitiesEmpty(t *testing.T) {
+	rep := EvaluateEntities([][]ner.Span{{}}, [][]ner.Span{{}})
+	if rep.Micro.F1 != 0 || rep.Micro.TP != 0 {
+		t.Fatalf("empty eval: %+v", rep.Micro)
+	}
+}
+
+func TestEvaluateEntitiesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvaluateEntities(make([][]ner.Span, 2), make([][]ner.Span, 1))
+}
+
+func TestPRFAddAndString(t *testing.T) {
+	a := PRF{TP: 1, FP: 1, FN: 0}
+	a.Add(PRF{TP: 1, FP: 0, FN: 1})
+	if a.TP != 2 || a.FP != 1 || a.FN != 1 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if !strings.Contains(a.String(), "F1=") {
+		t.Fatal("String format")
+	}
+}
+
+func TestTokenAccuracy(t *testing.T) {
+	gold := [][]string{{"O", "B-NAME", "O"}, {"B-UNIT"}}
+	pred := [][]string{{"O", "B-NAME", "B-NAME"}, {"B-UNIT"}}
+	if acc := TokenAccuracy(gold, pred); !almost(acc, 0.75) {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if acc := TokenAccuracy(nil, nil); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion([]string{"A", "B"})
+	c.Observe("A", "A")
+	c.Observe("A", "B")
+	c.Observe("B", "B")
+	c.Observe("Z", "A") // unknown: ignored
+	if !almost(c.Accuracy(), 2.0/3.0) {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	s := c.String()
+	if !strings.Contains(s, "gold\\pred") {
+		t.Fatalf("render: %q", s)
+	}
+	if c.Counts[0][1] != 1 {
+		t.Fatalf("counts: %v", c.Counts)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion([]string{"A"})
+	if c.Accuracy() != 0 {
+		t.Fatal("empty confusion accuracy should be 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	gold := [][]ner.Span{{{Start: 0, End: 1, Type: "NAME"}}}
+	rep := EvaluateEntities(gold, gold)
+	s := rep.String()
+	if !strings.Contains(s, "NAME") || !strings.Contains(s, "micro") {
+		t.Fatalf("report: %q", s)
+	}
+}
+
+func TestBootstrapF1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 100 sentences, 90% correct: F1 ≈ 0.947; CI should bracket it.
+	var gold, pred [][]ner.Span
+	for i := 0; i < 100; i++ {
+		g := []ner.Span{{Start: 0, End: 1, Type: "NAME"}}
+		p := g
+		if i%10 == 0 {
+			p = []ner.Span{{Start: 0, End: 1, Type: "UNIT"}}
+		}
+		gold = append(gold, g)
+		pred = append(pred, p)
+	}
+	ci := BootstrapF1(gold, pred, 500, 0.95, rng)
+	if !ci.Contains(ci.Point) {
+		t.Fatalf("CI [%v, %v] does not contain point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Hi-ci.Lo <= 0 || ci.Hi-ci.Lo > 0.25 {
+		t.Fatalf("CI width implausible: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if ci.Point < 0.89 || ci.Point > 0.91 {
+		t.Fatalf("point = %v", ci.Point)
+	}
+}
+
+func TestBootstrapF1Empty(t *testing.T) {
+	ci := BootstrapF1(nil, nil, 10, 0.95, rand.New(rand.NewSource(2)))
+	if ci.Point != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Fatalf("empty CI = %+v", ci)
+	}
+}
+
+func TestBootstrapDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gold := [][]ner.Span{{{Start: 0, End: 1, Type: "NAME"}}}
+	ci := BootstrapF1(gold, gold, 0, 2.0, rng) // bad params → defaults
+	if ci.Level != 0.95 {
+		t.Fatalf("level = %v", ci.Level)
+	}
+}

@@ -1,0 +1,225 @@
+package ner
+
+import (
+	"strings"
+
+	"recipemodel/internal/fraction"
+	"recipemodel/internal/gazetteer"
+	"recipemodel/internal/lemma"
+)
+
+// FeatureOptions toggles feature families, enabling the ablations
+// DESIGN.md calls out.
+type FeatureOptions struct {
+	// Gazetteers enables dictionary-membership features.
+	Gazetteers bool
+	// Lemmas enables lemma features.
+	Lemmas bool
+}
+
+// DefaultFeatureOptions is the full feature set.
+var DefaultFeatureOptions = FeatureOptions{Gazetteers: true, Lemmas: true}
+
+// sharedLex bundles the gazetteer lexicons consulted by the feature
+// extractors; built once per extractor.
+type sharedLex struct {
+	ingredients *gazetteer.Lexicon
+	units       *gazetteer.Lexicon
+	states      *gazetteer.Lexicon
+	sizes       *gazetteer.Lexicon
+	temps       *gazetteer.Lexicon
+	dryFresh    *gazetteer.Lexicon
+	utensils    *gazetteer.Lexicon
+	techniques  *gazetteer.Lexicon
+	lem         *lemma.Lemmatizer
+}
+
+func newSharedLex() *sharedLex {
+	return &sharedLex{
+		ingredients: gazetteer.Ingredients(),
+		units:       gazetteer.Units(),
+		states:      gazetteer.States(),
+		sizes:       gazetteer.Sizes(),
+		temps:       gazetteer.Temperatures(),
+		dryFresh:    gazetteer.DryFresh(),
+		utensils:    gazetteer.Utensils(),
+		techniques:  gazetteer.Techniques(),
+		lem:         lemma.New(),
+	}
+}
+
+// baseFeatures are the task-independent token features.
+func baseFeatures(tokens []string, i int, lex *sharedLex, opts FeatureOptions) []string {
+	w := tokens[i]
+	lw := strings.ToLower(w)
+	fs := make([]string, 0, 24)
+	fs = append(fs,
+		"bias",
+		"w="+lw,
+		"suf3="+suffix(lw, 3),
+		"suf2="+suffix(lw, 2),
+		"pre2="+prefix(lw, 2),
+		"shape="+shape(w),
+	)
+	if opts.Lemmas {
+		fs = append(fs, "lemma="+lex.lem.LemmaAuto(lw))
+	}
+	if fraction.Looks(lw) {
+		fs = append(fs, "isnum")
+	}
+	if strings.HasSuffix(lw, "ed") || strings.HasSuffix(lw, "en") {
+		fs = append(fs, "pastish")
+	}
+	if strings.Contains(lw, "-") {
+		fs = append(fs, "hyphen")
+	}
+	switch {
+	case i == 0:
+		fs = append(fs, "first")
+	case i == len(tokens)-1:
+		fs = append(fs, "last")
+	}
+	// context windows
+	if i > 0 {
+		pw := strings.ToLower(tokens[i-1])
+		fs = append(fs, "w-1="+pw)
+		if fraction.Looks(pw) {
+			fs = append(fs, "w-1isnum")
+		}
+	} else {
+		fs = append(fs, "w-1=-BOS-")
+	}
+	if i > 1 {
+		fs = append(fs, "w-2="+strings.ToLower(tokens[i-2]))
+	}
+	if i+1 < len(tokens) {
+		nw := strings.ToLower(tokens[i+1])
+		fs = append(fs, "w+1="+nw)
+	} else {
+		fs = append(fs, "w+1=-EOS-")
+	}
+	if i+2 < len(tokens) {
+		fs = append(fs, "w+2="+strings.ToLower(tokens[i+2]))
+	}
+	// parenthesis depth: "(8 ounce)" style packaging subphrases.
+	depth := 0
+	for j := 0; j < i; j++ {
+		switch tokens[j] {
+		case "(", "[":
+			depth++
+		case ")", "]":
+			depth--
+		}
+	}
+	if depth > 0 {
+		fs = append(fs, "inparen")
+	}
+	return fs
+}
+
+// gazetteerFeatures appends dictionary-membership features. Multiword
+// membership is tested on the bigram and trigram around i so that
+// "olive oil" lights up on both tokens.
+func gazetteerFeatures(fs []string, tokens []string, i int, lex *sharedLex, instruction bool) []string {
+	lw := strings.ToLower(tokens[i])
+	lemma := lex.lem.LemmaAuto(lw)
+	check := func(l *gazetteer.Lexicon, tag string) {
+		if l.Contains(lw) || l.Contains(lemma) {
+			fs = append(fs, "gaz="+tag)
+		}
+	}
+	check(lex.ingredients, "ingr")
+	check(lex.units, "unit")
+	check(lex.states, "state")
+	check(lex.sizes, "size")
+	check(lex.temps, "temp")
+	check(lex.dryFresh, "df")
+	if instruction {
+		check(lex.utensils, "utensil")
+		check(lex.techniques, "tech")
+	}
+	// multiword ingredient membership around i.
+	for span := 2; span <= 3; span++ {
+		for start := i - span + 1; start <= i; start++ {
+			if start < 0 || start+span > len(tokens) {
+				continue
+			}
+			cand := strings.ToLower(strings.Join(tokens[start:start+span], " "))
+			if lex.ingredients.Contains(cand) {
+				fs = append(fs, "gazmw=ingr")
+			}
+			if instruction && lex.utensils.Contains(cand) {
+				fs = append(fs, "gazmw=utensil")
+			}
+		}
+	}
+	return fs
+}
+
+// NewIngredientExtractor builds the feature extractor for
+// ingredient-phrase tagging (Table II entities).
+func NewIngredientExtractor(opts FeatureOptions) Extractor {
+	lex := newSharedLex()
+	return func(tokens []string, i int) []string {
+		fs := baseFeatures(tokens, i, lex, opts)
+		if opts.Gazetteers {
+			fs = gazetteerFeatures(fs, tokens, i, lex, false)
+		}
+		return fs
+	}
+}
+
+// NewInstructionExtractor builds the feature extractor for
+// instruction-step tagging (process/utensil/ingredient entities).
+func NewInstructionExtractor(opts FeatureOptions) Extractor {
+	lex := newSharedLex()
+	return func(tokens []string, i int) []string {
+		fs := baseFeatures(tokens, i, lex, opts)
+		if opts.Gazetteers {
+			fs = gazetteerFeatures(fs, tokens, i, lex, true)
+		}
+		// imperative-position feature: instruction steps usually open
+		// with the main technique verb.
+		if i == 0 {
+			fs = append(fs, "imperative")
+		}
+		return fs
+	}
+}
+
+func suffix(w string, n int) string {
+	if len(w) <= n {
+		return w
+	}
+	return w[len(w)-n:]
+}
+
+func prefix(w string, n int) string {
+	if len(w) <= n {
+		return w
+	}
+	return w[:n]
+}
+
+func shape(w string) string {
+	var b strings.Builder
+	var last rune
+	for _, r := range w {
+		var c rune
+		switch {
+		case r >= 'A' && r <= 'Z':
+			c = 'X'
+		case r >= 'a' && r <= 'z':
+			c = 'x'
+		case r >= '0' && r <= '9':
+			c = 'd'
+		default:
+			c = r
+		}
+		if c != last {
+			b.WriteRune(c)
+			last = c
+		}
+	}
+	return b.String()
+}

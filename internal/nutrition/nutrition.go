@@ -1,0 +1,154 @@
+// Package nutrition estimates the nutritional profile of a modeled
+// recipe — the application the paper highlights in §IV and implements
+// in its companion work [13]. The mined ingredient records (name,
+// quantity, unit) resolve against an embedded per-100g nutrient table
+// standing in for the USDA SR Legacy database.
+package nutrition
+
+import (
+	"fmt"
+	"strings"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/fraction"
+	"recipemodel/internal/lemma"
+)
+
+// Profile is a nutrient total for a recipe or ingredient amount.
+type Profile struct {
+	Calories float64 // kcal
+	Protein  float64 // g
+	Fat      float64 // g
+	Carbs    float64 // g
+}
+
+// Add accumulates o into p.
+func (p *Profile) Add(o Profile) {
+	p.Calories += o.Calories
+	p.Protein += o.Protein
+	p.Fat += o.Fat
+	p.Carbs += o.Carbs
+}
+
+// Scale returns p scaled by f.
+func (p Profile) Scale(f float64) Profile {
+	return Profile{p.Calories * f, p.Protein * f, p.Fat * f, p.Carbs * f}
+}
+
+// String renders "312 kcal, 12.0g protein, 8.2g fat, 44.1g carbs".
+func (p Profile) String() string {
+	return fmt.Sprintf("%.0f kcal, %.1fg protein, %.1fg fat, %.1fg carbs",
+		p.Calories, p.Protein, p.Fat, p.Carbs)
+}
+
+// gramsPerUnit converts recipe units to grams (approximate culinary
+// conversions; densities folded into a water-like default).
+var gramsPerUnit = map[string]float64{
+	"cup": 240, "teaspoon": 5, "tablespoon": 15, "ounce": 28.35,
+	"pound": 453.6, "gram": 1, "kilogram": 1000, "liter": 1000,
+	"milliliter": 1, "pint": 473, "quart": 946, "gallon": 3785,
+	"tsp": 5, "tbsp": 15, "oz": 28.35, "lb": 453.6, "g": 1, "kg": 1000,
+	"ml": 1, "pinch": 0.4, "dash": 0.6, "stick": 113, "can": 400,
+	"package": 227, "packet": 10, "jar": 350, "bottle": 500,
+	"clove": 3, "sprig": 2, "stalk": 40, "head": 500, "bunch": 100,
+	"slice": 25, "sheet": 250, "piece": 50, "wedge": 40, "splash": 5,
+	"handful": 30, "sliver": 5, "strip": 10, "cube": 10, "block": 200,
+	"loaf": 500, "scoop": 60, "dollop": 20, "drop": 0.05, "jigger": 44,
+	"envelope": 7, "box": 400, "bag": 300, "carton": 500, "container": 400,
+	"inch": 15, "batch": 500,
+}
+
+// defaultPieceGrams is the weight assumed for unit-less counts
+// ("2 tomatoes").
+const defaultPieceGrams = 100
+
+// Estimator resolves ingredient records to nutrient profiles.
+type Estimator struct {
+	table map[string]Profile // per 100 g
+	lem   *lemma.Lemmatizer
+}
+
+// NewEstimator loads the embedded nutrient table.
+func NewEstimator() *Estimator {
+	return &Estimator{table: nutrientTable, lem: lemma.New()}
+}
+
+// Lookup finds the per-100g profile for an ingredient name, trying the
+// full name, its lemma, and its head word.
+func (e *Estimator) Lookup(name string) (Profile, bool) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if p, ok := e.table[n]; ok {
+		return p, true
+	}
+	// lemmatized head word fallback: "cherry tomatoes" → "tomato".
+	ws := strings.Fields(n)
+	if len(ws) > 0 {
+		head := e.lem.Lemma(ws[len(ws)-1], lemma.Noun)
+		if p, ok := e.table[head]; ok {
+			return p, true
+		}
+		if len(ws) > 1 {
+			tail := strings.Join(ws[len(ws)-2:], " ")
+			if p, ok := e.table[tail]; ok {
+				return p, true
+			}
+		}
+	}
+	return Profile{}, false
+}
+
+// Grams estimates the gram weight of an ingredient record from its
+// quantity and unit; ranges use their midpoint.
+func (e *Estimator) Grams(rec core.IngredientRecord) float64 {
+	qty := 1.0
+	if rec.Quantity != "" {
+		// multiple quantities ("1 (8 ounce) package") concatenate with a
+		// space and the parser reads that as a mixed number; take the
+		// first field instead.
+		first := strings.Fields(rec.Quantity)
+		probe := rec.Quantity
+		if q, err := fraction.Parse(probe); err == nil {
+			qty = q.Mid()
+		} else if len(first) > 0 {
+			if q, err := fraction.Parse(first[0]); err == nil {
+				qty = q.Mid()
+			}
+		}
+	}
+	unit := strings.ToLower(rec.Unit)
+	// plural units: strip the trailing s.
+	if _, ok := gramsPerUnit[unit]; !ok {
+		unit = strings.TrimSuffix(unit, "es")
+		if _, ok := gramsPerUnit[unit]; !ok {
+			unit = strings.TrimSuffix(strings.ToLower(rec.Unit), "s")
+		}
+	}
+	if g, ok := gramsPerUnit[unit]; ok {
+		return qty * g
+	}
+	return qty * defaultPieceGrams
+}
+
+// EstimateRecord computes the profile for one ingredient record; ok is
+// false when the name is not in the table (the record contributes
+// nothing, mirroring how unresolvable ingredients are skipped in the
+// paper's nutrition application).
+func (e *Estimator) EstimateRecord(rec core.IngredientRecord) (Profile, bool) {
+	per100, ok := e.Lookup(rec.Name)
+	if !ok {
+		return Profile{}, false
+	}
+	return per100.Scale(e.Grams(rec) / 100), true
+}
+
+// EstimateRecipe totals the profile over a modeled recipe and reports
+// how many ingredients resolved against the table.
+func (e *Estimator) EstimateRecipe(m *core.RecipeModel) (total Profile, resolved int) {
+	for _, rec := range m.Ingredients {
+		if p, ok := e.EstimateRecord(rec); ok {
+			total.Add(p)
+			resolved++
+		}
+	}
+	return total, resolved
+}

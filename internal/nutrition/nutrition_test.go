@@ -1,0 +1,116 @@
+package nutrition
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLookupDirect(t *testing.T) {
+	e := NewEstimator()
+	p, ok := e.Lookup("butter")
+	if !ok || p.Calories != 717 {
+		t.Fatalf("butter: %+v %v", p, ok)
+	}
+}
+
+func TestLookupLemmatizedHead(t *testing.T) {
+	e := NewEstimator()
+	if _, ok := e.Lookup("tomatoes"); !ok {
+		t.Fatal("plural lookup failed")
+	}
+	if _, ok := e.Lookup("cherry tomatoes"); !ok {
+		t.Fatal("head-word lookup failed")
+	}
+	if _, ok := e.Lookup("zzgarbage"); ok {
+		t.Fatal("unknown ingredient resolved")
+	}
+}
+
+func TestGramsUnits(t *testing.T) {
+	e := NewEstimator()
+	cases := []struct {
+		rec   core.IngredientRecord
+		grams float64
+	}{
+		{core.IngredientRecord{Quantity: "2", Unit: "cups"}, 480},
+		{core.IngredientRecord{Quantity: "1/2", Unit: "teaspoon"}, 2.5},
+		{core.IngredientRecord{Quantity: "1 1/2", Unit: "tablespoons"}, 22.5},
+		{core.IngredientRecord{Quantity: "2-4", Unit: "ounces"}, 3 * 28.35},
+		{core.IngredientRecord{Quantity: "3", Unit: ""}, 300}, // unit-less pieces
+		{core.IngredientRecord{Quantity: "", Unit: "cup"}, 240},
+		{core.IngredientRecord{Quantity: "2", Unit: "tbsp"}, 30},
+	}
+	for _, c := range cases {
+		if got := e.Grams(c.rec); !almost(got, c.grams, 0.01) {
+			t.Errorf("Grams(%+v) = %v, want %v", c.rec, got, c.grams)
+		}
+	}
+}
+
+func TestEstimateRecord(t *testing.T) {
+	e := NewEstimator()
+	// 100 g of sugar = 387 kcal.
+	p, ok := e.EstimateRecord(core.IngredientRecord{Name: "sugar", Quantity: "100", Unit: "grams"})
+	if !ok || !almost(p.Calories, 387, 0.1) {
+		t.Fatalf("sugar: %+v %v", p, ok)
+	}
+	if _, ok := e.EstimateRecord(core.IngredientRecord{Name: "mystery"}); ok {
+		t.Fatal("unknown ingredient should not resolve")
+	}
+}
+
+func TestEstimateRecipe(t *testing.T) {
+	e := NewEstimator()
+	m := &core.RecipeModel{Ingredients: []core.IngredientRecord{
+		{Name: "sugar", Quantity: "100", Unit: "grams"},
+		{Name: "butter", Quantity: "100", Unit: "grams"},
+		{Name: "unknownium", Quantity: "1", Unit: "cup"},
+	}}
+	total, resolved := e.EstimateRecipe(m)
+	if resolved != 2 {
+		t.Fatalf("resolved = %d", resolved)
+	}
+	if !almost(total.Calories, 387+717, 0.1) {
+		t.Fatalf("total = %+v", total)
+	}
+}
+
+func TestProfileOps(t *testing.T) {
+	p := Profile{100, 10, 5, 20}
+	p.Add(Profile{50, 5, 2.5, 10})
+	if p.Calories != 150 || p.Protein != 15 {
+		t.Fatalf("Add: %+v", p)
+	}
+	s := p.Scale(2)
+	if s.Calories != 300 || p.Calories != 150 {
+		t.Fatalf("Scale aliasing: %+v %+v", s, p)
+	}
+	if !strings.Contains(p.String(), "kcal") {
+		t.Fatal("String")
+	}
+}
+
+func TestTableSanity(t *testing.T) {
+	for name, p := range nutrientTable {
+		if p.Calories < 0 || p.Protein < 0 || p.Fat < 0 || p.Carbs < 0 {
+			t.Errorf("%s has negative values", name)
+		}
+		// Atwater check: kcal should be in the ballpark of 4P+9F+4C.
+		// Alcohol-bearing entries (7 kcal/g ethanol) are exempt.
+		if name == "wine" || name == "vanilla" {
+			continue
+		}
+		atwater := 4*p.Protein + 9*p.Fat + 4*p.Carbs
+		if p.Calories > 50 && (p.Calories > atwater*1.6+60 || p.Calories < atwater*0.4-60) {
+			t.Errorf("%s calories %v far from Atwater %v", name, p.Calories, atwater)
+		}
+	}
+	if len(nutrientTable) < 120 {
+		t.Fatalf("table too small: %d", len(nutrientTable))
+	}
+}

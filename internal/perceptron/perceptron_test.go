@@ -1,0 +1,124 @@
+package perceptron
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictUntrainedIsDeterministic(t *testing.T) {
+	m := New([]string{"a", "b"})
+	if got := m.Predict([]string{"x"}); got != 0 {
+		t.Fatalf("untrained predict = %d", got)
+	}
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	m := New([]string{"fruit", "vegetable"})
+	examples := []Example{
+		{Features: []string{"w=apple", "sweet"}, Class: 0},
+		{Features: []string{"w=banana", "sweet"}, Class: 0},
+		{Features: []string{"w=cherry", "sweet"}, Class: 0},
+		{Features: []string{"w=carrot", "savory"}, Class: 1},
+		{Features: []string{"w=potato", "savory"}, Class: 1},
+		{Features: []string{"w=onion", "savory"}, Class: 1},
+	}
+	trace := m.Train(examples, TrainConfig{Epochs: 10, Seed: 1})
+	if trace[len(trace)-1] != 1.0 {
+		t.Fatalf("final epoch accuracy = %v", trace)
+	}
+	if m.PredictLabel([]string{"w=plum", "sweet"}) != "fruit" {
+		t.Fatal("generalization via shared feature failed")
+	}
+	if m.PredictLabel([]string{"w=leek", "savory"}) != "vegetable" {
+		t.Fatal("generalization via shared feature failed")
+	}
+}
+
+func TestAveragingImprovesStability(t *testing.T) {
+	// noisy data: averaged weights should still classify the clean core.
+	rng := rand.New(rand.NewSource(7))
+	var examples []Example
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		feats := []string{"bias"}
+		if c == 0 {
+			feats = append(feats, "sig0")
+		} else {
+			feats = append(feats, "sig1")
+		}
+		if rng.Float64() < 0.1 { // label noise
+			c = 1 - c
+		}
+		examples = append(examples, Example{Features: feats, Class: c})
+	}
+	m := New([]string{"0", "1"})
+	m.Train(examples, TrainConfig{Epochs: 5, Seed: 2})
+	if m.PredictLabel([]string{"bias", "sig0"}) != "0" {
+		t.Fatal("averaged model lost the clean signal for class 0")
+	}
+	if m.PredictLabel([]string{"bias", "sig1"}) != "1" {
+		t.Fatal("averaged model lost the clean signal for class 1")
+	}
+}
+
+func TestUpdateAfterAveragePanics(t *testing.T) {
+	m := New([]string{"a", "b"})
+	m.Average()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Update([]string{"x"}, 0)
+}
+
+func TestAverageIdempotent(t *testing.T) {
+	m := New([]string{"a", "b"})
+	m.Update([]string{"x"}, 1)
+	m.Average()
+	w := m.Scores([]string{"x"})[1]
+	m.Average()
+	if m.Scores([]string{"x"})[1] != w {
+		t.Fatal("second Average changed weights")
+	}
+}
+
+func TestClassID(t *testing.T) {
+	m := New([]string{"a", "b", "c"})
+	if m.ClassID("b") != 1 || m.ClassID("zz") != -1 {
+		t.Fatal("ClassID wrong")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	m := New([]string{"a", "b"})
+	for i := 0; i < 5; i++ {
+		m.Update([]string{"strong"}, 1)
+		m.Update([]string{"weak", "strong"}, 1)
+	}
+	m.Average()
+	top := m.TopFeatures("b", 1)
+	if len(top) != 1 || top[0].Feature != "strong" {
+		t.Fatalf("TopFeatures = %+v", top)
+	}
+	if m.TopFeatures("nope", 3) != nil {
+		t.Fatal("unknown class should return nil")
+	}
+}
+
+func TestFeatureCount(t *testing.T) {
+	m := New([]string{"a", "b"})
+	m.Update([]string{"f1", "f2"}, 1)
+	m.Update([]string{"f2", "f3"}, 0)
+	if got := m.FeatureCount(); got < 2 || got > 3 {
+		t.Fatalf("FeatureCount = %d", got)
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	m := New([]string{"a", "b"})
+	trace := m.Train(nil, TrainConfig{Epochs: 3})
+	if len(trace) != 0 {
+		t.Fatalf("trace = %v", trace)
+	}
+}

@@ -1,0 +1,127 @@
+// Package persist serializes trained models so a pipeline can be
+// trained once and shipped: the CRF weights travel as gob; feature
+// extractors (closures) are reconstructed from a recorded task name
+// and feature options on load.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"recipemodel/internal/crf"
+	"recipemodel/internal/ner"
+)
+
+// Task names a feature-extractor family that can be rebuilt on load.
+type Task string
+
+// The serializable tagger tasks.
+const (
+	TaskIngredient  Task = "ingredient"
+	TaskInstruction Task = "instruction"
+)
+
+// savedCRF is the gob wire form of a CRF.
+type savedCRF struct {
+	Labels   []string
+	Emit     map[string][]float64
+	Trans    [][]float64
+	TransEnd []float64
+}
+
+// savedTagger is the gob wire form of a NER tagger.
+type savedTagger struct {
+	Task    Task
+	Options ner.FeatureOptions
+	CRF     savedCRF
+}
+
+// savedBundle is the wire form of a full pipeline (both taggers).
+type savedBundle struct {
+	Version     int
+	Ingredient  savedTagger
+	Instruction savedTagger
+}
+
+// wireVersion guards against stale files.
+const wireVersion = 1
+
+func toSavedCRF(m *crf.Model) savedCRF {
+	return savedCRF{
+		Labels:   m.Labels,
+		Emit:     m.Emit,
+		Trans:    m.Trans,
+		TransEnd: m.TransEnd,
+	}
+}
+
+func fromSavedCRF(s savedCRF) *crf.Model {
+	m := crf.New(s.Labels)
+	m.Emit = s.Emit
+	m.Trans = s.Trans
+	m.TransEnd = s.TransEnd
+	return m
+}
+
+// extractorFor rebuilds the feature extractor for a task.
+func extractorFor(task Task, opts ner.FeatureOptions) (ner.Extractor, error) {
+	switch task {
+	case TaskIngredient:
+		return ner.NewIngredientExtractor(opts), nil
+	case TaskInstruction:
+		return ner.NewInstructionExtractor(opts), nil
+	default:
+		return nil, fmt.Errorf("persist: unknown task %q", task)
+	}
+}
+
+// SaveTagger writes one tagger.
+func SaveTagger(w io.Writer, t *ner.Tagger, task Task, opts ner.FeatureOptions) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(savedTagger{Task: task, Options: opts, CRF: toSavedCRF(t.Model)})
+}
+
+// LoadTagger reads one tagger.
+func LoadTagger(r io.Reader) (*ner.Tagger, error) {
+	var s savedTagger
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("persist: decode tagger: %w", err)
+	}
+	ex, err := extractorFor(s.Task, s.Options)
+	if err != nil {
+		return nil, err
+	}
+	return ner.FromModel(fromSavedCRF(s.CRF), ex), nil
+}
+
+// SaveBundle writes an ingredient + instruction tagger pair.
+func SaveBundle(w io.Writer, ingredient, instruction *ner.Tagger, opts ner.FeatureOptions) error {
+	b := savedBundle{
+		Version:     wireVersion,
+		Ingredient:  savedTagger{Task: TaskIngredient, Options: opts, CRF: toSavedCRF(ingredient.Model)},
+		Instruction: savedTagger{Task: TaskInstruction, Options: opts, CRF: toSavedCRF(instruction.Model)},
+	}
+	return gob.NewEncoder(w).Encode(b)
+}
+
+// LoadBundle reads an ingredient + instruction tagger pair.
+func LoadBundle(r io.Reader) (ingredient, instruction *ner.Tagger, err error) {
+	var b savedBundle
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, nil, fmt.Errorf("persist: decode bundle: %w", err)
+	}
+	if b.Version != wireVersion {
+		return nil, nil, fmt.Errorf("persist: unsupported version %d", b.Version)
+	}
+	exIng, err := extractorFor(b.Ingredient.Task, b.Ingredient.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	exIns, err := extractorFor(b.Instruction.Task, b.Instruction.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ner.FromModel(fromSavedCRF(b.Ingredient.CRF), exIng),
+		ner.FromModel(fromSavedCRF(b.Instruction.CRF), exIns), nil
+}

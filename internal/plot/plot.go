@@ -1,0 +1,110 @@
+// Package plot renders 2-D scatter plots as SVG documents and ASCII
+// grids — enough to regenerate the paper's Fig 2 cluster
+// visualizations without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a 2-D point with a category (cluster id) used for coloring.
+type Point struct {
+	X, Y float64
+	C    int
+}
+
+// palette cycles through visually distinct SVG colors.
+var palette = []string{
+	"#e6194b", "#3cb44b", "#ffe119", "#4363d8", "#f58231", "#911eb4",
+	"#46f0f0", "#f032e6", "#bcf60c", "#fabebe", "#008080", "#e6beff",
+	"#9a6324", "#fffac8", "#800000", "#aaffc3", "#808000", "#ffd8b1",
+	"#000075", "#808080", "#d45087", "#2f4b7c", "#ffa600",
+}
+
+// bounds returns the bounding box with a small margin.
+func bounds(pts []Point) (x0, y0, x1, y1 float64) {
+	if len(pts) == 0 {
+		return 0, 0, 1, 1
+	}
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		x0 = math.Min(x0, p.X)
+		y0 = math.Min(y0, p.Y)
+		x1 = math.Max(x1, p.X)
+		y1 = math.Max(y1, p.Y)
+	}
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	if y1 == y0 {
+		y1 = y0 + 1
+	}
+	mx, my := (x1-x0)*0.05, (y1-y0)*0.05
+	return x0 - mx, y0 - my, x1 + mx, y1 + my
+}
+
+// SVG renders the points as a standalone SVG scatter plot.
+func SVG(pts []Point, title string, width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 480
+	}
+	x0, y0, x1, y1 := bounds(pts)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n", width/2, escape(title))
+	}
+	for _, p := range pts {
+		px := (p.X - x0) / (x1 - x0) * float64(width-20)
+		py := float64(height-30) - (p.Y-y0)/(y1-y0)*float64(height-50)
+		color := palette[((p.C%len(palette))+len(palette))%len(palette)]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.75"/>`+"\n", px+10, py+10, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCII renders the points on a character grid; each cell shows the
+// category of the last point landing there (as base-36 digit).
+func ASCII(pts []Point, cols, rows int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	x0, y0, x1, y1 := bounds(pts)
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	for _, p := range pts {
+		c := int((p.X - x0) / (x1 - x0) * float64(cols-1))
+		r := rows - 1 - int((p.Y-y0)/(y1-y0)*float64(rows-1))
+		if c >= 0 && c < cols && r >= 0 && r < rows {
+			grid[r][c] = rune(digits[((p.C%36)+36)%36])
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

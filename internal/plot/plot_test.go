@@ -1,0 +1,65 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func pts() []Point {
+	return []Point{
+		{0, 0, 0}, {1, 1, 1}, {2, 0.5, 2}, {0.5, 2, 0}, {1.5, 1.5, 1},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	s := SVG(pts(), "Clusters <k=23>", 640, 480)
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(s, "<circle") != 5 {
+		t.Fatalf("circle count = %d", strings.Count(s, "<circle"))
+	}
+	if !strings.Contains(s, "&lt;k=23&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGDefaultsAndEmpty(t *testing.T) {
+	s := SVG(nil, "", 0, 0)
+	if !strings.Contains(s, `width="640"`) {
+		t.Fatal("default width missing")
+	}
+	if strings.Contains(s, "<circle") {
+		t.Fatal("empty input should have no points")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	a := ASCII(pts(), 40, 10)
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	// every category digit present somewhere
+	for _, d := range []string{"0", "1", "2"} {
+		if !strings.Contains(a, d) {
+			t.Fatalf("category %s missing from grid:\n%s", d, a)
+		}
+	}
+}
+
+func TestASCIIDegenerate(t *testing.T) {
+	a := ASCII([]Point{{1, 1, 3}}, 0, 0)
+	if !strings.Contains(a, "3") {
+		t.Fatal("single point missing")
+	}
+	if out := ASCII(nil, 10, 5); strings.Count(out, "\n") != 5 {
+		t.Fatal("empty grid shape wrong")
+	}
+}
+
+func TestNegativeCategory(t *testing.T) {
+	// must not panic
+	_ = SVG([]Point{{0, 0, -3}}, "", 100, 100)
+	_ = ASCII([]Point{{0, 0, -3}}, 10, 5)
+}

@@ -1,0 +1,261 @@
+package postag
+
+import (
+	"strings"
+
+	"recipemodel/internal/gazetteer"
+)
+
+// TaggedSentence is a training instance: words with gold PTB tags.
+type TaggedSentence struct {
+	Words []string
+	Tags  []string
+}
+
+// word lists with fixed gold tags, used by the corpus templates.
+var (
+	determiners = []string{"the", "a", "an", "each", "every", "some", "any", "no", "this", "that"}
+	preps       = []string{"in", "on", "with", "over", "into", "from", "until", "at", "for", "of", "before", "after", "without", "under", "through", "about"}
+	conjs       = []string{"and", "or", "but"}
+	cardinals   = []string{"1", "2", "3", "4", "5", "6", "8", "10", "12", "20", "30", "45", "350", "375", "400", "1/2", "1/4", "3/4", "2/3", "1 1/2", "2-3", "1-2", "one", "two", "three", "half", "dozen"}
+	adjectives  = []string{"fresh", "large", "small", "medium", "hot", "cold", "dry", "golden", "brown", "extra", "virgin", "whole", "ripe", "lean", "raw", "sweet", "sour", "crisp", "tender", "warm", "smooth", "firm", "light", "dark", "plain", "thick", "thin", "soft", "heaping", "scant", "red", "green", "white", "black", "all-purpose", "low-fat", "extra-large", "gluten-free", "semi-sweet", "old-fashioned", "long-grain", "low-sodium", "extra-virgin", "bite-size"}
+	adverbs     = []string{"finely", "coarsely", "thinly", "freshly", "gently", "well", "immediately", "thoroughly", "lightly", "evenly", "occasionally", "completely", "carefully", "slowly", "quickly", "together", "aside", "again", "thoroughly"}
+	particles   = []string{"up", "down", "off", "out"}
+	pronouns    = []string{"it", "they", "them", "you"}
+	possessives = []string{"its", "their", "your"}
+	modals      = []string{"can", "should", "will", "may", "must"}
+	vbzForms    = []string{"is", "has", "simmers", "boils", "thickens", "looks", "becomes", "forms", "starts", "begins"}
+	vbpForms    = []string{"are", "have", "begin", "form", "look"}
+	vbgForms    = []string{"boiling", "simmering", "stirring", "cooking", "baking", "whisking", "mixing", "melting", "browning", "bubbling"}
+	vbdForms    = []string{"was", "were", "added", "cooked", "turned", "became"}
+	comparJJ    = []string{"larger", "smaller", "finer", "thicker", "hotter"}
+	superlJJ    = []string{"largest", "smallest", "finest", "thickest", "best"}
+	comparRB    = []string{"more", "less"}
+	superlRB    = []string{"most", "least"}
+	whAdverbs   = []string{"when", "where", "how", "why"}
+	whDets      = []string{"which", "whatever"}
+	whPronouns  = []string{"who", "what"}
+	properNouns = []string{"Fahrenheit", "Celsius", "French", "Italian", "Dijon", "Worcestershire", "Parmesan", "Cajun", "Thai", "Greek"}
+)
+
+// singular/plural noun inventories derived from the gazetteers.
+func nounInventories() (nn []string, nns []string) {
+	seen := map[string]bool{}
+	addNN := func(w string) {
+		if !seen[w] {
+			seen[w] = true
+			nn = append(nn, w)
+		}
+	}
+	for _, t := range gazetteer.IngredientTerms {
+		if !strings.Contains(t, " ") && !strings.Contains(t, "-") {
+			addNN(t)
+		}
+	}
+	for _, t := range gazetteer.UnitTerms {
+		if !strings.Contains(t, " ") && len(t) > 2 {
+			addNN(t)
+		}
+	}
+	for _, t := range gazetteer.UtensilTerms {
+		if !strings.Contains(t, " ") {
+			addNN(t)
+		}
+	}
+	for _, w := range []string{"boil", "simmer", "heat", "mixture", "batter", "dough", "side", "top", "bottom", "minute", "hour", "second", "degree", "edge", "center", "surface", "layer", "half", "piece", "boiler"} {
+		addNN(w)
+	}
+	for _, w := range nn {
+		nns = append(nns, pluralOf(w))
+	}
+	return nn, nns
+}
+
+// pluralOf forms a regular English plural for corpus generation.
+func pluralOf(w string) string {
+	switch {
+	case strings.HasSuffix(w, "y") && len(w) > 1 && !isVowel(w[len(w)-2]):
+		return w[:len(w)-1] + "ies"
+	case strings.HasSuffix(w, "s") || strings.HasSuffix(w, "sh") ||
+		strings.HasSuffix(w, "ch") || strings.HasSuffix(w, "x") ||
+		strings.HasSuffix(w, "z") || strings.HasSuffix(w, "o"):
+		return w + "es"
+	default:
+		return w + "s"
+	}
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// verb inventories from the technique gazetteer.
+func verbInventories() (vb, vbn, vbg []string) {
+	for _, t := range gazetteer.TechniqueTerms {
+		if strings.Contains(t, " ") || strings.Contains(t, "-") {
+			continue
+		}
+		vb = append(vb, t)
+	}
+	for _, t := range gazetteer.StateTerms {
+		if strings.Contains(t, " ") {
+			continue
+		}
+		if strings.HasSuffix(t, "ed") || strings.HasSuffix(t, "en") || t == "cut" || t == "torn" || t == "ground" {
+			vbn = append(vbn, t)
+		}
+	}
+	vbg = vbgForms
+	return vb, vbn, vbg
+}
+
+// Corpus generates the embedded gold-tagged training corpus. It is
+// deterministic: templates are instantiated by cycling through the
+// word inventories with co-prime strides so successive sentences vary.
+func Corpus() []TaggedSentence {
+	nn, nns := nounInventories()
+	vb, vbn, _ := verbInventories()
+
+	pick := func(list []string, i, stride int) string {
+		return list[(i*stride)%len(list)]
+	}
+
+	var out []TaggedSentence
+	add := func(words, tags []string) {
+		if len(words) != len(tags) {
+			panic("postag: corpus template length mismatch")
+		}
+		out = append(out, TaggedSentence{Words: words, Tags: tags})
+	}
+
+	n := 260 // instantiations per template family
+	for i := 0; i < n; i++ {
+		v1 := pick(vb, i, 7)
+		v2 := pick(vb, i, 11)
+		n1 := pick(nn, i, 5)
+		n2 := pick(nn, i, 13)
+		n3 := pick(nn, i, 17)
+		p1 := pick(nns, i, 3)
+		p2 := pick(nns, i, 19)
+		dt := pick(determiners, i, 1)
+		in1 := pick(preps, i, 1)
+		in2 := pick(preps, i, 5)
+		jj := pick(adjectives, i, 1)
+		jj2 := pick(adjectives, i, 7)
+		rb := pick(adverbs, i, 1)
+		cd := pick(cardinals, i, 1)
+		cc := pick(conjs, i, 1)
+		st := pick(vbn, i, 3)
+		rp := pick(particles, i, 1)
+		pr := pick(pronouns, i, 1)
+		md := pick(modals, i, 1)
+		vz := pick(vbzForms, i, 1)
+		vg := pick(vbgForms, i, 1)
+		vd := pick(vbdForms, i, 1)
+
+		// --- imperative instruction shapes ---
+		add([]string{v1, dt, n1, "."},
+			[]string{"VB", "DT", "NN", "."})
+		add([]string{v1, dt, jj, n1, in1, dt, n2, "."},
+			[]string{"VB", "DT", "JJ", "NN", "IN", "DT", "NN", "."})
+		add([]string{v1, dt, n1, cc, dt, n2, in1, dt, n3, "."},
+			[]string{"VB", "DT", "NN", "CC", "DT", "NN", "IN", "DT", "NN", "."})
+		add([]string{v1, dt, n1, "to", dt, n2, "."},
+			[]string{"VB", "DT", "NN", "TO", "DT", "NN", "."})
+		add([]string{rb, v1, dt, n1, "."},
+			[]string{"RB", "VB", "DT", "NN", "."})
+		add([]string{v1, rp, dt, n1, "."},
+			[]string{"VB", "RP", "DT", "NN", "."})
+		add([]string{v1, in1, cd, p1, "."},
+			[]string{"VB", "IN", "CD", "NNS", "."})
+		add([]string{v1, dt, p1, in1, dt, jj, n1, "."},
+			[]string{"VB", "DT", "NNS", "IN", "DT", "JJ", "NN", "."})
+		add([]string{v1, "until", jj, cc, jj2, "."},
+			[]string{"VB", "IN", "JJ", "CC", "JJ", "."})
+		add([]string{v1, dt, n1, ",", v2, dt, n2, ",", cc, v2, rb, "."},
+			[]string{"VB", "DT", "NN", ",", "VB", "DT", "NN", ",", "CC", "VB", "RB", "."})
+		add([]string{v1, "to", "a", n1, ",", "then", v2, "."},
+			[]string{"VB", "TO", "DT", "NN", ",", "RB", "VB", "."})
+		add([]string{"when", dt, n1, vz, jj, ",", v1, dt, n2, "."},
+			[]string{"WRB", "DT", "NN", "VBZ", "JJ", ",", "VB", "DT", "NN", "."})
+		add([]string{pr, md, v2, dt, n1, in2, dt, n2, "."},
+			[]string{"PRP", "MD", "VB", "DT", "NN", "IN", "DT", "NN", "."})
+		add([]string{"there", vz, dt, jj, n1, in1, dt, n2, "."},
+			[]string{"EX", "VBZ", "DT", "JJ", "NN", "IN", "DT", "NN", "."})
+		add([]string{v1, dt, n1, "while", vg, dt, n2, "."},
+			[]string{"VB", "DT", "NN", "IN", "VBG", "DT", "NN", "."})
+		add([]string{dt, n1, vd, jj, "."},
+			[]string{"DT", "NN", "VBD", "JJ", "."})
+		add([]string{v1, dt, vg, n1, in1, dt, n2, "."},
+			[]string{"VB", "DT", "VBG", "NN", "IN", "DT", "NN", "."})
+		add([]string{v1, dt, n1, in1, "the", st, p2, "."},
+			[]string{"VB", "DT", "NN", "IN", "DT", "VBN", "NNS", "."})
+
+		// --- ingredient phrase shapes (the paper's main input) ---
+		add([]string{cd, n1, n2},
+			[]string{"CD", "NN", "NN"})
+		add([]string{cd, p1, n2},
+			[]string{"CD", "NNS", "NN"})
+		add([]string{cd, n1, st, n2},
+			[]string{"CD", "NN", "VBN", "NN"})
+		add([]string{cd, jj, p1},
+			[]string{"CD", "JJ", "NNS"})
+		add([]string{cd, n1, n2, ",", st},
+			[]string{"CD", "NN", "NN", ",", "VBN"})
+		add([]string{cd, n1, jj, n2, ",", rb, st},
+			[]string{"CD", "NN", "JJ", "NN", ",", "RB", "VBN"})
+		add([]string{cd, "(", cd, n1, ")", n2, n3, ",", st},
+			[]string{"CD", "(", "CD", "NN", ")", "NN", "NN", ",", "VBN"})
+		add([]string{cd, jj, n1, ",", st, cc, st},
+			[]string{"CD", "JJ", "NN", ",", "VBN", "CC", "VBN"})
+		add([]string{jj, n1, ",", "to", n2},
+			[]string{"JJ", "NN", ",", "TO", "NN"})
+		add([]string{cd, n1, jj, jj2, n2, n3},
+			[]string{"CD", "NN", "JJ", "JJ", "NN", "NN"})
+		add([]string{cd, p1, st, n1},
+			[]string{"CD", "NNS", "VBN", "NN"})
+
+		// --- auxiliary shapes for the rarer tags ---
+		if i < len(comparJJ) {
+			add([]string{dt, comparJJ[i], n1, vz, comparRB[i%len(comparRB)], jj, "."},
+				[]string{"DT", "JJR", "NN", "VBZ", "RBR", "JJ", "."})
+			add([]string{dt, superlJJ[i], n1, vz, superlRB[i%len(superlRB)], jj, "."},
+				[]string{"DT", "JJS", "NN", "VBZ", "RBS", "JJ", "."})
+		}
+		if i < len(whDets) {
+			add([]string{whDets[i], n1, pr, md, "use", vz, "up", "to", pr, "."},
+				[]string{"WDT", "NN", "PRP", "MD", "VB", "VBZ", "RP", "TO", "PRP", "."})
+		}
+		if i < len(whPronouns) {
+			add([]string{whPronouns[i], vz, dt, n1, "?"},
+				[]string{"WP", "VBZ", "DT", "NN", "."})
+		}
+		if i < len(whAdverbs) {
+			add([]string{whAdverbs[i], "do", pronouns[i%len(pronouns)], "add", dt, n1, "?"},
+				[]string{"WRB", "VBP", "PRP", "VB", "DT", "NN", "."})
+		}
+		if i < len(possessives) {
+			add([]string{v1, possessives[i], n1, in1, dt, n2, "."},
+				[]string{"VB", "PRP$", "NN", "IN", "DT", "NN", "."})
+		}
+		if i < len(properNouns) {
+			add([]string{v1, "to", cd, "°", properNouns[i], "."},
+				[]string{"VB", "TO", "CD", "SYM", "NNP", "."})
+			add([]string{cd, n1, properNouns[i], n2},
+				[]string{"CD", "NN", "NNP", "NN"})
+		}
+		if i%23 == 0 {
+			add([]string{"all", dt, p1, "and", "half", dt, n1, "."},
+				[]string{"PDT", "DT", "NNS", "CC", "PDT", "DT", "NN", "."})
+			add([]string{"cook", "until", "al", "dente", "."},
+				[]string{"VB", "IN", "FW", "FW", "."})
+			add([]string{"the", n1, "'s", n2, vz, jj, "."},
+				[]string{"DT", "NN", "POS", "NN", "VBZ", "JJ", "."})
+		}
+	}
+	return out
+}

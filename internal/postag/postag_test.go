@@ -1,0 +1,232 @@
+package postag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTagSetHas36Tags(t *testing.T) {
+	if len(PTBTags) != 36 {
+		t.Fatalf("PTB tagset has %d tags, want 36", len(PTBTags))
+	}
+	seen := map[string]bool{}
+	for _, tag := range PTBTags {
+		if seen[tag] {
+			t.Fatalf("duplicate tag %q", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestTagIndex(t *testing.T) {
+	if TagIndex("NN") < 0 || TagIndex("VBG") < 0 {
+		t.Fatal("known tags missing")
+	}
+	if TagIndex(".") != -1 || TagIndex(",") != -1 {
+		t.Fatal("punctuation should be outside the 36")
+	}
+}
+
+func TestPunctTagFor(t *testing.T) {
+	cases := map[string]string{
+		".": ".", "!": ".", ",": ",", ";": ":", "(": "(", ")": ")",
+		"°": "SYM", "%": "SYM",
+	}
+	for in, want := range cases {
+		got, ok := punctTagFor(in)
+		if !ok || got != want {
+			t.Errorf("punctTagFor(%q) = %q,%v want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := punctTagFor("salt"); ok {
+		t.Error("word misidentified as punctuation")
+	}
+}
+
+func TestCorpusWellFormed(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) < 2000 {
+		t.Fatalf("corpus too small: %d sentences", len(corpus))
+	}
+	tagsSeen := map[string]bool{}
+	for _, s := range corpus {
+		if len(s.Words) != len(s.Tags) {
+			t.Fatal("length mismatch in corpus")
+		}
+		for _, tag := range s.Tags {
+			tagsSeen[tag] = true
+		}
+	}
+	// the corpus must exercise (nearly) the whole 36-tag inventory.
+	missing := []string{}
+	for _, tag := range PTBTags {
+		if !tagsSeen[tag] {
+			missing = append(missing, tag)
+		}
+	}
+	// LS, UH, NNPS, WP$ are legitimately absent from recipe text.
+	if len(missing) > 4 {
+		t.Fatalf("too many tags missing from corpus: %v", missing)
+	}
+}
+
+func TestTaggerOnIngredientPhrases(t *testing.T) {
+	tg := Default()
+	cases := []struct {
+		words []string
+		want  []string
+	}{
+		{strings.Fields("3 teaspoons olive oil"), []string{"CD", "NNS", "NN", "NN"}},
+		{strings.Fields("2 tablespoons all-purpose flour"), []string{"CD", "NNS", "JJ", "NN"}},
+		{strings.Fields("2-3 medium tomatoes"), []string{"CD", "JJ", "NNS"}},
+	}
+	for _, c := range cases {
+		got := tg.Tag(c.words)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("Tag(%v) = %v, want %v", c.words, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestTaggerOnInstruction(t *testing.T) {
+	tg := Default()
+	words := strings.Fields("bring the water to a boil in a large pot .")
+	got := tg.Tag(words)
+	want := []string{"VB", "DT", "NN", "TO", "DT", "NN", "IN", "DT", "JJ", "NN", "."}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	if mismatches > 1 {
+		t.Fatalf("Tag = %v, want %v (%d mismatches)", got, want, mismatches)
+	}
+}
+
+func TestTaggerNumbersAreCD(t *testing.T) {
+	tg := Default()
+	for _, n := range []string{"7", "350", "1/2", "1 1/2", "2-3", "99"} {
+		got := tg.Tag([]string{n, "cups", "sugar"})
+		if got[0] != "CD" {
+			t.Errorf("Tag(%q) = %q, want CD", n, got[0])
+		}
+	}
+}
+
+func TestTaggerPluralsAreNNS(t *testing.T) {
+	tg := Default()
+	// unseen plurals should still be NNS via the suffix features.
+	got := tg.Tag([]string{"2", "kumquats"})
+	if got[1] != "NNS" {
+		t.Errorf("unseen plural tagged %q, want NNS", got[1])
+	}
+}
+
+func TestTaggerHeldOutAccuracy(t *testing.T) {
+	// Split the embedded corpus into train/test deterministically and
+	// require high held-out token accuracy.
+	corpus := Corpus()
+	var train, test []TaggedSentence
+	for i, s := range corpus {
+		if i%10 == 0 {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	tg := Train(train, TrainConfig{Epochs: 5, Seed: 2})
+	var correct, total int
+	for _, s := range test {
+		got := tg.Tag(s.Words)
+		for i := range got {
+			if got[i] == s.Tags[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.97 {
+		t.Fatalf("held-out accuracy = %.4f, want >= 0.97", acc)
+	}
+}
+
+func TestVectorize(t *testing.T) {
+	v := Vectorize([]string{"CD", "NN", "NN", ",", "VBN"})
+	if len(v) != Dim {
+		t.Fatalf("vector dim = %d", len(v))
+	}
+	if v[TagIndex("NN")] != 2 || v[TagIndex("CD")] != 1 || v[TagIndex("VBN")] != 1 {
+		t.Fatalf("vector = %v", v)
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 4 { // the comma is not counted
+		t.Fatalf("vector mass = %v, want 4", sum)
+	}
+}
+
+func TestVectorizePhrase(t *testing.T) {
+	tg := Default()
+	v := tg.VectorizePhrase(strings.Fields("3 teaspoons olive oil"))
+	if len(v) != 36 {
+		t.Fatalf("dim = %d", len(v))
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 4 {
+		t.Fatalf("mass = %v", sum)
+	}
+}
+
+func TestSimilarPhrasesHaveIdenticalVectors(t *testing.T) {
+	// the paper's motivating example (§II.E): these two phrases have
+	// the same lexical structure, so their POS vectors must coincide.
+	tg := Default()
+	a := tg.VectorizePhrase(strings.Fields("3 teaspoons olive oil"))
+	b := tg.VectorizePhrase(strings.Fields("2 tablespoons canola oil"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vectors differ at %s: %v vs %v", PTBTags[i], a, b)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	cases := map[string]string{
+		"Tomato": "Xx", "USA": "X", "low-fat": "x-x", "350": "d",
+		"1/2": "d/d",
+	}
+	for in, want := range cases {
+		if got := shape(in); got != want {
+			t.Errorf("shape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"1", "1/2", "1 1/2", "2-3", "2.5"} {
+		if !looksNumeric(s) {
+			t.Errorf("looksNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "half", "a-b", "-", "/"} {
+		if looksNumeric(s) {
+			t.Errorf("looksNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default should return the same tagger")
+	}
+}

@@ -1,0 +1,72 @@
+// Package postag implements a Penn-Treebank part-of-speech tagger: an
+// averaged perceptron with suffix/shape/context features trained on an
+// embedded recipe-flavoured corpus, standing in for the Stanford POS
+// Twitter model the paper uses (§II.D). The package also provides the
+// 1×36 POS-tag-frequency vectorizer whose output feeds K-Means.
+package postag
+
+// PTBTags is the 36-tag Penn Treebank word-level tagset, the dimension
+// basis of the paper's 1×36 phrase vectors. Punctuation tags are
+// handled separately and never enter the vector.
+var PTBTags = []string{
+	"CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "LS",
+	"MD", "NN", "NNP", "NNPS", "NNS", "PDT", "POS", "PRP", "PRP$",
+	"RB", "RBR", "RBS", "RP", "SYM", "TO", "UH", "VB", "VBD", "VBG",
+	"VBN", "VBP", "VBZ", "WDT", "WP", "WP$", "WRB",
+}
+
+// tagIndex maps tag → position in PTBTags.
+var tagIndex = func() map[string]int {
+	m := make(map[string]int, len(PTBTags))
+	for i, t := range PTBTags {
+		m[t] = i
+	}
+	return m
+}()
+
+// TagIndex returns the PTBTags position of tag, or -1 for tags outside
+// the 36 (punctuation, symbols).
+func TagIndex(tag string) int {
+	if i, ok := tagIndex[tag]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsPunctTag reports whether tag is a punctuation tag (".", ",", ":",
+// "(", ")", "”", "“", "#", "$").
+func IsPunctTag(tag string) bool {
+	switch tag {
+	case ".", ",", ":", "(", ")", "''", "``", "#", "$", "HYPH":
+		return true
+	}
+	return false
+}
+
+// punctTagFor returns the deterministic tag for punctuation surface
+// forms, and ok=false if w is not punctuation.
+func punctTagFor(w string) (string, bool) {
+	switch w {
+	case ".", "!", "?":
+		return ".", true
+	case ",":
+		return ",", true
+	case ":", ";", "...", "--", "-", "–":
+		return ":", true
+	case "(", "[", "{":
+		return "(", true
+	case ")", "]", "}":
+		return ")", true
+	case "\"", "''", "”":
+		return "''", true
+	case "``", "“":
+		return "``", true
+	case "#":
+		return "#", true
+	case "$", "°", "%", "&", "+", "*", "=", "<", ">", "@":
+		return "SYM", true
+	case "'":
+		return "POS", true
+	}
+	return "", false
+}

@@ -1,0 +1,26 @@
+package postag
+
+import "recipemodel/internal/mathx"
+
+// Vectorize builds the 1×36 POS-tag-frequency vector the paper embeds
+// ingredient phrases into (§II.D): component i counts occurrences of
+// PTBTags[i] in the tag sequence. Punctuation tags are outside the 36
+// and are ignored.
+func Vectorize(tags []string) mathx.Vector {
+	v := make(mathx.Vector, len(PTBTags))
+	for _, t := range tags {
+		if i := TagIndex(t); i >= 0 {
+			v[i]++
+		}
+	}
+	return v
+}
+
+// VectorizePhrase tags the tokens with the tagger and vectorizes the
+// result in one step.
+func (t *Tagger) VectorizePhrase(words []string) mathx.Vector {
+	return Vectorize(t.Tag(words))
+}
+
+// Dim is the dimensionality of the phrase vectors (36, per the paper).
+const Dim = 36

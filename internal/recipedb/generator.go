@@ -1,0 +1,131 @@
+package recipedb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces synthetic recipes for one source site. It is
+// deterministic for a given (source, seed) pair and not safe for
+// concurrent use; create one generator per goroutine.
+type Generator struct {
+	source      Source
+	rng         *rand.Rand
+	inv         *inventory
+	distractors []string
+	oovRate     float64
+	nextID      int
+	// cuisineBias, when non-nil, is the signature ingredient pool of
+	// the recipe currently being generated; IngredientPhrase draws from
+	// it half the time, giving each cuisine a distinguishable
+	// ingredient distribution (the signal behind the cuisine-prediction
+	// application the paper's introduction motivates).
+	cuisineBias []string
+}
+
+// NewGenerator creates a generator for the source with the given seed.
+func NewGenerator(source Source, seed int64) *Generator {
+	d := distractorsAllRecipes
+	if source == SourceFoodCom {
+		d = distractorsFoodCom
+	}
+	return &Generator{
+		source:      source,
+		rng:         rand.New(rand.NewSource(seed)),
+		inv:         newInventory(source),
+		distractors: d,
+		oovRate:     0.10,
+	}
+}
+
+// SetOOVRate overrides the out-of-vocabulary ingredient rate
+// (default 0.06).
+func (g *Generator) SetOOVRate(r float64) { g.oovRate = r }
+
+// Source returns the generator's source site.
+func (g *Generator) Source() Source { return g.source }
+
+// Recipe generates one full synthetic recipe.
+func (g *Generator) Recipe() Recipe {
+	id := g.nextID
+	g.nextID++
+
+	nIngr := 4 + g.rng.Intn(7)  // 4–10 ingredient phrases
+	nInstr := 3 + g.rng.Intn(6) // 3–8 instruction steps
+
+	r := Recipe{
+		ID:      id,
+		Cuisine: Cuisines[g.rng.Intn(len(Cuisines))],
+		Source:  g.source,
+		Title: fmt.Sprintf("%s %s %s",
+			titleAdjectives[g.rng.Intn(len(titleAdjectives))],
+			capitalizeFirst(g.inv.ingredients[g.rng.Intn(len(g.inv.ingredients))]),
+			titleDishes[g.rng.Intn(len(titleDishes))]),
+	}
+	g.cuisineBias = CuisineSignature(r.Cuisine, g.inv.ingredients)
+	defer func() { g.cuisineBias = nil }()
+	names := make([]string, 0, nIngr)
+	for i := 0; i < nIngr; i++ {
+		p := g.IngredientPhrase()
+		r.Ingredients = append(r.Ingredients, p)
+		if p.Name != "" {
+			names = append(names, p.Name)
+		}
+	}
+	for i := 0; i < nInstr; i++ {
+		r.Instructions = append(r.Instructions, g.Instruction(names))
+	}
+	return r
+}
+
+// Recipes generates n recipes.
+func (g *Generator) Recipes(n int) []Recipe {
+	out := make([]Recipe, n)
+	for i := range out {
+		out[i] = g.Recipe()
+	}
+	return out
+}
+
+// CuisineSignature deterministically selects the signature ingredient
+// pool of a cuisine from an inventory: a stable pseudo-random subset
+// keyed by the cuisine name. Every generator (and the cuisine
+// classifier's evaluation) sees the same signature for the same
+// cuisine and inventory.
+func CuisineSignature(cuisine string, inventory []string) []string {
+	if len(inventory) == 0 {
+		return nil
+	}
+	h := fnv64(cuisine)
+	const signatureSize = 12
+	out := make([]string, 0, signatureSize)
+	seen := map[int]bool{}
+	for len(out) < signatureSize && len(seen) < len(inventory) {
+		h = h*6364136223846793005 + 1442695040888963407
+		idx := int(h % uint64(len(inventory)))
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, inventory[idx])
+		}
+	}
+	return out
+}
+
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Instructions generates n standalone instruction steps drawing from
+// the whole inventory (used for instruction-NER training corpora).
+func (g *Generator) Instructions(n int) []Instruction {
+	out := make([]Instruction, n)
+	for i := range out {
+		out[i] = g.Instruction(nil)
+	}
+	return out
+}

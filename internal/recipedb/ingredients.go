@@ -1,0 +1,310 @@
+package recipedb
+
+import (
+	"strings"
+
+	"recipemodel/internal/ner"
+)
+
+// phraseBuilder assembles a token sequence with gold spans.
+type phraseBuilder struct {
+	tokens []string
+	spans  []ner.Span
+}
+
+// add appends words as one entity span of the given type; typ "" means
+// outside any entity.
+func (b *phraseBuilder) add(typ string, words ...string) {
+	start := len(b.tokens)
+	b.tokens = append(b.tokens, words...)
+	if typ != "" {
+		b.spans = append(b.spans, ner.Span{Start: start, End: len(b.tokens), Type: typ})
+	}
+}
+
+// wordsOf splits a (possibly multiword) inventory term into tokens.
+func wordsOf(term string) []string { return strings.Fields(term) }
+
+// pluralizeName forms the plural surface of a count-noun ingredient.
+func pluralizeName(name string) string {
+	ws := wordsOf(name)
+	last := ws[len(ws)-1]
+	switch {
+	case strings.HasSuffix(last, "y") && len(last) > 1 && !strings.ContainsRune("aeiou", rune(last[len(last)-2])):
+		last = last[:len(last)-1] + "ies"
+	case strings.HasSuffix(last, "s") || strings.HasSuffix(last, "sh") ||
+		strings.HasSuffix(last, "ch") || strings.HasSuffix(last, "x") ||
+		strings.HasSuffix(last, "o"):
+		last += "es"
+	default:
+		last += "s"
+	}
+	ws[len(ws)-1] = last
+	return strings.Join(ws, " ")
+}
+
+// countNounList holds ingredients that pluralize naturally after a
+// bare count ("2 tomatoes"), in deterministic order.
+var countNounList = []string{
+	"tomato", "onion", "potato", "carrot", "egg", "lemon", "lime",
+	"apple", "banana", "orange", "pear", "peach", "shallot",
+	"jalapeno", "zucchini", "cucumber", "radish", "beet", "leek",
+	"scallion", "mushroom", "fig", "date",
+}
+
+var countNouns = func() map[string]bool {
+	m := make(map[string]bool, len(countNounList))
+	for _, w := range countNounList {
+		m[w] = true
+	}
+	return m
+}()
+
+// IngredientPhraseAt generates one gold-annotated ingredient phrase.
+func (g *Generator) IngredientPhrase() IngredientPhrase {
+	rng := g.rng
+	inv := g.inv
+	var b phraseBuilder
+	var p IngredientPhrase
+
+	name := inv.ingredients[rng.Intn(len(inv.ingredients))]
+	if g.cuisineBias != nil && rng.Float64() < 0.5 {
+		name = g.cuisineBias[rng.Intn(len(g.cuisineBias))]
+	}
+	if rng.Float64() < g.oovRate {
+		name = oovIngredient(rng)
+	}
+	qty := quantityPool[rng.Intn(len(quantityPool))]
+	unit := inv.units[rng.Intn(len(inv.units))]
+	unitSurface := unit
+	if pl, ok := inv.unitPlurals[unit]; ok && rng.Float64() < 0.55 {
+		unitSurface = pl
+	}
+	state := inv.states[rng.Intn(len(inv.states))]
+	if rng.Float64() < 0.05 {
+		state = oovState(rng) // unknown attribute (§II.A challenge 1)
+	}
+	size := inv.sizes[rng.Intn(len(inv.sizes))]
+	temp := inv.temps[rng.Intn(len(inv.temps))]
+	df := inv.dryFresh[rng.Intn(len(inv.dryFresh))]
+
+	// distractor modifier before the name, annotated O, with a
+	// site-specific vocabulary ("2 cups organic flour").
+	maybeDistract := func() {
+		if rng.Float64() < 0.15 {
+			b.add("", g.distractors[rng.Intn(len(g.distractors))])
+		}
+	}
+
+	record := func() IngredientPhrase {
+		// site-specific trailing decorations annotated O.
+		switch {
+		case g.source == SourceFoodCom && rng.Float64() < 0.10:
+			b.add("", "(", "optional", ")")
+		case g.source == SourceAllRecipes && rng.Float64() < 0.08:
+			b.add("", ",", "divided")
+		}
+		p.Tokens = b.tokens
+		p.Spans = b.spans
+		p.Text = Detokenize(b.tokens)
+		return p
+	}
+	setName := func(n string) { p.Name = n }
+
+	// weighted template choice differs by source: FOOD.com leans on
+	// abbreviations and "of" constructions that AllRecipes rarely uses.
+	r := rng.Float64()
+	foodCom := g.source == SourceFoodCom
+	switch {
+	case r < 0.14:
+		// "2 cups flour"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		p.Quantity, p.Unit = qty, unitSurface
+		setName(name)
+	case r < 0.26:
+		// "2 cups chopped onion"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		b.add(ner.State, wordsOf(state)...)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		p.Quantity, p.Unit, p.State = qty, unitSurface, state
+		setName(name)
+	case r < 0.38:
+		// "1 cup onion , chopped"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", ",")
+		b.add(ner.State, wordsOf(state)...)
+		p.Quantity, p.Unit, p.State = qty, unitSurface, state
+		setName(name)
+	case r < 0.46:
+		// "1 teaspoon fresh thyme , minced"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		b.add(ner.DryFresh, df)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", ",")
+		b.add(ner.State, wordsOf(state)...)
+		p.Quantity, p.Unit, p.DryFresh, p.State = qty, unitSurface, df, state
+		setName(name)
+	case r < 0.54:
+		// "2-3 medium tomatoes"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Size, size)
+		b.add(ner.Name, wordsOf(pluralizeName(name))...)
+		p.Quantity, p.Size = qty, size
+		setName(name)
+	case r < 0.60 && !foodCom:
+		// "1 (8 ounce) package cream cheese , softened"
+		inner := []string{"4", "8", "10", "12", "14", "16"}[rng.Intn(6)]
+		b.add(ner.Quantity, qty)
+		b.add("", "(")
+		b.add(ner.Quantity, inner)
+		b.add(ner.Unit, "ounce")
+		b.add("", ")")
+		b.add(ner.Unit, "package")
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", ",")
+		b.add(ner.State, wordsOf(state)...)
+		p.Quantity, p.Unit, p.State = qty, "package", state
+		setName(name)
+	case r < 0.64 && !foodCom:
+		// "1 sheet frozen puff pastry ( thawed )"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, "sheet")
+		b.add(ner.Temp, wordsOf(temp)...)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", "(")
+		b.add(ner.State, wordsOf(state)...)
+		b.add("", ")")
+		p.Quantity, p.Unit, p.Temp, p.State = qty, "sheet", temp, state
+		setName(name)
+	case r < 0.67:
+		// "salt to taste"
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", "to", "taste")
+		setName(name)
+	case r < 0.72:
+		// "1/2 teaspoon pepper , freshly ground"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", ",")
+		b.add("", "freshly")
+		b.add(ner.State, "ground")
+		p.Quantity, p.Unit, p.State = qty, unitSurface, "ground"
+		setName(name)
+	case r < 0.76:
+		// "6 ounces blue cheese , at room temperature"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", ",", "at")
+		b.add(ner.Temp, "room", "temperature")
+		p.Quantity, p.Unit, p.Temp = qty, unitSurface, "room temperature"
+		setName(name)
+	case r < 0.80 && !foodCom:
+		// "1 tablespoon whole milk ( or half-and-half )"
+		alt := inv.ingredients[rng.Intn(len(inv.ingredients))]
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		b.add("", "(", "or")
+		b.add("", wordsOf(alt)...)
+		b.add("", ")")
+		p.Quantity, p.Unit = qty, unitSurface
+		setName(name)
+	case r < 0.80 && foodCom:
+		// FOOD.com: "1 cup of flour"
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		b.add("", "of")
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		p.Quantity, p.Unit = qty, unitSurface
+		setName(name)
+	case r < 0.86:
+		// homograph drill: "2 cloves garlic" vs "1 teaspoon ground cloves"
+		if rng.Float64() < 0.5 {
+			b.add(ner.Quantity, qty)
+			b.add(ner.Unit, "cloves")
+			b.add(ner.Name, "garlic")
+			p.Quantity, p.Unit = qty, "cloves"
+			setName("garlic")
+		} else {
+			b.add(ner.Quantity, qty)
+			b.add(ner.Unit, unitSurface)
+			b.add(ner.State, "ground")
+			b.add(ner.Name, "cloves")
+			p.Quantity, p.Unit, p.State = qty, unitSurface, "ground"
+			setName("cloves")
+		}
+	case r < 0.93:
+		// bare count: "2 eggs" / "3 large tomatoes"
+		cn := name
+		if !countNouns[cn] {
+			cn = countNounList[rng.Intn(len(countNounList))]
+		}
+		b.add(ner.Quantity, qty)
+		if rng.Float64() < 0.4 {
+			b.add(ner.Size, size)
+			p.Size = size
+		}
+		b.add(ner.Name, wordsOf(pluralizeName(cn))...)
+		p.Quantity = qty
+		setName(cn)
+	default:
+		// "1 lb chicken , trimmed" (FOOD.com-flavoured brevity)
+		b.add(ner.Quantity, qty)
+		b.add(ner.Unit, unitSurface)
+		maybeDistract()
+		b.add(ner.Name, wordsOf(name)...)
+		if rng.Float64() < 0.5 {
+			b.add("", ",")
+			b.add(ner.State, wordsOf(state)...)
+			p.State = state
+		}
+		p.Quantity, p.Unit = qty, unitSurface
+		setName(name)
+	}
+	return record()
+}
+
+// IngredientPhrases generates n gold-annotated phrases.
+func (g *Generator) IngredientPhrases(n int) []IngredientPhrase {
+	out := make([]IngredientPhrase, n)
+	for i := range out {
+		out[i] = g.IngredientPhrase()
+	}
+	return out
+}
+
+// UniquePhrases generates phrases until it has collected n with
+// distinct text (or hits the attempt budget of 50×n, whichever comes
+// first).
+func (g *Generator) UniquePhrases(n int) []IngredientPhrase {
+	seen := make(map[string]bool, n)
+	out := make([]IngredientPhrase, 0, n)
+	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
+		p := g.IngredientPhrase()
+		if seen[p.Text] {
+			continue
+		}
+		seen[p.Text] = true
+		out = append(out, p)
+	}
+	return out
+}

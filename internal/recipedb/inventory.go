@@ -1,0 +1,149 @@
+package recipedb
+
+import (
+	"math/rand"
+	"strings"
+
+	"recipemodel/internal/gazetteer"
+)
+
+// inventory holds the word pools a generator draws from; pools differ
+// by source to create the domain gap the paper observes between
+// AllRecipes and FOOD.com models (Table IV).
+type inventory struct {
+	ingredients []string // ingredient names (may be multiword)
+	units       []string
+	unitPlurals map[string]string
+	states      []string
+	sizes       []string
+	temps       []string
+	dryFresh    []string
+	utensils    []string
+	verbs       []string
+}
+
+// splitInventory partitions the master ingredient list into a shared
+// core plus two site-exclusive tails, deterministically.
+func splitInventory(src Source) []string {
+	all := append([]string(nil), gazetteer.IngredientTerms...)
+	// deterministic interleave: indices 0,1 mod 3 are shared; 2 mod 3
+	// alternates between the two sites.
+	var out []string
+	for i, t := range all {
+		switch i % 4 {
+		case 0, 1:
+			out = append(out, t) // shared core (half the inventory)
+		case 2:
+			if src == SourceAllRecipes {
+				out = append(out, t)
+			}
+		case 3:
+			if src == SourceFoodCom {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// newInventory builds the pool set for a source.
+func newInventory(src Source) *inventory {
+	inv := &inventory{
+		ingredients: splitInventory(src),
+		states:      append([]string(nil), gazetteer.StateTerms...),
+		sizes:       append([]string(nil), gazetteer.SizeTerms...),
+		temps:       append([]string(nil), gazetteer.TempTerms...),
+		dryFresh:    append([]string(nil), gazetteer.DryFreshTerms...),
+		utensils:    append([]string(nil), gazetteer.UtensilTerms...),
+		verbs:       append([]string(nil), gazetteer.TechniqueTerms...),
+	}
+	longUnits := []string{
+		"cup", "teaspoon", "tablespoon", "ounce", "pound", "package",
+		"can", "pinch", "clove", "sheet", "slice", "stalk", "sprig",
+		"head", "bunch", "dash", "jar", "bottle", "piece", "wedge",
+	}
+	abbrevUnits := []string{"tbsp", "tsp", "oz", "lb", "g", "kg", "ml"}
+	switch src {
+	case SourceAllRecipes:
+		// AllRecipes spells units out.
+		inv.units = longUnits
+	default:
+		// FOOD.com mixes spelled-out and abbreviated units.
+		inv.units = append(append([]string(nil), longUnits...), abbrevUnits...)
+		inv.units = append(inv.units, abbrevUnits...) // double weight
+	}
+	inv.unitPlurals = map[string]string{}
+	for _, u := range longUnits {
+		switch {
+		case strings.HasSuffix(u, "ch") || strings.HasSuffix(u, "sh"):
+			inv.unitPlurals[u] = u + "es"
+		default:
+			inv.unitPlurals[u] = u + "s"
+		}
+	}
+	return inv
+}
+
+// syllables for out-of-vocabulary ingredient invention.
+var oovOnsets = []string{"br", "ch", "cl", "dr", "fl", "gr", "kh", "pl", "qu", "sk", "sm", "tr", "v", "z", "m", "n", "t", "k"}
+var oovNuclei = []string{"a", "e", "i", "o", "u", "ai", "ou", "ee"}
+var oovCodas = []string{"n", "m", "l", "r", "sh", "t", "k", "nda", "lli", "rra", "mba"}
+
+// oovIngredient invents a plausible unseen ingredient name. The paper
+// stresses that models must be "robust to identify unknown
+// ingredients" (§II.A challenge 1); these names exercise exactly that
+// path because they appear in no gazetteer.
+func oovIngredient(rng *rand.Rand) string {
+	n := 2 + rng.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(oovOnsets[rng.Intn(len(oovOnsets))])
+		b.WriteString(oovNuclei[rng.Intn(len(oovNuclei))])
+	}
+	b.WriteString(oovCodas[rng.Intn(len(oovCodas))])
+	return b.String()
+}
+
+// distractor modifiers: descriptors that belong to none of the seven
+// entity classes and are annotated O; they resemble attributes closely
+// enough to confuse a tagger. Each site favours a different subset,
+// widening the domain gap the paper measures in Table IV.
+var distractorsAllRecipes = []string{
+	"organic", "homemade", "premium", "good-quality", "store-bought",
+	"favorite", "seasonal", "local", "leftover", "prepared",
+}
+var distractorsFoodCom = []string{
+	"organic", "imported", "low-fat", "reduced-sodium", "fat-free",
+	"sugar-free", "gourmet", "day-old", "instant", "quick-cooking",
+}
+
+// rareUtensils are legitimate but uncommon utensils absent from the
+// static gazetteer — they depress utensil recall the way the long tail
+// of real kitchen equipment does (Table V: R=0.86 < P=0.94).
+var rareUtensils = []string{
+	"tagine", "paella pan", "chinois", "salamander", "bain-marie",
+	"spider", "comal", "molcajete", "tawa", "karahi", "donabe",
+	"palayok", "braiser", "cocotte", "salad spinner", "flan ring",
+	"madeleine tray", "crepe pan", "idli stand", "couscoussier",
+}
+
+// oovState invents an unseen processing-state word ("flumbled") —
+// §II.A challenge 1 covers unknown attributes, not just unknown
+// ingredient names.
+func oovState(rng *rand.Rand) string {
+	return oovIngredient(rng) + "ed"
+}
+
+// quantityPool produces the surface quantity forms, weighted toward
+// the common ones.
+var quantityPool = []string{
+	"1", "2", "3", "4", "5", "6", "8", "10", "12",
+	"1/2", "1/4", "3/4", "1/3", "2/3", "1/8",
+	"1 1/2", "2 1/2", "1 1/4", "1 3/4",
+	"2-3", "1-2", "3-4", "4-6",
+	"½", "¼", "¾", "1½",
+}
+
+// titles
+var titleAdjectives = []string{"Classic", "Easy", "Homemade", "Creamy", "Spicy", "Grandma's", "Quick", "Roasted", "Grilled", "Rustic", "Golden", "Hearty"}
+var titleDishes = []string{"Casserole", "Soup", "Stew", "Salad", "Tart", "Pie", "Bake", "Stir-Fry", "Curry", "Pasta", "Roast", "Chowder", "Gratin", "Skillet"}

@@ -1,0 +1,123 @@
+package recipedb
+
+import (
+	"encoding/json"
+	"io"
+
+	"recipemodel/internal/ner"
+)
+
+// jsonRecipe is the stable export schema for gold corpora. Field names
+// are lowerCamel so the files read naturally from Python/JS tooling.
+type jsonRecipe struct {
+	ID           int               `json:"id"`
+	Title        string            `json:"title"`
+	Cuisine      string            `json:"cuisine"`
+	Source       string            `json:"source"`
+	Ingredients  []jsonPhrase      `json:"ingredients"`
+	Instructions []jsonInstruction `json:"instructions"`
+}
+
+type jsonPhrase struct {
+	Text   string     `json:"text"`
+	Tokens []string   `json:"tokens"`
+	Spans  []jsonSpan `json:"spans"`
+	Name   string     `json:"name,omitempty"`
+}
+
+type jsonInstruction struct {
+	Text      string         `json:"text"`
+	Tokens    []string       `json:"tokens"`
+	Spans     []jsonSpan     `json:"spans"`
+	Relations []jsonRelation `json:"relations"`
+}
+
+type jsonSpan struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Type  string `json:"type"`
+}
+
+type jsonRelation struct {
+	Process     string   `json:"process"`
+	Ingredients []string `json:"ingredients,omitempty"`
+	Utensils    []string `json:"utensils,omitempty"`
+}
+
+// WriteJSONL streams recipes as JSON Lines (one recipe object per
+// line), the interchange format for shipping gold corpora to external
+// tooling.
+func WriteJSONL(w io.Writer, recipes []Recipe) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recipes {
+		jr := jsonRecipe{
+			ID: r.ID, Title: r.Title, Cuisine: r.Cuisine,
+			Source: r.Source.String(),
+		}
+		for _, p := range r.Ingredients {
+			jp := jsonPhrase{Text: p.Text, Tokens: p.Tokens, Name: p.Name}
+			for _, s := range p.Spans {
+				jp.Spans = append(jp.Spans, jsonSpan{s.Start, s.End, s.Type})
+			}
+			jr.Ingredients = append(jr.Ingredients, jp)
+		}
+		for _, in := range r.Instructions {
+			ji := jsonInstruction{Text: in.Text, Tokens: in.Tokens}
+			for _, s := range in.Spans {
+				ji.Spans = append(ji.Spans, jsonSpan{s.Start, s.End, s.Type})
+			}
+			for _, rel := range in.Relations {
+				ji.Relations = append(ji.Relations, jsonRelation{
+					Process: rel.Process, Ingredients: rel.Ingredients, Utensils: rel.Utensils,
+				})
+			}
+			jr.Instructions = append(jr.Instructions, ji)
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanFromJSON converts the export schema span back to a ner.Span.
+func spanFromJSON(s jsonSpan) ner.Span {
+	return ner.Span{Start: s.Start, End: s.End, Type: s.Type}
+}
+
+// ReadJSONL decodes recipes written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Recipe, error) {
+	dec := json.NewDecoder(r)
+	var out []Recipe
+	for dec.More() {
+		var jr jsonRecipe
+		if err := dec.Decode(&jr); err != nil {
+			return nil, err
+		}
+		rec := Recipe{ID: jr.ID, Title: jr.Title, Cuisine: jr.Cuisine}
+		if jr.Source == SourceFoodCom.String() {
+			rec.Source = SourceFoodCom
+		}
+		for _, jp := range jr.Ingredients {
+			p := IngredientPhrase{Text: jp.Text, Tokens: jp.Tokens, Name: jp.Name}
+			for _, s := range jp.Spans {
+				p.Spans = append(p.Spans, spanFromJSON(s))
+			}
+			rec.Ingredients = append(rec.Ingredients, p)
+		}
+		for _, ji := range jr.Instructions {
+			in := Instruction{Text: ji.Text, Tokens: ji.Tokens}
+			for _, s := range ji.Spans {
+				in.Spans = append(in.Spans, spanFromJSON(s))
+			}
+			for _, rel := range ji.Relations {
+				in.Relations = append(in.Relations, GoldRelation{
+					Process: rel.Process, Ingredients: rel.Ingredients, Utensils: rel.Utensils,
+				})
+			}
+			rec.Instructions = append(rec.Instructions, in)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

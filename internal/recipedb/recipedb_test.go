@@ -1,0 +1,319 @@
+package recipedb
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/ner"
+	"recipemodel/internal/tokenize"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(SourceAllRecipes, 7).Recipes(5)
+	b := NewGenerator(SourceAllRecipes, 7).Recipes(5)
+	for i := range a {
+		if a[i].Title != b[i].Title || len(a[i].Ingredients) != len(b[i].Ingredients) {
+			t.Fatal("same seed should reproduce recipes")
+		}
+		for j := range a[i].Ingredients {
+			if a[i].Ingredients[j].Text != b[i].Ingredients[j].Text {
+				t.Fatal("ingredient phrases differ under same seed")
+			}
+		}
+	}
+}
+
+func TestGeneratorSourcesDiffer(t *testing.T) {
+	a := NewGenerator(SourceAllRecipes, 7).IngredientPhrases(500)
+	f := NewGenerator(SourceFoodCom, 7).IngredientPhrases(500)
+	// FOOD.com uses abbreviations that AllRecipes never emits.
+	abbrev := func(ps []IngredientPhrase) int {
+		n := 0
+		for _, p := range ps {
+			for _, tok := range p.Tokens {
+				switch tok {
+				case "tbsp", "tsp", "oz", "lb":
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if abbrev(a) != 0 {
+		t.Errorf("AllRecipes emitted abbreviations: %d", abbrev(a))
+	}
+	if abbrev(f) == 0 {
+		t.Error("FOOD.com emitted no abbreviations")
+	}
+}
+
+func TestIngredientPhraseSpanValidity(t *testing.T) {
+	g := NewGenerator(SourceFoodCom, 11)
+	for i := 0; i < 2000; i++ {
+		p := g.IngredientPhrase()
+		if len(p.Tokens) == 0 {
+			t.Fatal("empty phrase")
+		}
+		for _, s := range p.Spans {
+			if s.Start < 0 || s.End > len(p.Tokens) || s.Start >= s.End {
+				t.Fatalf("bad span %+v in %q", s, p.Text)
+			}
+		}
+		// spans must not overlap
+		used := make([]bool, len(p.Tokens))
+		for _, s := range p.Spans {
+			for k := s.Start; k < s.End; k++ {
+				if used[k] {
+					t.Fatalf("overlapping spans in %q", p.Text)
+				}
+				used[k] = true
+			}
+		}
+		// every phrase must have a NAME span
+		hasName := false
+		for _, s := range p.Spans {
+			if s.Type == ner.Name {
+				hasName = true
+			}
+		}
+		if !hasName {
+			t.Fatalf("phrase without NAME: %q", p.Text)
+		}
+	}
+}
+
+func TestIngredientPhraseGoldAttributesMatchSpans(t *testing.T) {
+	g := NewGenerator(SourceAllRecipes, 13)
+	for i := 0; i < 500; i++ {
+		p := g.IngredientPhrase()
+		for _, s := range p.Spans {
+			surface := strings.Join(p.Tokens[s.Start:s.End], " ")
+			switch s.Type {
+			case ner.Quantity:
+				if p.Quantity != "" && !strings.Contains(p.Quantity+" extra", surface) && surface != p.Quantity {
+					// multiple QUANTITY spans occur in packaging templates;
+					// the primary gold quantity must match one of them.
+					continue
+				}
+			case ner.Name:
+				// surface may be pluralized; gold name is the base form.
+				if !strings.HasPrefix(surface, p.Name[:min(len(p.Name), 3)]) && p.Name != "cloves" {
+					t.Fatalf("NAME span %q vs gold %q in %q", surface, p.Name, p.Text)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPhraseTokensMatchTokenizer(t *testing.T) {
+	// Detokenize → Tokenize must reproduce the generated token stream,
+	// so the pipeline sees exactly what the site text would produce.
+	g := NewGenerator(SourceAllRecipes, 17)
+	for i := 0; i < 1000; i++ {
+		p := g.IngredientPhrase()
+		got := tokenize.Words(tokenize.Tokenize(p.Text))
+		if len(got) != len(p.Tokens) {
+			t.Fatalf("token count mismatch for %q: %v vs %v", p.Text, got, p.Tokens)
+		}
+		for j := range got {
+			if got[j] != p.Tokens[j] {
+				t.Fatalf("token mismatch for %q: %v vs %v", p.Text, got, p.Tokens)
+			}
+		}
+	}
+}
+
+func TestInstructionSpanValidity(t *testing.T) {
+	g := NewGenerator(SourceFoodCom, 19)
+	for i := 0; i < 1000; i++ {
+		in := g.Instruction(nil)
+		if len(in.Tokens) == 0 {
+			t.Fatal("empty instruction")
+		}
+		hasProcess := false
+		for _, s := range in.Spans {
+			if s.Start < 0 || s.End > len(in.Tokens) || s.Start >= s.End {
+				t.Fatalf("bad span %+v in %q", s, in.Text)
+			}
+			if s.Type == ner.Process {
+				hasProcess = true
+			}
+		}
+		if !hasProcess {
+			t.Fatalf("instruction without PROCESS: %q", in.Text)
+		}
+		if len(in.Relations) == 0 {
+			t.Fatalf("instruction without relations: %q", in.Text)
+		}
+		for _, r := range in.Relations {
+			if r.Process == "" {
+				t.Fatalf("relation without process in %q", in.Text)
+			}
+		}
+	}
+}
+
+func TestInstructionRelationEntitiesAreTagged(t *testing.T) {
+	// every gold relation argument must appear as an entity span.
+	g := NewGenerator(SourceAllRecipes, 23)
+	for i := 0; i < 500; i++ {
+		in := g.Instruction(nil)
+		tagged := map[string]bool{}
+		for _, s := range in.Spans {
+			tagged[strings.ToLower(strings.Join(in.Tokens[s.Start:s.End], " "))] = true
+		}
+		for _, r := range in.Relations {
+			for _, ing := range r.Ingredients {
+				if !tagged[strings.ToLower(ing)] {
+					t.Fatalf("relation ingredient %q untagged in %q", ing, in.Text)
+				}
+			}
+			for _, u := range r.Utensils {
+				if !tagged[strings.ToLower(u)] {
+					t.Fatalf("relation utensil %q untagged in %q", u, in.Text)
+				}
+			}
+		}
+	}
+}
+
+func TestRecipeShape(t *testing.T) {
+	g := NewGenerator(SourceAllRecipes, 29)
+	for _, r := range g.Recipes(50) {
+		if len(r.Ingredients) < 4 || len(r.Ingredients) > 10 {
+			t.Fatalf("ingredient count %d", len(r.Ingredients))
+		}
+		if len(r.Instructions) < 3 || len(r.Instructions) > 8 {
+			t.Fatalf("instruction count %d", len(r.Instructions))
+		}
+		if r.Title == "" || r.Cuisine == "" {
+			t.Fatal("missing title/cuisine")
+		}
+	}
+}
+
+func TestRecipeIDsIncrease(t *testing.T) {
+	g := NewGenerator(SourceAllRecipes, 31)
+	rs := g.Recipes(3)
+	if rs[0].ID >= rs[1].ID || rs[1].ID >= rs[2].ID {
+		t.Fatal("IDs not increasing")
+	}
+}
+
+func TestUniquePhrases(t *testing.T) {
+	g := NewGenerator(SourceFoodCom, 37)
+	ps := g.UniquePhrases(300)
+	if len(ps) != 300 {
+		t.Fatalf("got %d unique phrases", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Text] {
+			t.Fatalf("duplicate %q", p.Text)
+		}
+		seen[p.Text] = true
+	}
+}
+
+func TestOOVRate(t *testing.T) {
+	g := NewGenerator(SourceAllRecipes, 41)
+	g.SetOOVRate(0)
+	known := map[string]bool{}
+	for _, t2 := range g.inv.ingredients {
+		known[t2] = true
+	}
+	known["cloves"] = true
+	known["garlic"] = true
+	known["egg"] = true
+	for k := range countNouns {
+		known[k] = true
+	}
+	for i := 0; i < 300; i++ {
+		p := g.IngredientPhrase()
+		if !known[p.Name] {
+			t.Fatalf("OOV name %q at rate 0", p.Name)
+		}
+	}
+}
+
+func TestDetokenize(t *testing.T) {
+	got := Detokenize([]string{"1", "cup", "onion", ",", "chopped"})
+	if got != "1 cup onion, chopped" {
+		t.Fatalf("got %q", got)
+	}
+	got = Detokenize([]string{"1", "(", "8", "ounce", ")", "package"})
+	if got != "1 (8 ounce) package" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceAllRecipes.String() != "AllRecipes" || SourceFoodCom.String() != "FOOD.com" {
+		t.Fatal("source names")
+	}
+	if Source(9).String() != "BOTH" {
+		t.Fatal("unknown source should read BOTH")
+	}
+}
+
+func TestCuisinesCount(t *testing.T) {
+	if len(Cuisines) != 40 {
+		t.Fatalf("cuisine inventory = %d, paper uses 40", len(Cuisines))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	g := NewGenerator(SourceFoodCom, 51)
+	recipes := g.Recipes(8)
+	var buf strings.Builder
+	if err := WriteJSONL(&buf, recipes); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recipes) {
+		t.Fatalf("round trip count %d vs %d", len(back), len(recipes))
+	}
+	for i := range recipes {
+		a, b := recipes[i], back[i]
+		if a.Title != b.Title || a.Cuisine != b.Cuisine || a.Source != b.Source {
+			t.Fatalf("metadata mismatch at %d", i)
+		}
+		if len(a.Ingredients) != len(b.Ingredients) || len(a.Instructions) != len(b.Instructions) {
+			t.Fatalf("section sizes mismatch at %d", i)
+		}
+		for j := range a.Ingredients {
+			if a.Ingredients[j].Text != b.Ingredients[j].Text {
+				t.Fatalf("phrase text mismatch at %d/%d", i, j)
+			}
+			if len(a.Ingredients[j].Spans) != len(b.Ingredients[j].Spans) {
+				t.Fatalf("span count mismatch at %d/%d", i, j)
+			}
+			for k := range a.Ingredients[j].Spans {
+				if a.Ingredients[j].Spans[k] != b.Ingredients[j].Spans[k] {
+					t.Fatalf("span mismatch at %d/%d/%d", i, j, k)
+				}
+			}
+		}
+		for j := range a.Instructions {
+			if len(a.Instructions[j].Relations) != len(b.Instructions[j].Relations) {
+				t.Fatalf("relation count mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,133 @@
+// Package recipedb synthesizes a RecipeDB-style corpus. The paper
+// mines 118,000 recipes scraped from AllRecipes.com and FOOD.com; that
+// dataset is not redistributable, so this package generates recipes
+// from a seeded generative grammar instead — with gold entity spans
+// and gold event relations attached to every phrase and instruction,
+// replacing the paper's manual annotation step.
+//
+// The grammar's production rules encode exactly the lexical challenges
+// §II.A enumerates: homograph attributes ("clove" as unit vs. name),
+// parenthetical packaging ("1 (8 ounce) package cream cheese"),
+// hyphenated ranges ("2-3"), trailing state clauses (", softened"),
+// style variation between the two source sites, and a stream of
+// out-of-vocabulary ingredient names so taggers cannot simply memorize
+// the inventory.
+package recipedb
+
+import (
+	"strings"
+
+	"recipemodel/internal/ner"
+)
+
+// Source identifies the simulated origin site. The two styles differ
+// in unit vocabulary (FOOD.com abbreviates), template mixture, and
+// parts of the ingredient inventory — which is what produces the
+// cross-domain F1 drop of Table IV.
+type Source int
+
+// The simulated origin sites.
+const (
+	SourceAllRecipes Source = iota
+	SourceFoodCom
+)
+
+// String names the source like the paper does.
+func (s Source) String() string {
+	switch s {
+	case SourceAllRecipes:
+		return "AllRecipes"
+	case SourceFoodCom:
+		return "FOOD.com"
+	default:
+		return "BOTH"
+	}
+}
+
+// IngredientPhrase is one line of a recipe's ingredients section with
+// gold annotations.
+type IngredientPhrase struct {
+	// Text is the phrase as it would appear on the site.
+	Text string
+	// Tokens is the tokenized phrase (quantities like "1 1/2" are
+	// single tokens, matching the tokenize package).
+	Tokens []string
+	// Spans are gold entity spans over Tokens (Table II types).
+	Spans []ner.Span
+
+	// Gold attribute values, for direct table reproduction.
+	Name     string
+	State    string
+	Quantity string
+	Unit     string
+	Temp     string
+	DryFresh string
+	Size     string
+}
+
+// GoldRelation is one many-to-many cooking event: a process applied to
+// a set of ingredients and utensils (§III.B, Fig 5).
+type GoldRelation struct {
+	Process     string
+	Ingredients []string
+	Utensils    []string
+}
+
+// Instruction is one step of the instructions section with gold
+// annotations.
+type Instruction struct {
+	Text      string
+	Tokens    []string
+	Spans     []ner.Span // PROCESS / UTENSIL / INGR spans
+	Relations []GoldRelation
+}
+
+// Recipe is a full synthetic recipe.
+type Recipe struct {
+	ID           int
+	Title        string
+	Cuisine      string
+	Source       Source
+	Ingredients  []IngredientPhrase
+	Instructions []Instruction
+}
+
+// Detokenize renders tokens as display text: commas and closing
+// brackets attach left, opening brackets attach right.
+func Detokenize(tokens []string) string {
+	var b strings.Builder
+	for i, tok := range tokens {
+		if i > 0 && !attachesLeft(tok) && !attachesRight(prevTok(tokens, i)) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
+	}
+	return b.String()
+}
+
+func prevTok(tokens []string, i int) string { return tokens[i-1] }
+
+func attachesLeft(tok string) bool {
+	switch tok {
+	case ",", ".", ")", ";", "!", "?":
+		return true
+	}
+	return false
+}
+
+func attachesRight(tok string) bool {
+	return tok == "("
+}
+
+// Cuisines is the cuisine inventory (the paper draws instruction
+// training recipes from 40 cuisines).
+var Cuisines = []string{
+	"American", "Italian", "French", "Spanish", "Greek", "Turkish",
+	"Lebanese", "Moroccan", "Ethiopian", "Nigerian", "Indian",
+	"Pakistani", "Bangladeshi", "Nepalese", "Thai", "Vietnamese",
+	"Chinese", "Japanese", "Korean", "Filipino", "Indonesian",
+	"Malaysian", "Mexican", "Brazilian", "Peruvian", "Argentinian",
+	"Colombian", "Cuban", "Jamaican", "German", "Polish", "Russian",
+	"Ukrainian", "Hungarian", "Swedish", "Irish", "Scottish",
+	"Portuguese", "Australian", "Canadian",
+}

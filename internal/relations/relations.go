@@ -1,0 +1,231 @@
+// Package relations extracts the many-to-many cooking events of
+// §III.B: for every verb classified as a process, the subjects,
+// objects and prepositional objects are harvested from the dependency
+// tree, filtered through the NER-derived entity spans and the
+// frequency-thresholded dictionaries, and merged into tuples
+// (process × {ingredients} × {utensils}). Fig 5's example — Bring +
+// Water and Bring + Pot collapsing into one compound relation — is
+// exactly the merge step here.
+package relations
+
+import (
+	"strings"
+
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/gazetteer"
+	"recipemodel/internal/lemma"
+	"recipemodel/internal/ner"
+)
+
+// Argument is one entity participating in a relation.
+type Argument struct {
+	// Text is the full entity surface (possibly multiword).
+	Text string
+	// Index is the token index of the entity's head.
+	Index int
+}
+
+// Relation is a many-to-many cooking event.
+type Relation struct {
+	// Process is the technique verb (lower-cased surface form).
+	Process string
+	// ProcessIndex is the verb's token index.
+	ProcessIndex int
+	Ingredients  []Argument
+	Utensils     []Argument
+}
+
+// Arity returns the number of entity arguments (the quantity whose
+// mean 6.164 / σ 5.70 the paper reports per instruction — counting
+// each one-to-one pairing inside the compound tuple).
+func (r Relation) Arity() int { return len(r.Ingredients) + len(r.Utensils) }
+
+// PairCount returns the number of elementary (process, entity) pairs
+// the compound relation encodes; a relation with no arguments still
+// counts itself once.
+func (r Relation) PairCount() int {
+	if n := r.Arity(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// String renders "bring{water | pot}".
+func (r Relation) String() string {
+	var parts []string
+	for _, a := range r.Ingredients {
+		parts = append(parts, a.Text)
+	}
+	sep := " | "
+	var ut []string
+	for _, a := range r.Utensils {
+		ut = append(ut, a.Text)
+	}
+	s := r.Process + "{" + strings.Join(parts, ", ")
+	if len(ut) > 0 {
+		s += sep + strings.Join(ut, ", ")
+	}
+	return s + "}"
+}
+
+// Extractor turns parsed, entity-tagged instructions into relations.
+type Extractor struct {
+	techniques *gazetteer.Lexicon
+	utensils   *gazetteer.Lexicon
+	lem        *lemma.Lemmatizer
+}
+
+// NewExtractor builds an extractor with the given dictionaries; pass
+// the frequency-filtered dictionaries from the NER stage (§III.A) or
+// the static gazetteers.
+func NewExtractor(techniques, utensils *gazetteer.Lexicon) *Extractor {
+	return &Extractor{
+		techniques: techniques,
+		utensils:   utensils,
+		lem:        lemma.New(),
+	}
+}
+
+// NewDefaultExtractor uses the static gazetteers.
+func NewDefaultExtractor() *Extractor {
+	return NewExtractor(gazetteer.Techniques(), gazetteer.Utensils())
+}
+
+// Extract finds the relations in one instruction. tree is the
+// dependency parse of the instruction tokens; entities are the NER
+// spans over the same tokens.
+func (e *Extractor) Extract(tree *depparse.Tree, entities []ner.Span) []Relation {
+	n := len(tree.Tokens)
+	if n == 0 {
+		return nil
+	}
+	// entityAt[i] = the span covering token i, if any.
+	entityAt := make([]*ner.Span, n)
+	for s := range entities {
+		for k := entities[s].Start; k < entities[s].End && k < n; k++ {
+			entityAt[k] = &entities[s]
+		}
+	}
+
+	var out []Relation
+	for v := 0; v < n; v++ {
+		if !strings.HasPrefix(tree.POS[v], "VB") {
+			continue
+		}
+		verb := strings.ToLower(tree.Tokens[v])
+		verbLemma := e.lem.Lemma(verb, lemma.Verb)
+		// the paper filters candidate verbs through the technique
+		// dictionary and the NER process tags; we accept either signal.
+		isProc := e.techniques.Contains(verb) || e.techniques.Contains(verbLemma)
+		if !isProc && entityAt[v] != nil && entityAt[v].Type == ner.Process {
+			isProc = true
+		}
+		if !isProc {
+			continue
+		}
+		rel := Relation{Process: verb, ProcessIndex: v}
+
+		// collect candidate argument head indices:
+		var args []int
+		args = append(args, tree.ChildrenByLabel(v, depparse.Dobj)...)
+		args = append(args, tree.ChildrenByLabel(v, depparse.Nsubj)...)
+		for _, prep := range tree.ChildrenByLabel(v, depparse.Prep) {
+			args = append(args, tree.ChildrenByLabel(prep, depparse.Pobj)...)
+		}
+		// coordinated verbs share arguments ("drain and serve the
+		// pasta": both processes apply to pasta) — inherit in both
+		// directions along conj arcs.
+		inherit := func(other int) {
+			if other < 0 || !strings.HasPrefix(tree.POS[other], "VB") {
+				return
+			}
+			args = append(args, tree.ChildrenByLabel(other, depparse.Dobj)...)
+			for _, prep := range tree.ChildrenByLabel(other, depparse.Prep) {
+				args = append(args, tree.ChildrenByLabel(prep, depparse.Pobj)...)
+			}
+		}
+		if tree.Labels[v] == depparse.Conj {
+			inherit(tree.Heads[v])
+		}
+		for _, c := range tree.ChildrenByLabel(v, depparse.Conj) {
+			inherit(c)
+		}
+		// expand conjoined entities transitively ("the onions, the
+		// carrots and the celery" chains conj → conj → conj).
+		expanded := append([]int(nil), args...)
+		for qi := 0; qi < len(expanded); qi++ {
+			expanded = append(expanded, tree.ChildrenByLabel(expanded[qi], depparse.Conj)...)
+		}
+
+		seen := map[int]bool{}
+		for _, a := range expanded {
+			if a == v || seen[a] {
+				continue
+			}
+			seen[a] = true
+			arg := e.classify(tree, entityAt, a)
+			switch arg.kind {
+			case ner.Ingredient:
+				rel.Ingredients = append(rel.Ingredients, arg.Argument)
+			case ner.Utensil:
+				rel.Utensils = append(rel.Utensils, arg.Argument)
+			}
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+type classified struct {
+	Argument
+	kind string
+}
+
+// classify resolves a candidate argument token to an entity, using
+// NER spans first and the utensil dictionary as fallback — the paper
+// filters the relationship list "using the NER inferred Ingredients
+// and Utensils" (§III.B).
+func (e *Extractor) classify(tree *depparse.Tree, entityAt []*ner.Span, idx int) classified {
+	if sp := entityAt[idx]; sp != nil {
+		text := strings.ToLower(strings.Join(tree.Tokens[sp.Start:sp.End], " "))
+		switch sp.Type {
+		case ner.Ingredient:
+			return classified{Argument{Text: text, Index: idx}, ner.Ingredient}
+		case ner.Utensil:
+			return classified{Argument{Text: text, Index: idx}, ner.Utensil}
+		case ner.Process:
+			// nominal process ("bring to a boil"): not an entity argument.
+			return classified{kind: ""}
+		}
+	}
+	// dictionary fallback on the head word and the bigram around it.
+	w := strings.ToLower(tree.Tokens[idx])
+	if e.utensils.Contains(w) {
+		return classified{Argument{Text: w, Index: idx}, ner.Utensil}
+	}
+	if idx > 0 {
+		bigram := strings.ToLower(tree.Tokens[idx-1] + " " + tree.Tokens[idx])
+		if e.utensils.Contains(bigram) {
+			return classified{Argument{Text: bigram, Index: idx}, ner.Utensil}
+		}
+	}
+	return classified{kind: ""}
+}
+
+// Event is a relation situated in the temporal sequence of a recipe.
+type Event struct {
+	Step int // 0-based instruction index
+	Relation
+}
+
+// Chain orders the relations of successive instructions into the
+// temporal event chain of §III ("narrative chain" of the recipe).
+func Chain(perStep [][]Relation) []Event {
+	var out []Event
+	for step, rels := range perStep {
+		for _, r := range rels {
+			out = append(out, Event{Step: step, Relation: r})
+		}
+	}
+	return out
+}

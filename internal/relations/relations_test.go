@@ -1,0 +1,195 @@
+package relations
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/ner"
+)
+
+func fixture(t *testing.T, text, tags string, spans ...ner.Span) (*depparse.Tree, []ner.Span) {
+	t.Helper()
+	tokens := strings.Fields(text)
+	tr := depparse.Parse(tokens, strings.Fields(tags))
+	return tr, spans
+}
+
+func TestExtractBringWaterPot(t *testing.T) {
+	// Fig 5: Bring + Water and Bring + Pot merge into one relation.
+	tr, spans := fixture(t,
+		"Bring water to a boil in a large pot",
+		"VB NN TO DT NN IN DT JJ NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 1, End: 2, Type: ner.Ingredient},
+		ner.Span{Start: 4, End: 5, Type: ner.Process},
+		ner.Span{Start: 8, End: 9, Type: ner.Utensil},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %v", rels)
+	}
+	r := rels[0]
+	if r.Process != "bring" {
+		t.Fatalf("process = %q", r.Process)
+	}
+	if len(r.Ingredients) != 1 || r.Ingredients[0].Text != "water" {
+		t.Fatalf("ingredients = %v", r.Ingredients)
+	}
+	if len(r.Utensils) != 1 || r.Utensils[0].Text != "pot" {
+		t.Fatalf("utensils = %v", r.Utensils)
+	}
+	if r.Arity() != 2 || r.PairCount() != 2 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+}
+
+func TestExtractManyToMany(t *testing.T) {
+	// "potatoes are fried with olive oil in a pan" → fry × {potatoes,
+	// olive oil} × {pan}: the paper's §III.B example.
+	tr, spans := fixture(t,
+		"fry the potatoes with olive oil in a pan",
+		"VB DT NNS IN NN NN IN DT NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 2, End: 3, Type: ner.Ingredient},
+		ner.Span{Start: 4, End: 6, Type: ner.Ingredient},
+		ner.Span{Start: 8, End: 9, Type: ner.Utensil},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %v", rels)
+	}
+	r := rels[0]
+	if len(r.Ingredients) != 2 {
+		t.Fatalf("ingredients = %v", r.Ingredients)
+	}
+	if r.Ingredients[1].Text != "olive oil" {
+		t.Fatalf("multiword entity text = %q", r.Ingredients[1].Text)
+	}
+	if len(r.Utensils) != 1 || r.Utensils[0].Text != "pan" {
+		t.Fatalf("utensils = %v", r.Utensils)
+	}
+}
+
+func TestExtractConjoinedObjects(t *testing.T) {
+	tr, spans := fixture(t,
+		"add the onions and carrots to the skillet",
+		"VB DT NNS CC NNS TO DT NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 2, End: 3, Type: ner.Ingredient},
+		ner.Span{Start: 4, End: 5, Type: ner.Ingredient},
+		ner.Span{Start: 7, End: 8, Type: ner.Utensil},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %v", rels)
+	}
+	if got := rels[0].Arity(); got != 3 {
+		t.Fatalf("arity = %d, want 3 (onions, carrots, skillet)", got)
+	}
+}
+
+func TestExtractConjoinedVerbsInherit(t *testing.T) {
+	tr, spans := fixture(t,
+		"drain and serve the pasta",
+		"VB CC VB DT NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 2, End: 3, Type: ner.Process},
+		ner.Span{Start: 4, End: 5, Type: ner.Ingredient},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %v", rels)
+	}
+	for _, r := range rels {
+		if len(r.Ingredients) != 1 || r.Ingredients[0].Text != "pasta" {
+			t.Fatalf("%s should apply to pasta: %v", r.Process, r)
+		}
+	}
+}
+
+func TestNonProcessVerbIgnored(t *testing.T) {
+	tr, spans := fixture(t,
+		"enjoy the soup",
+		"VB DT NN",
+		ner.Span{Start: 2, End: 3, Type: ner.Ingredient},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 0 {
+		t.Fatalf("'enjoy' is not a technique: %v", rels)
+	}
+}
+
+func TestDictionaryFallbackForUtensil(t *testing.T) {
+	// no NER utensil span; the dictionary should still classify "pot".
+	tr, spans := fixture(t,
+		"boil the water in a pot",
+		"VB DT NN IN DT NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 2, End: 3, Type: ner.Ingredient},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 1 || len(rels[0].Utensils) != 1 {
+		t.Fatalf("relations = %v", rels)
+	}
+}
+
+func TestProcessNominalNotAnArgument(t *testing.T) {
+	// "a boil" is a PROCESS span in pobj position: it must not become
+	// an ingredient or utensil argument.
+	tr, spans := fixture(t,
+		"bring the water to a boil",
+		"VB DT NN TO DT NN",
+		ner.Span{Start: 0, End: 1, Type: ner.Process},
+		ner.Span{Start: 2, End: 3, Type: ner.Ingredient},
+		ner.Span{Start: 5, End: 6, Type: ner.Process},
+	)
+	rels := NewDefaultExtractor().Extract(tr, spans)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %v", rels)
+	}
+	if rels[0].Arity() != 1 {
+		t.Fatalf("boil nominal leaked into arguments: %v", rels[0])
+	}
+}
+
+func TestEmptyInstruction(t *testing.T) {
+	tr := depparse.Parse(nil, nil)
+	if rels := NewDefaultExtractor().Extract(tr, nil); rels != nil {
+		t.Fatalf("relations = %v", rels)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := Relation{
+		Process:     "bring",
+		Ingredients: []Argument{{Text: "water"}},
+		Utensils:    []Argument{{Text: "pot"}},
+	}
+	if got := r.String(); got != "bring{water | pot}" {
+		t.Fatalf("String = %q", got)
+	}
+	empty := Relation{Process: "cook"}
+	if empty.PairCount() != 1 {
+		t.Fatal("empty relation should count once")
+	}
+}
+
+func TestChain(t *testing.T) {
+	events := Chain([][]Relation{
+		{{Process: "preheat"}},
+		{{Process: "mix"}, {Process: "pour"}},
+		nil,
+		{{Process: "bake"}},
+	})
+	if len(events) != 4 {
+		t.Fatalf("events = %v", events)
+	}
+	wantSteps := []int{0, 1, 1, 3}
+	wantProcs := []string{"preheat", "mix", "pour", "bake"}
+	for i, e := range events {
+		if e.Step != wantSteps[i] || e.Process != wantProcs[i] {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}

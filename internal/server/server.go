@@ -1,0 +1,179 @@
+// Package server exposes the recipe-modeling pipeline as a JSON HTTP
+// API — the deployment form of the paper's own artifact (RecipeDB is a
+// web resource [1]). Endpoints:
+//
+//	POST /annotate   {"phrase": "..."}                  → IngredientRecord
+//	POST /model      {"title","cuisine","ingredients":[],"instructions":""} → RecipeModel + nutrition
+//	POST /search     {"ingredients":[],"processes":[],...} → matching recipe titles
+//	GET  /healthz                                        → 200 ok
+//
+// The server owns a trained pipeline and, optionally, an indexed
+// corpus for /search.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/index"
+	"recipemodel/internal/nutrition"
+)
+
+// Pipeline is the subset of the pipeline API the server needs;
+// satisfied by the public recipemodel.Pipeline via a thin adapter or
+// by core-level components directly.
+type Pipeline interface {
+	AnnotateIngredient(phrase string) core.IngredientRecord
+	ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	pipe      Pipeline
+	estimator *nutrition.Estimator
+	ix        *index.Index
+	mux       *http.ServeMux
+}
+
+// New builds a server around a trained pipeline; ix may be nil, which
+// disables /search with a 503.
+func New(pipe Pipeline, ix *index.Index) *Server {
+	s := &Server{
+		pipe:      pipe,
+		estimator: nutrition.NewEstimator(),
+		ix:        ix,
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/annotate", s.handleAnnotate)
+	s.mux.HandleFunc("/model", s.handleModel)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// writeJSON writes v with status 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decode reads a JSON body with a sane size cap.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// annotateRequest is the /annotate payload.
+type annotateRequest struct {
+	Phrase string `json:"phrase"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req annotateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Phrase == "" {
+		httpError(w, http.StatusBadRequest, "phrase is required")
+		return
+	}
+	writeJSON(w, s.pipe.AnnotateIngredient(req.Phrase))
+}
+
+// modelRequest is the /model payload.
+type modelRequest struct {
+	Title        string   `json:"title"`
+	Cuisine      string   `json:"cuisine"`
+	Ingredients  []string `json:"ingredients"`
+	Instructions string   `json:"instructions"`
+}
+
+// modelResponse wraps the mined model with its nutrition estimate.
+type modelResponse struct {
+	Model     *core.RecipeModel `json:"model"`
+	Nutrition nutrition.Profile `json:"nutrition"`
+	Resolved  int               `json:"resolvedIngredients"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req modelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Ingredients) == 0 {
+		httpError(w, http.StatusBadRequest, "ingredients are required")
+		return
+	}
+	m := s.pipe.ModelRecipe(req.Title, req.Cuisine, req.Ingredients, req.Instructions)
+	profile, resolved := s.estimator.EstimateRecipe(m)
+	writeJSON(w, modelResponse{Model: m, Nutrition: profile, Resolved: resolved})
+}
+
+// searchRequest mirrors index.Query with JSON tags.
+type searchRequest struct {
+	Ingredients []string `json:"ingredients"`
+	Processes   []string `json:"processes"`
+	Utensils    []string `json:"utensils"`
+	Cuisine     string   `json:"cuisine"`
+}
+
+// searchHit is one /search result row.
+type searchHit struct {
+	ID      int    `json:"id"`
+	Title   string `json:"title"`
+	Cuisine string `json:"cuisine"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.ix == nil {
+		httpError(w, http.StatusServiceUnavailable, "no corpus indexed")
+		return
+	}
+	var req searchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	hits := s.ix.Search(index.Query{
+		Ingredients: req.Ingredients,
+		Processes:   req.Processes,
+		Utensils:    req.Utensils,
+		Cuisine:     req.Cuisine,
+	})
+	out := make([]searchHit, 0, len(hits))
+	for _, id := range hits {
+		m := s.ix.Model(id)
+		out = append(out, searchHit{ID: id, Title: m.Title, Cuisine: m.Cuisine})
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/index"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/relations"
+)
+
+// fakePipe is a deterministic Pipeline stub so server tests don't pay
+// training cost; the real pipeline is covered by the integration test
+// in cmd/recipeserver.
+type fakePipe struct{}
+
+func (fakePipe) AnnotateIngredient(phrase string) core.IngredientRecord {
+	return core.IngredientRecord{Phrase: phrase, Name: "onion", Quantity: "2", Unit: "cups"}
+}
+
+func (fakePipe) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
+	m := &core.RecipeModel{Title: title, Cuisine: cuisine}
+	for _, l := range ingredientLines {
+		m.Ingredients = append(m.Ingredients, core.IngredientRecord{Phrase: l, Name: "sugar", Quantity: "100", Unit: "grams"})
+	}
+	m.Events = []core.Event{{Step: 0, Relation: relations.Relation{Process: "mix"}}}
+	return m
+}
+
+func testIndex() *index.Index {
+	return index.New([]*core.RecipeModel{
+		{Title: "Chicken Soup", Cuisine: "American",
+			Ingredients: []core.IngredientRecord{{Name: "chicken"}},
+			Events:      []core.Event{{Relation: relations.Relation{Process: "boil"}}}},
+		{Title: "Pasta", Cuisine: "Italian",
+			Ingredients: []core.IngredientRecord{{Name: "pasta"}},
+			Events:      []core.Event{{Relation: relations.Relation{Process: "boil"}}}},
+	})
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealth(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodGet, "/healthz", "")
+	if w.Code != 200 {
+		t.Fatalf("health = %d", w.Code)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"2 cups onion"}`)
+	if w.Code != 200 {
+		t.Fatalf("code = %d body = %s", w.Code, w.Body.String())
+	}
+	var rec core.IngredientRecord
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "onion" || rec.Quantity != "2" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestAnnotateValidation(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodGet, "/annotate", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate", `{}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty phrase = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad type = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate", `{"unknown":"x"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d", w.Code)
+	}
+}
+
+func TestModel(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/model",
+		`{"title":"Cake","ingredients":["100 grams sugar"],"instructions":"Mix."}`)
+	if w.Code != 200 {
+		t.Fatalf("code = %d body = %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Model struct {
+			Title string `json:"Title"`
+		} `json:"model"`
+		Nutrition struct {
+			Calories float64 `json:"Calories"`
+		} `json:"nutrition"`
+		Resolved int `json:"resolvedIngredients"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model.Title != "Cake" || resp.Resolved != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Nutrition.Calories < 380 || resp.Nutrition.Calories > 390 {
+		t.Fatalf("calories = %v", resp.Nutrition.Calories)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodPost, "/model", `{"title":"x"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("no ingredients = %d", w.Code)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := New(fakePipe{}, testIndex())
+	w := do(t, s, http.MethodPost, "/search", `{"processes":["boil"],"cuisine":"Italian"}`)
+	if w.Code != 200 {
+		t.Fatalf("code = %d body = %s", w.Code, w.Body.String())
+	}
+	var hits []struct {
+		Title string `json:"title"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Title != "Pasta" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestSearchWithoutIndex(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodPost, "/search", `{}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no index = %d", w.Code)
+	}
+}
+
+// entity span types survive the JSON round trip.
+func TestModelJSONIncludesEvents(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/model",
+		`{"ingredients":["x"],"instructions":"Mix."}`)
+	if !strings.Contains(w.Body.String(), `"Process": "mix"`) {
+		t.Fatalf("events missing:\n%s", w.Body.String())
+	}
+	_ = ner.Span{} // document the shared span type
+}

@@ -1,0 +1,89 @@
+package similarity
+
+import (
+	"math"
+	"strings"
+
+	"recipemodel/internal/core"
+)
+
+// CorpusWeights holds inverse-document-frequency weights learned from
+// a mined corpus: sharing a rare ingredient (saffron) says more about
+// two recipes than sharing a ubiquitous one (salt).
+type CorpusWeights struct {
+	idf  map[string]float64
+	docs int
+}
+
+// LearnWeights computes IDF over the ingredient names of a corpus.
+func LearnWeights(models []*core.RecipeModel) *CorpusWeights {
+	df := map[string]int{}
+	for _, m := range models {
+		for name := range ingredientSet(m) {
+			df[name]++
+		}
+	}
+	w := &CorpusWeights{idf: make(map[string]float64, len(df)), docs: len(models)}
+	for name, n := range df {
+		w.idf[name] = math.Log(float64(len(models)+1) / float64(n+1))
+	}
+	return w
+}
+
+// IDF returns the weight for an ingredient name; unseen names get the
+// maximum possible weight (they are by definition rare).
+func (w *CorpusWeights) IDF(name string) float64 {
+	if v, ok := w.idf[strings.ToLower(name)]; ok {
+		return v
+	}
+	return math.Log(float64(w.docs + 1))
+}
+
+// WeightedScore is Score with the ingredient facet replaced by
+// IDF-weighted Jaccard: Σ idf(shared) / Σ idf(union).
+func WeightedScore(a, b *core.RecipeModel, cw *CorpusWeights, w Weights) float64 {
+	sa, sb := ingredientSet(a), ingredientSet(b)
+	var inter, union float64
+	for name := range sa {
+		if sb[name] {
+			inter += cw.IDF(name)
+		}
+		union += cw.IDF(name)
+	}
+	for name := range sb {
+		if !sa[name] {
+			union += cw.IDF(name)
+		}
+	}
+	ingScore := 0.0
+	if union > 0 {
+		ingScore = inter / union
+	}
+	return w.Ingredients*ingScore +
+		w.Processes*jaccard(processSet(a), processSet(b)) +
+		w.Sequence*jaccard(processBigrams(a), processBigrams(b))
+}
+
+// MostSimilarWeighted ranks candidates by IDF-weighted similarity.
+func MostSimilarWeighted(query *core.RecipeModel, candidates []*core.RecipeModel, cw *CorpusWeights, w Weights) []Ranked {
+	out := make([]Ranked, len(candidates))
+	for i, c := range candidates {
+		out[i] = Ranked{Index: i, Score: WeightedScore(query, c, cw, w)}
+	}
+	sortRanked(out)
+	return out
+}
+
+// sortRanked orders descending by score, ties by index.
+func sortRanked(out []Ranked) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			if out[j].Score > out[j-1].Score ||
+				(out[j].Score == out[j-1].Score && out[j].Index < out[j-1].Index) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+}

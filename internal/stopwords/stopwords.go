@@ -1,0 +1,101 @@
+// Package stopwords provides the English stop-word list used during
+// pre-processing of ingredient phrases and instructions, mirroring the
+// NLTK stop-word corpus the paper relies on.
+//
+// A handful of words that NLTK lists as stop words carry meaning in
+// recipe text ("to" in "bring to a boil" is still droppable, but "not"
+// flips dryness/freshness judgments), so the package also exposes a
+// recipe-safe variant that retains negations.
+package stopwords
+
+import "strings"
+
+// nltkList is the classic NLTK English stop-word list.
+var nltkList = []string{
+	"i", "me", "my", "myself", "we", "our", "ours", "ourselves", "you",
+	"you're", "you've", "you'll", "you'd", "your", "yours", "yourself",
+	"yourselves", "he", "him", "his", "himself", "she", "she's", "her",
+	"hers", "herself", "it", "it's", "its", "itself", "they", "them",
+	"their", "theirs", "themselves", "what", "which", "who", "whom",
+	"this", "that", "that'll", "these", "those", "am", "is", "are",
+	"was", "were", "be", "been", "being", "have", "has", "had",
+	"having", "do", "does", "did", "doing", "a", "an", "the", "and",
+	"but", "if", "or", "because", "as", "until", "while", "of", "at",
+	"by", "for", "with", "about", "against", "between", "into",
+	"through", "during", "before", "after", "above", "below", "to",
+	"from", "up", "down", "in", "out", "on", "off", "over", "under",
+	"again", "further", "then", "once", "here", "there", "when",
+	"where", "why", "how", "all", "any", "both", "each", "few", "more",
+	"most", "other", "some", "such", "no", "nor", "not", "only", "own",
+	"same", "so", "than", "too", "very", "s", "t", "can", "will",
+	"just", "don", "don't", "should", "should've", "now", "d", "ll",
+	"m", "o", "re", "ve", "y", "ain", "aren", "aren't", "couldn",
+	"couldn't", "didn", "didn't", "doesn", "doesn't", "hadn", "hadn't",
+	"hasn", "hasn't", "haven", "haven't", "isn", "isn't", "ma",
+	"mightn", "mightn't", "mustn", "mustn't", "needn", "needn't",
+	"shan", "shan't", "shouldn", "shouldn't", "wasn", "wasn't",
+	"weren", "weren't", "won", "won't", "wouldn", "wouldn't",
+}
+
+// negations that the recipe-safe set keeps (dry "not fresh", etc.).
+var negations = map[string]bool{
+	"no": true, "nor": true, "not": true, "don't": true, "won't": true,
+}
+
+// Set is an immutable stop-word set.
+type Set struct {
+	words map[string]bool
+}
+
+// NLTK returns the full NLTK English stop-word set.
+func NLTK() *Set {
+	return buildSet(nil)
+}
+
+// RecipeSafe returns the NLTK set minus negation words, which carry
+// attribute information in ingredient phrases.
+func RecipeSafe() *Set {
+	return buildSet(negations)
+}
+
+func buildSet(keep map[string]bool) *Set {
+	m := make(map[string]bool, len(nltkList))
+	for _, w := range nltkList {
+		if keep[w] {
+			continue
+		}
+		m[w] = true
+	}
+	return &Set{words: m}
+}
+
+// Contains reports whether w (case-insensitively) is a stop word.
+func (s *Set) Contains(w string) bool {
+	return s.words[strings.ToLower(w)]
+}
+
+// Len returns the number of stop words in the set.
+func (s *Set) Len() int { return len(s.words) }
+
+// Filter returns the subsequence of words that are not stop words.
+// The input slice is not modified.
+func (s *Set) Filter(words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if !s.Contains(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Mask returns a boolean slice aligned with words where true marks a
+// stop word. Useful when downstream consumers must keep token
+// alignment (e.g. sequence taggers that skip rather than delete).
+func (s *Set) Mask(words []string) []bool {
+	out := make([]bool, len(words))
+	for i, w := range words {
+		out[i] = s.Contains(w)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package stopwords
+
+import "testing"
+
+func TestNLTKContains(t *testing.T) {
+	s := NLTK()
+	for _, w := range []string{"the", "of", "and", "not", "The", "AND"} {
+		if !s.Contains(w) {
+			t.Errorf("NLTK should contain %q", w)
+		}
+	}
+	for _, w := range []string{"tomato", "boil", "cup", ""} {
+		if s.Contains(w) {
+			t.Errorf("NLTK should not contain %q", w)
+		}
+	}
+}
+
+func TestRecipeSafeKeepsNegations(t *testing.T) {
+	s := RecipeSafe()
+	for _, w := range []string{"not", "no", "nor"} {
+		if s.Contains(w) {
+			t.Errorf("RecipeSafe should not treat %q as a stop word", w)
+		}
+	}
+	if !s.Contains("the") {
+		t.Error("RecipeSafe should still contain \"the\"")
+	}
+	if s.Len() >= NLTK().Len() {
+		t.Error("RecipeSafe should be strictly smaller than NLTK")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := NLTK()
+	got := s.Filter([]string{"bring", "the", "water", "to", "a", "boil"})
+	want := []string{"bring", "water", "boil"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestFilterDoesNotMutate(t *testing.T) {
+	in := []string{"the", "salt"}
+	_ = NLTK().Filter(in)
+	if in[0] != "the" || in[1] != "salt" {
+		t.Fatal("Filter mutated its input")
+	}
+}
+
+func TestMaskAlignment(t *testing.T) {
+	s := NLTK()
+	words := []string{"add", "the", "chopped", "onion"}
+	mask := s.Mask(words)
+	if len(mask) != len(words) {
+		t.Fatalf("mask length %d != %d", len(mask), len(words))
+	}
+	want := []bool{false, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestSetsAreIndependent(t *testing.T) {
+	a := NLTK()
+	b := NLTK()
+	if a.Len() != b.Len() {
+		t.Fatal("two NLTK sets differ")
+	}
+}

@@ -1,0 +1,247 @@
+// Package textgen composes novel recipes from a knowledge graph of
+// mined recipe models — the "generation of novel recipes" application
+// of §IV-§V. Ingredients are grown from the pairing graph, the
+// technique sequence is a random walk over the temporal process
+// bigrams, and each step's arguments are sampled from the process's
+// observed argument distribution; the result is rendered as recipe
+// text.
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"recipemodel/internal/graph"
+)
+
+// Config bounds the composition.
+type Config struct {
+	Ingredients int // target ingredient count (default 5)
+	Steps       int // target step count (default 5)
+}
+
+// Recipe is a generated novel recipe.
+type Recipe struct {
+	Title       string
+	Ingredients []string
+	Steps       []Step
+}
+
+// Step is one generated instruction.
+type Step struct {
+	Process     string
+	Ingredients []string
+	Utensil     string
+}
+
+// Text renders the step as an imperative sentence.
+func (s Step) Text() string {
+	var b strings.Builder
+	b.WriteString(capitalize(s.Process))
+	if len(s.Ingredients) > 0 {
+		b.WriteString(" the ")
+		b.WriteString(joinAnd(s.Ingredients))
+	}
+	if s.Utensil != "" {
+		b.WriteString(" in the ")
+		b.WriteString(s.Utensil)
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func joinAnd(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + " and " + items[len(items)-1]
+	}
+}
+
+// Text renders the whole recipe.
+func (r Recipe) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\nIngredients:\n", r.Title)
+	for _, ing := range r.Ingredients {
+		fmt.Fprintf(&b, "  - %s\n", ing)
+	}
+	b.WriteString("\nInstructions:\n")
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "  %d. %s\n", i+1, s.Text())
+	}
+	return b.String()
+}
+
+// Compose generates a novel recipe from the graph, seeded by an
+// ingredient (empty = the graph's most common ingredient).
+func Compose(g *graph.Graph, seed string, cfg Config, rng *rand.Rand) (Recipe, error) {
+	if cfg.Ingredients <= 0 {
+		cfg.Ingredients = 5
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 5
+	}
+	if seed == "" {
+		top := g.TopNodes(graph.Ingredient, 1)
+		if len(top) == 0 {
+			return Recipe{}, fmt.Errorf("textgen: empty graph")
+		}
+		seed = top[0].Node.Name
+	}
+
+	// 1. grow the ingredient set along the pairing graph.
+	ingredients := []string{seed}
+	inSet := map[string]bool{seed: true}
+	frontier := seed
+	for len(ingredients) < cfg.Ingredients {
+		pair := g.Pairings(frontier, 8)
+		var next string
+		for _, cand := range weightedShuffle(pair, rng) {
+			if !inSet[cand] {
+				next = cand
+				break
+			}
+		}
+		if next == "" {
+			// dead end: fall back to the global top list.
+			for _, w := range g.TopNodes(graph.Ingredient, 20) {
+				if !inSet[w.Node.Name] {
+					next = w.Node.Name
+					break
+				}
+			}
+		}
+		if next == "" {
+			break
+		}
+		ingredients = append(ingredients, next)
+		inSet[next] = true
+		frontier = next
+	}
+
+	// 2. random-walk the process bigrams.
+	procs := walkProcesses(g, cfg.Steps, rng)
+	if len(procs) == 0 {
+		return Recipe{}, fmt.Errorf("textgen: graph has no processes")
+	}
+
+	// 3. attach arguments per step.
+	r := Recipe{
+		Title:       fmt.Sprintf("%s with %s", capitalize(seed), joinAnd(ingredients[1:min(3, len(ingredients))])),
+		Ingredients: ingredients,
+	}
+	remaining := append([]string(nil), ingredients...)
+	for i, p := range procs {
+		step := Step{Process: p}
+		// prefer arguments the process is actually applied to.
+		known := map[string]bool{}
+		var utensil string
+		for _, w := range g.ArgumentsOf(p, 12) {
+			if w.Node.Kind == graph.Utensil && utensil == "" {
+				utensil = w.Node.Name
+			}
+			if w.Node.Kind == graph.Ingredient {
+				known[w.Node.Name] = true
+			}
+		}
+		take := 1 + rng.Intn(2)
+		for _, ing := range remaining {
+			if len(step.Ingredients) == take {
+				break
+			}
+			if known[ing] || rng.Float64() < 0.3 {
+				step.Ingredients = append(step.Ingredients, ing)
+			}
+		}
+		// ensure every ingredient is used at least once by the end.
+		if i == len(procs)-1 && len(step.Ingredients) == 0 && len(remaining) > 0 {
+			step.Ingredients = append(step.Ingredients, remaining[0])
+		}
+		if rng.Float64() < 0.7 {
+			step.Utensil = utensil
+		}
+		r.Steps = append(r.Steps, step)
+	}
+	return r, nil
+}
+
+// walkProcesses samples a plausible technique sequence.
+func walkProcesses(g *graph.Graph, n int, rng *rand.Rand) []string {
+	top := g.TopNodes(graph.Process, 10)
+	if len(top) == 0 {
+		return nil
+	}
+	cur := top[rng.Intn(len(top))].Node.Name
+	out := []string{cur}
+	for len(out) < n {
+		next := g.NextProcesses(cur, 6)
+		var cand string
+		for _, c := range weightedShuffle(toWeightedNames(next), rng) {
+			if c != cur {
+				cand = c
+				break
+			}
+		}
+		if cand == "" {
+			cand = top[rng.Intn(len(top))].Node.Name
+			if cand == cur {
+				continue
+			}
+		}
+		out = append(out, cand)
+		cur = cand
+	}
+	return out
+}
+
+func toWeightedNames(ws []graph.Weighted) []graph.Weighted { return ws }
+
+// weightedShuffle orders candidate names by count-weighted sampling
+// without replacement.
+func weightedShuffle(ws []graph.Weighted, rng *rand.Rand) []string {
+	pool := append([]graph.Weighted(nil), ws...)
+	out := make([]string, 0, len(pool))
+	for len(pool) > 0 {
+		total := 0
+		for _, w := range pool {
+			total += w.Count
+		}
+		if total <= 0 {
+			for _, w := range pool {
+				out = append(out, w.Node.Name)
+			}
+			break
+		}
+		target := rng.Intn(total)
+		acc := 0
+		pick := len(pool) - 1
+		for i, w := range pool {
+			acc += w.Count
+			if acc > target {
+				pick = i
+				break
+			}
+		}
+		out = append(out, pool[pick].Node.Name)
+		pool = append(pool[:pick], pool[pick+1:]...)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

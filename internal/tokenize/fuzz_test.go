@@ -1,0 +1,46 @@
+package tokenize
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize checks the tokenizer's core invariants on arbitrary
+// input: no panics, exact offsets, and in-bounds spans.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"1 1/2 cups sugar",
+		"1 (8 ounce) package cream cheese, softened",
+		"½ cup crème fraîche",
+		"Bring the water to a boil. Serve!",
+		"2-3 medium tomatoes",
+		"°°°((()))",
+		"\x80\xffinvalid utf8",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		prev := 0
+		for _, tok := range toks {
+			if tok.Start < prev || tok.End <= tok.Start || tok.End > len(s) {
+				t.Fatalf("bad span [%d,%d) after %d in %q", tok.Start, tok.End, prev, s)
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("offset mismatch in %q", s)
+			}
+			prev = tok.End
+		}
+		// Normalize must return valid UTF-8 for valid input.
+		if utf8.ValidString(s) {
+			for _, tok := range toks {
+				if !utf8.ValidString(Normalize(tok.Text)) {
+					t.Fatalf("Normalize produced invalid UTF-8 for %q", tok.Text)
+				}
+			}
+		}
+		// sentence splitting must cover without panicking.
+		_ = SplitSentences(s)
+	})
+}

@@ -1,0 +1,299 @@
+// Package tokenize provides a rune-accurate tokenizer and sentence
+// splitter tuned for recipe text: ingredient phrases ("1 (8 ounce)
+// package cream cheese, softened") and imperative instructions
+// ("Bring water to a boil in a large pot.").
+//
+// The tokenizer preserves byte offsets so downstream annotations can
+// always be mapped back onto the original text, and it keeps numeric
+// constructs that matter to recipes — mixed fractions ("1 1/2"),
+// ranges ("2-4"), and unicode vulgar fractions ("½") — as single
+// tokens where the lexical convention warrants it.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical unit with its position in the source text.
+type Token struct {
+	// Text is the token surface form, exactly as it appears in the input.
+	Text string
+	// Start and End are byte offsets into the original string such that
+	// input[Start:End] == Text.
+	Start int
+	End   int
+	// Kind classifies the token's lexical category.
+	Kind Kind
+}
+
+// Kind is the lexical category of a token.
+type Kind int
+
+// Lexical categories produced by the tokenizer.
+const (
+	Word   Kind = iota // alphabetic word, possibly with internal hyphens/apostrophes
+	Number             // integer, decimal, fraction, mixed number, or numeric range
+	Punct              // punctuation mark
+	Open               // opening bracket: ( [ {
+	Close              // closing bracket: ) ] }
+	Symbol             // other symbols (%, °, etc.)
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Word:
+		return "WORD"
+	case Number:
+		return "NUMBER"
+	case Punct:
+		return "PUNCT"
+	case Open:
+		return "OPEN"
+	case Close:
+		return "CLOSE"
+	case Symbol:
+		return "SYMBOL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// vulgar fractions map to their ASCII expansions when Normalize is used.
+var vulgarFractions = map[rune]string{
+	'½': "1/2", '⅓': "1/3", '⅔': "2/3",
+	'¼': "1/4", '¾': "3/4", '⅕': "1/5",
+	'⅖': "2/5", '⅗': "3/5", '⅘': "4/5",
+	'⅙': "1/6", '⅚': "5/6", '⅛': "1/8",
+	'⅜': "3/8", '⅝': "5/8", '⅞': "7/8",
+}
+
+// IsVulgarFraction reports whether r is a unicode vulgar fraction rune.
+func IsVulgarFraction(r rune) bool {
+	_, ok := vulgarFractions[r]
+	return ok
+}
+
+// ExpandVulgar returns the ASCII "a/b" expansion for a vulgar fraction
+// rune, and ok=false if r is not one.
+func ExpandVulgar(r rune) (string, bool) {
+	s, ok := vulgarFractions[r]
+	return s, ok
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || r == '\'' || IsVulgarFraction(r)
+}
+
+func isDigitRune(r rune) bool {
+	return unicode.IsDigit(r)
+}
+
+// Tokenize splits text into tokens. The concatenation of token texts
+// with the original gaps restored always reproduces the input
+// (offsets are exact).
+func Tokenize(text string) []Token {
+	var toks []Token
+	// Decode via string range so byte offsets stay exact even for
+	// invalid UTF-8 (a bad byte decodes to U+FFFD but consumes exactly
+	// one input byte, which []rune arithmetic would miscount).
+	runes := make([]rune, 0, len(text))
+	byteAt := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		runes = append(runes, r)
+		byteAt = append(byteAt, i)
+	}
+	byteAt = append(byteAt, len(text))
+
+	emit := func(i, j int, k Kind) {
+		toks = append(toks, Token{
+			// slice the original text so invalid bytes round-trip exactly.
+			Text:  text[byteAt[i]:byteAt[j]],
+			Start: byteAt[i],
+			End:   byteAt[j],
+			Kind:  k,
+		})
+	}
+
+	i := 0
+	n := len(runes)
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isDigitRune(r):
+			j := scanNumber(runes, i)
+			emit(i, j, Number)
+			i = j
+		case IsVulgarFraction(r):
+			emit(i, i+1, Number)
+			i++
+		case unicode.IsLetter(r):
+			j := scanWord(runes, i)
+			emit(i, j, Word)
+			i = j
+		case r == '(' || r == '[' || r == '{':
+			emit(i, i+1, Open)
+			i++
+		case r == ')' || r == ']' || r == '}':
+			emit(i, i+1, Close)
+			i++
+		case r == '%' || r == '°' || r == '&' || r == '+' || r == '*' || r == '#' || r == '@' || r == '$' || r == '=' || r == '<' || r == '>':
+			emit(i, i+1, Symbol)
+			i++
+		default:
+			emit(i, i+1, Punct)
+			i++
+		}
+	}
+	return toks
+}
+
+// scanNumber consumes a numeric token starting at i: digits with
+// optional decimal point, fraction slash, range hyphen, or a trailing
+// mixed fraction ("1 1/2" is consumed as one token only when joined by
+// a space and a fraction follows).
+func scanNumber(runes []rune, i int) int {
+	n := len(runes)
+	j := i
+	digits := func(j int) int {
+		for j < n && isDigitRune(runes[j]) {
+			j++
+		}
+		return j
+	}
+	j = digits(j)
+	// decimal part
+	if j < n && (runes[j] == '.' || runes[j] == ',') && j+1 < n && isDigitRune(runes[j+1]) {
+		j = digits(j + 2)
+	}
+	// fraction part: "3/4"
+	if j < n && runes[j] == '/' && j+1 < n && isDigitRune(runes[j+1]) {
+		j = digits(j + 2)
+	}
+	// range part: "2-4", "2 - 4" is NOT merged (hyphen must be tight)
+	if j < n && (runes[j] == '-' || runes[j] == '–') && j+1 < n && isDigitRune(runes[j+1]) {
+		k := digits(j + 2)
+		// possible fraction in upper bound "1-1/2"
+		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
+			k = digits(k + 2)
+		}
+		j = k
+	}
+	// mixed number: "1 1/2" — single space, then a pure fraction
+	if j+1 < n && runes[j] == ' ' && isDigitRune(runes[j+1]) {
+		k := digits(j + 1)
+		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
+			j = digits(k + 2)
+		}
+	}
+	// attached vulgar fraction: "1½"
+	if j < n && IsVulgarFraction(runes[j]) {
+		j++
+	}
+	return j
+}
+
+// scanWord consumes a word, allowing internal hyphens and apostrophes
+// between letters ("half-and-half", "don't") but stopping at other
+// punctuation.
+func scanWord(runes []rune, i int) int {
+	n := len(runes)
+	j := i
+	for j < n {
+		r := runes[j]
+		if unicode.IsLetter(r) || isDigitRune(r) {
+			j++
+			continue
+		}
+		if (r == '-' || r == '\'') && j+1 < n && isWordRune(runes[j+1]) && j > i {
+			j++
+			continue
+		}
+		break
+	}
+	return j
+}
+
+// Words returns only the token surface forms.
+func Words(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// SplitSentences splits text into sentences on '.', '!', '?' and
+// ';' boundaries, respecting common abbreviations and decimal points.
+// Recipe instruction sections are typically sequences of short
+// imperative sentences, so a light-weight rule splitter suffices.
+func SplitSentences(text string) []string {
+	var out []string
+	runes := []rune(text)
+	n := len(runes)
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(string(runes[start:end]))
+		if s != "" {
+			out = append(out, s)
+		}
+		start = end
+	}
+	for i := 0; i < n; i++ {
+		r := runes[i]
+		if r == '\n' {
+			flush(i)
+			start = i + 1
+			continue
+		}
+		if r == '!' || r == '?' || r == ';' {
+			flush(i + 1)
+			continue
+		}
+		if r == '.' {
+			// decimal point inside a number: don't split.
+			if i > 0 && isDigitRune(runes[i-1]) && i+1 < n && isDigitRune(runes[i+1]) {
+				continue
+			}
+			// abbreviation like "approx." followed by lowercase: don't split.
+			if i+2 < n && runes[i+1] == ' ' && unicode.IsLower(runes[i+2]) && isAbbreviation(runes, i) {
+				continue
+			}
+			flush(i + 1)
+		}
+	}
+	flush(n)
+	return out
+}
+
+// isAbbreviation inspects the word ending at the period at index i.
+func isAbbreviation(runes []rune, i int) bool {
+	j := i
+	for j > 0 && unicode.IsLetter(runes[j-1]) {
+		j--
+	}
+	w := strings.ToLower(string(runes[j:i]))
+	switch w {
+	case "approx", "etc", "min", "hr", "hrs", "tbsp", "tsp", "oz", "lb", "pkg", "no", "vs", "eg", "ie":
+		return true
+	}
+	return false
+}
+
+// Normalize lower-cases a token and expands unicode vulgar fractions;
+// it is the canonical surface-form normalization used across the
+// pipeline (the paper lower-cases during pre-processing).
+func Normalize(tok string) string {
+	var b strings.Builder
+	for _, r := range tok {
+		if exp, ok := vulgarFractions[r]; ok {
+			b.WriteString(exp)
+			continue
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}

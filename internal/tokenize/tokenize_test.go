@@ -1,0 +1,252 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func texts(toks []Token) []string { return Words(toks) }
+
+func TestTokenizeSimplePhrase(t *testing.T) {
+	got := texts(Tokenize("3 teaspoons olive oil"))
+	want := []string{"3", "teaspoons", "olive", "oil"}
+	if !equalStrings(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeMixedFraction(t *testing.T) {
+	toks := Tokenize("1 1/2 cups sugar")
+	if toks[0].Text != "1 1/2" {
+		t.Fatalf("mixed fraction not merged: %q", toks[0].Text)
+	}
+	if toks[0].Kind != Number {
+		t.Fatalf("kind = %v, want Number", toks[0].Kind)
+	}
+}
+
+func TestTokenizeRange(t *testing.T) {
+	toks := Tokenize("2-3 medium tomatoes")
+	if toks[0].Text != "2-3" || toks[0].Kind != Number {
+		t.Fatalf("range token = %+v", toks[0])
+	}
+}
+
+func TestTokenizeFraction(t *testing.T) {
+	toks := Tokenize("1/2 teaspoon pepper, freshly ground")
+	want := []string{"1/2", "teaspoon", "pepper", ",", "freshly", "ground"}
+	if !equalStrings(texts(toks), want) {
+		t.Fatalf("got %v want %v", texts(toks), want)
+	}
+}
+
+func TestTokenizeParenthetical(t *testing.T) {
+	toks := Tokenize("1 (8 ounce) package cream cheese, softened")
+	want := []string{"1", "(", "8", "ounce", ")", "package", "cream", "cheese", ",", "softened"}
+	if !equalStrings(texts(toks), want) {
+		t.Fatalf("got %v want %v", texts(toks), want)
+	}
+	if toks[1].Kind != Open || toks[4].Kind != Close {
+		t.Fatalf("bracket kinds wrong: %v %v", toks[1].Kind, toks[4].Kind)
+	}
+}
+
+func TestTokenizeHyphenCompound(t *testing.T) {
+	toks := Tokenize("1 tablespoon half-and-half")
+	want := []string{"1", "tablespoon", "half-and-half"}
+	if !equalStrings(texts(toks), want) {
+		t.Fatalf("got %v want %v", texts(toks), want)
+	}
+}
+
+func TestTokenizeVulgarFraction(t *testing.T) {
+	toks := Tokenize("½ cup milk")
+	if toks[0].Text != "½" || toks[0].Kind != Number {
+		t.Fatalf("vulgar fraction token = %+v", toks[0])
+	}
+	if Normalize(toks[0].Text) != "1/2" {
+		t.Fatalf("Normalize(½) = %q", Normalize(toks[0].Text))
+	}
+}
+
+func TestTokenizeAttachedVulgar(t *testing.T) {
+	toks := Tokenize("1½ cups flour")
+	if toks[0].Text != "1½" {
+		t.Fatalf("attached vulgar = %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeDecimal(t *testing.T) {
+	toks := Tokenize("2.5 pounds chicken")
+	if toks[0].Text != "2.5" || toks[0].Kind != Number {
+		t.Fatalf("decimal = %+v", toks[0])
+	}
+}
+
+func TestTokenizeDegreeSymbol(t *testing.T) {
+	toks := Tokenize("Preheat oven to 350°F")
+	want := []string{"Preheat", "oven", "to", "350", "°", "F"}
+	if !equalStrings(texts(toks), want) {
+		t.Fatalf("got %v want %v", texts(toks), want)
+	}
+	if toks[4].Kind != Symbol {
+		t.Fatalf("degree kind = %v", toks[4].Kind)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	in := "1 sheet frozen puff pastry ( thawed )"
+	for _, tok := range Tokenize(in) {
+		if in[tok.Start:tok.End] != tok.Text {
+			t.Fatalf("offset mismatch: %q vs %q", in[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeOffsetsUnicode(t *testing.T) {
+	in := "add ½ cup crème fraîche"
+	for _, tok := range Tokenize(in) {
+		if in[tok.Start:tok.End] != tok.Text {
+			t.Fatalf("offset mismatch: %q vs %q", in[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+	if got := Tokenize("   \t\n "); len(got) != 0 {
+		t.Fatalf("whitespace input produced %v", got)
+	}
+}
+
+func TestTokenizeApostrophe(t *testing.T) {
+	toks := Tokenize("confectioners' sugar isn't plain")
+	// trailing apostrophe (not followed by letter) splits off.
+	want := []string{"confectioners", "'", "sugar", "isn't", "plain"}
+	if !equalStrings(texts(toks), want) {
+		t.Fatalf("got %v want %v", texts(toks), want)
+	}
+}
+
+// Property: offsets are strictly increasing and in-bounds, and each
+// token's slice reproduces its text.
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prev := 0
+		for _, tok := range toks {
+			if tok.Start < prev || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prev = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no token contains leading/trailing space, and no
+// non-space rune of the input is dropped.
+func TestTokenizeCoverageProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		covered := 0
+		for _, tok := range toks {
+			if strings.TrimSpace(tok.Text) != tok.Text && tok.Kind != Number {
+				return false // only merged mixed numbers may contain an internal space
+			}
+			covered += len(tok.Text)
+		}
+		nonSpace := 0
+		for _, r := range s {
+			if !unicode.IsSpace(r) {
+				nonSpace += len(string(r))
+			}
+		}
+		// covered includes internal spaces of mixed numbers, so >=.
+		return covered >= nonSpace
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	in := "Bring water to a boil in a large pot. Add pasta and cook for 8 minutes. Drain; serve hot."
+	got := SplitSentences(in)
+	want := []string{
+		"Bring water to a boil in a large pot.",
+		"Add pasta and cook for 8 minutes.",
+		"Drain;",
+		"serve hot.",
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("got %#v want %#v", got, want)
+	}
+}
+
+func TestSplitSentencesDecimal(t *testing.T) {
+	got := SplitSentences("Add 2.5 cups water. Stir.")
+	if len(got) != 2 {
+		t.Fatalf("decimal split wrong: %#v", got)
+	}
+}
+
+func TestSplitSentencesAbbreviation(t *testing.T) {
+	got := SplitSentences("Simmer for 10 min. then stir. Serve.")
+	if len(got) != 2 {
+		t.Fatalf("abbrev split wrong: %#v", got)
+	}
+}
+
+func TestSplitSentencesNewlines(t *testing.T) {
+	got := SplitSentences("Mix flour and salt\nKnead the dough\nLet it rest")
+	if len(got) != 3 {
+		t.Fatalf("newline split wrong: %#v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"Tomatoes": "tomatoes",
+		"½":        "1/2",
+		"1½":       "11/2",
+		"OLIVE":    "olive",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{Word, Number, Punct, Open, Close, Symbol, Kind(99)}
+	want := []string{"WORD", "NUMBER", "PUNCT", "OPEN", "CLOSE", "SYMBOL", "UNKNOWN"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want[i])
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

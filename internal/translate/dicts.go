@@ -1,0 +1,175 @@
+package translate
+
+import "strings"
+
+// French dictionary.
+var frenchDict = &dictionary{
+	ingredients: map[string]string{
+		"water": "eau", "salt": "sel", "pepper": "poivre",
+		"sugar": "sucre", "flour": "farine", "butter": "beurre",
+		"milk": "lait", "whole milk": "lait entier", "egg": "œuf",
+		"oil": "huile", "olive oil": "huile d'olive",
+		"extra virgin olive oil": "huile d'olive extra vierge",
+		"onion":                  "oignon", "garlic": "ail", "tomato": "tomate",
+		"potato": "pomme de terre", "carrot": "carotte",
+		"chicken": "poulet", "beef": "bœuf", "pork": "porc",
+		"fish": "poisson", "rice": "riz", "pasta": "pâtes",
+		"spaghetti": "spaghettis", "cheese": "fromage",
+		"cream": "crème", "cream cheese": "fromage à la crème",
+		"blue cheese": "fromage bleu", "mushroom": "champignon",
+		"spinach": "épinards", "basil": "basilic", "thyme": "thym",
+		"parsley": "persil", "lemon": "citron", "lime": "citron vert",
+		"apple": "pomme", "strawberry": "fraise", "honey": "miel",
+		"vinegar": "vinaigre", "wine": "vin", "bread": "pain",
+		"puff pastry": "pâte feuilletée", "cabbage": "chou",
+		"shrimp": "crevette", "celery": "céleri", "ginger": "gingembre",
+		"cucumber": "concombre", "corn": "maïs", "bean": "haricot",
+		"pea": "petit pois", "lettuce": "laitue", "yogurt": "yaourt",
+	},
+	units: map[string]string{
+		"cup": "tasse", "cups": "tasses", "teaspoon": "cuillère à café",
+		"teaspoons": "cuillères à café", "tablespoon": "cuillère à soupe",
+		"tablespoons": "cuillères à soupe", "ounce": "once",
+		"ounces": "onces", "pound": "livre", "pounds": "livres",
+		"pinch": "pincée", "clove": "gousse", "cloves": "gousses",
+		"sheet": "feuille", "slice": "tranche", "slices": "tranches",
+		"package": "paquet", "can": "boîte", "sprig": "brin",
+		"head": "tête", "stalk": "tige", "bunch": "botte",
+	},
+	processes: map[string]string{
+		"boil": "faire bouillir", "bring": "porter", "add": "ajouter",
+		"mix": "mélanger", "stir": "remuer", "chop": "hacher",
+		"slice": "trancher", "bake": "cuire au four", "cook": "cuire",
+		"fry": "frire", "grill": "griller", "preheat": "préchauffer",
+		"drain": "égoutter", "serve": "servir", "season": "assaisonner",
+		"pour": "verser", "heat": "chauffer", "melt": "faire fondre",
+		"whisk": "fouetter", "knead": "pétrir", "simmer": "mijoter",
+		"cover": "couvrir", "transfer": "transférer", "toss": "remuer",
+		"spread": "étaler", "sprinkle": "saupoudrer", "cool": "refroidir",
+		"cream": "crémer", "fold": "incorporer", "roast": "rôtir",
+	},
+	attributes: map[string]string{
+		"chopped": "haché", "minced": "émincé", "ground": "moulu",
+		"sliced": "tranché", "diced": "coupé en dés",
+		"grated": "râpé", "melted": "fondu", "softened": "ramolli",
+		"thawed": "décongelé", "beaten": "battu", "crushed": "écrasé",
+		"fresh": "frais", "freshly": "fraîchement", "dry": "sec",
+		"dried": "séché", "frozen": "surgelé", "cold": "froid",
+		"hot": "chaud", "warm": "tiède", "room temperature": "à température ambiante",
+		"small": "petit", "medium": "moyen", "large": "grand",
+	},
+	utensils: map[string]string{
+		"pot": "marmite", "pan": "poêle", "bowl": "bol",
+		"oven": "four", "skillet": "poêle", "saucepan": "casserole",
+		"whisk": "fouet", "knife": "couteau", "spoon": "cuillère",
+		"baking sheet": "plaque de cuisson", "mixing bowl": "saladier",
+		"grill": "gril", "blender": "mixeur", "colander": "passoire",
+	},
+	phrases: map[string]string{"to taste": "au goût"},
+	renderIngredient: func(qty, unit, attrs, name string) string {
+		// "2 tasses d'oignon haché" — attributes follow the noun.
+		var parts []string
+		if qty != "" {
+			parts = append(parts, qty)
+		}
+		if unit != "" {
+			parts = append(parts, unit)
+		}
+		de := "de "
+		if name != "" && strings.ContainsAny(name[:1], "aeiouhàéœ") {
+			de = "d'"
+		}
+		if unit != "" {
+			parts = append(parts, de+name)
+		} else {
+			parts = append(parts, name)
+		}
+		if attrs != "" {
+			parts = append(parts, attrs)
+		}
+		return strings.Join(parts, " ")
+	},
+	stepWord: "étape",
+	withWord: "avec",
+	inWord:   "dans",
+}
+
+// Spanish dictionary.
+var spanishDict = &dictionary{
+	ingredients: map[string]string{
+		"water": "agua", "salt": "sal", "pepper": "pimienta",
+		"sugar": "azúcar", "flour": "harina", "butter": "mantequilla",
+		"milk": "leche", "whole milk": "leche entera", "egg": "huevo",
+		"oil": "aceite", "olive oil": "aceite de oliva",
+		"extra virgin olive oil": "aceite de oliva virgen extra",
+		"onion":                  "cebolla", "garlic": "ajo", "tomato": "tomate",
+		"potato": "papa", "carrot": "zanahoria", "chicken": "pollo",
+		"beef": "carne de res", "pork": "cerdo", "fish": "pescado",
+		"rice": "arroz", "pasta": "pasta", "spaghetti": "espaguetis",
+		"cheese": "queso", "cream": "crema", "cream cheese": "queso crema",
+		"blue cheese": "queso azul", "mushroom": "champiñón",
+		"spinach": "espinaca", "basil": "albahaca", "thyme": "tomillo",
+		"parsley": "perejil", "lemon": "limón", "lime": "lima",
+		"apple": "manzana", "strawberry": "fresa", "honey": "miel",
+		"vinegar": "vinagre", "wine": "vino", "bread": "pan",
+		"puff pastry": "hojaldre", "cabbage": "repollo",
+		"shrimp": "camarón", "celery": "apio", "ginger": "jengibre",
+	},
+	units: map[string]string{
+		"cup": "taza", "cups": "tazas", "teaspoon": "cucharadita",
+		"teaspoons": "cucharaditas", "tablespoon": "cucharada",
+		"tablespoons": "cucharadas", "ounce": "onza", "ounces": "onzas",
+		"pound": "libra", "pounds": "libras", "pinch": "pizca",
+		"clove": "diente", "cloves": "dientes", "sheet": "lámina",
+		"slice": "rebanada", "package": "paquete", "can": "lata",
+		"sprig": "ramita", "head": "cabeza",
+	},
+	processes: map[string]string{
+		"boil": "hervir", "bring": "llevar", "add": "añadir",
+		"mix": "mezclar", "stir": "revolver", "chop": "picar",
+		"slice": "rebanar", "bake": "hornear", "cook": "cocinar",
+		"fry": "freír", "grill": "asar", "preheat": "precalentar",
+		"drain": "escurrir", "serve": "servir", "season": "sazonar",
+		"pour": "verter", "heat": "calentar", "melt": "derretir",
+		"whisk": "batir", "knead": "amasar", "simmer": "cocer a fuego lento",
+		"cover": "cubrir", "transfer": "transferir", "toss": "mezclar",
+		"spread": "untar", "sprinkle": "espolvorear", "cool": "enfriar",
+	},
+	attributes: map[string]string{
+		"chopped": "picado", "minced": "finamente picado",
+		"ground": "molido", "sliced": "rebanado", "diced": "en cubos",
+		"grated": "rallado", "melted": "derretido", "softened": "ablandado",
+		"thawed": "descongelado", "beaten": "batido", "crushed": "triturado",
+		"fresh": "fresco", "freshly": "recién", "dry": "seco",
+		"dried": "seco", "frozen": "congelado", "cold": "frío",
+		"hot": "caliente", "warm": "tibio", "room temperature": "a temperatura ambiente",
+		"small": "pequeño", "medium": "mediano", "large": "grande",
+	},
+	utensils: map[string]string{
+		"pot": "olla", "pan": "sartén", "bowl": "tazón", "oven": "horno",
+		"skillet": "sartén", "saucepan": "cacerola", "whisk": "batidor",
+		"knife": "cuchillo", "spoon": "cuchara",
+		"baking sheet": "bandeja de horno", "mixing bowl": "tazón para mezclar",
+		"grill": "parrilla", "blender": "licuadora", "colander": "colador",
+	},
+	phrases: map[string]string{"to taste": "al gusto"},
+	renderIngredient: func(qty, unit, attrs, name string) string {
+		// "2 tazas de cebolla picada"
+		var parts []string
+		if qty != "" {
+			parts = append(parts, qty)
+		}
+		if unit != "" {
+			parts = append(parts, unit, "de", name)
+		} else {
+			parts = append(parts, name)
+		}
+		if attrs != "" {
+			parts = append(parts, attrs)
+		}
+		return strings.Join(parts, " ")
+	},
+	stepWord: "paso",
+	withWord: "con",
+	inWord:   "en",
+}

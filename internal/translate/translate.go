@@ -1,0 +1,139 @@
+// Package translate renders mined recipe models in another language —
+// the first application the paper lists for its structure
+// ("translating recipes between languages", §IV-§V). Because the
+// recipe is already decomposed into typed fields (name, state,
+// quantity, unit; process, arguments), translation is dictionary
+// lookup per field plus target-language re-ordering — no MT system
+// needed, which is exactly the point of mining the structure first.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/lemma"
+)
+
+// lem normalizes surface forms before dictionary lookup ("tomatoes" →
+// "tomato"); shared and read-only.
+var lem = lemma.New()
+
+// Lang identifies a target language.
+type Lang string
+
+// Supported target languages.
+const (
+	French  Lang = "fr"
+	Spanish Lang = "es"
+)
+
+// dictionary holds per-field lexicons for one language.
+type dictionary struct {
+	ingredients map[string]string
+	units       map[string]string
+	processes   map[string]string
+	attributes  map[string]string // states, sizes, temps, dry/fresh
+	utensils    map[string]string
+	phrases     map[string]string // fixed phrases ("to taste")
+	// renderIngredient orders the translated fields.
+	renderIngredient func(qty, unit, attrs, name string) string
+	stepWord         string
+	withWord         string
+	inWord           string
+}
+
+// Translator translates mined models into one target language.
+type Translator struct {
+	lang Lang
+	dict *dictionary
+}
+
+// New returns a translator for the language, or an error for an
+// unsupported one.
+func New(lang Lang) (*Translator, error) {
+	switch lang {
+	case French:
+		return &Translator{lang: lang, dict: frenchDict}, nil
+	case Spanish:
+		return &Translator{lang: lang, dict: spanishDict}, nil
+	default:
+		return nil, fmt.Errorf("translate: unsupported language %q", lang)
+	}
+}
+
+// Lang returns the translator's target language.
+func (t *Translator) Lang() Lang { return t.lang }
+
+// lookup translates via m, falling back to the original form — the
+// conventional behaviour for out-of-dictionary terms (they are usually
+// proper names that carry across languages).
+func lookup(m map[string]string, term string) string {
+	if term == "" {
+		return ""
+	}
+	lt := strings.ToLower(term)
+	if out, ok := m[lt]; ok {
+		return out
+	}
+	// lemmatized fallback: "tomatoes" → "tomato"; for multiword terms
+	// lemmatize the head word.
+	ws := strings.Fields(lt)
+	ws[len(ws)-1] = lem.Lemma(ws[len(ws)-1], lemma.Noun)
+	if out, ok := m[strings.Join(ws, " ")]; ok {
+		return out
+	}
+	return term
+}
+
+// Ingredient renders one ingredient record in the target language.
+func (t *Translator) Ingredient(rec core.IngredientRecord) string {
+	d := t.dict
+	var attrs []string
+	for _, a := range []string{rec.Size, rec.Temp, rec.DryFresh, rec.State} {
+		if a != "" {
+			attrs = append(attrs, lookup(d.attributes, a))
+		}
+	}
+	return d.renderIngredient(
+		rec.Quantity,
+		lookup(d.units, rec.Unit),
+		strings.Join(attrs, ", "),
+		lookup(d.ingredients, rec.Name),
+	)
+}
+
+// Event renders one cooking event in the target language.
+func (t *Translator) Event(e core.Event) string {
+	d := t.dict
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d: %s", d.stepWord, e.Step+1, lookup(d.processes, e.Process))
+	var args []string
+	for _, a := range e.Ingredients {
+		args = append(args, lookup(d.ingredients, a.Text))
+	}
+	if len(args) > 0 {
+		b.WriteString(" " + strings.Join(args, ", "))
+	}
+	var uts []string
+	for _, u := range e.Utensils {
+		uts = append(uts, lookup(d.utensils, u.Text))
+	}
+	if len(uts) > 0 {
+		b.WriteString(" " + d.inWord + " " + strings.Join(uts, ", "))
+	}
+	return b.String()
+}
+
+// Recipe renders the whole mined model in the target language.
+func (t *Translator) Recipe(m *core.RecipeModel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", m.Title, t.lang)
+	for _, rec := range m.Ingredients {
+		fmt.Fprintf(&b, "  - %s\n", t.Ingredient(rec))
+	}
+	for _, e := range m.Events {
+		fmt.Fprintf(&b, "  %s\n", t.Event(e))
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/relations"
+)
+
+func TestNewUnsupported(t *testing.T) {
+	if _, err := New(Lang("klingon")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFrenchIngredient(t *testing.T) {
+	tr, err := New(French)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Ingredient(core.IngredientRecord{
+		Name: "onion", State: "chopped", Quantity: "2", Unit: "cups",
+	})
+	if got != "2 tasses d'oignon haché" {
+		t.Fatalf("got %q", got)
+	}
+	// consonant-initial name takes "de".
+	got = tr.Ingredient(core.IngredientRecord{Name: "flour", Quantity: "1", Unit: "cup"})
+	if got != "1 tasse de farine" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSpanishIngredient(t *testing.T) {
+	tr, err := New(Spanish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Ingredient(core.IngredientRecord{
+		Name: "onion", State: "chopped", Quantity: "2", Unit: "cups",
+	})
+	if got != "2 tazas de cebolla picado" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnknownTermsCarryOver(t *testing.T) {
+	tr, _ := New(French)
+	got := tr.Ingredient(core.IngredientRecord{Name: "gochujang", Quantity: "1", Unit: "cup"})
+	if !strings.Contains(got, "gochujang") {
+		t.Fatalf("OOV name should carry over: %q", got)
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	tr, _ := New(French)
+	got := tr.Event(core.Event{Step: 0, Relation: relations.Relation{
+		Process:     "boil",
+		Ingredients: []relations.Argument{{Text: "water"}},
+		Utensils:    []relations.Argument{{Text: "pot"}},
+	}})
+	want := "étape 1: faire bouillir eau dans marmite"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestRecipeRendering(t *testing.T) {
+	m := &core.RecipeModel{
+		Title: "Tarte",
+		Ingredients: []core.IngredientRecord{
+			{Name: "tomato", Quantity: "2-3", Size: "medium"},
+			{Name: "puff pastry", Quantity: "1", Unit: "sheet", Temp: "frozen", State: "thawed"},
+		},
+		Events: []core.Event{
+			{Step: 0, Relation: relations.Relation{Process: "preheat", Utensils: []relations.Argument{{Text: "oven"}}}},
+		},
+	}
+	for _, lang := range []Lang{French, Spanish} {
+		tr, err := New(lang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tr.Recipe(m)
+		if !strings.Contains(out, "Tarte") {
+			t.Fatalf("%s: title missing:\n%s", lang, out)
+		}
+		if strings.Contains(out, "preheat") {
+			t.Fatalf("%s: process untranslated:\n%s", lang, out)
+		}
+		if tr.Lang() != lang {
+			t.Fatal("Lang mismatch")
+		}
+	}
+	fr, _ := New(French)
+	if out := fr.Recipe(m); !strings.Contains(out, "pâte feuilletée") || !strings.Contains(out, "surgelé") {
+		t.Fatalf("french fields missing:\n%s", out)
+	}
+}
+
+func TestEmptyFields(t *testing.T) {
+	tr, _ := New(Spanish)
+	got := tr.Ingredient(core.IngredientRecord{Name: "salt"})
+	if got != "sal" {
+		t.Fatalf("got %q", got)
+	}
+}
