@@ -1,0 +1,40 @@
+# Build, test, and benchmark entry points. `make verify` is the tier-1
+# gate (see ROADMAP.md); `make test-race` must also stay green since
+# the batch-mining engine runs annotation, CRF training, and K-Means on
+# worker pools.
+
+GO ?= go
+
+.PHONY: build vet test test-race verify bench bench-parallel tables clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package; exercises the worker pool,
+# sharded CRF trainer, and parallel K-Means under -race.
+test-race:
+	$(GO) test -race ./...
+
+verify: build vet test
+
+# Full benchmark suite (quality tables + hot-kernel micro benches).
+bench:
+	$(GO) test . -run '^$$' -bench . -benchtime 3x
+
+# Serial-vs-parallel twins of the batch engine only; the scaling factor
+# on a machine is the ratio of the twins' */sec metrics.
+bench-parallel:
+	$(GO) test . -run '^$$' -bench 'AnnotateCorpus|AnnotateRunParallel|CRFTrain|KMeans(Serial|Parallel)' -benchtime 3x
+
+# Paper-scale artifact generation.
+tables:
+	$(GO) run ./cmd/benchtables
+
+clean:
+	$(GO) clean ./...

@@ -12,11 +12,15 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"recipemodel/internal/cluster"
+	"recipemodel/internal/corpus"
+	"recipemodel/internal/crf"
 	"recipemodel/internal/depparse"
 	"recipemodel/internal/experiments"
 	"recipemodel/internal/mathx"
+	"recipemodel/internal/ner"
 	"recipemodel/internal/postag"
 	"recipemodel/internal/recipedb"
 	"recipemodel/internal/tokenize"
@@ -346,3 +350,119 @@ func BenchmarkCrossValidation(b *testing.B) {
 		b.ReportMetric(res.Std, "F1-std")
 	}
 }
+
+// --- parallel batch-mining engine benches ---
+//
+// Each parallel bench has a workers=1 twin so the scaling factor on a
+// given machine is the ratio of their phrases/sec (or seqs/sec,
+// points/sec) metrics; the twins compute identical results by the
+// engine's determinism guarantee.
+
+// benchCorpusPhrases is a fixed synthetic phrase corpus for the batch
+// annotation benches.
+func benchCorpusPhrases(n int) []string {
+	phrases := recipedb.NewGenerator(recipedb.SourceAllRecipes, 7).UniquePhrases(n)
+	out := make([]string, len(phrases))
+	for i, p := range phrases {
+		out[i] = p.Text
+	}
+	return out
+}
+
+func benchAnnotateCorpus(b *testing.B, workers int) {
+	p := benchPipeline(b)
+	prev := p.Workers()
+	p.SetWorkers(workers)
+	defer p.SetWorkers(prev)
+	phrases := benchCorpusPhrases(512)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if recs := p.AnnotateIngredients(phrases); len(recs) != len(phrases) {
+			b.Fatal("short batch")
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(phrases))/secs, "phrases/sec")
+	}
+}
+
+// BenchmarkAnnotateCorpusSerial / BenchmarkAnnotateCorpusParallel
+// drive the batch API over a 512-phrase corpus at workers=1 vs all
+// CPUs.
+func BenchmarkAnnotateCorpusSerial(b *testing.B)   { benchAnnotateCorpus(b, 1) }
+func BenchmarkAnnotateCorpusParallel(b *testing.B) { benchAnnotateCorpus(b, 0) }
+
+// BenchmarkAnnotateRunParallel measures single-phrase annotation under
+// b.RunParallel — the server's concurrent-request shape, many
+// goroutines sharing one read-only pipeline.
+func BenchmarkAnnotateRunParallel(b *testing.B) {
+	p := benchPipeline(b)
+	phrases := benchCorpusPhrases(64)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := p.AnnotateIngredient(phrases[i%len(phrases)])
+			if rec.Phrase == "" {
+				b.Fatal("empty record")
+			}
+			i++
+		}
+	})
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "phrases/sec")
+	}
+}
+
+func benchTrainCRF(b *testing.B, workers int) {
+	const epochs = 3
+	sents := corpus.IngredientSentences(
+		recipedb.NewGenerator(recipedb.SourceFoodCom, 13).UniquePhrases(400))
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		tg := ner.Train(sents, ner.IngredientTypes,
+			ner.NewIngredientExtractor(ner.DefaultFeatureOptions),
+			ner.TrainConfig{Epochs: epochs, Seed: 1, Shards: crf.DefaultShards, Workers: workers})
+		if tg == nil {
+			b.Fatal("nil tagger")
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(sents)*epochs)/secs, "seqs/sec")
+	}
+}
+
+// BenchmarkCRFTrainSerial / BenchmarkCRFTrainSharded run the
+// epoch-synchronous sharded trainer at workers=1 vs all CPUs; both fit
+// the identical model (same Seed, same Shards).
+func BenchmarkCRFTrainSerial(b *testing.B)  { benchTrainCRF(b, 1) }
+func BenchmarkCRFTrainSharded(b *testing.B) { benchTrainCRF(b, 0) }
+
+func benchKMeansWorkers(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]mathx.Vector, 2000)
+	for i := range pts {
+		pts[i] = make(mathx.Vector, 36)
+		for d := 0; d < 6; d++ {
+			pts[i][rng.Intn(36)] = float64(rng.Intn(4))
+		}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(pts, cluster.Config{K: 23, Workers: workers}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(pts))/secs, "points/sec")
+	}
+}
+
+// BenchmarkKMeansSerial / BenchmarkKMeansParallel compare the Lloyd
+// distance scans at workers=1 vs all CPUs (bit-identical results).
+func BenchmarkKMeansSerial(b *testing.B)   { benchKMeansWorkers(b, 1) }
+func BenchmarkKMeansParallel(b *testing.B) { benchKMeansWorkers(b, 0) }

@@ -7,20 +7,26 @@
 //
 //	recipemine generate  -n 3 -seed 7
 //	recipemine train     -o pipeline.bin
-//	recipemine annotate  [-model pipeline.bin] "2 cups chopped onion" [...]
+//	recipemine annotate  [-model pipeline.bin] [-workers N] "2 cups chopped onion" [...]
 //	recipemine instruct  "Bring the water to a boil in a large pot."
+//	recipemine mine      -n 100 -workers 8  # batch-mine a synthetic corpus to JSONL
 //	recipemine model     < recipe.txt     # title \n ingredients... \n -- \n instructions
 //	recipemine nutrition < recipe.txt
 //	recipemine translate -lang fr < recipe.txt
 //	recipemine flow      < recipe.txt     # dataflow graph as DOT
+//
+// Batch subcommands fan out over -workers goroutines (default: all
+// CPUs); output is identical at any worker count.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"recipemodel"
@@ -36,7 +42,7 @@ func main() {
 
 func run(args []string, in io.Reader, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|model|nutrition> [args]")
+		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|mine|model|nutrition> [args]")
 	}
 	switch args[0] {
 	case "generate":
@@ -47,6 +53,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return cmdAnnotate(args[1:], out)
 	case "instruct":
 		return cmdInstruct(args[1:], out)
+	case "mine":
+		return cmdMine(args[1:], out)
 	case "model":
 		return cmdModel(args[1:], in, out, modeStructure)
 	case "nutrition":
@@ -141,6 +149,7 @@ func trainPipeline(out io.Writer) (*recipemodel.Pipeline, error) {
 func cmdAnnotate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
+	workers := fs.Int("workers", runtime.NumCPU(), "batch annotation goroutines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,12 +161,42 @@ func cmdAnnotate(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	p.SetWorkers(*workers)
 	fmt.Fprintf(out, "%-40s %-20s %-10s %-9s %-10s %-10s %-9s %-8s\n",
 		"Phrase", "Name", "State", "Quantity", "Unit", "Temp", "DryFresh", "Size")
-	for _, phrase := range args {
-		r := p.AnnotateIngredient(phrase)
+	for _, r := range p.AnnotateIngredients(args) {
 		fmt.Fprintf(out, "%-40s %-20s %-10s %-9s %-10s %-10s %-9s %-8s\n",
-			phrase, r.Name, r.State, r.Quantity, r.Unit, r.Temp, r.DryFresh, r.Size)
+			r.Phrase, r.Name, r.State, r.Quantity, r.Unit, r.Temp, r.DryFresh, r.Size)
+	}
+	return nil
+}
+
+// cmdMine is the batch-mining engine: generate (or later: ingest) a
+// recipe corpus and mine every recipe into the paper's uniform
+// structure on a worker pool, emitting one RecipeModel JSON per line.
+func cmdMine(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	n := fs.Int("n", 100, "number of synthetic recipes to mine")
+	seed := fs.Int64("seed", 1, "corpus generator seed")
+	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
+	workers := fs.Int("workers", runtime.NumCPU(), "mining goroutines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("mine: -n must be positive")
+	}
+	p, err := loadOrTrain(*modelPath, os.Stderr)
+	if err != nil {
+		return err
+	}
+	p.SetWorkers(*workers)
+	models := p.ModelRecipes(recipemodel.Inputs(recipemodel.SyntheticRecipes(*n, *seed)))
+	enc := json.NewEncoder(out)
+	for _, m := range models {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,6 +101,54 @@ func TestTrainAndReuseModel(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "onion") {
 		t.Fatalf("annotate output:\n%s", out.String())
+	}
+}
+
+// TestMineSubcommand drives the batch-mining engine end to end: train
+// a small pipeline, mine a corpus at two worker counts, and require
+// valid, identical JSONL from both (the parallel-equals-serial
+// guarantee at the CLI boundary).
+func TestMineSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "p.bin")
+	var out bytes.Buffer
+	if err := run([]string{"train", "-o", model, "-phrases", "400", "-instructions", "200"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	mine := func(workers string) string {
+		var buf bytes.Buffer
+		if err := run([]string{"mine", "-model", model, "-n", "4", "-seed", "11", "-workers", workers},
+			strings.NewReader(""), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := mine("1")
+	lines := strings.Split(strings.TrimSpace(serial), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 JSONL lines, got %d", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if m["Title"] == "" {
+			t.Fatalf("line %d has empty title", i)
+		}
+	}
+	if par := mine("3"); par != serial {
+		t.Fatal("mine output differs between -workers 1 and -workers 3")
+	}
+}
+
+func TestMineRejectsBadN(t *testing.T) {
+	if err := run([]string{"mine", "-n", "0"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for -n 0")
 	}
 }
 

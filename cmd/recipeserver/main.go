@@ -32,6 +32,10 @@ func (a pipeAdapter) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return a.p.AnnotateIngredient(phrase)
 }
 
+func (a pipeAdapter) AnnotateIngredients(phrases []string) []core.IngredientRecord {
+	return a.p.AnnotateIngredients(phrases)
+}
+
 func (a pipeAdapter) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
 	return a.p.ModelRecipe(title, cuisine, ingredientLines, instructions)
 }
@@ -59,12 +63,8 @@ func buildServer(modelPath string, corpusSize int, opts recipemodel.Options) (ht
 
 	var ix *index.Index
 	if corpusSize > 0 {
-		log.Printf("mining %d recipes for /search ...", corpusSize)
-		raw := recipemodel.SyntheticRecipes(corpusSize, 1)
-		models := make([]*core.RecipeModel, len(raw))
-		for i, r := range raw {
-			models[i] = p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
-		}
+		log.Printf("mining %d recipes for /search on %d workers ...", corpusSize, p.Workers())
+		models := p.ModelRecipes(recipemodel.Inputs(recipemodel.SyntheticRecipes(corpusSize, 1)))
 		ix = index.New(models)
 	}
 	return server.New(pipeAdapter{p}, ix), nil

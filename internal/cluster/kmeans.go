@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"recipemodel/internal/mathx"
+	"recipemodel/internal/parallel"
 )
 
 // Result is a fitted K-Means clustering.
@@ -29,6 +30,13 @@ type Config struct {
 	MaxIterations int     // default 100
 	Tolerance     float64 // centroid-shift convergence threshold, default 1e-6
 	Restarts      int     // independent seedings, best inertia wins; default 1
+	// Workers bounds the goroutines used for the O(n·K·dim) distance
+	// scans (Lloyd assignment, k-means++ seeding, inertia). <= 0 uses
+	// every CPU; 1 forces serial execution. Results are bit-identical
+	// at any worker count: per-point computations are pure, and every
+	// floating-point reduction stays serial in index order. The RNG is
+	// only ever touched by the calling goroutine.
+	Workers int
 }
 
 // ErrBadInput is returned on empty data or invalid K.
@@ -61,17 +69,17 @@ func KMeans(points []mathx.Vector, cfg Config, rng *rand.Rand) (*Result, error) 
 }
 
 func runLloyd(points []mathx.Vector, cfg Config, rng *rand.Rand) *Result {
-	cents := seedPlusPlus(points, cfg.K, rng)
+	cents := seedPlusPlus(points, cfg.K, rng, cfg.Workers)
 	assign := make([]int, len(points))
 	counts := make([]int, cfg.K)
 	dim := len(points[0])
 
 	var iter int
 	for iter = 0; iter < cfg.MaxIterations; iter++ {
-		// assignment step
-		for i, p := range points {
-			assign[i] = nearest(cents, p)
-		}
+		// assignment step: pure per-point, fanned out over the pool.
+		parallel.ForEachIndex(cfg.Workers, len(points), func(i int) {
+			assign[i] = nearest(cents, points[i])
+		})
 		// update step
 		next := make([]mathx.Vector, cfg.K)
 		for c := range next {
@@ -102,11 +110,17 @@ func runLloyd(points []mathx.Vector, cfg Config, rng *rand.Rand) *Result {
 			break
 		}
 	}
-	// final assignment + inertia
+	// final assignment + inertia: distances computed in parallel, the
+	// inertia sum reduced serially in index order (same FP order as a
+	// fully serial run).
+	d2 := make([]float64, len(points))
+	parallel.ForEachIndex(cfg.Workers, len(points), func(i int) {
+		assign[i] = nearest(cents, points[i])
+		d2[i] = mathx.SquaredDistance(points[i], cents[assign[i]])
+	})
 	inertia := 0.0
-	for i, p := range points {
-		assign[i] = nearest(cents, p)
-		inertia += mathx.SquaredDistance(p, cents[assign[i]])
+	for _, d := range d2 {
+		inertia += d
 	}
 	return &Result{
 		K:          cfg.K,
@@ -119,16 +133,18 @@ func runLloyd(points []mathx.Vector, cfg Config, rng *rand.Rand) *Result {
 
 // seedPlusPlus implements k-means++ initialization: each subsequent
 // centroid is sampled with probability proportional to its squared
-// distance from the nearest already-chosen centroid.
-func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
+// distance from the nearest already-chosen centroid. The distance
+// scans fan out over workers; all RNG draws stay on the calling
+// goroutine, so seeding is deterministic at any worker count.
+func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand, workers int) []mathx.Vector {
 	cents := make([]mathx.Vector, 0, k)
 	cents = append(cents, points[rng.Intn(len(points))].Clone())
 
 	// minD2[i] = squared distance from points[i] to its nearest centroid.
 	minD2 := make([]float64, len(points))
-	for i, p := range points {
-		minD2[i] = mathx.SquaredDistance(p, cents[0])
-	}
+	parallel.ForEachIndex(workers, len(points), func(i int) {
+		minD2[i] = mathx.SquaredDistance(points[i], cents[0])
+	})
 	for len(cents) < k {
 		var sum float64
 		for _, d := range minD2 {
@@ -151,11 +167,12 @@ func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
 			}
 		}
 		cents = append(cents, points[chosen].Clone())
-		for i, p := range points {
-			if d := mathx.SquaredDistance(p, cents[len(cents)-1]); d < minD2[i] {
+		latest := cents[len(cents)-1]
+		parallel.ForEachIndex(workers, len(points), func(i int) {
+			if d := mathx.SquaredDistance(points[i], latest); d < minD2[i] {
 				minD2[i] = d
 			}
-		}
+		})
 	}
 	return cents
 }
@@ -257,9 +274,17 @@ func knee(ys []float64) int {
 }
 
 // Silhouette computes the mean silhouette coefficient of a clustering,
-// a standard internal validity measure in [-1, 1]. O(n²); intended for
-// evaluation-sized samples.
+// a standard internal validity measure in [-1, 1]. The O(n²) pairwise
+// scan fans out one point per pool slot (every per-point coefficient
+// is pure); the mean is reduced serially in index order, so the value
+// is identical at any parallelism level.
 func Silhouette(points []mathx.Vector, assign []int, k int) float64 {
+	return SilhouetteWorkers(points, assign, k, 0)
+}
+
+// SilhouetteWorkers is Silhouette with an explicit worker bound
+// (<= 0: all CPUs, 1: serial).
+func SilhouetteWorkers(points []mathx.Vector, assign []int, k, workers int) float64 {
 	n := len(points)
 	if n == 0 || k < 2 {
 		return 0
@@ -268,40 +293,54 @@ func Silhouette(points []mathx.Vector, assign []int, k int) float64 {
 	for _, c := range assign {
 		sizes[c]++
 	}
+	// coeff[i] = silhouette of point i; NaN marks undefined points
+	// (singleton clusters, degenerate b).
+	coeff := make([]float64, n)
+	parallel.ForEachRange(workers, parallel.Chunks(n, parallel.Workers(workers)),
+		func(_ int, r parallel.Range) {
+			dists := make([]float64, k)
+			for i := r.Lo; i < r.Hi; i++ {
+				coeff[i] = math.NaN()
+				for c := range dists {
+					dists[c] = 0
+				}
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					dists[assign[j]] += mathx.Distance(points[i], points[j])
+				}
+				own := assign[i]
+				if sizes[own] <= 1 {
+					continue // silhouette undefined for singleton's member
+				}
+				a := dists[own] / float64(sizes[own]-1)
+				b := math.MaxFloat64
+				for c := 0; c < k; c++ {
+					if c == own || sizes[c] == 0 {
+						continue
+					}
+					if v := dists[c] / float64(sizes[c]); v < b {
+						b = v
+					}
+				}
+				if b == math.MaxFloat64 {
+					continue
+				}
+				s := 0.0
+				if den := math.Max(a, b); den > 0 {
+					s = (b - a) / den
+				}
+				coeff[i] = s
+			}
+		})
 	var total float64
 	var counted int
-	dists := make([]float64, k)
-	for i := 0; i < n; i++ {
-		for c := range dists {
-			dists[c] = 0
-		}
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			dists[assign[j]] += mathx.Distance(points[i], points[j])
-		}
-		own := assign[i]
-		if sizes[own] <= 1 {
-			continue // silhouette undefined for singleton's member
-		}
-		a := dists[own] / float64(sizes[own]-1)
-		b := math.MaxFloat64
-		for c := 0; c < k; c++ {
-			if c == own || sizes[c] == 0 {
-				continue
-			}
-			if v := dists[c] / float64(sizes[c]); v < b {
-				b = v
-			}
-		}
-		if b == math.MaxFloat64 {
+	for _, s := range coeff {
+		if math.IsNaN(s) {
 			continue
 		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
-		}
+		total += s
 		counted++
 	}
 	if counted == 0 {

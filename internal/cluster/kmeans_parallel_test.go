@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"recipemodel/internal/mathx"
+)
+
+func clusterTestPoints(n, dim int, seed int64) []mathx.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]mathx.Vector, n)
+	for i := range pts {
+		pts[i] = make(mathx.Vector, dim)
+		for d := 0; d < 4; d++ {
+			pts[i][rng.Intn(dim)] = float64(rng.Intn(5))
+		}
+	}
+	return pts
+}
+
+// TestKMeansDeterministicAcrossWorkers: same seed, any worker count,
+// bit-identical Result (centroids, assignment, inertia, iterations).
+func TestKMeansDeterministicAcrossWorkers(t *testing.T) {
+	pts := clusterTestPoints(400, 12, 3)
+	run := func(workers int) *Result {
+		rng := rand.New(rand.NewSource(7))
+		res, err := KMeans(pts, Config{K: 9, Restarts: 2, Workers: workers}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 8, 0} {
+		par := run(w)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d diverged from serial: inertia %v vs %v",
+				w, par.Inertia, serial.Inertia)
+		}
+	}
+}
+
+// TestElbowDeterministicAcrossWorkers covers the full sweep path.
+func TestElbowDeterministicAcrossWorkers(t *testing.T) {
+	pts := clusterTestPoints(200, 8, 5)
+	run := func(workers int) (int, []float64) {
+		rng := rand.New(rand.NewSource(2))
+		k, curve, err := ElbowPoint(pts, 2, 8, Config{Workers: workers}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, curve
+	}
+	k1, c1 := run(1)
+	k8, c8 := run(8)
+	if k1 != k8 || !reflect.DeepEqual(c1, c8) {
+		t.Fatalf("elbow diverged: k %d vs %d", k1, k8)
+	}
+}
+
+// TestSilhouetteDeterministicAcrossWorkers: the parallel pairwise scan
+// must reproduce the serial mean exactly.
+func TestSilhouetteDeterministicAcrossWorkers(t *testing.T) {
+	pts := clusterTestPoints(150, 10, 9)
+	rng := rand.New(rand.NewSource(4))
+	res, err := KMeans(pts, Config{K: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := SilhouetteWorkers(pts, res.Assignment, res.K, 1)
+	for _, w := range []int{2, 8, 0} {
+		if got := SilhouetteWorkers(pts, res.Assignment, res.K, w); got != serial {
+			t.Fatalf("workers=%d silhouette %v != serial %v", w, got, serial)
+		}
+	}
+}

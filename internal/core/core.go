@@ -12,6 +12,7 @@ import (
 	"recipemodel/internal/gazetteer"
 	"recipemodel/internal/lemma"
 	"recipemodel/internal/ner"
+	"recipemodel/internal/parallel"
 	"recipemodel/internal/postag"
 	"recipemodel/internal/relations"
 	"recipemodel/internal/tokenize"
@@ -154,15 +155,73 @@ func (p *Pipeline) ModelRecipe(title, cuisine string, ingredientLines []string, 
 	return m
 }
 
+// InstructionAnnotation bundles the full instruction-stack output for
+// one step, the batch-API counterpart of AnnotateInstruction's triple
+// return.
+type InstructionAnnotation struct {
+	Step      string
+	Spans     []ner.Span
+	Tree      *depparse.Tree
+	Relations []relations.Relation
+}
+
+// RecipeInput is one raw recipe as a website would present it — the
+// unit of work of the batch mining engine.
+type RecipeInput struct {
+	Title           string
+	Cuisine         string
+	IngredientLines []string
+	Instructions    string
+}
+
+// All pipeline components are read-only after construction (the CRF
+// and perceptron weight maps are only written during training, the
+// lemmatizer and gazetteers are static tables), so one Pipeline may
+// serve any number of goroutines. The batch methods below exploit
+// that: they fan pure per-item annotation out over a bounded worker
+// pool with ordered result collection, making batch output
+// byte-identical to a serial loop at any worker count.
+
+// AnnotateIngredients decomposes a batch of ingredient phrases on up
+// to workers goroutines (<= 0: all CPUs). Result i corresponds to
+// phrases[i] and is identical to AnnotateIngredient(phrases[i]).
+func (p *Pipeline) AnnotateIngredients(phrases []string, workers int) []IngredientRecord {
+	return parallel.MapOrdered(workers, phrases, func(_ int, phrase string) IngredientRecord {
+		return p.AnnotateIngredient(phrase)
+	})
+}
+
+// AnnotateInstructions runs the instruction stack over a batch of
+// steps on up to workers goroutines (<= 0: all CPUs).
+func (p *Pipeline) AnnotateInstructions(steps []string, workers int) []InstructionAnnotation {
+	return parallel.MapOrdered(workers, steps, func(_ int, step string) InstructionAnnotation {
+		spans, tree, rels := p.AnnotateInstruction(step)
+		return InstructionAnnotation{Step: step, Spans: spans, Tree: tree, Relations: rels}
+	})
+}
+
+// ModelRecipes mines a corpus of raw recipes into recipe models, one
+// recipe per pool slot. Result i corresponds to recipes[i].
+func (p *Pipeline) ModelRecipes(recipes []RecipeInput, workers int) []*RecipeModel {
+	return parallel.MapOrdered(workers, recipes, func(_ int, r RecipeInput) *RecipeModel {
+		return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
+	})
+}
+
 // BuildDictionaries runs the instruction NER over a corpus of steps
 // and builds the frequency-thresholded technique and utensil
 // dictionaries of §III.A (thresholds 47 and 10). It returns the two
-// lexicons and the raw frequency tables.
+// lexicons and the raw frequency tables. The per-step predictions fan
+// out over every CPU (pure); the frequency counting stays serial in
+// step order, so the dictionaries are identical to a serial pass.
 func BuildDictionaries(tagger *ner.Tagger, steps [][]string, techniqueThreshold, utensilThreshold int) (tech, uten *gazetteer.Lexicon, techFreq, utenFreq *gazetteer.FrequencyDictionary) {
 	techFreq = gazetteer.NewFrequencyDictionary()
 	utenFreq = gazetteer.NewFrequencyDictionary()
-	for _, tokens := range steps {
-		for _, s := range tagger.Predict(tokens) {
+	preds := parallel.MapOrdered(0, steps, func(_ int, tokens []string) []ner.Span {
+		return tagger.Predict(tokens)
+	})
+	for i, tokens := range steps {
+		for _, s := range preds[i] {
 			surface := strings.ToLower(strings.Join(tokens[s.Start:s.End], " "))
 			switch s.Type {
 			case ner.Process:

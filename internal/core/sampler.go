@@ -6,6 +6,7 @@ import (
 	"recipemodel/internal/cluster"
 	"recipemodel/internal/lemma"
 	"recipemodel/internal/mathx"
+	"recipemodel/internal/parallel"
 	"recipemodel/internal/postag"
 	"recipemodel/internal/stopwords"
 )
@@ -32,17 +33,29 @@ type Sampler struct {
 }
 
 // NewSampler vectorizes the phrases with the tagger and fits K-Means
-// with k clusters. Pass nil for pos to use the default tagger.
+// with k clusters. Pass nil for pos to use the default tagger. It
+// runs on every CPU; results are identical to a serial run (see
+// NewSamplerWorkers).
 func NewSampler(phrases []string, pos *postag.Tagger, k int, rng *rand.Rand) (*Sampler, error) {
+	return NewSamplerWorkers(phrases, pos, k, 0, rng)
+}
+
+// NewSamplerWorkers is NewSampler with an explicit worker bound
+// (<= 0: all CPUs, 1: serial). Phrase vectorization is pure per
+// phrase and fans out over the pool; K-Means parallelizes its
+// distance scans while keeping reductions and all RNG draws on the
+// calling goroutine — so the clustering is byte-identical at any
+// worker count.
+func NewSamplerWorkers(phrases []string, pos *postag.Tagger, k, workers int, rng *rand.Rand) (*Sampler, error) {
 	if pos == nil {
 		pos = postag.Default()
 	}
 	s := &Sampler{Phrases: phrases}
 	s.Vectors = make([]mathx.Vector, len(phrases))
-	for i, ph := range phrases {
-		s.Vectors[i] = pos.VectorizePhrase(Preprocess(ph))
-	}
-	res, err := cluster.KMeans(s.Vectors, cluster.Config{K: k, Restarts: 2}, rng)
+	parallel.ForEachIndex(workers, len(phrases), func(i int) {
+		s.Vectors[i] = pos.VectorizePhrase(Preprocess(phrases[i]))
+	})
+	res, err := cluster.KMeans(s.Vectors, cluster.Config{K: k, Restarts: 2, Workers: workers}, rng)
 	if err != nil {
 		return nil, err
 	}

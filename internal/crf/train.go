@@ -3,6 +3,8 @@ package crf
 import (
 	"math"
 	"math/rand"
+
+	"recipemodel/internal/parallel"
 )
 
 // TrainConfig controls CRF training.
@@ -14,7 +16,25 @@ type TrainConfig struct {
 	// Method selects the trainer: "sgd" (AdaGrad maximum likelihood,
 	// default) or "perceptron" (averaged structured perceptron).
 	Method string
+	// Shards > 0 selects the epoch-synchronous sharded SGD trainer:
+	// each epoch's forward–backward passes run over Shards contiguous
+	// data chunks with per-shard gradient buffers, merged in shard
+	// order at an epoch barrier before one AdaGrad step per parameter.
+	// The fitted model depends only on Shards (and the other knobs),
+	// never on Workers, so a seeded run is reproducible at any
+	// parallelism level. Shards == 0 with Workers > 1 defaults to
+	// DefaultShards.
+	Shards int
+	// Workers bounds the goroutines executing the shards (<= 0: all
+	// CPUs when sharding is active). Ignored by the serial trainers.
+	Workers int
 }
+
+// DefaultShards is the shard count used when Workers requests
+// parallel training but Shards is unset. It is a fixed constant —
+// not the CPU count — precisely so the same seed yields the same
+// model on any machine.
+const DefaultShards = 8
 
 func (c *TrainConfig) defaults() {
 	if c.Epochs <= 0 {
@@ -31,15 +51,20 @@ func (c *TrainConfig) defaults() {
 	if c.Method == "" {
 		c.Method = "sgd"
 	}
+	if c.Shards <= 0 && c.Workers > 1 {
+		c.Shards = DefaultShards
+	}
 }
 
 // Train fits the model to the data. It returns the per-epoch mean
 // log-likelihood (SGD) or training sequence accuracy (perceptron).
 func (m *Model) Train(data []Sequence, cfg TrainConfig) []float64 {
 	cfg.defaults()
-	switch cfg.Method {
-	case "perceptron":
+	switch {
+	case cfg.Method == "perceptron":
 		return m.trainPerceptron(data, cfg)
+	case cfg.Shards > 0:
+		return m.trainShardedSGD(data, cfg)
 	default:
 		return m.trainSGD(data, cfg)
 	}
@@ -140,6 +165,186 @@ func (m *Model) trainSGD(data []Sequence, cfg TrainConfig) []float64 {
 		}
 		if len(data) > 0 {
 			trace = append(trace, llSum/float64(len(data)))
+		}
+	}
+	return trace
+}
+
+// shardGrad accumulates the likelihood gradient of one data shard.
+// Each shard owns its buffers; nothing here is shared across
+// goroutines until the epoch barrier merges shards in index order.
+type shardGrad struct {
+	emit  map[string][]float64
+	trans [][]float64
+	end   []float64
+	ll    float64
+}
+
+func newShardGrad(L int) *shardGrad {
+	g := &shardGrad{
+		emit:  make(map[string][]float64),
+		trans: make([][]float64, L+1),
+		end:   make([]float64, L),
+	}
+	for i := range g.trans {
+		g.trans[i] = make([]float64, L)
+	}
+	return g
+}
+
+// accumulate adds the (observed − expected) gradient of one sequence,
+// computed against the epoch-start weights of m (read-only here).
+func (g *shardGrad) accumulate(m *Model, seq Sequence, bos, L int) {
+	n := len(seq.Features)
+	if n == 0 {
+		return
+	}
+	lat := m.forwardBackward(seq.Features)
+	g.ll += m.PathScore(seq.Features, seq.Labels) - lat.logZ
+
+	for t := 0; t < n; t++ {
+		gold := seq.Labels[t]
+		for _, f := range seq.Features[t] {
+			row, ok := g.emit[f]
+			if !ok {
+				row = make([]float64, L)
+				g.emit[f] = row
+			}
+			for y := 0; y < L; y++ {
+				p := math.Exp(lat.alpha[t][y] + lat.beta[t][y] - lat.logZ)
+				row[y] -= p
+				if y == gold {
+					row[y]++
+				}
+			}
+		}
+	}
+	for y := 0; y < L; y++ {
+		p := math.Exp(lat.alpha[0][y] + lat.beta[0][y] - lat.logZ)
+		g.trans[bos][y] -= p
+		if y == seq.Labels[0] {
+			g.trans[bos][y]++
+		}
+	}
+	for t := 1; t < n; t++ {
+		for yp := 0; yp < L; yp++ {
+			for y := 0; y < L; y++ {
+				p := math.Exp(lat.alpha[t-1][yp] + m.Trans[yp][y] +
+					lat.emit[t][y] + lat.beta[t][y] - lat.logZ)
+				g.trans[yp][y] -= p
+				if yp == seq.Labels[t-1] && y == seq.Labels[t] {
+					g.trans[yp][y]++
+				}
+			}
+		}
+	}
+	for y := 0; y < L; y++ {
+		p := math.Exp(lat.alpha[n-1][y] + m.TransEnd[y] - lat.logZ)
+		g.end[y] -= p
+		if y == seq.Labels[n-1] {
+			g.end[y]++
+		}
+	}
+}
+
+// trainShardedSGD is the epoch-synchronous parallel trainer: per
+// epoch, the shuffled data is cut into cfg.Shards contiguous chunks,
+// each chunk's exact forward–backward gradient is accumulated into a
+// private buffer on the worker pool, the buffers are merged in shard
+// order (fixing the floating-point summation order), and a single
+// AdaGrad step with L2 decay is applied per touched parameter.
+//
+// Numerically this is minibatch (one step per epoch) rather than the
+// online trainer's one step per sequence, so the two converge to
+// slightly different weights — but for a fixed (Seed, Shards) the
+// result is byte-identical whether Workers is 1 or 64.
+func (m *Model) trainShardedSGD(data []Sequence, cfg TrainConfig) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	L := m.L()
+	bos := m.bos()
+
+	emitCache := make(map[string][]float64)
+	transCache := make([][]float64, L+1)
+	for i := range transCache {
+		transCache[i] = make([]float64, L)
+	}
+	endCache := make([]float64, L)
+
+	const eps = 1e-8
+	step := func(w *float64, g float64, cache *float64) {
+		*cache += g * g
+		*w += cfg.LearningRate * g / (math.Sqrt(*cache) + eps)
+	}
+
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	trace := make([]float64, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+
+		// Gradient phase: shards read the epoch-start weights
+		// concurrently and write only to their own buffers.
+		grads := parallel.MapOrdered(cfg.Workers, parallel.Chunks(len(idx), cfg.Shards),
+			func(_ int, r parallel.Range) *shardGrad {
+				g := newShardGrad(L)
+				for _, di := range idx[r.Lo:r.Hi] {
+					g.accumulate(m, data[di], bos, L)
+				}
+				return g
+			})
+
+		// Barrier merge in shard order.
+		total := newShardGrad(L)
+		for _, g := range grads {
+			total.ll += g.ll
+			for f, row := range g.emit {
+				acc, ok := total.emit[f]
+				if !ok {
+					acc = make([]float64, L)
+					total.emit[f] = acc
+				}
+				for y := 0; y < L; y++ {
+					acc[y] += row[y]
+				}
+			}
+			for a := range g.trans {
+				for b := range g.trans[a] {
+					total.trans[a][b] += g.trans[a][b]
+				}
+			}
+			for y := range g.end {
+				total.end[y] += g.end[y]
+			}
+		}
+
+		// Update phase (single goroutine). Parameters are independent
+		// under AdaGrad, so map iteration order does not affect the
+		// result.
+		for f, grad := range total.emit {
+			w, ok := m.Emit[f]
+			if !ok {
+				w = make([]float64, L)
+				m.Emit[f] = w
+				emitCache[f] = make([]float64, L)
+			}
+			c := emitCache[f]
+			for y := 0; y < L; y++ {
+				step(&w[y], grad[y]-cfg.L2*w[y], &c[y])
+			}
+		}
+		for a := range total.trans {
+			for b := range total.trans[a] {
+				step(&m.Trans[a][b], total.trans[a][b]-cfg.L2*m.Trans[a][b], &transCache[a][b])
+			}
+		}
+		for y := range total.end {
+			step(&m.TransEnd[y], total.end[y]-cfg.L2*m.TransEnd[y], &endCache[y])
+		}
+
+		if len(data) > 0 {
+			trace = append(trace, total.ll/float64(len(data)))
 		}
 	}
 	return trace

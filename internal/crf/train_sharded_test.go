@@ -1,0 +1,114 @@
+package crf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// syntheticData builds a small labeled corpus with a learnable
+// structure: label = f(token class), tokens drawn from per-label
+// vocabularies.
+func syntheticData(n int, seed int64) ([]Sequence, []string) {
+	labels := []string{"O", "B-X", "I-X"}
+	vocab := [][]string{
+		{"the", "a", "of", "and"},
+		{"start", "begin", "open"},
+		{"cont", "more", "tail"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]Sequence, n)
+	for i := range data {
+		ln := 3 + rng.Intn(5)
+		seq := Sequence{Features: make([][]string, ln), Labels: make([]int, ln)}
+		prev := 0
+		for t := 0; t < ln; t++ {
+			y := rng.Intn(3)
+			if y == 2 && prev == 0 {
+				y = 1
+			}
+			w := vocab[y][rng.Intn(len(vocab[y]))]
+			seq.Features[t] = []string{"w=" + w, fmt.Sprintf("pos=%d", t%3)}
+			seq.Labels[t] = y
+			prev = y
+		}
+		data[i] = seq
+	}
+	return data, labels
+}
+
+func trainSharded(t *testing.T, shards, workers int) *Model {
+	t.Helper()
+	data, labels := syntheticData(60, 11)
+	m := New(labels)
+	m.Train(data, TrainConfig{Epochs: 4, Seed: 5, Shards: shards, Workers: workers})
+	return m
+}
+
+func modelsEqual(a, b *Model) bool {
+	return reflect.DeepEqual(a.Emit, b.Emit) &&
+		reflect.DeepEqual(a.Trans, b.Trans) &&
+		reflect.DeepEqual(a.TransEnd, b.TransEnd)
+}
+
+// TestShardedDeterministicAcrossWorkers is the core guarantee of the
+// parallel trainer: for a fixed (Seed, Shards) the fitted weights are
+// byte-identical at any worker count.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	base := trainSharded(t, 4, 1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		m := trainSharded(t, 4, workers)
+		if !modelsEqual(base, m) {
+			t.Fatalf("shards=4: workers=%d produced different weights than workers=1", workers)
+		}
+	}
+}
+
+// TestShardedSingleShardMatchesAnyWorkers pins the degenerate case.
+func TestShardedSingleShardMatchesAnyWorkers(t *testing.T) {
+	if !modelsEqual(trainSharded(t, 1, 1), trainSharded(t, 1, 8)) {
+		t.Fatal("shards=1 must be worker-count independent")
+	}
+}
+
+// TestShardedLearns checks the minibatch trainer actually fits: the
+// per-epoch mean log-likelihood must increase and decoding must beat
+// chance on the training set.
+func TestShardedLearns(t *testing.T) {
+	data, labels := syntheticData(80, 3)
+	m := New(labels)
+	trace := m.Train(data, TrainConfig{Epochs: 8, Seed: 1, Shards: 4, Workers: 2})
+	if len(trace) != 8 {
+		t.Fatalf("want 8 epochs of trace, got %d", len(trace))
+	}
+	if trace[len(trace)-1] <= trace[0] {
+		t.Fatalf("log-likelihood did not improve: %v", trace)
+	}
+	correct, total := 0, 0
+	for _, seq := range data {
+		pred, _ := m.Decode(seq.Features)
+		for t2, y := range pred {
+			if y == seq.Labels[t2] {
+				correct++
+			}
+			total++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Fatalf("sharded trainer token accuracy %.3f < 0.8", acc)
+	}
+}
+
+// TestWorkersImpliesSharding: Workers > 1 with Shards unset must route
+// to the deterministic sharded path with DefaultShards.
+func TestWorkersImpliesSharding(t *testing.T) {
+	data, labels := syntheticData(40, 9)
+	a := New(labels)
+	a.Train(data, TrainConfig{Epochs: 3, Seed: 2, Workers: 4})
+	b := New(labels)
+	b.Train(data, TrainConfig{Epochs: 3, Seed: 2, Shards: DefaultShards, Workers: 1})
+	if !modelsEqual(a, b) {
+		t.Fatal("Workers>1 with Shards=0 must behave as Shards=DefaultShards")
+	}
+}

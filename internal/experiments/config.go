@@ -20,6 +20,13 @@ import (
 type Config struct {
 	Seed int64
 
+	// Workers bounds the goroutines used by the parallelizable stages
+	// (phrase vectorization, K-Means scans, concurrent model training,
+	// the 3×3 evaluation matrix, CV folds, batch prediction). <= 0
+	// uses every CPU. Every parallel stage is order-preserving, so
+	// results are identical at any worker count.
+	Workers int
+
 	// unique-phrase pool sizes per source.
 	PoolAllRecipes int
 	PoolFoodCom    int

@@ -9,6 +9,7 @@ import (
 	"recipemodel/internal/corpus"
 	"recipemodel/internal/metrics"
 	"recipemodel/internal/ner"
+	"recipemodel/internal/parallel"
 	"recipemodel/internal/recipedb"
 )
 
@@ -44,7 +45,7 @@ func RunIngredient(cfg Config) (*IngredientResult, error) {
 		for i, p := range phrases {
 			texts[i] = p.Text
 		}
-		sampler, err := core.NewSampler(texts, nil, cfg.ClusterK, rng)
+		sampler, err := core.NewSamplerWorkers(texts, nil, cfg.ClusterK, cfg.Workers, rng)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sampler(%s): %w", src, err)
 		}
@@ -88,21 +89,41 @@ func RunIngredient(cfg Config) (*IngredientResult, error) {
 	trains := map[string][]ner.Sentence{
 		CorpusAllRecipes: trainA, CorpusFoodCom: trainF, CorpusBoth: trainB,
 	}
-	for _, name := range CorpusOrder {
-		res.Models[name] = ner.Train(trains[name], ner.IngredientTypes,
+	// The three models are independent (each training run owns its RNG
+	// via the fixed seed), so they train concurrently and come out
+	// identical to a sequential loop.
+	models := parallel.MapOrdered(cfg.Workers, CorpusOrder, func(_ int, name string) *ner.Tagger {
+		return ner.Train(trains[name], ner.IngredientTypes,
 			ner.NewIngredientExtractor(cfg.Features),
 			ner.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed + 30, Method: cfg.Method})
+	})
+	for i, name := range CorpusOrder {
+		res.Models[name] = models[i]
 	}
-	for ti, testName := range CorpusOrder {
-		gold := corpus.Gold(res.Tests[testName])
-		for mi, trainName := range CorpusOrder {
-			pred := corpus.Predict(res.Models[trainName], res.Tests[testName])
-			res.F1[ti][mi] = metrics.EvaluateEntities(gold, pred).Micro.F1
-			if testName == CorpusBoth && trainName == CorpusBoth {
-				res.CI = metrics.BootstrapF1(gold, pred, 300, 0.95, rng)
-			}
+
+	// The 3×3 evaluation matrix (Table IV): every (test, model) cell is
+	// a pure prediction pass, so all nine evaluate concurrently. The
+	// BOTH/BOTH predictions are kept for the bootstrap CI, which runs
+	// after the barrier because it consumes the shared experiment RNG.
+	type cell struct{ ti, mi int }
+	var cells []cell
+	for ti := range CorpusOrder {
+		for mi := range CorpusOrder {
+			cells = append(cells, cell{ti, mi})
 		}
 	}
+	preds := parallel.MapOrdered(cfg.Workers, cells, func(_ int, c cell) [][]ner.Span {
+		return corpus.Predict(res.Models[CorpusOrder[c.mi]], res.Tests[CorpusOrder[c.ti]])
+	})
+	var bothPred [][]ner.Span
+	for i, c := range cells {
+		gold := corpus.Gold(res.Tests[CorpusOrder[c.ti]])
+		res.F1[c.ti][c.mi] = metrics.EvaluateEntities(gold, preds[i]).Micro.F1
+		if CorpusOrder[c.ti] == CorpusBoth && CorpusOrder[c.mi] == CorpusBoth {
+			bothPred = preds[i]
+		}
+	}
+	res.CI = metrics.BootstrapF1(corpus.Gold(res.Tests[CorpusBoth]), bothPred, 300, 0.95, rng)
 	return res, nil
 }
 

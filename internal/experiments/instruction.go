@@ -10,6 +10,7 @@ import (
 	"recipemodel/internal/gazetteer"
 	"recipemodel/internal/metrics"
 	"recipemodel/internal/ner"
+	"recipemodel/internal/parallel"
 	"recipemodel/internal/recipedb"
 )
 
@@ -68,9 +69,13 @@ func RunInstruction(cfg Config) *InstructionResult {
 
 	// evaluate with dictionary filtering applied to predictions, per
 	// type: the filter trades recall for precision, the P>R pattern the
-	// paper reports.
-	for i, s := range test {
-		pred := FilterSpans(tagger.Predict(s.Tokens), s.Tokens, tech, uten)
+	// paper reports. Prediction is pure per sentence and fans out over
+	// the pool; scoring stays serial.
+	filtered := parallel.MapOrdered(cfg.Workers, test, func(_ int, s ner.Sentence) []ner.Span {
+		return FilterSpans(tagger.Predict(s.Tokens), s.Tokens, tech, uten)
+	})
+	for i := range test {
+		pred := filtered[i]
 		scoreType := func(typ string, prf *metrics.PRF) {
 			g := map[ner.Span]bool{}
 			for _, sp := range test[i].Spans {

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinyConfig is a minimal configuration for determinism comparisons
+// (each run trains several CRFs, so it must stay small).
+func tinyConfig() Config {
+	c := testConfig()
+	c.PoolAllRecipes = 600
+	c.PoolFoodCom = 800
+	c.ClusterK = 6
+	c.Epochs = 2
+	c.InstructionTrain = 150
+	c.InstructionTest = 60
+	return c
+}
+
+// TestRunIngredientWorkerInvariant: the experiment harness is a pure
+// function of its Config — Workers must change wall-clock only, never
+// the Table III/IV numbers or the trained models' predictions.
+func TestRunIngredientWorkerInvariant(t *testing.T) {
+	serialCfg := tinyConfig()
+	serialCfg.Workers = 1
+	serial, err := RunIngredient(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := tinyConfig()
+	parCfg.Workers = 4
+	par, err := RunIngredient(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.F1, par.F1) {
+		t.Fatalf("F1 matrix diverged:\nserial %v\npar    %v", serial.F1, par.F1)
+	}
+	if !reflect.DeepEqual(serial.TrainSize, par.TrainSize) ||
+		!reflect.DeepEqual(serial.TestSize, par.TestSize) {
+		t.Fatal("Table III sizes diverged across worker counts")
+	}
+	if serial.CI != par.CI {
+		t.Fatalf("bootstrap CI diverged: %+v vs %+v", serial.CI, par.CI)
+	}
+}
+
+// TestRunCrossValidationWorkerInvariant: per-fold F1s must be
+// identical whether folds run sequentially or on the pool.
+func TestRunCrossValidationWorkerInvariant(t *testing.T) {
+	serialCfg := tinyConfig()
+	serialCfg.Workers = 1
+	parCfg := tinyConfig()
+	parCfg.Workers = 4
+	serial := RunCrossValidation(serialCfg, 3)
+	par := RunCrossValidation(parCfg, 3)
+	if !reflect.DeepEqual(serial.Folds, par.Folds) {
+		t.Fatalf("fold F1s diverged:\nserial %v\npar    %v", serial.Folds, par.Folds)
+	}
+}
+
+// TestRunInstructionWorkerInvariant covers the Table V path.
+func TestRunInstructionWorkerInvariant(t *testing.T) {
+	serialCfg := tinyConfig()
+	serialCfg.Workers = 1
+	parCfg := tinyConfig()
+	parCfg.Workers = 4
+	serial := RunInstruction(serialCfg)
+	par := RunInstruction(parCfg)
+	if serial.Processes != par.Processes || serial.Utensils != par.Utensils {
+		t.Fatalf("Table V diverged:\nserial %+v/%+v\npar    %+v/%+v",
+			serial.Processes, serial.Utensils, par.Processes, par.Utensils)
+	}
+}

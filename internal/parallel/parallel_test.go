@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedMatchesSerial(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i * 3
+	}
+	want := MapOrdered(1, items, func(i, v int) int { return v*v + i })
+	for _, w := range []int{2, 4, 8, 16, 100, 0} {
+		got := MapOrdered(w, items, func(i, v int) int { return v*v + i })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel result diverges from serial", w)
+		}
+	}
+}
+
+func TestMapOrderedEmpty(t *testing.T) {
+	if got := MapOrdered(4, nil, func(i int, v string) string { return v }); len(got) != 0 {
+		t.Fatalf("expected empty result, got %v", got)
+	}
+}
+
+func TestMapOrderedEachIndexOnce(t *testing.T) {
+	n := 500
+	var hits [500]int32
+	items := make([]struct{}, n)
+	MapOrdered(8, items, func(i int, _ struct{}) struct{} {
+		atomic.AddInt32(&hits[i], 1)
+		return struct{}{}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {7, 100}, {10, 1}, {10, 0},
+	}
+	for _, c := range cases {
+		rs := Chunks(c.n, c.parts)
+		covered := 0
+		prev := 0
+		for _, r := range rs {
+			if r.Lo != prev || r.Hi <= r.Lo {
+				t.Fatalf("Chunks(%d,%d): bad range %+v (prev end %d)", c.n, c.parts, r, prev)
+			}
+			covered += r.Hi - r.Lo
+			prev = r.Hi
+		}
+		if covered != c.n {
+			t.Fatalf("Chunks(%d,%d): covered %d indices", c.n, c.parts, covered)
+		}
+		if c.parts > 0 && len(rs) > c.parts {
+			t.Fatalf("Chunks(%d,%d): %d ranges exceeds parts", c.n, c.parts, len(rs))
+		}
+	}
+}
+
+func TestChunksDeterministic(t *testing.T) {
+	a := Chunks(101, 8)
+	b := Chunks(101, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Chunks not deterministic")
+	}
+}
+
+func TestForEachIndexCoversAll(t *testing.T) {
+	var hits [333]int32
+	ForEachIndex(8, len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestSplitSeedsStable(t *testing.T) {
+	a := SplitSeeds(42, 8)
+	b := SplitSeeds(42, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SplitSeeds not deterministic")
+	}
+	// A prefix of a longer split must match: child i depends only on
+	// (seed, i).
+	long := SplitSeeds(42, 16)
+	if !reflect.DeepEqual(a, long[:8]) {
+		t.Fatal("SplitSeeds child depends on n")
+	}
+	seen := map[int64]bool{}
+	for _, s := range long {
+		if seen[s] {
+			t.Fatalf("duplicate child seed %d", s)
+		}
+		seen[s] = true
+	}
+	if reflect.DeepEqual(a, SplitSeeds(43, 8)) {
+		t.Fatal("different base seeds produced identical children")
+	}
+}
+
+func TestRNGsIndependent(t *testing.T) {
+	rngs := RNGs(7, 4)
+	if len(rngs) != 4 {
+		t.Fatalf("want 4 rngs, got %d", len(rngs))
+	}
+	a, b := rngs[0].Int63(), rngs[1].Int63()
+	if a == b {
+		t.Fatal("adjacent worker RNGs emitted identical first draws")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass positive values through")
+	}
+}

@@ -3,6 +3,8 @@ package recipedb
 import (
 	"fmt"
 	"math/rand"
+
+	"recipemodel/internal/parallel"
 )
 
 // Generator produces synthetic recipes for one source site. It is
@@ -36,6 +38,22 @@ func NewGenerator(source Source, seed int64) *Generator {
 		distractors: d,
 		oovRate:     0.10,
 	}
+}
+
+// Fork returns n independent generators for the same source whose RNG
+// streams are decorrelated by a SplitMix64 split of the given seed:
+// child i depends only on (source, seed, i) — never on n, nor on how
+// much any sibling has consumed. This is the supported way to generate
+// recipes on a worker pool: hand each goroutine its own fork instead
+// of sharing (or locking) one Generator, which would make output
+// depend on scheduling order.
+func Fork(source Source, seed int64, n int) []*Generator {
+	seeds := parallel.SplitSeeds(seed, n)
+	out := make([]*Generator, n)
+	for i := range out {
+		out[i] = NewGenerator(source, seeds[i])
+	}
+	return out
 }
 
 // SetOOVRate overrides the out-of-vocabulary ingredient rate

@@ -317,3 +317,51 @@ func TestReadJSONLGarbage(t *testing.T) {
 		t.Fatal("expected decode error")
 	}
 }
+
+// TestForkDecorrelated: forked generators must be deterministic,
+// mutually distinct, and stable under the prefix property (fork i of a
+// wider fan-out equals fork i of a narrower one), so a worker pool can
+// grow without reshuffling earlier workers' corpora.
+func TestForkDecorrelated(t *testing.T) {
+	wide := Fork(SourceAllRecipes, 42, 8)
+	narrow := Fork(SourceAllRecipes, 42, 3)
+	for i := range narrow {
+		a := narrow[i].Recipes(3)
+		b := wide[i].Recipes(3)
+		for j := range a {
+			if a[j].Title != b[j].Title {
+				t.Fatalf("fork %d diverges between widths: %q vs %q", i, a[j].Title, b[j].Title)
+			}
+		}
+	}
+	// distinct streams: sibling forks must not generate the same corpus.
+	again := Fork(SourceAllRecipes, 42, 8)
+	first := again[0].Recipes(5)
+	second := again[1].Recipes(5)
+	same := 0
+	for i := range first {
+		if first[i].Title == second[i].Title {
+			same++
+		}
+	}
+	if same == len(first) {
+		t.Fatal("fork 0 and fork 1 produced identical corpora")
+	}
+}
+
+// TestForkConcurrent exercises one-generator-per-goroutine under the
+// race detector: no shared mutable state between forks.
+func TestForkConcurrent(t *testing.T) {
+	forks := Fork(SourceFoodCom, 11, 4)
+	done := make(chan int, len(forks))
+	for i, g := range forks {
+		go func(i int, g *Generator) {
+			done <- len(g.Recipes(4))
+		}(i, g)
+	}
+	for range forks {
+		if n := <-done; n != 4 {
+			t.Fatalf("fork generated %d recipes, want 4", n)
+		}
+	}
+}

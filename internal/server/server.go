@@ -2,10 +2,11 @@
 // API — the deployment form of the paper's own artifact (RecipeDB is a
 // web resource [1]). Endpoints:
 //
-//	POST /annotate   {"phrase": "..."}                  → IngredientRecord
-//	POST /model      {"title","cuisine","ingredients":[],"instructions":""} → RecipeModel + nutrition
-//	POST /search     {"ingredients":[],"processes":[],...} → matching recipe titles
-//	GET  /healthz                                        → 200 ok
+//	POST /annotate       {"phrase": "..."}                  → IngredientRecord
+//	POST /annotate/batch {"phrases": ["...", ...]}          → []IngredientRecord (worker-pool fan-out)
+//	POST /model          {"title","cuisine","ingredients":[],"instructions":""} → RecipeModel + nutrition
+//	POST /search         {"ingredients":[],"processes":[],...} → matching recipe titles
+//	GET  /healthz                                            → 200 ok
 //
 // The server owns a trained pipeline and, optionally, an indexed
 // corpus for /search.
@@ -26,6 +27,10 @@ import (
 // by core-level components directly.
 type Pipeline interface {
 	AnnotateIngredient(phrase string) core.IngredientRecord
+	// AnnotateIngredients is the batch form behind /annotate/batch;
+	// implementations fan out over a worker pool and must return
+	// record i for phrase i.
+	AnnotateIngredients(phrases []string) []core.IngredientRecord
 	ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel
 }
 
@@ -48,6 +53,7 @@ func New(pipe Pipeline, ix *index.Index) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/annotate", s.handleAnnotate)
+	s.mux.HandleFunc("/annotate/batch", s.handleAnnotateBatch)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	return s
@@ -109,6 +115,32 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.pipe.AnnotateIngredient(req.Phrase))
+}
+
+// batchAnnotateRequest is the /annotate/batch payload.
+type batchAnnotateRequest struct {
+	Phrases []string `json:"phrases"`
+}
+
+// maxBatchPhrases caps one /annotate/batch request; corpus-scale
+// clients should stream chunks of this size.
+const maxBatchPhrases = 10000
+
+func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchAnnotateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Phrases) == 0 {
+		httpError(w, http.StatusBadRequest, "phrases are required")
+		return
+	}
+	if len(req.Phrases) > maxBatchPhrases {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("at most %d phrases per batch", maxBatchPhrases))
+		return
+	}
+	writeJSON(w, s.pipe.AnnotateIngredients(req.Phrases))
 }
 
 // modelRequest is the /model payload.

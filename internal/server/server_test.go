@@ -22,6 +22,14 @@ func (fakePipe) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return core.IngredientRecord{Phrase: phrase, Name: "onion", Quantity: "2", Unit: "cups"}
 }
 
+func (f fakePipe) AnnotateIngredients(phrases []string) []core.IngredientRecord {
+	out := make([]core.IngredientRecord, len(phrases))
+	for i, p := range phrases {
+		out[i] = f.AnnotateIngredient(p)
+	}
+	return out
+}
+
 func (fakePipe) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
 	m := &core.RecipeModel{Title: title, Cuisine: cuisine}
 	for _, l := range ingredientLines {
@@ -86,6 +94,45 @@ func TestAnnotateValidation(t *testing.T) {
 	}
 	if w := do(t, s, http.MethodPost, "/annotate", `{"unknown":"x"}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("unknown field = %d", w.Code)
+	}
+}
+
+func TestAnnotateBatch(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/annotate/batch",
+		`{"phrases":["2 cups onion","1 tsp salt","3 eggs"]}`)
+	if w.Code != 200 {
+		t.Fatalf("code = %d body = %s", w.Code, w.Body.String())
+	}
+	var recs []core.IngredientRecord
+	if err := json.Unmarshal(w.Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 3 records, got %d", len(recs))
+	}
+	// order must follow the request, not completion order.
+	for i, phrase := range []string{"2 cups onion", "1 tsp salt", "3 eggs"} {
+		if recs[i].Phrase != phrase {
+			t.Fatalf("record %d is for %q, want %q", i, recs[i].Phrase, phrase)
+		}
+	}
+}
+
+func TestAnnotateBatchValidation(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":[]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/annotate/batch", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d", w.Code)
+	}
+	big, err := json.Marshal(map[string][]string{"phrases": make([]string, maxBatchPhrases+1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate/batch", string(big)); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch = %d", w.Code)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 
 	"recipemodel/internal/core"
 	"recipemodel/internal/corpus"
@@ -65,6 +66,12 @@ type (
 	SimilarityWeights = similarity.Weights
 	// RankedRecipe pairs a candidate index with its similarity score.
 	RankedRecipe = similarity.Ranked
+	// InstructionAnnotation bundles the instruction-stack output for
+	// one step (batch form of AnnotateInstruction's triple return).
+	InstructionAnnotation = core.InstructionAnnotation
+	// RecipeInput is one raw recipe, the unit of work of the batch
+	// mining engine.
+	RecipeInput = core.RecipeInput
 )
 
 // Options configures pipeline construction. The taggers are trained at
@@ -97,11 +104,30 @@ func DefaultOptions() Options {
 	}
 }
 
-// Pipeline is a trained recipe-modeling pipeline.
+// Pipeline is a trained recipe-modeling pipeline. All components are
+// read-only after training, so one Pipeline may serve any number of
+// goroutines; the batch methods (AnnotateIngredients,
+// AnnotateInstructions, ModelRecipes) fan out over an internal worker
+// pool sized by SetWorkers.
 type Pipeline struct {
 	inner     *core.Pipeline
 	estimator *nutrition.Estimator
+	// workers bounds the batch-method pool; defaults to NumCPU.
+	workers int
 }
+
+// SetWorkers bounds the goroutines the batch methods use (n <= 0
+// resets to runtime.NumCPU()). Batch results are byte-identical at
+// any worker count, so this knob trades only wall-clock for cores.
+func (p *Pipeline) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p.workers = n
+}
+
+// Workers reports the current batch worker bound.
+func (p *Pipeline) Workers() int { return p.workers }
 
 // NewPipeline trains the ingredient-section and instruction-section
 // NER models on synthetic gold corpora from both source styles and
@@ -136,6 +162,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	return &Pipeline{
 		inner:     core.NewPipeline(nil, ingNER, insNER, nil),
 		estimator: nutrition.NewEstimator(),
+		workers:   runtime.NumCPU(),
 	}, nil
 }
 
@@ -157,6 +184,41 @@ func (p *Pipeline) AnnotateIngredient(phrase string) IngredientRecord {
 // relations.
 func (p *Pipeline) AnnotateInstruction(step string) ([]EntitySpan, *DependencyTree, []Relation) {
 	return p.inner.AnnotateInstruction(step)
+}
+
+// AnnotateIngredients decomposes a batch of ingredient phrases
+// concurrently (corpus-scale form of AnnotateIngredient; the paper
+// annotates 11.5M phrases). Result i corresponds to phrases[i] and is
+// byte-identical to the serial loop at any worker count.
+func (p *Pipeline) AnnotateIngredients(phrases []string) []IngredientRecord {
+	return p.inner.AnnotateIngredients(phrases, p.workers)
+}
+
+// AnnotateInstructions runs the instruction stack over a batch of
+// steps concurrently.
+func (p *Pipeline) AnnotateInstructions(steps []string) []InstructionAnnotation {
+	return p.inner.AnnotateInstructions(steps, p.workers)
+}
+
+// ModelRecipes mines a corpus of raw recipes concurrently, one recipe
+// per pool slot (the paper's 40,000-recipe mining run). Result i
+// corresponds to recipes[i].
+func (p *Pipeline) ModelRecipes(recipes []RecipeInput) []*RecipeModel {
+	return p.inner.ModelRecipes(recipes, p.workers)
+}
+
+// Inputs converts raw synthetic recipes to batch-mining inputs.
+func Inputs(rs []SyntheticRecipe) []RecipeInput {
+	out := make([]RecipeInput, len(rs))
+	for i, r := range rs {
+		out[i] = RecipeInput{
+			Title:           r.Title,
+			Cuisine:         r.Cuisine,
+			IngredientLines: r.IngredientLines,
+			Instructions:    r.Instructions,
+		}
+	}
+	return out
 }
 
 // EstimateNutrition totals the nutrient profile of a modeled recipe
@@ -244,6 +306,7 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	return &Pipeline{
 		inner:     core.NewPipeline(nil, ing, ins, nil),
 		estimator: nutrition.NewEstimator(),
+		workers:   runtime.NumCPU(),
 	}, nil
 }
 
