@@ -21,11 +21,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
@@ -34,13 +37,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// SIGINT cancels the context; streaming subcommands (mine) flush
+	// the complete records written so far and exit 0 instead of dying
+	// mid-line. A second SIGINT kills the process the hard way (the
+	// stop func restores default signal handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "recipemine:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical signature for non-streaming callers.
 func run(args []string, in io.Reader, out io.Writer) error {
+	return runCtx(context.Background(), args, in, out)
+}
+
+func runCtx(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|mine|model|nutrition> [args]")
 	}
@@ -54,7 +68,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	case "instruct":
 		return cmdInstruct(args[1:], out)
 	case "mine":
-		return cmdMine(args[1:], out)
+		return cmdMine(ctx, args[1:], out)
 	case "model":
 		return cmdModel(args[1:], in, out, modeStructure)
 	case "nutrition":
@@ -174,7 +188,10 @@ func cmdAnnotate(args []string, out io.Writer) error {
 // cmdMine is the batch-mining engine: generate (or later: ingest) a
 // recipe corpus and mine every recipe into the paper's uniform
 // structure on a worker pool, emitting one RecipeModel JSON per line.
-func cmdMine(args []string, out io.Writer) error {
+// Mining streams in chunks so an interrupt (SIGINT) stops dispatch at
+// a chunk boundary, flushes every complete record already mined, and
+// exits 0 — downstream consumers never see a torn JSONL line.
+func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
 	n := fs.Int("n", 100, "number of synthetic recipes to mine")
 	seed := fs.Int64("seed", 1, "corpus generator seed")
@@ -191,14 +208,39 @@ func cmdMine(args []string, out io.Writer) error {
 		return err
 	}
 	p.SetWorkers(*workers)
-	models := p.ModelRecipes(recipemodel.Inputs(recipemodel.SyntheticRecipes(*n, *seed)))
-	enc := json.NewEncoder(out)
-	for _, m := range models {
-		if err := enc.Encode(m); err != nil {
-			return err
+	inputs := recipemodel.Inputs(recipemodel.SyntheticRecipes(*n, *seed))
+
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	chunk := 4 * p.Workers()
+	mined := 0
+	for lo := 0; lo < len(inputs); lo += chunk {
+		hi := min(lo+chunk, len(inputs))
+		models, mineErr := p.ModelRecipesContext(ctx, inputs[lo:hi])
+		// On cancellation the mined slots form a contiguous prefix of
+		// the chunk (the pool dispatches in order and finishes what it
+		// started); emit the prefix, never a partial record.
+		for _, m := range models {
+			if m == nil {
+				break
+			}
+			if err := enc.Encode(m); err != nil {
+				return err
+			}
+			mined++
+		}
+		if mineErr != nil {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if errors.Is(mineErr, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "recipemine: interrupted; flushed %d/%d complete records\n", mined, len(inputs))
+				return nil
+			}
+			return mineErr
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 func cmdInstruct(args []string, out io.Writer) error {

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 )
 
 func TestRunNoArgs(t *testing.T) {
@@ -143,6 +147,53 @@ func TestMineSubcommand(t *testing.T) {
 	}
 	if par := mine("3"); par != serial {
 		t.Fatal("mine output differs between -workers 1 and -workers 3")
+	}
+}
+
+// TestMineInterruptFlushesPartial is the SIGINT drill without a real
+// signal: the context wired by main's signal.NotifyContext is
+// cancelled deterministically mid-mine via a fault hook, and mine must
+// flush only complete JSONL records and report success (the exit-0
+// path). No sleeps — the fault's OnHit counter fixes the cancel point.
+func TestMineInterruptFlushesPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "p.bin")
+	var out bytes.Buffer
+	if err := run([]string{"train", "-o", model, "-phrases", "400", "-instructions", "200"},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer faults.Enable(core.FaultModel, faults.Fault{OnHit: func(hit int) {
+		if hit == 3 {
+			cancel()
+		}
+	}})()
+
+	var buf bytes.Buffer
+	err := runCtx(ctx, []string{"mine", "-model", model, "-n", "64", "-seed", "11", "-workers", "2"},
+		strings.NewReader(""), &buf)
+	if err != nil {
+		t.Fatalf("interrupted mine must exit 0, got %v", err)
+	}
+	got := strings.TrimSpace(buf.String())
+	if got == "" {
+		t.Fatal("expected at least one flushed record before the interrupt")
+	}
+	lines := strings.Split(got, "\n")
+	if len(lines) >= 64 {
+		t.Fatalf("interrupt did not stop mining: %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is torn or invalid JSON: %v", i, err)
+		}
 	}
 }
 

@@ -1,21 +1,36 @@
 // Command recipeserver serves the recipe-modeling pipeline over HTTP:
 // it trains (or loads) a pipeline, optionally mines and indexes a
-// synthetic corpus for /search, and listens.
+// synthetic corpus for /search, and listens until a SIGINT/SIGTERM
+// asks it to drain.
 //
 // Usage:
 //
 //	recipeserver -addr :8080 -corpus 200
-//	recipeserver -model pipeline.bin -corpus 0
+//	recipeserver -model pipeline.bin -corpus 0 -max-inflight 512 -request-timeout 30s
 //
-// Endpoints: POST /annotate, POST /model, POST /search, GET /healthz.
+// Endpoints: POST /annotate, POST /annotate/batch, POST /model,
+// POST /search, GET /healthz (liveness), GET /readyz (readiness —
+// true only once training and corpus indexing finish).
+//
+// Resilience posture: the http.Server runs with hardened read/write
+// timeouts (a stalled client cannot hold a connection forever), the
+// handler stack sheds load with 429 once -max-inflight work units are
+// admitted, panics answer 500 without killing the process, and a
+// termination signal flips /readyz to false, drains in-flight requests
+// for up to -drain-timeout, then exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"recipemodel"
 	"recipemodel/internal/core"
@@ -32,18 +47,20 @@ func (a pipeAdapter) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return a.p.AnnotateIngredient(phrase)
 }
 
-func (a pipeAdapter) AnnotateIngredients(phrases []string) []core.IngredientRecord {
-	return a.p.AnnotateIngredients(phrases)
+func (a pipeAdapter) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
+	return a.p.AnnotateIngredientsContext(ctx, phrases)
 }
 
-func (a pipeAdapter) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
-	return a.p.ModelRecipe(title, cuisine, ingredientLines, instructions)
+func (a pipeAdapter) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error) {
+	return a.p.ModelRecipeContext(ctx, title, cuisine, ingredientLines, instructions)
 }
 
-// buildServer assembles the HTTP handler: load or train a pipeline,
-// optionally mine a corpus for /search. Extracted from main so tests
-// can drive the full assembly.
-func buildServer(modelPath string, corpusSize int, opts recipemodel.Options) (http.Handler, error) {
+// buildServer assembles the resilient HTTP server: load or train a
+// pipeline, optionally mine a corpus for /search. The returned server
+// is not yet ready (SetReady) — main flips it after assembly so
+// /readyz answers false for the whole training window. Extracted from
+// main so tests can drive the full assembly.
+func buildServer(modelPath string, corpusSize int, opts recipemodel.Options, cfg server.Config) (*server.Server, error) {
 	var p *recipemodel.Pipeline
 	var err error
 	if modelPath != "" {
@@ -67,21 +84,77 @@ func buildServer(modelPath string, corpusSize int, opts recipemodel.Options) (ht
 		models := p.ModelRecipes(recipemodel.Inputs(recipemodel.SyntheticRecipes(corpusSize, 1)))
 		ix = index.New(models)
 	}
-	return server.New(pipeAdapter{p}, ix), nil
+	return server.NewWithConfig(pipeAdapter{p}, ix, cfg), nil
+}
+
+// newHTTPServer wraps the handler in a hardened http.Server: header
+// reads, full-request reads, response writes, and idle keep-alives are
+// all bounded so no stalled peer can pin a connection goroutine
+// indefinitely.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// serve runs srv on ln until a termination signal arrives on sigs,
+// then drains gracefully: readiness flips false (load balancers stop
+// routing here), in-flight requests get up to drain to finish, and a
+// clean drain returns nil so the process exits 0. Split from main so
+// tests can feed the signal channel directly.
+func serve(srv *http.Server, s *server.Server, ln net.Listener, drain time.Duration, sigs <-chan os.Signal, logger *log.Logger) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigs:
+		logger.Printf("received %v; draining in-flight requests (up to %v)", sig, drain)
+		s.SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		logger.Print("drained; exiting")
+		return nil
+	}
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelPath := flag.String("model", "", "persisted pipeline (empty: train fresh)")
 	corpusSize := flag.Int("corpus", 200, "synthetic recipes to mine and index for /search (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 1024, "admitted work units before shedding with 429 (batch = phrase count; 0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline threaded through the pipeline (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 
-	srv, err := buildServer(*modelPath, *corpusSize, recipemodel.DefaultOptions())
+	cfg := server.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+		RetryAfter:     time.Second,
+	}
+	s, err := buildServer(*modelPath, *corpusSize, recipemodel.DefaultOptions(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	s.SetReady(true)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	log.Printf("listening on %s (ready)", *addr)
+	if err := serve(newHTTPServer(*addr, s), s, ln, *drainTimeout, sigs, log.Default()); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"context"
+	"io"
+	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"recipemodel"
+	"recipemodel/internal/core"
+	"recipemodel/internal/server"
 )
 
 // smallOpts keeps test training fast.
@@ -24,7 +32,7 @@ func TestBuildServerEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a pipeline")
 	}
-	h, err := buildServer("", 20, smallOpts())
+	h, err := buildServer("", 20, smallOpts(), server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,12 +43,31 @@ func TestBuildServerEndToEnd(t *testing.T) {
 	if w.Code != 200 || !strings.Contains(w.Body.String(), "onion") {
 		t.Fatalf("annotate: %d %s", w.Code, w.Body.String())
 	}
+	// batch with the request context threaded through the pool
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/annotate/batch",
+		strings.NewReader(`{"phrases":["2 cups chopped onion","1 tsp salt"]}`)))
+	if w.Code != 200 {
+		t.Fatalf("batch: %d %s", w.Code, w.Body.String())
+	}
 	// search over the mined corpus
 	w = httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/search",
 		strings.NewReader(`{"processes":["preheat"]}`)))
 	if w.Code != 200 {
 		t.Fatalf("search: %d %s", w.Code, w.Body.String())
+	}
+	// readiness is main's to flip: still false out of buildServer.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady: %d", w.Code)
+	}
+	h.SetReady(true)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != 200 {
+		t.Fatalf("readyz after SetReady: %d", w.Code)
 	}
 }
 
@@ -62,7 +89,7 @@ func TestBuildServerFromPersistedModel(t *testing.T) {
 	}
 	f.Close()
 
-	h, err := buildServer(path, 0, recipemodel.Options{})
+	h, err := buildServer(path, 0, recipemodel.Options{}, server.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +107,95 @@ func TestBuildServerFromPersistedModel(t *testing.T) {
 }
 
 func TestBuildServerMissingModelFile(t *testing.T) {
-	if _, err := buildServer("/nonexistent/model.bin", 0, recipemodel.Options{}); err == nil {
+	if _, err := buildServer("/nonexistent/model.bin", 0, recipemodel.Options{}, server.Config{}); err == nil {
 		t.Fatal("expected error for missing model file")
+	}
+}
+
+// gatedPipe is a minimal server.Pipeline whose single-phrase
+// annotation signals `entered` then blocks until `gate` closes, so
+// shutdown tests can hold a request in flight deterministically — no
+// sleeps.
+type gatedPipe struct {
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (g gatedPipe) AnnotateIngredient(phrase string) core.IngredientRecord {
+	if g.entered != nil {
+		g.entered <- struct{}{}
+	}
+	if g.gate != nil {
+		<-g.gate
+	}
+	return core.IngredientRecord{Phrase: phrase}
+}
+
+func (g gatedPipe) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
+	out := make([]core.IngredientRecord, len(phrases))
+	for i, p := range phrases {
+		out[i] = core.IngredientRecord{Phrase: p}
+	}
+	return out, ctx.Err()
+}
+
+func (g gatedPipe) ModelRecipeContext(ctx context.Context, title, cuisine string, lines []string, instr string) (*core.RecipeModel, error) {
+	return &core.RecipeModel{Title: title}, nil
+}
+
+// TestServeGracefulShutdown is the kill -INT drill without a real
+// process kill: a request is held in flight, the termination signal
+// arrives, and serve must (1) flip readiness off, (2) let the
+// in-flight request finish with 200, (3) return nil — the exit-0 path
+// — and (4) stop accepting new connections.
+func TestServeGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s := server.New(gatedPipe{entered: entered, gate: gate}, nil)
+	s.SetReady(true)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(ln.Addr().String(), s)
+	sigs := make(chan os.Signal, 1)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(srv, s, ln, 5*time.Second, sigs, log.New(io.Discard, "", 0)) }()
+
+	base := "http://" + ln.Addr().String()
+	inFlight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/annotate", "application/json",
+			strings.NewReader(`{"phrase":"slow"}`))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		inFlight <- resp.StatusCode
+	}()
+	<-entered // the request is now inside the pipeline, holding its connection
+
+	sigs <- syscall.SIGTERM
+	// readiness must flip promptly even while the drain waits.
+	deadline := time.Now().Add(3 * time.Second)
+	for s.Ready() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Ready() {
+		t.Fatal("readiness still true after termination signal")
+	}
+
+	close(gate) // release the in-flight request; the drain must let it finish
+	if code := <-inFlight; code != 200 {
+		t.Fatalf("in-flight request during drain = %d, want 200", code)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v, want nil (exit 0)", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after drain")
 	}
 }

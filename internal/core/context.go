@@ -1,0 +1,91 @@
+// Context-aware batch pipeline APIs. These are the cancellable twins
+// of the batch methods in core.go: an uncancelled call is
+// byte-identical to the plain method at any worker count (the pool
+// dispatches in index order, result i lands in slot i), and a
+// cancelled call stops dispatching, drains its workers, and returns
+// the partial results with ctx.Err().
+
+package core
+
+import (
+	"context"
+	"strings"
+
+	"recipemodel/internal/faults"
+	"recipemodel/internal/parallel"
+	"recipemodel/internal/relations"
+	"recipemodel/internal/tokenize"
+)
+
+// Named fault points planted in the pipeline hot paths (see
+// internal/faults). Disabled they cost one atomic load; armed they let
+// tests inject latency, panics, or call-count-exact callbacks to prove
+// cancellation, containment, and shedding without sleeps.
+const (
+	// FaultAnnotate fires at the top of every AnnotateIngredient call.
+	FaultAnnotate = "core.annotate"
+	// FaultInstruction fires at the top of every AnnotateInstruction call.
+	FaultInstruction = "core.instruction"
+	// FaultModel fires at the top of every ModelRecipe call.
+	FaultModel = "core.model"
+)
+
+// AnnotateIngredientsContext is AnnotateIngredients with cooperative
+// cancellation: on ctx cancellation no new phrase is dispatched,
+// in-flight phrases finish, and the partial records are returned with
+// ctx.Err(). Undispatched slots hold zero records.
+func (p *Pipeline) AnnotateIngredientsContext(ctx context.Context, phrases []string, workers int) ([]IngredientRecord, error) {
+	return parallel.MapOrderedCtx(ctx, workers, phrases, func(_ int, phrase string) IngredientRecord {
+		return p.AnnotateIngredient(phrase)
+	})
+}
+
+// AnnotateInstructionsContext is the cancellable form of
+// AnnotateInstructions.
+func (p *Pipeline) AnnotateInstructionsContext(ctx context.Context, steps []string, workers int) ([]InstructionAnnotation, error) {
+	return parallel.MapOrderedCtx(ctx, workers, steps, func(_ int, step string) InstructionAnnotation {
+		spans, tree, rels := p.AnnotateInstruction(step)
+		return InstructionAnnotation{Step: step, Spans: spans, Tree: tree, Relations: rels}
+	})
+}
+
+// ModelRecipesContext is the cancellable form of ModelRecipes: one
+// recipe per pool slot, dispatch stops on cancellation, mined prefixes
+// are returned with ctx.Err().
+func (p *Pipeline) ModelRecipesContext(ctx context.Context, recipes []RecipeInput, workers int) ([]*RecipeModel, error) {
+	return parallel.MapOrderedCtx(ctx, workers, recipes, func(_ int, r RecipeInput) *RecipeModel {
+		return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
+	})
+}
+
+// ModelRecipeContext mines one recipe, checking ctx between ingredient
+// lines and between instruction steps so a request deadline can stop a
+// pathological recipe mid-way. On cancellation it returns the partial
+// model together with ctx.Err(); the completed portions are identical
+// to what ModelRecipe produces.
+func (p *Pipeline) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructionText string) (*RecipeModel, error) {
+	_ = faults.Inject(FaultModel)
+	m := &RecipeModel{Title: title, Cuisine: cuisine}
+	for _, line := range ingredientLines {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		m.Ingredients = append(m.Ingredients, p.AnnotateIngredient(line))
+	}
+	steps := tokenize.SplitSentences(instructionText)
+	var perStep [][]relations.Relation
+	for _, step := range steps {
+		if err := ctx.Err(); err != nil {
+			m.Events = relations.Chain(perStep)
+			return m, err
+		}
+		m.Instructions = append(m.Instructions, step)
+		_, _, rels := p.AnnotateInstruction(step)
+		perStep = append(perStep, rels)
+	}
+	m.Events = relations.Chain(perStep)
+	return m, ctx.Err()
+}

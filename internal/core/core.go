@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"recipemodel/internal/depparse"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/gazetteer"
 	"recipemodel/internal/lemma"
 	"recipemodel/internal/ner"
@@ -76,6 +78,7 @@ func NewPipeline(pos *postag.Tagger, ingredientNER, instructionNER *ner.Tagger, 
 // AnnotateIngredient runs the ingredient-section NER over one phrase
 // and assembles the attribute record (Table I).
 func (p *Pipeline) AnnotateIngredient(phrase string) IngredientRecord {
+	_ = faults.Inject(FaultAnnotate)
 	tokens := tokenize.Words(tokenize.Tokenize(phrase))
 	spans := p.IngredientNER.Predict(tokens)
 	return RecordFromSpans(phrase, tokens, spans, p.lem)
@@ -123,6 +126,7 @@ func RecordFromSpans(phrase string, tokens []string, spans []ner.Span, lem *lemm
 // AnnotateInstruction runs the instruction-section stack over one
 // step: NER entities, dependency parse, relation extraction.
 func (p *Pipeline) AnnotateInstruction(step string) ([]ner.Span, *depparse.Tree, []relations.Relation) {
+	_ = faults.Inject(FaultInstruction)
 	tokens := tokenize.Words(tokenize.Tokenize(step))
 	if len(tokens) == 0 {
 		return nil, depparse.Parse(nil, nil), nil
@@ -137,6 +141,7 @@ func (p *Pipeline) AnnotateInstruction(step string) ([]ner.Span, *depparse.Tree,
 // ModelRecipe runs the full pipeline over a raw recipe: ingredient
 // lines and instruction text (steps split on sentence boundaries).
 func (p *Pipeline) ModelRecipe(title, cuisine string, ingredientLines []string, instructionText string) *RecipeModel {
+	_ = faults.Inject(FaultModel)
 	m := &RecipeModel{Title: title, Cuisine: cuisine}
 	for _, line := range ingredientLines {
 		if strings.TrimSpace(line) == "" {
@@ -186,26 +191,22 @@ type RecipeInput struct {
 // to workers goroutines (<= 0: all CPUs). Result i corresponds to
 // phrases[i] and is identical to AnnotateIngredient(phrases[i]).
 func (p *Pipeline) AnnotateIngredients(phrases []string, workers int) []IngredientRecord {
-	return parallel.MapOrdered(workers, phrases, func(_ int, phrase string) IngredientRecord {
-		return p.AnnotateIngredient(phrase)
-	})
+	out, _ := p.AnnotateIngredientsContext(context.Background(), phrases, workers)
+	return out
 }
 
 // AnnotateInstructions runs the instruction stack over a batch of
 // steps on up to workers goroutines (<= 0: all CPUs).
 func (p *Pipeline) AnnotateInstructions(steps []string, workers int) []InstructionAnnotation {
-	return parallel.MapOrdered(workers, steps, func(_ int, step string) InstructionAnnotation {
-		spans, tree, rels := p.AnnotateInstruction(step)
-		return InstructionAnnotation{Step: step, Spans: spans, Tree: tree, Relations: rels}
-	})
+	out, _ := p.AnnotateInstructionsContext(context.Background(), steps, workers)
+	return out
 }
 
 // ModelRecipes mines a corpus of raw recipes into recipe models, one
 // recipe per pool slot. Result i corresponds to recipes[i].
 func (p *Pipeline) ModelRecipes(recipes []RecipeInput, workers int) []*RecipeModel {
-	return parallel.MapOrdered(workers, recipes, func(_ int, r RecipeInput) *RecipeModel {
-		return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
-	})
+	out, _ := p.ModelRecipesContext(context.Background(), recipes, workers)
+	return out
 }
 
 // BuildDictionaries runs the instruction NER over a corpus of steps

@@ -1,18 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"recipemodel/internal/alias"
 	"recipemodel/internal/core"
 	"recipemodel/internal/depparse"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/mathx"
 	"recipemodel/internal/ner"
+	"recipemodel/internal/parallel"
 	"recipemodel/internal/recipedb"
 )
+
+// FaultMine fires once per recipe inside the corpus-mining pool of
+// RunConclusionContext (see internal/faults).
+const FaultMine = "experiments.mine"
 
 // ConclusionResult reproduces the §V statistics: the relations-per-
 // instruction distribution over a large recipe corpus and the unique
@@ -32,6 +37,15 @@ type ConclusionResult struct {
 // synthetic recipes (half per source), extracting relations from every
 // instruction and ingredient names from every phrase.
 func RunConclusion(cfg Config, ingredientNER, instructionNER *ner.Tagger) *ConclusionResult {
+	res, _ := RunConclusionContext(context.Background(), cfg, ingredientNER, instructionNER)
+	return res
+}
+
+// RunConclusionContext is the cancellable corpus-mining run: when ctx
+// is cancelled the pool stops dispatching recipes, drains its workers,
+// and the statistics over the recipes mined so far are returned with
+// ctx.Err() (Recipes reports how many were actually mined).
+func RunConclusionContext(ctx context.Context, cfg Config, ingredientNER, instructionNER *ner.Tagger) (*ConclusionResult, error) {
 	pipe := core.NewPipeline(nil, ingredientNER, instructionNER, nil)
 
 	// Recipe generation is sequential (the generators own their RNGs),
@@ -53,54 +67,39 @@ func RunConclusion(cfg Config, ingredientNER, instructionNER *ner.Tagger) *Concl
 	}
 
 	type recipeStats struct {
+		mined   bool
 		perStep []float64
 		names   []string
 	}
-	stats := make([]recipeStats, len(recipes))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(recipes) {
-		workers = len(recipes)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				r := recipes[idx]
-				var st recipeStats
-				for _, in := range r.Instructions {
-					spans := pipe.InstructionNER.Predict(in.Tokens)
-					tags := pipe.POS.Tag(in.Tokens)
-					tree := depparse.Parse(in.Tokens, tags)
-					rels := pipe.Extractor.Extract(tree, spans)
-					pairs := 0
-					for _, rel := range rels {
-						pairs += rel.PairCount()
-					}
-					st.perStep = append(st.perStep, float64(pairs))
-				}
-				for _, p := range r.Ingredients {
-					rec := pipe.AnnotateIngredient(p.Text)
-					if rec.Name != "" {
-						st.names = append(st.names, rec.Name)
-					}
-				}
-				stats[idx] = st
+	stats, err := parallel.MapOrderedCtx(ctx, cfg.Workers, recipes, func(_ int, r recipedb.Recipe) recipeStats {
+		_ = faults.Inject(FaultMine)
+		st := recipeStats{mined: true}
+		for _, in := range r.Instructions {
+			spans := pipe.InstructionNER.Predict(in.Tokens)
+			tags := pipe.POS.Tag(in.Tokens)
+			tree := depparse.Parse(in.Tokens, tags)
+			rels := pipe.Extractor.Extract(tree, spans)
+			pairs := 0
+			for _, rel := range rels {
+				pairs += rel.PairCount()
 			}
-		}()
-	}
-	for i := range recipes {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+			st.perStep = append(st.perStep, float64(pairs))
+		}
+		for _, p := range r.Ingredients {
+			rec := pipe.AnnotateIngredient(p.Text)
+			if rec.Name != "" {
+				st.names = append(st.names, rec.Name)
+			}
+		}
+		return st
+	})
 
-	res := &ConclusionResult{Recipes: len(recipes)}
+	res := &ConclusionResult{}
+	for _, st := range stats {
+		if st.mined {
+			res.Recipes++
+		}
+	}
 	var perStep []float64
 	names := map[string]bool{}
 	for _, st := range stats {
@@ -118,7 +117,7 @@ func RunConclusion(cfg Config, ingredientNER, instructionNER *ner.Tagger) *Concl
 		all = append(all, n)
 	}
 	res.DedupedNames = len(resolver.Dedup(all))
-	return res
+	return res, err
 }
 
 // Render formats the §V statistics.

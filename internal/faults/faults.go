@@ -1,0 +1,189 @@
+// Package faults is a deterministic fault-injection harness: named
+// failure points planted in production code paths (annotate, model,
+// mine, serve) that tests arm to inject errors, panics, or latency at
+// exactly reproducible call counts — no sleeps, no flakes.
+//
+// Production code plants a point with a single call:
+//
+//	if err := faults.Inject("core.annotate"); err != nil { ... }
+//
+// When nothing is armed (the production default) Inject is one atomic
+// load and returns nil — the point compiles down to a no-op branch.
+// Tests arm points by name:
+//
+//	defer faults.Enable("core.annotate", faults.Fault{Err: errBoom, Skip: 2})()
+//
+// which makes the 3rd hit (and every later one) return errBoom.
+// Probabilistic firing stays deterministic too: Prob derives each
+// hit's decision from (point name, Seed, hit counter) via SplitMix64,
+// so a fixed seed always fires on the same hit sequence.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what an armed point injects. Exactly one of Err and
+// PanicMsg is typically set; Delay may accompany either (latency is
+// injected before the error/panic). The zero Fault fires but injects
+// nothing — useful for hit counting.
+type Fault struct {
+	// Err is returned from Inject when the fault fires.
+	Err error
+	// PanicMsg, when non-empty, makes the point panic with this
+	// message instead of returning an error.
+	PanicMsg string
+	// Delay is injected latency before the fault resolves. Tests that
+	// need "a slow call" should prefer OnHit/Block gates; Delay exists
+	// for callers exercising timeout paths with real clocks.
+	Delay time.Duration
+	// Skip suppresses the fault for the first Skip hits.
+	Skip int
+	// Limit caps how many times the fault fires (0 = unlimited).
+	Limit int
+	// Prob fires the fault on a hit with this probability (0 means
+	// "always", i.e. probability 1). Decisions are derived from
+	// (name, Seed, hit index), never from a global RNG, so a fixed
+	// seed reproduces the exact firing sequence.
+	Prob float64
+	// Seed keys the Prob decision stream.
+	Seed int64
+	// OnHit, when non-nil, is called synchronously on every firing hit
+	// with the 1-based hit index — the deterministic replacement for
+	// sleeps: tests use it to block a worker on a channel, record
+	// interleavings, or cancel a context at an exact call count.
+	OnHit func(hit int)
+}
+
+// point is one armed failure site.
+type point struct {
+	fault Fault
+	hits  int
+	fired int
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+	// armed is the fast-path gate: 0 means no point is armed anywhere
+	// and Inject returns immediately.
+	armed atomic.Int32
+)
+
+// Enable arms the named point and returns a disarm func (convenient
+// for defer). Re-enabling a name replaces the previous fault and
+// resets its counters.
+func Enable(name string, f Fault) (disable func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{fault: f}
+	return func() { Disable(name) }
+}
+
+// Disable disarms the named point; disarming an unarmed name is a
+// no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = nil
+}
+
+// Hits reports how many times the named point has been reached since
+// it was armed (whether or not the fault fired).
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// splitmix64 is the SplitMix64 finalizer (same stream-splitting
+// discipline as internal/parallel).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashName folds a point name into a 64-bit key (FNV-1a).
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fires decides whether hit number n (1-based) fires, deterministically.
+func (f *Fault) fires(name string, n int) bool {
+	if n <= f.Skip {
+		return false
+	}
+	if f.Prob > 0 && f.Prob < 1 {
+		u := splitmix64(hashName(name) ^ splitmix64(uint64(f.Seed)+uint64(n)))
+		if float64(u>>11)/float64(1<<53) >= f.Prob {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject is the planted hook. It returns nil instantly when the named
+// point is not armed; otherwise it counts the hit and, if the fault
+// fires, injects the configured delay, callback, panic, or error (in
+// that order).
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	hit := p.hits
+	f := p.fault
+	if !f.fires(name, hit) || (f.Limit > 0 && p.fired >= f.Limit) {
+		mu.Unlock()
+		return nil
+	}
+	p.fired++
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.OnHit != nil {
+		f.OnHit(hit)
+	}
+	if f.PanicMsg != "" {
+		panic(fmt.Sprintf("faults: injected panic at %q (hit %d): %s", name, hit, f.PanicMsg))
+	}
+	return f.Err
+}

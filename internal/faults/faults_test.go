@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Reset()
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("unarmed Inject = %v", err)
+	}
+}
+
+func TestErrorInjectionWithSkipAndLimit(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("p", Fault{Err: errBoom, Skip: 2, Limit: 1})()
+	var got []error
+	for i := 0; i < 5; i++ {
+		got = append(got, Inject("p"))
+	}
+	want := []error{nil, nil, errBoom, nil, nil}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("firing sequence = %v, want %v", got, want)
+	}
+	if Hits("p") != 5 {
+		t.Fatalf("hits = %d, want 5", Hits("p"))
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{PanicMsg: "kaboom"})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "kaboom") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = Inject("p")
+	t.Fatal("expected panic")
+}
+
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func(seed int64) []bool {
+		Enable("p", Fault{Err: errBoom, Prob: 0.5, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		Disable("p")
+		return out
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different firing sequences")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times", fired, len(a))
+	}
+	if reflect.DeepEqual(a, run(8)) {
+		t.Fatal("different seeds produced identical firing sequences")
+	}
+}
+
+func TestOnHitGate(t *testing.T) {
+	Reset()
+	defer Reset()
+	var hits []int
+	Enable("p", Fault{OnHit: func(h int) { hits = append(hits, h) }, Skip: 1})
+	for i := 0; i < 3; i++ {
+		_ = Inject("p")
+	}
+	if !reflect.DeepEqual(hits, []int{2, 3}) {
+		t.Fatalf("OnHit hits = %v", hits)
+	}
+}
+
+func TestConcurrentInjectIsSafe(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Fault{Err: errBoom, Prob: 0.5, Seed: 3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Inject("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if Hits("p") != 800 {
+		t.Fatalf("hits = %d, want 800", Hits("p"))
+	}
+}

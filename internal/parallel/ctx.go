@@ -1,0 +1,95 @@
+// Context-aware variants of the pool primitives. They preserve the
+// package invariant — an uncancelled run is byte-identical to the
+// plain variant at any worker count — and add one guarantee on top:
+// once ctx is cancelled no new item is dispatched, every in-flight
+// item finishes, all workers exit before the call returns, and the
+// caller gets ctx.Err(). Cancellation can therefore never leak a
+// goroutine or leave one writing into the result slice after return.
+
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// MapOrderedCtx is MapOrdered with cooperative cancellation: fn is
+// applied to items in index order across the pool, result i landing in
+// slot i. When ctx is cancelled, dispatch stops, in-flight calls run
+// to completion, and the partial results are returned together with
+// ctx.Err() — slots whose items were never dispatched hold zero
+// values. A nil error means every item was processed.
+func MapOrderedCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) R) ([]R, error) {
+	out := make([]R, len(items))
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i] = fn(i, it)
+		}
+		return out, ctx.Err()
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(out) {
+					return
+				}
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// ForEachRangeCtx runs fn once per range on the pool, stopping
+// dispatch of further ranges when ctx is cancelled. Ranges already
+// started run to completion; the error is ctx.Err() (nil when all
+// ranges ran).
+func ForEachRangeCtx(ctx context.Context, workers int, ranges []Range, fn func(chunk int, r Range)) error {
+	_, err := MapOrderedCtx(ctx, workers, ranges, func(i int, r Range) struct{} {
+		fn(i, r)
+		return struct{}{}
+	})
+	return err
+}
+
+// ForEachIndexCtx partitions [0, n) across the pool and calls fn for
+// every index, checking ctx between indices so even a single large
+// chunk stops promptly. Indices are each visited at most once; on
+// cancellation some tail of each chunk is skipped and ctx.Err() is
+// returned.
+func ForEachIndexCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	done := ctx.Done()
+	return ForEachRangeCtx(ctx, workers, Chunks(n, Workers(workers)), func(_ int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			fn(i)
+		}
+	})
+}

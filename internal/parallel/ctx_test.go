@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderedCtxMatchesUncancelled: with a background context the
+// ctx variant must be byte-identical to MapOrdered at any worker
+// count.
+func TestMapOrderedCtxMatchesUncancelled(t *testing.T) {
+	items := make([]int, 137)
+	for i := range items {
+		items[i] = i * 7
+	}
+	fn := func(i, v int) int { return v*v - i }
+	want := MapOrdered(1, items, fn)
+	for _, w := range []int{1, 2, 8, 0} {
+		got, err := MapOrderedCtx(context.Background(), w, items, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: ctx variant diverges from MapOrdered", w)
+		}
+	}
+}
+
+// TestMapOrderedCtxCancelStopsDispatch: cancelling mid-run must stop
+// new dispatch, finish in-flight items, and report ctx.Err() — each
+// index still computed at most once.
+func TestMapOrderedCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var hits [n]int32
+	var calls atomic.Int32
+	items := make([]int, n)
+	out, err := MapOrderedCtx(ctx, 4, items, func(i, _ int) int {
+		atomic.AddInt32(&hits[i], 1)
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	done := int(calls.Load())
+	if done >= n {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+	for i, h := range hits {
+		if h > 1 {
+			t.Fatalf("index %d computed %d times", i, h)
+		}
+	}
+	// every computed slot holds its result; never a torn write.
+	computed := 0
+	for i, v := range out {
+		if v != 0 {
+			computed++
+			if v != i+1 {
+				t.Fatalf("slot %d = %d, want %d", i, v, i+1)
+			}
+		}
+	}
+	if computed != done {
+		t.Fatalf("computed slots = %d, calls = %d", computed, done)
+	}
+}
+
+// TestMapOrderedCtxPreCancelled: an already-dead context must not run
+// fn at all (serial and pooled paths).
+func TestMapOrderedCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		var calls atomic.Int32
+		_, err := MapOrderedCtx(ctx, w, make([]int, 50), func(i, _ int) int {
+			calls.Add(1)
+			return i
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if c := calls.Load(); c > int32(w) {
+			t.Fatalf("workers=%d: %d items dispatched after pre-cancel", w, c)
+		}
+	}
+}
+
+// TestMapOrderedCtxNoGoroutineLeak: before/after goroutine accounting
+// across many cancelled runs.
+func TestMapOrderedCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int32
+		_, _ = MapOrderedCtx(ctx, 8, make([]int, 200), func(i, _ int) int {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+			return i
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
+}
+
+func TestForEachIndexCtxCoversAllUncancelled(t *testing.T) {
+	var hits [311]int32
+	if err := ForEachIndexCtx(context.Background(), 8, len(hits), func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+// TestForEachIndexCtxCancelSkipsTail: cancellation inside a chunk must
+// stop the remaining indices of that chunk (the per-index check), not
+// just future chunks.
+func TestForEachIndexCtxCancelSkipsTail(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10_000
+	var calls atomic.Int32
+	err := ForEachIndexCtx(ctx, 2, n, func(i int) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if c := calls.Load(); int(c) >= n {
+		t.Fatalf("all %d indices ran despite cancellation", c)
+	}
+}
+
+func TestForEachRangeCtxUncancelled(t *testing.T) {
+	var total atomic.Int32
+	if err := ForEachRangeCtx(context.Background(), 4, Chunks(100, 8), func(_ int, r Range) {
+		total.Add(int32(r.Hi - r.Lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 100 {
+		t.Fatalf("ranges covered %d indices", total.Load())
+	}
+}

@@ -56,12 +56,44 @@ func toSavedCRF(m *crf.Model) savedCRF {
 	}
 }
 
-func fromSavedCRF(s savedCRF) *crf.Model {
+// validateCRF rejects wire forms whose weight tables do not match the
+// label inventory. Gob decoding alone accepts any shapes; skipping
+// this check would defer the failure to an index-out-of-range panic in
+// the middle of Viterbi on the first prediction.
+func validateCRF(s savedCRF) error {
+	L := len(s.Labels)
+	if L == 0 {
+		return fmt.Errorf("persist: CRF has no labels")
+	}
+	// Trans carries one extra row: the virtual begin-of-sequence state.
+	if len(s.Trans) != L+1 {
+		return fmt.Errorf("persist: CRF has %d transition rows, want %d", len(s.Trans), L+1)
+	}
+	for i, row := range s.Trans {
+		if len(row) != L {
+			return fmt.Errorf("persist: transition row %d has %d weights, want %d", i, len(row), L)
+		}
+	}
+	if len(s.TransEnd) != L {
+		return fmt.Errorf("persist: CRF has %d end weights, want %d", len(s.TransEnd), L)
+	}
+	for f, w := range s.Emit {
+		if len(w) != L {
+			return fmt.Errorf("persist: feature %q has %d emission weights, want %d", f, len(w), L)
+		}
+	}
+	return nil
+}
+
+func fromSavedCRF(s savedCRF) (*crf.Model, error) {
+	if err := validateCRF(s); err != nil {
+		return nil, err
+	}
 	m := crf.New(s.Labels)
 	m.Emit = s.Emit
 	m.Trans = s.Trans
 	m.TransEnd = s.TransEnd
-	return m
+	return m, nil
 }
 
 // extractorFor rebuilds the feature extractor for a task.
@@ -92,7 +124,11 @@ func LoadTagger(r io.Reader) (*ner.Tagger, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ner.FromModel(fromSavedCRF(s.CRF), ex), nil
+	m, err := fromSavedCRF(s.CRF)
+	if err != nil {
+		return nil, err
+	}
+	return ner.FromModel(m, ex), nil
 }
 
 // SaveBundle writes an ingredient + instruction tagger pair.
@@ -122,6 +158,13 @@ func LoadBundle(r io.Reader) (ingredient, instruction *ner.Tagger, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return ner.FromModel(fromSavedCRF(b.Ingredient.CRF), exIng),
-		ner.FromModel(fromSavedCRF(b.Instruction.CRF), exIns), nil
+	mIng, err := fromSavedCRF(b.Ingredient.CRF)
+	if err != nil {
+		return nil, nil, err
+	}
+	mIns, err := fromSavedCRF(b.Instruction.CRF)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ner.FromModel(mIng, exIng), ner.FromModel(mIns, exIns), nil
 }

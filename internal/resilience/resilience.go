@@ -1,0 +1,233 @@
+// Package resilience is the serving-side survival kit: panic-recovery
+// and per-request-deadline HTTP middleware, a weighted admission
+// limiter that sheds load with 429 + Retry-After instead of queueing
+// unboundedly, and a context-aware retry/backoff primitive for
+// callers. The pieces are independent; internal/server composes them
+// in front of the pipeline handlers, and any later subsystem (sharded
+// backends, cache fills, upstream fetches) can reuse them.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Recover wraps h so a panicking handler produces a 500 JSON error and
+// a stack trace in the log instead of killing the process. If the
+// handler already wrote its header, the connection is left to die (the
+// response is unsalvageable) but the server keeps serving.
+func Recover(logger *log.Logger, h http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// http.ErrAbortHandler is net/http's own "abandon this
+				// response" sentinel; re-panic so the server handles it.
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprintf(w, `{"error":"internal server error"}`+"\n")
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Deadline wraps h so every request's context is cancelled after d.
+// Handlers that thread the request context into the pipeline's batch
+// APIs stop computing shortly after the deadline instead of burning
+// CPU for a client that gave up. d <= 0 disables the wrap.
+func Deadline(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Limiter is a weighted admission semaphore: at most Capacity units of
+// work in flight, where a unit is caller-defined (the server weighs a
+// single annotate at 1 and a batch at its phrase count, so one
+// 10k-phrase batch counts like 10k singles). Admission never queues —
+// an over-capacity request is shed immediately so the caller can
+// return 429 and the client can back off.
+type Limiter struct {
+	mu       sync.Mutex
+	capacity int64
+	inflight int64
+}
+
+// NewLimiter builds a limiter admitting up to capacity units;
+// capacity <= 0 means unlimited (every TryAcquire succeeds).
+func NewLimiter(capacity int) *Limiter {
+	return &Limiter{capacity: int64(capacity)}
+}
+
+// TryAcquire admits weight units of work, returning a release func and
+// true, or (nil, false) when admission would exceed capacity. Weights
+// below 1 count as 1. A request heavier than the whole capacity is
+// still admitted when the limiter is idle — otherwise it could never
+// run — but blocks all other admission until released.
+func (l *Limiter) TryAcquire(weight int) (release func(), ok bool) {
+	if l == nil || l.capacity <= 0 {
+		return func() {}, true
+	}
+	w := int64(weight)
+	if w < 1 {
+		w = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight > 0 && l.inflight+w > l.capacity {
+		return nil, false
+	}
+	l.inflight += w
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inflight -= w
+			l.mu.Unlock()
+		})
+	}, true
+}
+
+// InFlight reports the units currently admitted.
+func (l *Limiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.inflight)
+}
+
+// ShedJSON writes the standard load-shedding response: 429 Too Many
+// Requests with a Retry-After hint (in whole seconds, minimum 1).
+func ShedJSON(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintf(w, `{"error":"server is at capacity, retry after %ds"}`+"\n", secs)
+}
+
+// Backoff is a capped exponential backoff with deterministic jitter:
+// attempt n (0-based) sleeps Base·2ⁿ, capped at Max, then stretched by
+// up to Jitter·delay using a stream seeded by Seed — so a fixed seed
+// reproduces the exact delay sequence, which keeps retry tests
+// clock-free and flake-free.
+type Backoff struct {
+	// Base is the first delay (default 10ms).
+	Base time.Duration
+	// Max caps a single delay (default 1s).
+	Max time.Duration
+	// Attempts bounds the number of calls (default 3).
+	Attempts int
+	// Jitter in [0, 1] stretches each delay by a random factor in
+	// [1, 1+Jitter] (default 0: none).
+	Jitter float64
+	// Seed keys the jitter stream.
+	Seed int64
+	// Sleep replaces time.Sleep in tests; nil uses the real clock
+	// (interrupted early if ctx dies).
+	Sleep func(time.Duration)
+}
+
+// Delays returns the exact backoff schedule the configuration
+// produces: one delay per retry gap (Attempts-1 entries).
+func (b Backoff) Delays() []time.Duration {
+	b = b.withDefaults()
+	rng := rand.New(rand.NewSource(b.Seed))
+	out := make([]time.Duration, 0, b.Attempts-1)
+	d := b.Base
+	for i := 0; i < b.Attempts-1; i++ {
+		delay := d
+		if b.Jitter > 0 {
+			delay = time.Duration(float64(delay) * (1 + b.Jitter*rng.Float64()))
+		}
+		out = append(out, delay)
+		d *= 2
+		if d > b.Max {
+			d = b.Max
+		}
+	}
+	return out
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 3
+	}
+	return b
+}
+
+// Retry calls fn up to b.Attempts times, backing off between attempts,
+// until fn returns nil. It stops early — returning the last error —
+// when ctx is cancelled, and never sleeps past cancellation. The
+// returned error is fn's last error (or ctx.Err() if cancelled before
+// the first attempt).
+func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) error {
+	b = b.withDefaults()
+	delays := b.Delays()
+	var err error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return err
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if attempt == b.Attempts-1 {
+			break
+		}
+		if !sleepCtx(ctx, delays[attempt], b.Sleep) {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepCtx sleeps d (via custom sleeper when set), reporting false if
+// ctx died first.
+func sleepCtx(ctx context.Context, d time.Duration, sleeper func(time.Duration)) bool {
+	if sleeper != nil {
+		sleeper(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,240 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecoverContainsPanic(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := Recover(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "internal server error") {
+		t.Fatalf("body = %s", w.Body.String())
+	}
+	if !strings.Contains(buf.String(), "handler exploded") || !strings.Contains(buf.String(), "resilience_test.go") {
+		t.Fatalf("log missing panic value or stack:\n%s", buf.String())
+	}
+}
+
+func TestRecoverPassesThroughAbortHandler(t *testing.T) {
+	h := Recover(log.New(&bytes.Buffer{}, "", 0), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler must propagate to the server")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+	t.Fatal("expected re-panic")
+}
+
+func TestDeadlineAttachesTimeout(t *testing.T) {
+	var hasDeadline bool
+	h := Deadline(time.Minute, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, hasDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+	if !hasDeadline {
+		t.Fatal("request context has no deadline")
+	}
+	// disabled wrap passes the handler through untouched.
+	h = Deadline(0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Fatal("Deadline(0) must not attach a deadline")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+}
+
+func TestLimiterShedsAtCapacity(t *testing.T) {
+	l := NewLimiter(1)
+	rel, ok := l.TryAcquire(1)
+	if !ok {
+		t.Fatal("first acquire must succeed")
+	}
+	if _, ok := l.TryAcquire(1); ok {
+		t.Fatal("second acquire at capacity 1 must shed")
+	}
+	rel()
+	rel() // idempotent release must not double-free
+	if l.InFlight() != 0 {
+		t.Fatalf("inflight = %d after release", l.InFlight())
+	}
+	if _, ok := l.TryAcquire(1); !ok {
+		t.Fatal("acquire after release must succeed")
+	}
+}
+
+func TestLimiterWeights(t *testing.T) {
+	l := NewLimiter(100)
+	relA, ok := l.TryAcquire(60)
+	if !ok {
+		t.Fatal("60/100 must admit")
+	}
+	if _, ok := l.TryAcquire(50); ok {
+		t.Fatal("60+50 > 100 must shed")
+	}
+	relB, ok := l.TryAcquire(40)
+	if !ok {
+		t.Fatal("60+40 = 100 must admit")
+	}
+	relA()
+	relB()
+	// an over-capacity batch is admitted only when idle.
+	relBig, ok := l.TryAcquire(500)
+	if !ok {
+		t.Fatal("oversized weight must admit on an idle limiter")
+	}
+	if _, ok := l.TryAcquire(1); ok {
+		t.Fatal("nothing may ride alongside an oversized admission")
+	}
+	relBig()
+}
+
+func TestLimiterUnlimitedAndNil(t *testing.T) {
+	for _, l := range []*Limiter{nil, NewLimiter(0)} {
+		rel, ok := l.TryAcquire(1 << 30)
+		if !ok {
+			t.Fatal("unlimited limiter must always admit")
+		}
+		rel()
+	}
+}
+
+func TestLimiterConcurrentAccounting(t *testing.T) {
+	l := NewLimiter(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if rel, ok := l.TryAcquire(3); ok {
+					if n := l.InFlight(); n > 8 {
+						t.Errorf("inflight %d exceeds capacity", n)
+					}
+					rel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.InFlight() != 0 {
+		t.Fatalf("inflight = %d after all releases", l.InFlight())
+	}
+}
+
+func TestShedJSON(t *testing.T) {
+	w := httptest.NewRecorder()
+	ShedJSON(w, 2*time.Second)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q", w.Header().Get("Retry-After"))
+	}
+	w = httptest.NewRecorder()
+	ShedJSON(w, 0)
+	if w.Header().Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After floor = %q", w.Header().Get("Retry-After"))
+	}
+}
+
+func TestBackoffDelaysDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Attempts: 5, Jitter: 0.5, Seed: 42}
+	a1, a2 := b.Delays(), b.Delays()
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a1) != 4 {
+		t.Fatalf("want 4 gaps, got %d", len(a1))
+	}
+	for i, d := range a1 {
+		base := 10 * time.Millisecond << uint(i)
+		if base > 40*time.Millisecond {
+			base = 40 * time.Millisecond
+		}
+		if d < base || d > base+base/2 {
+			t.Fatalf("gap %d = %v outside [%v, %v]", i, d, base, base+base/2)
+		}
+	}
+	b.Seed = 43
+	if reflect.DeepEqual(a1, b.Delays()) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var slept []time.Duration
+	b := Backoff{Base: time.Millisecond, Attempts: 4, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := Retry(context.Background(), b, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v calls = %d", err, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	wantErr := errors.New("permanent")
+	calls := 0
+	b := Backoff{Base: time.Microsecond, Attempts: 3, Sleep: func(time.Duration) {}}
+	if err := Retry(context.Background(), b, func(context.Context) error {
+		calls++
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	b := Backoff{Base: time.Hour, Attempts: 10} // real clock: must not actually sleep an hour
+	err := Retry(ctx, b, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("failing")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err = %v calls = %d (cancellation must stop retries)", err, calls)
+	}
+
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := Retry(cancelled, Backoff{}, func(context.Context) error {
+		t.Fatal("fn must not run under a dead context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+}

@@ -6,32 +6,69 @@
 //	POST /annotate/batch {"phrases": ["...", ...]}          → []IngredientRecord (worker-pool fan-out)
 //	POST /model          {"title","cuisine","ingredients":[],"instructions":""} → RecipeModel + nutrition
 //	POST /search         {"ingredients":[],"processes":[],...} → matching recipe titles
-//	GET  /healthz                                            → 200 ok
+//	GET  /healthz                                            → 200 ok (liveness)
+//	GET  /readyz                                             → 200 ready / 503 starting (readiness)
 //
 // The server owns a trained pipeline and, optionally, an indexed
-// corpus for /search.
+// corpus for /search, and composes the resilience layer in front of
+// every handler: panic recovery (a handler bug is a 500, never process
+// death), a per-request deadline threaded through the batch pipeline
+// APIs (a dead client stops burning CPU), and weighted admission
+// control (batch requests count their phrases) that sheds excess load
+// with 429 + Retry-After instead of queueing without bound.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/index"
 	"recipemodel/internal/nutrition"
+	"recipemodel/internal/resilience"
 )
+
+// FaultServe fires at the top of every routed request (before the
+// handler body); arming it with a panic proves containment through the
+// real middleware stack, with latency it holds requests in flight for
+// shedding tests (see internal/faults).
+const FaultServe = "server.serve"
 
 // Pipeline is the subset of the pipeline API the server needs;
 // satisfied by the public recipemodel.Pipeline via a thin adapter or
-// by core-level components directly.
+// by core-level components directly. The batch and model calls take
+// the request context so a client disconnect or deadline stops the
+// worker-pool computation instead of leaking it.
 type Pipeline interface {
 	AnnotateIngredient(phrase string) core.IngredientRecord
-	// AnnotateIngredients is the batch form behind /annotate/batch;
-	// implementations fan out over a worker pool and must return
-	// record i for phrase i.
-	AnnotateIngredients(phrases []string) []core.IngredientRecord
-	ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel
+	// AnnotateIngredientsContext is the batch form behind
+	// /annotate/batch; implementations fan out over a worker pool,
+	// return record i for phrase i, and honor ctx cancellation.
+	AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error)
+	ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error)
+}
+
+// Config tunes the resilience layer; the zero value disables all
+// limits (useful for tests that target handler logic alone).
+type Config struct {
+	// MaxInFlight caps admitted work units across all requests: a
+	// single annotate/model/search weighs 1, a batch weighs its phrase
+	// count. 0 means unlimited.
+	MaxInFlight int
+	// RequestTimeout bounds each request's context; handlers observe
+	// it through ctx and answer 503 when mining overruns. 0 disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logger receives panic stacks; nil uses log.Default().
+	Logger *log.Logger
 }
 
 // Server is the HTTP handler set.
@@ -39,34 +76,96 @@ type Server struct {
 	pipe      Pipeline
 	estimator *nutrition.Estimator
 	ix        *index.Index
-	mux       *http.ServeMux
+	handler   http.Handler
+	limiter   *resilience.Limiter
+	cfg       Config
+	ready     atomic.Bool
 }
 
-// New builds a server around a trained pipeline; ix may be nil, which
-// disables /search with a 503.
+// New builds a server around a trained pipeline with no limits; ix may
+// be nil, which disables /search with a 503. Production callers want
+// NewWithConfig.
 func New(pipe Pipeline, ix *index.Index) *Server {
+	return NewWithConfig(pipe, ix, Config{})
+}
+
+// NewWithConfig builds a server with the full resilience layer wired:
+// mux → recovery → deadline → handlers (admission checks run inside
+// handlers, after decode, so batch weights are known).
+func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
 		pipe:      pipe,
 		estimator: nutrition.NewEstimator(),
 		ix:        ix,
-		mux:       http.NewServeMux(),
+		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
+		cfg:       cfg,
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/annotate", s.handleAnnotate)
-	s.mux.HandleFunc("/annotate/batch", s.handleAnnotateBatch)
-	s.mux.HandleFunc("/model", s.handleModel)
-	s.mux.HandleFunc("/search", s.handleSearch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/annotate", s.handleAnnotate)
+	mux.HandleFunc("/annotate/batch", s.handleAnnotateBatch)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/search", s.handleSearch)
+	s.handler = resilience.Recover(cfg.Logger,
+		resilience.Deadline(cfg.RequestTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if err := faults.Inject(FaultServe); err != nil {
+				httpError(w, http.StatusInternalServerError, "injected fault: "+err.Error())
+				return
+			}
+			mux.ServeHTTP(w, r)
+		})))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// SetReady flips the /readyz answer; cmd/recipeserver flips it true
+// once training and corpus indexing complete, and back to false while
+// draining so load balancers stop routing new work here.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// admit reserves weight units of pipeline work for this request,
+// shedding with 429 + Retry-After when the server is at capacity. On
+// success the caller must invoke the returned release.
+func (s *Server) admit(w http.ResponseWriter, weight int) (release func(), ok bool) {
+	release, ok = s.limiter.TryAcquire(weight)
+	if !ok {
+		resilience.ShedJSON(w, s.cfg.RetryAfter)
+		return nil, false
+	}
+	return release, true
 }
 
 // writeJSON writes v with status 200.
@@ -84,16 +183,37 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// decode reads a JSON body with a sane size cap.
+// ctxError maps a pipeline context error to the right response: 503
+// with a Retry-After when the per-request deadline expired (the server
+// shed the tail of the work), nothing when the client itself went away
+// (no one is reading).
+func (s *Server) ctxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+	}
+}
+
+// maxBody caps request bodies (1 MiB).
+const maxBody = 1 << 20
+
+// decode reads a JSON body with a sane size cap. Oversized bodies are
+// 413, malformed ones 400, non-POST methods 405.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return false
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
@@ -114,6 +234,11 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "phrase is required")
 		return
 	}
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	writeJSON(w, s.pipe.AnnotateIngredient(req.Phrase))
 }
 
@@ -140,7 +265,19 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("at most %d phrases per batch", maxBatchPhrases))
 		return
 	}
-	writeJSON(w, s.pipe.AnnotateIngredients(req.Phrases))
+	// a batch occupies as many admission units as it has phrases, so
+	// one giant batch can't starve the interactive endpoints silently.
+	release, ok := s.admit(w, len(req.Phrases))
+	if !ok {
+		return
+	}
+	defer release()
+	recs, err := s.pipe.AnnotateIngredientsContext(r.Context(), req.Phrases)
+	if err != nil {
+		s.ctxError(w, err)
+		return
+	}
+	writeJSON(w, recs)
 }
 
 // modelRequest is the /model payload.
@@ -167,7 +304,16 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "ingredients are required")
 		return
 	}
-	m := s.pipe.ModelRecipe(req.Title, req.Cuisine, req.Ingredients, req.Instructions)
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
+	m, err := s.pipe.ModelRecipeContext(r.Context(), req.Title, req.Cuisine, req.Ingredients, req.Instructions)
+	if err != nil {
+		s.ctxError(w, err)
+		return
+	}
 	profile, resolved := s.estimator.EstimateRecipe(m)
 	writeJSON(w, modelResponse{Model: m, Nutrition: profile, Resolved: resolved})
 }
@@ -196,6 +342,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	hits := s.ix.Search(index.Query{
 		Ingredients: req.Ingredients,
 		Processes:   req.Processes,

@@ -1,13 +1,18 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/index"
 	"recipemodel/internal/ner"
 	"recipemodel/internal/relations"
@@ -15,28 +20,51 @@ import (
 
 // fakePipe is a deterministic Pipeline stub so server tests don't pay
 // training cost; the real pipeline is covered by the integration test
-// in cmd/recipeserver.
-type fakePipe struct{}
+// in cmd/recipeserver. A non-nil gate makes every annotation block
+// until the channel closes — the deterministic "slow request" used by
+// the shedding and deadline tests.
+type fakePipe struct {
+	gate chan struct{}
+}
 
-func (fakePipe) AnnotateIngredient(phrase string) core.IngredientRecord {
+func (f fakePipe) wait(ctx context.Context) error {
+	if f.gate == nil {
+		return nil
+	}
+	select {
+	case <-f.gate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (f fakePipe) AnnotateIngredient(phrase string) core.IngredientRecord {
+	_ = f.wait(context.Background())
 	return core.IngredientRecord{Phrase: phrase, Name: "onion", Quantity: "2", Unit: "cups"}
 }
 
-func (f fakePipe) AnnotateIngredients(phrases []string) []core.IngredientRecord {
+func (f fakePipe) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
 	out := make([]core.IngredientRecord, len(phrases))
 	for i, p := range phrases {
-		out[i] = f.AnnotateIngredient(p)
+		out[i] = core.IngredientRecord{Phrase: p, Name: "onion", Quantity: "2", Unit: "cups"}
 	}
-	return out
+	return out, ctx.Err()
 }
 
-func (fakePipe) ModelRecipe(title, cuisine string, ingredientLines []string, instructions string) *core.RecipeModel {
+func (f fakePipe) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
 	m := &core.RecipeModel{Title: title, Cuisine: cuisine}
 	for _, l := range ingredientLines {
 		m.Ingredients = append(m.Ingredients, core.IngredientRecord{Phrase: l, Name: "sugar", Quantity: "100", Unit: "grams"})
 	}
 	m.Events = []core.Event{{Step: 0, Relation: relations.Relation{Process: "mix"}}}
-	return m
+	return m, ctx.Err()
 }
 
 func testIndex() *index.Index {
@@ -63,6 +91,38 @@ func TestHealth(t *testing.T) {
 	w := do(t, s, http.MethodGet, "/healthz", "")
 	if w.Code != 200 {
 		t.Fatalf("health = %d", w.Code)
+	}
+}
+
+// liveness is GET-only: probes must not mutate, and typos like POST
+// /healthz should be loud.
+func TestHealthMethodNotAllowed(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodPost, "/healthz", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz = %d", w.Code)
+	}
+}
+
+// readiness starts false (training in progress), flips with SetReady,
+// and is also GET-only.
+func TestReadyz(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady = %d", w.Code)
+	}
+	s.SetReady(true)
+	if !s.Ready() {
+		t.Fatal("Ready() = false after SetReady(true)")
+	}
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != 200 {
+		t.Fatalf("readyz after SetReady = %d", w.Code)
+	}
+	s.SetReady(false)
+	if w := do(t, s, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after SetReady(false) = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/readyz", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /readyz = %d", w.Code)
 	}
 }
 
@@ -94,6 +154,22 @@ func TestAnnotateValidation(t *testing.T) {
 	}
 	if w := do(t, s, http.MethodPost, "/annotate", `{"unknown":"x"}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("unknown field = %d", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":`); w.Code != http.StatusBadRequest {
+		t.Fatalf("truncated JSON = %d", w.Code)
+	}
+}
+
+// an over-cap body must be 413, not a generic 400.
+func TestOversizedBodyIs413(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	big := `{"phrase":"` + strings.Repeat("a", maxBody+1) + `"}`
+	w := do(t, s, http.MethodPost, "/annotate", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "exceeds") {
+		t.Fatalf("body = %s", w.Body.String())
 	}
 }
 
@@ -168,6 +244,9 @@ func TestModelValidation(t *testing.T) {
 	if w := do(t, s, http.MethodPost, "/model", `{"title":"x"}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("no ingredients = %d", w.Code)
 	}
+	if w := do(t, s, http.MethodDelete, "/model", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE = %d", w.Code)
+	}
 }
 
 func TestSearch(t *testing.T) {
@@ -203,4 +282,126 @@ func TestModelJSONIncludesEvents(t *testing.T) {
 		t.Fatalf("events missing:\n%s", w.Body.String())
 	}
 	_ = ner.Span{} // document the shared span type
+}
+
+// TestPanicContained: an injected handler panic must come back as a
+// 500 with a stack in the log, and the server must keep serving.
+func TestPanicContained(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := NewWithConfig(fakePipe{}, nil, Config{Logger: log.New(&logBuf, "", 0)})
+	defer faults.Enable(FaultServe, faults.Fault{PanicMsg: "wedged handler", Limit: 1})()
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"x"}`); w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500", w.Code)
+	}
+	if !strings.Contains(logBuf.String(), "wedged handler") || !strings.Contains(logBuf.String(), "goroutine") {
+		t.Fatalf("log missing panic + stack:\n%s", logBuf.String())
+	}
+	// the process survived; the next request is normal.
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"x"}`); w.Code != 200 {
+		t.Fatalf("request after panic = %d, want 200", w.Code)
+	}
+}
+
+// TestSheddingAt429: with an in-flight cap of 1, a request held open
+// by the gate makes a concurrent request shed with 429 + Retry-After;
+// after the gate opens everything is admitted again.
+func TestSheddingAt429(t *testing.T) {
+	gate := make(chan struct{})
+	s := NewWithConfig(fakePipe{gate: gate}, nil, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		firstDone <- do(t, s, http.MethodPost, "/annotate", `{"phrase":"slow"}`)
+	}()
+	// wait (bounded) for the first request to occupy the limiter.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.limiter.InFlight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.limiter.InFlight() != 1 {
+		t.Fatal("first request never reached the limiter")
+	}
+
+	w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"shed me"}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("concurrent request = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", w.Header().Get("Retry-After"))
+	}
+
+	close(gate)
+	if first := <-firstDone; first.Code != 200 {
+		t.Fatalf("gated request = %d, want 200", first.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"x"}`); w.Code != 200 {
+		t.Fatalf("request after release = %d, want 200", w.Code)
+	}
+}
+
+// TestBatchWeightedAdmission: a batch occupies one unit per phrase, so
+// a 3-phrase batch in flight under a cap of 4 sheds the next 3-phrase
+// batch but still admits a single annotate.
+func TestBatchWeightedAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	s := NewWithConfig(fakePipe{gate: gate}, nil, Config{MaxInFlight: 4})
+
+	bigDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		bigDone <- do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["a","b","c"]}`)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.limiter.InFlight() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.limiter.InFlight() != 3 {
+		t.Fatalf("inflight = %d, want 3 (batch weight)", s.limiter.InFlight())
+	}
+
+	if w := do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["d","e","f"]}`); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second batch = %d, want 429", w.Code)
+	}
+
+	// a single annotate still fits in the remaining unit — but it would
+	// block on the gate; just verify admission, using a fresh unblocked
+	// pipe through the same limiter is not possible, so assert capacity
+	// arithmetic directly instead.
+	if rel, ok := s.limiter.TryAcquire(1); !ok {
+		t.Fatal("one remaining unit must admit a single request")
+	} else {
+		rel()
+	}
+
+	close(gate)
+	if big := <-bigDone; big.Code != 200 {
+		t.Fatalf("gated batch = %d, want 200", big.Code)
+	}
+}
+
+// TestRequestDeadline503: a request that overruns its per-request
+// deadline answers 503 with a Retry-After instead of hanging.
+func TestRequestDeadline503(t *testing.T) {
+	gate := make(chan struct{}) // never closed: the pipe blocks until ctx expires
+	defer close(gate)
+	s := NewWithConfig(fakePipe{gate: gate}, nil, Config{RequestTimeout: 20 * time.Millisecond})
+	w := do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["x"]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline overrun = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+}
+
+// TestInjectedServeError: the server-level fault point maps injected
+// errors to 500 (used by ops drills to rehearse alerting).
+func TestInjectedServeError(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	defer faults.Enable(FaultServe, faults.Fault{Err: context.DeadlineExceeded, Limit: 1})()
+	if w := do(t, s, http.MethodGet, "/healthz", ""); w.Code != http.StatusInternalServerError {
+		t.Fatalf("injected error = %d, want 500", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/healthz", ""); w.Code != 200 {
+		t.Fatalf("after fault window = %d, want 200", w.Code)
+	}
 }

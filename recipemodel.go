@@ -29,6 +29,7 @@
 package recipemodel
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -194,10 +195,26 @@ func (p *Pipeline) AnnotateIngredients(phrases []string) []IngredientRecord {
 	return p.inner.AnnotateIngredients(phrases, p.workers)
 }
 
+// AnnotateIngredientsContext is AnnotateIngredients with cooperative
+// cancellation: when ctx is cancelled the pool stops dispatching new
+// phrases, finishes the in-flight ones, drains its workers (no
+// goroutine outlives the call), and returns the partial records with
+// ctx.Err(). An uncancelled call returns a nil error and results
+// byte-identical to AnnotateIngredients.
+func (p *Pipeline) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]IngredientRecord, error) {
+	return p.inner.AnnotateIngredientsContext(ctx, phrases, p.workers)
+}
+
 // AnnotateInstructions runs the instruction stack over a batch of
 // steps concurrently.
 func (p *Pipeline) AnnotateInstructions(steps []string) []InstructionAnnotation {
 	return p.inner.AnnotateInstructions(steps, p.workers)
+}
+
+// AnnotateInstructionsContext is the cancellable form of
+// AnnotateInstructions (same contract as AnnotateIngredientsContext).
+func (p *Pipeline) AnnotateInstructionsContext(ctx context.Context, steps []string) ([]InstructionAnnotation, error) {
+	return p.inner.AnnotateInstructionsContext(ctx, steps, p.workers)
 }
 
 // ModelRecipes mines a corpus of raw recipes concurrently, one recipe
@@ -205,6 +222,20 @@ func (p *Pipeline) AnnotateInstructions(steps []string) []InstructionAnnotation 
 // corresponds to recipes[i].
 func (p *Pipeline) ModelRecipes(recipes []RecipeInput) []*RecipeModel {
 	return p.inner.ModelRecipes(recipes, p.workers)
+}
+
+// ModelRecipesContext is the cancellable form of ModelRecipes: on
+// cancellation the mined prefix is returned with ctx.Err(),
+// undispatched slots are nil, and no worker goroutine leaks.
+func (p *Pipeline) ModelRecipesContext(ctx context.Context, recipes []RecipeInput) ([]*RecipeModel, error) {
+	return p.inner.ModelRecipesContext(ctx, recipes, p.workers)
+}
+
+// ModelRecipeContext mines one recipe under a context, checking for
+// cancellation between ingredient lines and instruction steps — the
+// request-deadline form of ModelRecipe used by the HTTP server.
+func (p *Pipeline) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*RecipeModel, error) {
+	return p.inner.ModelRecipeContext(ctx, title, cuisine, ingredientLines, instructions)
 }
 
 // Inputs converts raw synthetic recipes to batch-mining inputs.
