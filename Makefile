@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify bench bench-parallel tables clean
+.PHONY: build vet test test-race verify bench bench-parallel tables crash-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,20 @@ bench:
 # on a machine is the ratio of the twins' */sec metrics.
 bench-parallel:
 	$(GO) test . -run '^$$' -bench 'AnnotateCorpus|AnnotateRunParallel|CRFTrain|KMeans(Serial|Parallel)' -benchtime 3x
+
+# Crash-safety drills: kill-at-exact-call-count mining resumes
+# (byte-identical), store crash windows, checkpoint torn-tail
+# recovery, and hot-reload rejection paths.
+crash-test:
+	$(GO) test ./cmd/recipemine -run 'TestMine(Crash|Resume|Interrupt|Refuses)' -count=1
+	$(GO) test ./internal/checkpoint ./internal/persist -count=1
+	$(GO) test ./internal/server -run 'TestReload' -count=1
+
+# Short fuzz passes over the model-load boundary — enough to catch a
+# decode-hardening regression in CI without a long fuzz budget.
+fuzz-smoke:
+	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadBundle' -fuzztime 15s
+	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadTagger' -fuzztime 15s
 
 # Paper-scale artifact generation.
 tables:

@@ -1,0 +1,325 @@
+package main
+
+// Crash-safety drills for the durable mining path: every test kills a
+// run at an exact, fault-injected call count (no signals, no sleeps),
+// resumes it with -resume, and requires the recovered output to be
+// byte-identical to an uninterrupted run — the headline guarantee of
+// the checkpoint design.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"recipemodel/internal/checkpoint"
+	"recipemodel/internal/faults"
+)
+
+var errKill = errors.New("injected kill")
+
+// crashModel trains one small pipeline shared by every crash test in
+// this file (training dominates test time; the model is read-only).
+var (
+	crashModelOnce sync.Once
+	crashModelDir  string
+	crashModelErr  error
+)
+
+func crashModel(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	crashModelOnce.Do(func() {
+		crashModelDir, crashModelErr = os.MkdirTemp("", "recipemine-crash")
+		if crashModelErr != nil {
+			return
+		}
+		var out bytes.Buffer
+		crashModelErr = run([]string{"train", "-o", filepath.Join(crashModelDir, "p.bin"),
+			"-phrases", "400", "-instructions", "200"}, strings.NewReader(""), &out)
+	})
+	if crashModelErr != nil {
+		t.Fatal(crashModelErr)
+	}
+	return filepath.Join(crashModelDir, "p.bin")
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if crashModelDir != "" {
+		os.RemoveAll(crashModelDir)
+	}
+	os.Exit(code)
+}
+
+// mineTo runs a durable mine of 12 records into path with the shared
+// model, returning any error.
+func mineTo(t *testing.T, model, path string, extra ...string) error {
+	t.Helper()
+	args := append([]string{"mine", "-model", model, "-n", "12", "-seed", "11", "-o", path}, extra...)
+	var out bytes.Buffer
+	return run(args, strings.NewReader(""), &out)
+}
+
+// baseline mines the reference output once per test dir.
+func baseline(t *testing.T, model, dir string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, "base.jsonl")
+	if err := mineTo(t, model, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != 12 {
+		t.Fatalf("baseline has %d lines, want 12", n)
+	}
+	return data
+}
+
+// TestMineCrashAndResumeByteIdentical is the acceptance drill: kill
+// the run at several distinct record counts (first record, mid-chunk,
+// later chunk), resume each, and require bytes identical to the
+// uninterrupted baseline.
+func TestMineCrashAndResumeByteIdentical(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	for _, kill := range []int{1, 4, 9} {
+		path := filepath.Join(dir, "kill.jsonl")
+		// Arm the emit point to fail on exactly the kill-th record:
+		// buffered bytes past the last checkpoint are lost, like a
+		// SIGKILL between fsyncs.
+		disarm := faults.Enable(FaultEmit, faults.Fault{Err: errKill, Skip: kill - 1})
+		err := mineTo(t, model, path)
+		disarm()
+		if !errors.Is(err, errKill) {
+			t.Fatalf("kill@%d: mine returned %v, want injected kill", kill, err)
+		}
+
+		if err := mineTo(t, model, path, "-resume"); err != nil {
+			t.Fatalf("kill@%d: resume: %v", kill, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kill@%d: resumed output differs from uninterrupted run (%d vs %d bytes)", kill, len(got), len(want))
+		}
+		man, err := checkpoint.Load(checkpoint.PathFor(path))
+		if err != nil {
+			t.Fatalf("kill@%d: %v", kill, err)
+		}
+		if man.Records != 12 || man.Offset != int64(len(want)) {
+			t.Fatalf("kill@%d: final checkpoint %+v, want 12 records at offset %d", kill, man, len(want))
+		}
+		os.Remove(path)
+		os.Remove(checkpoint.PathFor(path))
+	}
+}
+
+// TestMineCrashDuringCheckpointSave kills the run inside the manifest
+// write itself (after data is fsync'd, before the manifest rename).
+// The previous manifest still describes a durable prefix, so -resume
+// must recover byte-identically.
+func TestMineCrashDuringCheckpointSave(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	path := filepath.Join(dir, "ckptkill.jsonl")
+	// Skip: 1 lets the run's initial (empty) manifest through and
+	// kills the first post-chunk checkpoint.
+	disarm := faults.Enable(checkpoint.FaultSave, faults.Fault{Err: errKill, Skip: 1})
+	err := mineTo(t, model, path)
+	disarm()
+	if !errors.Is(err, errKill) {
+		t.Fatalf("mine returned %v, want injected kill", err)
+	}
+
+	if err := mineTo(t, model, path, "-resume"); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed output differs from uninterrupted run")
+	}
+}
+
+// TestMineResumeTruncatesTornTail: bytes written past the last
+// checkpoint (a torn line from a crash mid-write) must be cut before
+// mining continues; the end state is still byte-identical.
+func TestMineResumeTruncatesTornTail(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	path := filepath.Join(dir, "torn.jsonl")
+	disarm := faults.Enable(FaultEmit, faults.Fault{Err: errKill, Skip: 5})
+	err := mineTo(t, model, path)
+	disarm()
+	if !errors.Is(err, errKill) {
+		t.Fatalf("mine returned %v, want injected kill", err)
+	}
+	// Simulate a crash mid-line: garbage past the checkpointed offset.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"Title":"torn rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := mineTo(t, model, path, "-resume"); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resume did not truncate the torn tail: output differs from uninterrupted run")
+	}
+}
+
+// TestMineRefusesExistingOutput: a fresh -o run must not silently
+// clobber an existing file; -force overrides.
+func TestMineRefusesExistingOutput(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	if err := os.WriteFile(path, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := mineTo(t, model, path)
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("mine over existing file = %v, want refusal", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "precious\n" {
+		t.Fatal("refused mine still modified the file")
+	}
+	if err := mineTo(t, model, path, "-force"); err != nil {
+		t.Fatalf("-force: %v", err)
+	}
+	if data, _ := os.ReadFile(path); bytes.Contains(data, []byte("precious")) {
+		t.Fatal("-force did not truncate the old contents")
+	}
+}
+
+// TestMineResumeRefusesFingerprintMismatch: resuming with a different
+// -seed must be refused — splicing two corpora would corrupt the file.
+func TestMineResumeRefusesFingerprintMismatch(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fp.jsonl")
+	disarm := faults.Enable(FaultEmit, faults.Fault{Err: errKill, Skip: 3})
+	err := mineTo(t, model, path)
+	disarm()
+	if !errors.Is(err, errKill) {
+		t.Fatalf("mine returned %v, want injected kill", err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"mine", "-model", model, "-n", "12", "-seed", "999", "-o", path, "-resume"},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("resume with different seed = %v, want fingerprint refusal", err)
+	}
+}
+
+// TestMineResumeAlreadyComplete: resuming a finished run is a no-op
+// that leaves the file untouched.
+func TestMineResumeAlreadyComplete(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+	path := filepath.Join(dir, "base.jsonl")
+	if err := mineTo(t, model, path, "-resume"); err != nil {
+		t.Fatalf("resume of complete run: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("no-op resume modified the file")
+	}
+}
+
+// TestMineInterruptDurable: a context cancellation (the SIGINT path)
+// on a durable run checkpoints what finished and exits 0; -resume then
+// completes to a byte-identical file.
+func TestMineInterruptDurable(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	path := filepath.Join(dir, "int.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := faults.Enable(FaultEmit, faults.Fault{OnHit: func(hit int) {
+		if hit == 2 {
+			cancel()
+		}
+	}})
+	var out bytes.Buffer
+	err := runCtx(ctx, []string{"mine", "-model", model, "-n", "12", "-seed", "11", "-workers", "2", "-o", path},
+		strings.NewReader(""), &out)
+	disarm()
+	if err != nil {
+		t.Fatalf("interrupted durable mine must exit 0, got %v", err)
+	}
+	man, err := checkpoint.Load(checkpoint.PathFor(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Records >= 12 {
+		t.Fatalf("interrupt did not stop the run: %d records", man.Records)
+	}
+	if err := mineTo(t, model, path, "-resume"); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed output differs from uninterrupted run")
+	}
+}
+
+// Flag-validation paths (no training needed).
+func TestMineResumeRequiresOutput(t *testing.T) {
+	err := run([]string{"mine", "-resume"}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -o") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMineResumeForceContradiction(t *testing.T) {
+	err := run([]string{"mine", "-resume", "-force", "-o", "x.jsonl"}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "contradictory") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMineResumeMissingCheckpoint(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	err := mineTo(t, model, filepath.Join(dir, "none.jsonl"), "-resume")
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resume without a checkpoint = %v, want not-exist", err)
+	}
+}

@@ -7,9 +7,12 @@
 //
 //	recipemine generate  -n 3 -seed 7
 //	recipemine train     -o pipeline.bin
+//	recipemine train     -store models/   # publish a version into the model store
 //	recipemine annotate  [-model pipeline.bin] [-workers N] "2 cups chopped onion" [...]
 //	recipemine instruct  "Bring the water to a boil in a large pot."
-//	recipemine mine      -n 100 -workers 8  # batch-mine a synthetic corpus to JSONL
+//	recipemine mine      -n 100 -workers 8            # batch-mine to stdout
+//	recipemine mine      -n 100000 -o corpus.jsonl    # durable, checkpointed run
+//	recipemine mine      -resume -n 100000 -o corpus.jsonl  # continue after a crash
 //	recipemine model     < recipe.txt     # title \n ingredients... \n -- \n instructions
 //	recipemine nutrition < recipe.txt
 //	recipemine translate -lang fr < recipe.txt
@@ -17,11 +20,26 @@
 //
 // Batch subcommands fan out over -workers goroutines (default: all
 // CPUs); output is identical at any worker count.
+//
+// With -o, mine is crash-safe: after every chunk the output file is
+// fsync'd and a write-ahead manifest (<out>.ckpt) records how many
+// records are durable and at what byte offset. A run killed at any
+// point — SIGKILL included — resumes with -resume: the torn tail past
+// the last durable record is truncated and mining continues from the
+// recorded position, producing output byte-identical to an
+// uninterrupted run (mining is deterministic, so re-derived records
+// match exactly). The checkpoint fingerprints -n/-seed/-model; a
+// resume under a different configuration is refused rather than
+// splicing incompatible outputs. -workers is deliberately absent from
+// the fingerprint: results are identical at any worker count, so a
+// resume may use a different pool size.
 package main
 
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -33,8 +51,16 @@ import (
 	"strings"
 
 	"recipemodel"
+	"recipemodel/internal/checkpoint"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/recipedb"
 )
+
+// FaultEmit fires after every record a durable (-o) mine appends,
+// before any flush or checkpoint. Crash tests arm it with an error at
+// exact call counts to simulate a kill mid-run — unflushed bytes are
+// lost and the manifest is stale, exactly the state a SIGKILL leaves.
+const FaultEmit = "recipemine.emit"
 
 func main() {
 	// SIGINT cancels the context; streaming subcommands (mine) flush
@@ -82,10 +108,13 @@ func runCtx(ctx context.Context, args []string, in io.Reader, out io.Writer) err
 	}
 }
 
-// cmdTrain trains a pipeline and persists it.
+// cmdTrain trains a pipeline and persists it — either to a flat file
+// (-o) or as a new version in a crash-safe model store (-store), the
+// form recipeserver hot-reloads from.
 func cmdTrain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	output := fs.String("o", "pipeline.bin", "output model file")
+	store := fs.String("store", "", "versioned model store directory (publishes a new version; overrides -o)")
 	seed := fs.Int64("seed", 1, "training seed")
 	phrases := fs.Int("phrases", 2500, "training phrases per source")
 	instructions := fs.Int("instructions", 1200, "training instructions per source")
@@ -100,6 +129,14 @@ func cmdTrain(args []string, out io.Writer) error {
 	p, err := recipemodel.NewPipeline(opts)
 	if err != nil {
 		return err
+	}
+	if *store != "" {
+		version, err := p.SaveToStore(*store)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "published %s to store %s\n", version, *store)
+		return nil
 	}
 	f, err := os.Create(*output)
 	if err != nil {
@@ -191,17 +228,28 @@ func cmdAnnotate(args []string, out io.Writer) error {
 // Mining streams in chunks so an interrupt (SIGINT) stops dispatch at
 // a chunk boundary, flushes every complete record already mined, and
 // exits 0 — downstream consumers never see a torn JSONL line.
+//
+// With -o the run is additionally crash-safe: see mineDurable.
 func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
 	n := fs.Int("n", 100, "number of synthetic recipes to mine")
 	seed := fs.Int64("seed", 1, "corpus generator seed")
 	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
 	workers := fs.Int("workers", runtime.NumCPU(), "mining goroutines")
+	output := fs.String("o", "", "durable output file (empty: stream to stdout)")
+	resume := fs.Bool("resume", false, "continue an interrupted -o run from its checkpoint")
+	force := fs.Bool("force", false, "overwrite an existing -o file instead of refusing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n <= 0 {
 		return fmt.Errorf("mine: -n must be positive")
+	}
+	if *resume && *output == "" {
+		return fmt.Errorf("mine: -resume requires -o")
+	}
+	if *resume && *force {
+		return fmt.Errorf("mine: -resume and -force are contradictory; pick one")
 	}
 	p, err := loadOrTrain(*modelPath, os.Stderr)
 	if err != nil {
@@ -209,6 +257,14 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	}
 	p.SetWorkers(*workers)
 	inputs := recipemodel.Inputs(recipemodel.SyntheticRecipes(*n, *seed))
+
+	if *output != "" {
+		fp, err := mineFingerprint(*n, *seed, *modelPath)
+		if err != nil {
+			return err
+		}
+		return mineDurable(ctx, p, inputs, *output, *resume, *force, fp)
+	}
 
 	bw := bufio.NewWriter(out)
 	enc := json.NewEncoder(bw)
@@ -241,6 +297,154 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// mineFingerprint hashes everything that determines a mining run's
+// output — corpus size, generator seed, and the exact model bytes —
+// into a short hex digest stored in the checkpoint manifest. A -resume
+// whose fingerprint differs would splice records from two different
+// runs into one file, so it is refused. -workers is deliberately
+// excluded: output is byte-identical at any worker count, and a resume
+// is free to use a different pool size.
+func mineFingerprint(n int, seed int64, modelPath string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "recipemine/v1 n=%d seed=%d model=", n, seed)
+	if modelPath == "" {
+		io.WriteString(h, "fresh-default")
+	} else {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return "", fmt.Errorf("mine: fingerprint model: %w", err)
+		}
+		defer f.Close()
+		if _, err := io.Copy(h, f); err != nil {
+			return "", fmt.Errorf("mine: fingerprint model: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8]), nil
+}
+
+// mineDurable is the crash-safe mining path. The discipline per chunk
+// is data-first write-ahead: append records, flush, fsync the data
+// file, then atomically persist a manifest recording how many records
+// and bytes are durable. A crash at ANY point leaves the previous
+// manifest describing an fsync'd prefix of the file; -resume truncates
+// whatever torn tail lies past that offset and re-mines from the
+// recorded record count. Mining is deterministic, so the resumed run's
+// bytes are identical to an uninterrupted run's.
+func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemodel.RecipeInput, path string, resume, force bool, fp string) error {
+	ckptPath := checkpoint.PathFor(path)
+	var f *os.File
+	start := 0
+	if resume {
+		man, err := checkpoint.Load(ckptPath)
+		if err != nil {
+			return fmt.Errorf("mine: -resume: %w", err)
+		}
+		if man.Fingerprint != fp {
+			return fmt.Errorf("mine: -resume refused: checkpoint %s was written by a different run configuration (fingerprint %s, this run %s); rerun with the original -n/-seed/-model or start fresh with -force", ckptPath, man.Fingerprint, fp)
+		}
+		if man.Records > len(inputs) {
+			return fmt.Errorf("mine: -resume: checkpoint %s records %d records but this run mines only %d", ckptPath, man.Records, len(inputs))
+		}
+		f, err = os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("mine: -resume: %w", err)
+		}
+		// Drop the torn tail: anything past the manifest offset was
+		// never covered by a checkpoint and may be a partial line.
+		if err := f.Truncate(man.Offset); err != nil {
+			f.Close()
+			return fmt.Errorf("mine: -resume truncate: %w", err)
+		}
+		if _, err := f.Seek(man.Offset, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("mine: -resume seek: %w", err)
+		}
+		start = man.Records
+		if start == len(inputs) {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "recipemine: %s already complete (%d records)\n", path, start)
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "recipemine: resuming %s at record %d/%d (offset %d)\n", path, start, len(inputs), man.Offset)
+	} else {
+		flags := os.O_WRONLY | os.O_CREATE | os.O_EXCL
+		if force {
+			flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		}
+		var err error
+		f, err = os.OpenFile(path, flags, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("mine: %s already exists; pass -resume to continue it or -force to overwrite", path)
+		}
+		if err != nil {
+			return err
+		}
+		// Write-ahead: an empty manifest marks the run as started so a
+		// crash before the first checkpoint still resumes cleanly.
+		if err := checkpoint.Save(ckptPath, checkpoint.Manifest{Fingerprint: fp}); err != nil {
+			f.Close()
+			return fmt.Errorf("mine: %w", err)
+		}
+	}
+	defer f.Close()
+
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	mined := start
+	// sync makes everything appended so far durable and checkpoints it:
+	// flush the buffer, fsync the data, then atomically replace the
+	// manifest. Ordering is the crash-safety invariant — the manifest
+	// never describes bytes that are not already on disk.
+	sync := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		offset, err := f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		return checkpoint.Save(ckptPath, checkpoint.Manifest{Fingerprint: fp, Records: mined, Offset: offset})
+	}
+
+	chunk := 4 * p.Workers()
+	for lo := start; lo < len(inputs); lo += chunk {
+		hi := min(lo+chunk, len(inputs))
+		models, mineErr := p.ModelRecipesContext(ctx, inputs[lo:hi])
+		for _, m := range models {
+			if m == nil {
+				break
+			}
+			if err := enc.Encode(m); err != nil {
+				return err
+			}
+			// Simulated-kill point for crash tests: an injected error
+			// aborts before any flush or checkpoint, losing buffered
+			// bytes exactly like a SIGKILL would.
+			if err := faults.Inject(FaultEmit); err != nil {
+				return fmt.Errorf("mine: %w", err)
+			}
+			mined++
+		}
+		if mineErr != nil {
+			if err := sync(); err != nil {
+				return err
+			}
+			if errors.Is(mineErr, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "recipemine: interrupted; %d/%d records durable in %s; continue with -resume\n", mined, len(inputs), path)
+				return nil
+			}
+			return mineErr
+		}
+		if err := sync(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cmdInstruct(args []string, out io.Writer) error {

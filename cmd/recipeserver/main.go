@@ -7,9 +7,11 @@
 //
 //	recipeserver -addr :8080 -corpus 200
 //	recipeserver -model pipeline.bin -corpus 0 -max-inflight 512 -request-timeout 30s
+//	recipeserver -store models/ -corpus 0    # versioned store + hot reload
 //
 // Endpoints: POST /annotate, POST /annotate/batch, POST /model,
-// POST /search, GET /healthz (liveness), GET /readyz (readiness —
+// POST /search, POST /admin/reload (hot model swap, -store only),
+// GET /healthz (liveness), GET /readyz (readiness + reload state —
 // true only once training and corpus indexing finish).
 //
 // Resilience posture: the http.Server runs with hardened read/write
@@ -18,6 +20,13 @@
 // admitted, panics answer 500 without killing the process, and a
 // termination signal flips /readyz to false, drains in-flight requests
 // for up to -drain-timeout, then exits 0.
+//
+// Durability posture: with -store the pipeline is served out of a
+// versioned, checksummed model store (internal/persist). A retrain
+// publishes a new version with `recipemine train -store`; SIGHUP or
+// POST /admin/reload makes the server load it off to the side, run the
+// canary self-check, and atomically swap it in — a corrupt or
+// canary-failing bundle is rejected and the old model keeps serving.
 package main
 
 import (
@@ -55,22 +64,44 @@ func (a pipeAdapter) ModelRecipeContext(ctx context.Context, title, cuisine stri
 	return a.p.ModelRecipeContext(ctx, title, cuisine, ingredientLines, instructions)
 }
 
-// buildServer assembles the resilient HTTP server: load or train a
-// pipeline, optionally mine a corpus for /search. The returned server
-// is not yet ready (SetReady) — main flips it after assembly so
-// /readyz answers false for the whole training window. Extracted from
-// main so tests can drive the full assembly.
-func buildServer(modelPath string, corpusSize int, opts recipemodel.Options, cfg server.Config) (*server.Server, error) {
+// storeLoader builds the hot-reload loader for a versioned model
+// store: every call loads the store's CURRENT version fresh, so a
+// retrain that published a new version is picked up by the next
+// reload.
+func storeLoader(storePath string) func() (server.Pipeline, string, error) {
+	return func() (server.Pipeline, string, error) {
+		p, version, err := recipemodel.LoadPipelineFromStore(storePath)
+		if err != nil {
+			return nil, version, err
+		}
+		return pipeAdapter{p}, version, nil
+	}
+}
+
+// buildServer assembles the resilient HTTP server: load (from a flat
+// file or a versioned store) or train a pipeline, optionally mine a
+// corpus for /search. With a store path the hot-reload loader is wired
+// into the config so /admin/reload and SIGHUP can swap in retrained
+// versions. The returned server is not yet ready (SetReady) — main
+// flips it after assembly so /readyz answers false for the whole
+// training window. Extracted from main so tests can drive the full
+// assembly.
+func buildServer(modelPath, storePath string, corpusSize int, opts recipemodel.Options, cfg server.Config) (*server.Server, error) {
 	var p *recipemodel.Pipeline
 	var err error
-	if modelPath != "" {
-		f, ferr := os.Open(modelPath)
-		if ferr != nil {
-			return nil, ferr
+	switch {
+	case storePath != "":
+		p, cfg.ModelVersion, err = recipemodel.LoadPipelineFromStore(storePath)
+		cfg.Loader = storeLoader(storePath)
+	case modelPath != "":
+		var f *os.File
+		f, err = os.Open(modelPath)
+		if err != nil {
+			return nil, err
 		}
 		p, err = recipemodel.LoadPipeline(f)
 		f.Close()
-	} else {
+	default:
 		log.Println("training pipeline on synthetic gold corpus ...")
 		p, err = recipemodel.NewPipeline(opts)
 	}
@@ -106,30 +137,43 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 // serve runs srv on ln until a termination signal arrives on sigs,
 // then drains gracefully: readiness flips false (load balancers stop
 // routing here), in-flight requests get up to drain to finish, and a
-// clean drain returns nil so the process exits 0. Split from main so
-// tests can feed the signal channel directly.
+// clean drain returns nil so the process exits 0. A SIGHUP is not a
+// termination: it triggers a validated hot reload (rejections are
+// logged, the old model keeps serving) and the server keeps running.
+// Split from main so tests can feed the signal channel directly.
 func serve(srv *http.Server, s *server.Server, ln net.Listener, drain time.Duration, sigs <-chan os.Signal, logger *log.Logger) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigs:
-		logger.Printf("received %v; draining in-flight requests (up to %v)", sig, drain)
-		s.SetReady(false)
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("drain incomplete: %w", err)
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if version, err := s.Reload(); err != nil {
+					logger.Printf("SIGHUP reload rejected: %v (still serving %s)", err, s.ModelVersion())
+				} else {
+					logger.Printf("SIGHUP reload ok: serving model %s", version)
+				}
+				continue
+			}
+			logger.Printf("received %v; draining in-flight requests (up to %v)", sig, drain)
+			s.SetReady(false)
+			ctx, cancel := context.WithTimeout(context.Background(), drain)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				return fmt.Errorf("drain incomplete: %w", err)
+			}
+			logger.Print("drained; exiting")
+			return nil
 		}
-		logger.Print("drained; exiting")
-		return nil
 	}
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelPath := flag.String("model", "", "persisted pipeline (empty: train fresh)")
+	modelPath := flag.String("model", "", "persisted pipeline file (empty: train fresh)")
+	storePath := flag.String("store", "", "versioned model store directory; enables /admin/reload and SIGHUP hot reload (overrides -model)")
 	corpusSize := flag.Int("corpus", 200, "synthetic recipes to mine and index for /search (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 1024, "admitted work units before shedding with 429 (batch = phrase count; 0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline threaded through the pipeline (0 disables)")
@@ -141,7 +185,7 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		RetryAfter:     time.Second,
 	}
-	s, err := buildServer(*modelPath, *corpusSize, recipemodel.DefaultOptions(), cfg)
+	s, err := buildServer(*modelPath, *storePath, *corpusSize, recipemodel.DefaultOptions(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +196,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	log.Printf("listening on %s (ready)", *addr)
 	if err := serve(newHTTPServer(*addr, s), s, ln, *drainTimeout, sigs, log.Default()); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,115 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/faults"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := PathFor(filepath.Join(t.TempDir(), "out.jsonl"))
+	want := Manifest{Fingerprint: "abc123", Records: 42, Offset: 9001}
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint || got.Records != want.Records || got.Offset != want.Offset {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	if got.Version != manifestVersion {
+		t.Fatalf("version = %d, want %d", got.Version, manifestVersion)
+	}
+}
+
+func TestSaveReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := Save(path, Manifest{Fingerprint: "f", Records: 1, Offset: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, Manifest{Fingerprint: "f", Records: 2, Offset: 20}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records != 2 || m.Offset != 20 {
+		t.Fatalf("second save not visible: %+v", m)
+	}
+	// no temp droppings left behind
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1: %v", len(entries), entries)
+	}
+}
+
+// TestCrashedSaveKeepsPreviousManifest is the WAL guarantee: a save
+// that dies (injected at the fault point, before anything is written)
+// leaves the previous manifest intact and loadable.
+func TestCrashedSaveKeepsPreviousManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := Save(path, Manifest{Fingerprint: "f", Records: 5, Offset: 50}); err != nil {
+		t.Fatal(err)
+	}
+	errCrash := errors.New("simulated crash")
+	defer faults.Enable(FaultSave, faults.Fault{Err: errCrash})()
+	if err := Save(path, Manifest{Fingerprint: "f", Records: 9, Offset: 90}); !errors.Is(err, errCrash) {
+		t.Fatalf("save under fault = %v, want injected crash", err)
+	}
+	faults.Reset()
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Records != 5 || m.Offset != 50 {
+		t.Fatalf("previous manifest lost: %+v", m)
+	}
+}
+
+func TestLoadRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not-json":    `{"version": 1, "records":`,
+		"bad-version": `{"version": 99, "records": 1, "offset": 1}`,
+		"negative":    `{"version": 1, "records": -3, "offset": 1}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		} else if !strings.Contains(err.Error(), path) {
+			t.Errorf("%s: error %q does not name the file", name, err)
+		}
+	}
+}
+
+func TestLoadMissingManifest(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+}
+
+func TestWriteFileAtomicCleansUpOnChmodTarget(t *testing.T) {
+	// plain success path with a strict perm: file exists with content.
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFileAtomic(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("read back: %q, %v", data, err)
+	}
+}

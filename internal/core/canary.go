@@ -1,0 +1,28 @@
+package core
+
+// CanaryCase pins one golden ingredient phrase together with the
+// entity any healthy tagger must extract from it. The hot-reload path
+// annotates the canary set with a candidate model before swapping it
+// into the serving position; a candidate that misses a canary is
+// rejected and the old model keeps serving. The phrases are chosen to
+// be easy — they probe "is this model sane at all", not "is it better".
+type CanaryCase struct {
+	// Phrase is the raw ingredient phrase to annotate.
+	Phrase string
+	// WantName is the ingredient name the record must carry.
+	WantName string
+}
+
+// CanarySet is the pinned golden phrase set for reload validation.
+// Every case is comfortably inside the synthetic training distribution
+// and is annotated correctly even by deliberately small test models
+// (400 phrases, 3 epochs), so a miss signals real breakage — a
+// mis-trained, truncated, or wrong-task bundle — not model variance.
+func CanarySet() []CanaryCase {
+	return []CanaryCase{
+		{Phrase: "2 cups chopped onion", WantName: "onion"},
+		{Phrase: "1 tsp salt", WantName: "salt"},
+		{Phrase: "3 cloves garlic , minced", WantName: "garlic"},
+		{Phrase: "2 tablespoons olive oil", WantName: "olive oil"},
+	}
+}

@@ -119,6 +119,19 @@ func Hits(name string) int {
 	return 0
 }
 
+// Fired reports how many times the named point actually injected its
+// fault (a subset of Hits once Skip/Limit/Prob are applied). Crash
+// tests use it to assert a kill point fired exactly once before the
+// run died.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
 // splitmix64 is the SplitMix64 finalizer (same stream-splitting
 // discipline as internal/parallel).
 func splitmix64(x uint64) uint64 {

@@ -32,6 +32,12 @@ func TestErrorInjectionWithSkipAndLimit(t *testing.T) {
 	if Hits("p") != 5 {
 		t.Fatalf("hits = %d, want 5", Hits("p"))
 	}
+	if Fired("p") != 1 {
+		t.Fatalf("fired = %d, want 1 (Skip ate 2, Limit capped at 1)", Fired("p"))
+	}
+	if Fired("nowhere") != 0 {
+		t.Fatalf("unarmed Fired = %d", Fired("nowhere"))
+	}
 }
 
 func TestPanicInjection(t *testing.T) {

@@ -74,6 +74,60 @@ func TestMapOrderedCtxCancelStopsDispatch(t *testing.T) {
 	}
 }
 
+// TestMapOrderedCtxKillResumePrefix is the resume contract the
+// checkpointed miner builds on: a run killed mid-flight leaves a
+// CONTIGUOUS prefix of completed slots (dispatch is ordered and
+// in-flight items finish), and re-running the unprocessed tail
+// serially splices into output identical to an uninterrupted serial
+// run. If cancellation could ever leave a hole mid-slice, -resume
+// would silently drop records.
+func TestMapOrderedCtxKillResumePrefix(t *testing.T) {
+	const n = 500
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i * 13
+	}
+	fn := func(i, v int) int { return v*v + i + 1 } // never 0: zero marks "not dispatched"
+	want := MapOrdered(1, items, fn)
+
+	for _, killAt := range []int32{1, 7, 63} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int32
+		out, err := MapOrderedCtx(ctx, 4, items, func(i, v int) int {
+			if calls.Add(1) == killAt {
+				cancel()
+			}
+			return fn(i, v)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("kill@%d: err = %v, want context.Canceled", killAt, err)
+		}
+		// the completed slots must be a contiguous, correct prefix.
+		prefix := 0
+		for prefix < n && out[prefix] != 0 {
+			prefix++
+		}
+		if prefix == 0 || prefix >= n {
+			t.Fatalf("kill@%d: prefix = %d of %d", killAt, prefix, n)
+		}
+		for i := prefix; i < n; i++ {
+			if out[i] != 0 {
+				t.Fatalf("kill@%d: hole before slot %d — completed slots are not a prefix", killAt, i)
+			}
+		}
+		if !reflect.DeepEqual(out[:prefix], want[:prefix]) {
+			t.Fatalf("kill@%d: killed prefix differs from serial prefix", killAt)
+		}
+		// resume: serially process the tail and splice.
+		tail := MapOrdered(1, items[prefix:], func(i, v int) int { return fn(i+prefix, v) })
+		resumed := append(append([]int{}, out[:prefix]...), tail...)
+		if !reflect.DeepEqual(resumed, want) {
+			t.Fatalf("kill@%d: resumed output differs from uninterrupted run", killAt)
+		}
+	}
+}
+
 // TestMapOrderedCtxPreCancelled: an already-dead context must not run
 // fn at all (serial and pooled paths).
 func TestMapOrderedCtxPreCancelled(t *testing.T) {

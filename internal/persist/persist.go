@@ -8,6 +8,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 
 	"recipemodel/internal/crf"
 	"recipemodel/internal/ner"
@@ -152,19 +153,50 @@ func LoadBundle(r io.Reader) (ingredient, instruction *ner.Tagger, err error) {
 	}
 	exIng, err := extractorFor(b.Ingredient.Task, b.Ingredient.Options)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("ingredient tagger: %w", err)
 	}
 	exIns, err := extractorFor(b.Instruction.Task, b.Instruction.Options)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("instruction tagger: %w", err)
 	}
 	mIng, err := fromSavedCRF(b.Ingredient.CRF)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("ingredient tagger: %w", err)
 	}
 	mIns, err := fromSavedCRF(b.Instruction.CRF)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("instruction tagger: %w", err)
 	}
 	return ner.FromModel(mIng, exIng), ner.FromModel(mIns, exIns), nil
+}
+
+// LoadBundleFile is LoadBundle against a file path; errors name the
+// path so an operator staring at a failed load knows which artifact on
+// disk is the corrupt one.
+func LoadBundleFile(path string) (ingredient, instruction *ner.Tagger, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	ingredient, instruction, err = LoadBundle(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ingredient, instruction, nil
+}
+
+// LoadTaggerFile is LoadTagger against a file path, with the same
+// error-names-the-file contract as LoadBundleFile.
+func LoadTaggerFile(path string) (*ner.Tagger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	t, err := LoadTagger(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
 }

@@ -93,7 +93,10 @@ func (l *Limiter) TryAcquire(weight int) (release func(), ok bool) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.inflight > 0 && l.inflight+w > l.capacity {
+	// Compare as remaining headroom (capacity-inflight) rather than
+	// summing inflight+w, which a near-MaxInt64 weight could overflow
+	// into a negative number that slips past the capacity check.
+	if l.inflight > 0 && w > l.capacity-l.inflight {
 		return nil, false
 	}
 	l.inflight += w

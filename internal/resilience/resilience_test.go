@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"log"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -107,6 +108,83 @@ func TestLimiterWeights(t *testing.T) {
 		t.Fatal("nothing may ride alongside an oversized admission")
 	}
 	relBig()
+}
+
+// TestLimiterZeroWeight: an empty batch still occupies one admission
+// unit — a flood of zero-phrase requests must not bypass the limiter.
+func TestLimiterZeroWeight(t *testing.T) {
+	l := NewLimiter(2)
+	relA, ok := l.TryAcquire(0)
+	if !ok {
+		t.Fatal("zero weight must admit")
+	}
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("zero-weight admission costs %d, want 1", got)
+	}
+	relB, ok := l.TryAcquire(-5)
+	if !ok {
+		t.Fatal("negative weight must admit (as 1)")
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	if _, ok := l.TryAcquire(0); ok {
+		t.Fatal("limiter at capacity must shed even zero-weight work")
+	}
+	relA()
+	relB()
+}
+
+// TestLimiterHugeWeightNoOverflow: a weight near MaxInt must shed on a
+// busy limiter, not wrap inflight+w negative and slip past the check.
+func TestLimiterHugeWeightNoOverflow(t *testing.T) {
+	l := NewLimiter(100)
+	rel, ok := l.TryAcquire(1)
+	if !ok {
+		t.Fatal("1/100 must admit")
+	}
+	if _, ok := l.TryAcquire(math.MaxInt); ok {
+		t.Fatal("MaxInt weight on a busy limiter must shed, not overflow")
+	}
+	rel()
+	// idle limiter still takes the oversized request (documented
+	// behavior — otherwise it could never run).
+	relBig, ok := l.TryAcquire(math.MaxInt)
+	if !ok {
+		t.Fatal("oversized weight must admit on an idle limiter")
+	}
+	if _, ok := l.TryAcquire(1); ok {
+		t.Fatal("nothing may ride alongside an oversized admission")
+	}
+	relBig()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+// TestShedJSONRetryAfter pins the shed response contract: 429, a
+// whole-second Retry-After (minimum 1), and a JSON error body.
+func TestShedJSONRetryAfter(t *testing.T) {
+	w := httptest.NewRecorder()
+	ShedJSON(w, 2*time.Second)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "retry after 2s") {
+		t.Fatalf("body = %s", w.Body.String())
+	}
+	// sub-second hints round up to the 1s floor.
+	w = httptest.NewRecorder()
+	ShedJSON(w, 50*time.Millisecond)
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After floor = %q, want \"1\"", got)
+	}
 }
 
 func TestLimiterUnlimitedAndNil(t *testing.T) {

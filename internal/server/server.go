@@ -6,8 +6,9 @@
 //	POST /annotate/batch {"phrases": ["...", ...]}          → []IngredientRecord (worker-pool fan-out)
 //	POST /model          {"title","cuisine","ingredients":[],"instructions":""} → RecipeModel + nutrition
 //	POST /search         {"ingredients":[],"processes":[],...} → matching recipe titles
+//	POST /admin/reload                                       → validated hot model reload
 //	GET  /healthz                                            → 200 ok (liveness)
-//	GET  /readyz                                             → 200 ready / 503 starting (readiness)
+//	GET  /readyz                                             → 200 ready / 503 starting (readiness + reload state)
 //
 // The server owns a trained pipeline and, optionally, an indexed
 // corpus for /search, and composes the resilience layer in front of
@@ -16,6 +17,15 @@
 // APIs (a dead client stops burning CPU), and weighted admission
 // control (batch requests count their phrases) that sheds excess load
 // with 429 + Retry-After instead of queueing without bound.
+//
+// The serving pipeline is hot-swappable: /admin/reload (or SIGHUP in
+// cmd/recipeserver) loads a candidate bundle off to the side through
+// Config.Loader, annotates a pinned golden phrase set with it (the
+// canary self-check), and only on a clean pass atomically swaps it
+// into the serving position. A load error or canary miss rejects the
+// candidate and the previous model keeps serving — in-flight requests
+// are never dropped either way, because each request resolves the
+// pipeline pointer once at admission.
 package server
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -69,17 +80,50 @@ type Config struct {
 	RetryAfter time.Duration
 	// Logger receives panic stacks; nil uses log.Default().
 	Logger *log.Logger
+	// Loader loads a candidate pipeline (plus its version label) for
+	// hot reload. nil disables /admin/reload with a 503.
+	Loader func() (Pipeline, string, error)
+	// Canary overrides the golden phrase set a reload candidate must
+	// annotate correctly before it may serve; nil uses core.CanarySet.
+	Canary []core.CanaryCase
+	// ModelVersion labels the initially served model in /readyz.
+	ModelVersion string
+}
+
+// pipeState pairs the serving pipeline with its version label; it is
+// swapped as a unit so /readyz never reports a version the handlers
+// are not actually serving.
+type pipeState struct {
+	pipe    Pipeline
+	version string
+}
+
+// reloadInfo is the observable state of the reload machine, published
+// on /readyz.
+type reloadInfo struct {
+	// InProgress is true while a candidate is loading or in canary.
+	InProgress bool `json:"inProgress"`
+	// Last is "" before any reload, then "ok" or "rejected".
+	Last string `json:"last,omitempty"`
+	// Detail carries the rejection reason or the adopted version.
+	Detail string `json:"detail,omitempty"`
 }
 
 // Server is the HTTP handler set.
 type Server struct {
-	pipe      Pipeline
+	pipe      atomic.Value // pipeState
 	estimator *nutrition.Estimator
 	ix        *index.Index
 	handler   http.Handler
 	limiter   *resilience.Limiter
 	cfg       Config
 	ready     atomic.Bool
+	// reloadMu serializes reloads; handlers never take it, so a slow
+	// candidate load cannot stall serving.
+	reloadMu    sync.Mutex
+	reloadState atomic.Value // reloadInfo
+	reloads     atomic.Int64
+	rejected    atomic.Int64
 }
 
 // New builds a server around a trained pipeline with no limits; ix may
@@ -97,12 +141,13 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
-		pipe:      pipe,
 		estimator: nutrition.NewEstimator(),
 		ix:        ix,
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		cfg:       cfg,
 	}
+	s.pipe.Store(pipeState{pipe: pipe, version: cfg.ModelVersion})
+	s.reloadState.Store(reloadInfo{})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
@@ -110,6 +155,7 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 	mux.HandleFunc("/annotate/batch", s.handleAnnotateBatch)
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/admin/reload", s.handleReload)
 	s.handler = resilience.Recover(cfg.Logger,
 		resilience.Deadline(cfg.RequestTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if err := faults.Inject(FaultServe); err != nil {
@@ -134,6 +180,110 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // Ready reports the current readiness state.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
+// pipeline resolves the serving pipeline once; a handler holds the
+// same pipeline for its whole request even if a reload swaps the
+// pointer mid-flight.
+func (s *Server) pipeline() Pipeline { return s.pipe.Load().(pipeState).pipe }
+
+// ModelVersion reports the version label of the serving pipeline.
+func (s *Server) ModelVersion() string { return s.pipe.Load().(pipeState).version }
+
+// canarySet returns the golden phrases a reload candidate must pass.
+func (s *Server) canarySet() []core.CanaryCase {
+	if s.cfg.Canary != nil {
+		return s.cfg.Canary
+	}
+	return core.CanarySet()
+}
+
+// runCanary annotates the golden set with the candidate. A panic in
+// the candidate (a plausibly corrupt model) is caught and reported as
+// a rejection, never allowed to take the server down.
+func runCanary(cand Pipeline, cases []core.CanaryCase) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("candidate panicked during canary: %v", rec)
+		}
+	}()
+	for _, c := range cases {
+		rec := cand.AnnotateIngredient(c.Phrase)
+		if rec.Name != c.WantName {
+			return fmt.Errorf("canary %q: candidate extracted name %q, want %q", c.Phrase, rec.Name, c.WantName)
+		}
+	}
+	return nil
+}
+
+// Reload runs the validated hot-reload sequence: load a candidate via
+// Config.Loader, canary-check it, and atomically swap it into the
+// serving position. On any failure the old pipeline keeps serving and
+// the error describes the rejection. Reloads are serialized; a second
+// caller waits for the first to finish.
+func (s *Server) Reload() (version string, err error) {
+	if s.cfg.Loader == nil {
+		return "", errors.New("no loader configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.reloadState.Store(reloadInfo{InProgress: true, Last: s.lastReload().Last})
+	version, err = s.reloadLocked()
+	if err != nil {
+		s.rejected.Add(1)
+		s.reloadState.Store(reloadInfo{Last: "rejected", Detail: err.Error()})
+		return version, err
+	}
+	s.reloads.Add(1)
+	s.reloadState.Store(reloadInfo{Last: "ok", Detail: version})
+	return version, nil
+}
+
+func (s *Server) lastReload() reloadInfo { return s.reloadState.Load().(reloadInfo) }
+
+func (s *Server) reloadLocked() (string, error) {
+	cand, version, err := s.cfg.Loader()
+	if err != nil {
+		return version, fmt.Errorf("load candidate: %w", err)
+	}
+	if cand == nil {
+		return version, errors.New("loader returned no pipeline")
+	}
+	if err := runCanary(cand, s.canarySet()); err != nil {
+		return version, err
+	}
+	s.pipe.Store(pipeState{pipe: cand, version: version})
+	return version, nil
+}
+
+// reloadResponse is the /admin/reload success payload.
+type reloadResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	Canary  int    `json:"canaryPhrases"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cfg.Loader == nil {
+		httpError(w, http.StatusServiceUnavailable, "hot reload not configured (no model store)")
+		return
+	}
+	version, err := s.Reload()
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"error":    "reload rejected: " + err.Error(),
+			"rejected": version,
+			"serving":  s.ModelVersion(),
+		})
+		return
+	}
+	writeJSON(w, reloadResponse{Status: "ok", Version: version, Canary: len(s.canarySet())})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
@@ -143,17 +293,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readyResponse is the /readyz payload: readiness plus the model
+// version being served and the reload state machine's position, so an
+// operator (or a deploy script polling after /admin/reload) can see
+// whether the new model actually took.
+type readyResponse struct {
+	Ready           bool       `json:"ready"`
+	Model           string     `json:"model,omitempty"`
+	Reloads         int64      `json:"reloads"`
+	RejectedReloads int64      `json:"rejectedReloads"`
+	Reload          reloadInfo `json:"reload"`
+}
+
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	if !s.ready.Load() {
-		httpError(w, http.StatusServiceUnavailable, "not ready")
+	resp := readyResponse{
+		Ready:           s.ready.Load(),
+		Model:           s.ModelVersion(),
+		Reloads:         s.reloads.Load(),
+		RejectedReloads: s.rejected.Load(),
+		Reload:          s.lastReload(),
+	}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, resp)
 }
 
 // admit reserves weight units of pipeline work for this request,
@@ -239,7 +409,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	writeJSON(w, s.pipe.AnnotateIngredient(req.Phrase))
+	writeJSON(w, s.pipeline().AnnotateIngredient(req.Phrase))
 }
 
 // batchAnnotateRequest is the /annotate/batch payload.
@@ -272,7 +442,7 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	recs, err := s.pipe.AnnotateIngredientsContext(r.Context(), req.Phrases)
+	recs, err := s.pipeline().AnnotateIngredientsContext(r.Context(), req.Phrases)
 	if err != nil {
 		s.ctxError(w, err)
 		return
@@ -309,7 +479,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	m, err := s.pipe.ModelRecipeContext(r.Context(), req.Title, req.Cuisine, req.Ingredients, req.Instructions)
+	m, err := s.pipeline().ModelRecipeContext(r.Context(), req.Title, req.Cuisine, req.Ingredients, req.Instructions)
 	if err != nil {
 		s.ctxError(w, err)
 		return

@@ -341,6 +341,38 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	}, nil
 }
 
+// SaveToStore persists the pipeline into the versioned model store at
+// dir (creating the store when absent) and returns the new version
+// name. The install is crash-safe: the bundle and its checksum
+// manifest become durable before the store's CURRENT pointer swings,
+// so a crash mid-save can never leave the store unloadable.
+func (p *Pipeline) SaveToStore(dir string) (string, error) {
+	st, err := persist.OpenStore(dir)
+	if err != nil {
+		return "", err
+	}
+	return st.Save(p.inner.IngredientNER, p.inner.InstructionNER, ner.DefaultFeatureOptions)
+}
+
+// LoadPipelineFromStore restores the CURRENT version from a versioned
+// model store, verifying the bundle checksum before decoding, and
+// returns the pipeline together with the version name it serves.
+func LoadPipelineFromStore(dir string) (*Pipeline, string, error) {
+	st, err := persist.OpenStore(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	ing, ins, version, err := st.Load()
+	if err != nil {
+		return nil, version, err
+	}
+	return &Pipeline{
+		inner:     core.NewPipeline(nil, ing, ins, nil),
+		estimator: nutrition.NewEstimator(),
+		workers:   runtime.NumCPU(),
+	}, version, nil
+}
+
 // ClusterPhrases reproduces the paper's §II.D-E embedding step on
 // arbitrary ingredient phrases: each phrase is pre-processed,
 // POS-tagged, embedded as a 1×36 tag-frequency vector, and clustered
