@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify bench bench-parallel tables crash-test fuzz-smoke clean
+.PHONY: build vet test test-race verify staticcheck bench bench-parallel tables crash-test poison-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,18 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-verify: build vet test
+verify: build vet test staticcheck
+
+# Static analysis beyond vet. The tool is not vendored: when it is
+# absent the target skips with a notice instead of failing, so `make
+# verify` works on a bare toolchain; CI installs a pinned version and
+# runs it for real.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 # Full benchmark suite (quality tables + hot-kernel micro benches).
 bench:
@@ -40,11 +51,21 @@ crash-test:
 	$(GO) test ./internal/checkpoint ./internal/persist -count=1
 	$(GO) test ./internal/server -run 'TestReload' -count=1
 
-# Short fuzz passes over the model-load boundary — enough to catch a
-# decode-hardening regression in CI without a long fuzz budget.
+# Poison-record drills: an index-targeted panic at any batch position
+# costs exactly that record — survivors byte-identical, one typed
+# dead-letter line, resume arithmetic intact.
+poison-test:
+	$(GO) test ./cmd/recipemine -run 'TestMinePoison' -count=1
+	$(GO) test ./internal/core -run 'TestContained|TestPartial|TestModelRecipesPartial|TestInstructionsPartial' -count=1
+
+# Short fuzz passes over the model-load boundary and the end-to-end
+# annotate path (arbitrary bytes through sanitizer, tagger, parser) —
+# enough to catch a hardening regression in CI without a long budget.
 fuzz-smoke:
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadBundle' -fuzztime 15s
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadTagger' -fuzztime 15s
+	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateIngredient' -fuzztime 15s
+	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateInstruction' -fuzztime 15s
 
 # Paper-scale artifact generation.
 tables:

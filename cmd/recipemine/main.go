@@ -13,6 +13,7 @@
 //	recipemine mine      -n 100 -workers 8            # batch-mine to stdout
 //	recipemine mine      -n 100000 -o corpus.jsonl    # durable, checkpointed run
 //	recipemine mine      -resume -n 100000 -o corpus.jsonl  # continue after a crash
+//	recipemine mine      -n 100000 -o corpus.jsonl -quarantine bad.jsonl  # dead-letter poison records
 //	recipemine model     < recipe.txt     # title \n ingredients... \n -- \n instructions
 //	recipemine nutrition < recipe.txt
 //	recipemine translate -lang fr < recipe.txt
@@ -53,6 +54,7 @@ import (
 	"recipemodel"
 	"recipemodel/internal/checkpoint"
 	"recipemodel/internal/faults"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/recipedb"
 )
 
@@ -229,6 +231,14 @@ func cmdAnnotate(args []string, out io.Writer) error {
 // a chunk boundary, flushes every complete record already mined, and
 // exits 0 — downstream consumers never see a torn JSONL line.
 //
+// Mining degrades per record, not per batch: a poison recipe (invalid
+// UTF-8, a pathological phrase, a contained panic) is skipped in the
+// output and written to the -quarantine dead-letter file as one JSONL
+// line {index, phrase, code, detail}; the other records are
+// byte-identical to a clean run. Without -quarantine, rejections are
+// counted but discarded. The final summary line always reports the
+// cumulative quarantine counters (total, by code).
+//
 // With -o the run is additionally crash-safe: see mineDurable.
 func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
@@ -237,6 +247,7 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	modelPath := fs.String("model", "", "persisted pipeline file (empty: train fresh)")
 	workers := fs.Int("workers", runtime.NumCPU(), "mining goroutines")
 	output := fs.String("o", "", "durable output file (empty: stream to stdout)")
+	quarantinePath := fs.String("quarantine", "", "dead-letter JSONL file for poison records (empty: count but discard)")
 	resume := fs.Bool("resume", false, "continue an interrupted -o run from its checkpoint")
 	force := fs.Bool("force", false, "overwrite an existing -o file instead of refusing")
 	if err := fs.Parse(args); err != nil {
@@ -263,22 +274,42 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return mineDurable(ctx, p, inputs, *output, *resume, *force, fp)
+		return mineDurable(ctx, p, inputs, *output, *quarantinePath, *resume, *force, fp)
 	}
 
+	var sink *quarantine.Sink
+	if *quarantinePath != "" {
+		sink, err = quarantine.Create(*quarantinePath)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	var qc quarantine.Counters
 	bw := bufio.NewWriter(out)
 	enc := json.NewEncoder(bw)
 	chunk := 4 * p.Workers()
 	mined := 0
 	for lo := 0; lo < len(inputs); lo += chunk {
 		hi := min(lo+chunk, len(inputs))
-		models, mineErr := p.ModelRecipesContext(ctx, inputs[lo:hi])
-		// On cancellation the mined slots form a contiguous prefix of
-		// the chunk (the pool dispatches in order and finishes what it
-		// started); emit the prefix, never a partial record.
-		for _, m := range models {
+		models, rejs, mineErr := p.ModelRecipesPartial(ctx, inputs[lo:hi])
+		// On cancellation the processed slots form a contiguous prefix
+		// of the chunk (the pool dispatches in order and finishes what
+		// it started); emit the prefix, never a partial record. A slot
+		// that is neither mined nor rejected was never dispatched.
+		rejected := rejectionsByIndex(rejs)
+		for i, m := range models {
 			if m == nil {
-				break
+				r, ok := rejected[i]
+				if !ok {
+					break
+				}
+				r.Index = lo + i
+				qc.Observe(r.Code)
+				if err := sink.Append(r); err != nil {
+					return err
+				}
+				continue
 			}
 			if err := enc.Encode(m); err != nil {
 				return err
@@ -290,13 +321,28 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 				return err
 			}
 			if errors.Is(mineErr, context.Canceled) {
-				fmt.Fprintf(os.Stderr, "recipemine: interrupted; flushed %d/%d complete records\n", mined, len(inputs))
+				fmt.Fprintf(os.Stderr, "recipemine: interrupted; flushed %d/%d complete records; quarantined %s\n", mined, len(inputs), qc.Summary())
 				return nil
 			}
 			return mineErr
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recipemine: mined %d/%d records; quarantined %s\n", mined, len(inputs), qc.Summary())
+	return nil
+}
+
+// rejectionsByIndex keys a chunk's rejections by their chunk-local
+// index so emit loops can distinguish "rejected" from "undispatched"
+// nil slots.
+func rejectionsByIndex(rejs []recipemodel.Rejection) map[int]recipemodel.Rejection {
+	m := make(map[int]recipemodel.Rejection, len(rejs))
+	for _, r := range rejs {
+		m[r.Index] = r
+	}
+	return m
 }
 
 // mineFingerprint hashes everything that determines a mining run's
@@ -332,10 +378,20 @@ func mineFingerprint(n int, seed int64, modelPath string) (string, error) {
 // whatever torn tail lies past that offset and re-mines from the
 // recorded record count. Mining is deterministic, so the resumed run's
 // bytes are identical to an uninterrupted run's.
-func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemodel.RecipeInput, path string, resume, force bool, fp string) error {
+//
+// The quarantine dead-letter file rides the same discipline: its bytes
+// are fsync'd before every manifest save, the manifest records its
+// durable offset and rejection count, and a resume truncates its torn
+// tail too. Inputs consumed = Records + Quarantined, which is where a
+// resume re-enters the corpus; both files end byte-identical to an
+// uninterrupted run's.
+func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemodel.RecipeInput, path, quarantinePath string, resume, force bool, fp string) error {
 	ckptPath := checkpoint.PathFor(path)
 	var f *os.File
+	var sink *quarantine.Sink
+	var qc quarantine.Counters
 	start := 0
+	quarantined := 0
 	if resume {
 		man, err := checkpoint.Load(ckptPath)
 		if err != nil {
@@ -344,8 +400,17 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 		if man.Fingerprint != fp {
 			return fmt.Errorf("mine: -resume refused: checkpoint %s was written by a different run configuration (fingerprint %s, this run %s); rerun with the original -n/-seed/-model or start fresh with -force", ckptPath, man.Fingerprint, fp)
 		}
-		if man.Records > len(inputs) {
-			return fmt.Errorf("mine: -resume: checkpoint %s records %d records but this run mines only %d", ckptPath, man.Records, len(inputs))
+		if man.Records+man.Quarantined > len(inputs) {
+			return fmt.Errorf("mine: -resume: checkpoint %s records %d inputs consumed but this run mines only %d", ckptPath, man.Records+man.Quarantined, len(inputs))
+		}
+		// The dead-letter file is part of the run's durable state: a
+		// resume must keep writing the same file (or keep discarding),
+		// or the rejection log would silently lose or skip records.
+		if man.QuarantineOffset > 0 && quarantinePath == "" {
+			return fmt.Errorf("mine: -resume: checkpoint %s has a quarantine file at offset %d; pass the original -quarantine path", ckptPath, man.QuarantineOffset)
+		}
+		if man.Quarantined > 0 && man.QuarantineOffset == 0 && quarantinePath != "" {
+			return fmt.Errorf("mine: -resume: the original run discarded %d rejections (no -quarantine); resuming with -quarantine would produce a dead-letter file missing them", man.Quarantined)
 		}
 		f, err = os.OpenFile(path, os.O_RDWR, 0)
 		if err != nil {
@@ -361,13 +426,34 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 			f.Close()
 			return fmt.Errorf("mine: -resume seek: %w", err)
 		}
+		if quarantinePath != "" {
+			sink, err = quarantine.Resume(quarantinePath, man.QuarantineOffset)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("mine: -resume: %w", err)
+			}
+			// Rebuild the by-code counters from the durable rejections so
+			// the final summary covers the whole run, not just this
+			// process.
+			durable, err := quarantine.ReadFile(quarantinePath)
+			if err != nil {
+				f.Close()
+				sink.Close()
+				return fmt.Errorf("mine: -resume: %w", err)
+			}
+			for _, r := range durable {
+				qc.Observe(r.Code)
+			}
+		}
 		start = man.Records
-		if start == len(inputs) {
+		quarantined = man.Quarantined
+		if start+quarantined == len(inputs) {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "recipemine: %s already complete (%d records)\n", path, start)
+			sink.Close()
+			fmt.Fprintf(os.Stderr, "recipemine: %s already complete (%d records, %d quarantined)\n", path, start, quarantined)
 			return nil
 		}
-		fmt.Fprintf(os.Stderr, "recipemine: resuming %s at record %d/%d (offset %d)\n", path, start, len(inputs), man.Offset)
+		fmt.Fprintf(os.Stderr, "recipemine: resuming %s at input %d/%d (offset %d, %d quarantined)\n", path, start+quarantined, len(inputs), man.Offset, quarantined)
 	} else {
 		flags := os.O_WRONLY | os.O_CREATE | os.O_EXCL
 		if force {
@@ -381,22 +467,32 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 		if err != nil {
 			return err
 		}
+		if quarantinePath != "" {
+			sink, err = quarantine.Create(quarantinePath)
+			if err != nil {
+				f.Close()
+				return err
+			}
+		}
 		// Write-ahead: an empty manifest marks the run as started so a
 		// crash before the first checkpoint still resumes cleanly.
 		if err := checkpoint.Save(ckptPath, checkpoint.Manifest{Fingerprint: fp}); err != nil {
 			f.Close()
+			sink.Close()
 			return fmt.Errorf("mine: %w", err)
 		}
 	}
 	defer f.Close()
+	defer sink.Close()
 
 	bw := bufio.NewWriter(f)
 	enc := json.NewEncoder(bw)
 	mined := start
 	// sync makes everything appended so far durable and checkpoints it:
-	// flush the buffer, fsync the data, then atomically replace the
-	// manifest. Ordering is the crash-safety invariant — the manifest
-	// never describes bytes that are not already on disk.
+	// flush the buffers, fsync the data (output and dead-letter), then
+	// atomically replace the manifest. Ordering is the crash-safety
+	// invariant — the manifest never describes bytes that are not
+	// already on disk.
 	sync := func() error {
 		if err := bw.Flush(); err != nil {
 			return err
@@ -408,16 +504,39 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 		if err != nil {
 			return err
 		}
-		return checkpoint.Save(ckptPath, checkpoint.Manifest{Fingerprint: fp, Records: mined, Offset: offset})
+		qoff, err := sink.Sync()
+		if err != nil {
+			return err
+		}
+		return checkpoint.Save(ckptPath, checkpoint.Manifest{
+			Fingerprint:      fp,
+			Records:          mined,
+			Offset:           offset,
+			Quarantined:      quarantined,
+			QuarantineOffset: qoff,
+		})
 	}
 
 	chunk := 4 * p.Workers()
-	for lo := start; lo < len(inputs); lo += chunk {
+	for lo := start + quarantined; lo < len(inputs); lo += chunk {
 		hi := min(lo+chunk, len(inputs))
-		models, mineErr := p.ModelRecipesContext(ctx, inputs[lo:hi])
-		for _, m := range models {
+		models, rejs, mineErr := p.ModelRecipesPartial(ctx, inputs[lo:hi])
+		rejected := rejectionsByIndex(rejs)
+		for i, m := range models {
 			if m == nil {
-				break
+				r, ok := rejected[i]
+				if !ok {
+					// Neither mined nor rejected: the pool never
+					// dispatched this slot (cancellation mid-chunk).
+					break
+				}
+				r.Index = lo + i
+				qc.Observe(r.Code)
+				if err := sink.Append(r); err != nil {
+					return err
+				}
+				quarantined++
+				continue
 			}
 			if err := enc.Encode(m); err != nil {
 				return err
@@ -435,7 +554,7 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 				return err
 			}
 			if errors.Is(mineErr, context.Canceled) {
-				fmt.Fprintf(os.Stderr, "recipemine: interrupted; %d/%d records durable in %s; continue with -resume\n", mined, len(inputs), path)
+				fmt.Fprintf(os.Stderr, "recipemine: interrupted; %d/%d records durable in %s (quarantined %s); continue with -resume\n", mined, len(inputs), path, qc.Summary())
 				return nil
 			}
 			return mineErr
@@ -444,6 +563,7 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 			return err
 		}
 	}
+	fmt.Fprintf(os.Stderr, "recipemine: mined %d/%d records to %s; quarantined %s\n", mined, len(inputs), path, qc.Summary())
 	return nil
 }
 

@@ -1,0 +1,253 @@
+package main
+
+// Poison-corpus chaos drills for the durable mining path: one record
+// in the batch panics (via the index-targeted fault point inside the
+// per-record containment), and the run must degrade per record — the
+// N-1 good records land byte-identical to a clean run, the poison
+// record becomes exactly one typed dead-letter line, and the
+// checkpoint arithmetic (Records + Quarantined) keeps -resume exact.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/checkpoint"
+	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
+	"recipemodel/internal/quarantine"
+)
+
+// armPoison arms the per-record fault point so that exactly global
+// record g of a 12-record mine panics, for the given -workers value.
+// The miner chunks inputs at 4*workers and passes chunk-local indices
+// to the pool, so the targeting depends on the chunk geometry:
+// with workers=4 the chunk (16) covers all 12 records and the local
+// index IS the global index; with workers=1 processing is serial, so
+// hit g+1 is record g and Skip pins the exact chunk occurrence of the
+// recurring local index.
+func armPoison(g, workers int) func() {
+	chunk := 4 * workers
+	f := faults.Fault{PanicMsg: "poison record", Indices: []int{g % chunk}, Limit: 1}
+	if chunk < 12 {
+		f.Skip = g
+	}
+	return faults.Enable(core.FaultRecord, f)
+}
+
+// dropLine removes the g-th JSONL line from a mined corpus.
+func dropLine(t *testing.T, data []byte, g int) []byte {
+	t.Helper()
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	var out []byte
+	kept := 0
+	for i, l := range lines {
+		if len(l) == 0 {
+			continue
+		}
+		if i == g {
+			continue
+		}
+		out = append(out, l...)
+		kept++
+	}
+	if kept != 11 {
+		t.Fatalf("dropLine kept %d lines, want 11", kept)
+	}
+	return out
+}
+
+// TestMinePoisonRecordQuarantined is the acceptance drill: for a
+// poison record at the first, middle, and last index, at worker counts
+// 1 and 4, the durable mine must finish with the other 11 records
+// byte-identical to the clean baseline and exactly one typed
+// dead-letter line for the poisoned index.
+func TestMinePoisonRecordQuarantined(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	for _, g := range []int{0, 6, 11} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("idx%d-w%d", g, workers)
+			path := filepath.Join(dir, name+".jsonl")
+			qpath := filepath.Join(dir, name+".bad.jsonl")
+
+			disarm := armPoison(g, workers)
+			err := mineTo(t, model, path, "-workers", fmt.Sprint(workers), "-quarantine", qpath)
+			disarm()
+			if err != nil {
+				t.Fatalf("%s: poisoned mine must still succeed, got %v", name, err)
+			}
+
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantOut := dropLine(t, want, g); !bytes.Equal(got, wantOut) {
+				t.Fatalf("%s: survivors differ from clean run minus record %d (%d vs %d bytes)",
+					name, g, len(got), len(wantOut))
+			}
+
+			rejs, err := quarantine.ReadFile(qpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rejs) != 1 || rejs[0].Index != g || rejs[0].Code != quarantine.CodeRecordPanic {
+				t.Fatalf("%s: dead-letter = %+v, want one record_panic at index %d", name, rejs, g)
+			}
+			if rejs[0].Phrase == "" {
+				t.Fatalf("%s: dead-letter line does not echo the recipe title", name)
+			}
+
+			man, err := checkpoint.Load(checkpoint.PathFor(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qfi, err := os.Stat(qpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Records != 11 || man.Quarantined != 1 ||
+				man.Offset != int64(len(got)) || man.QuarantineOffset != qfi.Size() {
+				t.Fatalf("%s: manifest %+v, want 11 records + 1 quarantined at offsets %d/%d",
+					name, man, len(got), qfi.Size())
+			}
+		}
+	}
+}
+
+// TestMinePoisonWithoutQuarantineFile: with no -quarantine flag the
+// rejection is counted but discarded — the run still succeeds with the
+// 11 survivors and the manifest still records the consumed input.
+func TestMinePoisonWithoutQuarantineFile(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+	want := baseline(t, model, dir)
+
+	path := filepath.Join(dir, "discard.jsonl")
+	disarm := armPoison(6, 1)
+	err := mineTo(t, model, path, "-workers", "1")
+	disarm()
+	if err != nil {
+		t.Fatalf("poisoned mine without -quarantine = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dropLine(t, want, 6)) {
+		t.Fatal("survivors differ from clean run minus record 6")
+	}
+	man, err := checkpoint.Load(checkpoint.PathFor(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Records != 11 || man.Quarantined != 1 || man.QuarantineOffset != 0 {
+		t.Fatalf("manifest %+v, want 11 records + 1 discarded quarantine", man)
+	}
+}
+
+// TestMinePoisonCrashResume: a run that has already quarantined a
+// poison record is killed mid-flight and resumed. The resume must
+// re-enter the corpus at Records+Quarantined — not Records — and both
+// the output and the dead-letter file must end byte-identical to an
+// uninterrupted poisoned run.
+func TestMinePoisonCrashResume(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+
+	// Reference: the same poisoned run, uninterrupted.
+	refPath := filepath.Join(dir, "ref.jsonl")
+	refQ := filepath.Join(dir, "ref.bad.jsonl")
+	disarm := armPoison(2, 1)
+	err := mineTo(t, model, refPath, "-workers", "1", "-quarantine", refQ)
+	disarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ, err := os.ReadFile(refQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Killed run: poison at record 2 (chunk 0, checkpointed with the
+	// first sync), then an injected kill on the 5th good-record emit —
+	// inside chunk 1, past the checkpoint that recorded the quarantine.
+	path := filepath.Join(dir, "kill.jsonl")
+	qpath := filepath.Join(dir, "kill.bad.jsonl")
+	disarmPoison := armPoison(2, 1)
+	disarmKill := faults.Enable(FaultEmit, faults.Fault{Err: errKill, Skip: 4})
+	err = mineTo(t, model, path, "-workers", "1", "-quarantine", qpath)
+	disarmKill()
+	disarmPoison()
+	if !errors.Is(err, errKill) {
+		t.Fatalf("mine returned %v, want injected kill", err)
+	}
+	man, err := checkpoint.Load(checkpoint.PathFor(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Quarantined != 1 || man.Records != 3 {
+		t.Fatalf("mid-run manifest %+v, want 3 records + 1 quarantined durable", man)
+	}
+
+	// Resume past the poison: the tail has no poison record, so no
+	// fault is re-armed; the quarantine file must be preserved as-is.
+	if err := mineTo(t, model, path, "-workers", "1", "-quarantine", qpath, "-resume"); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantOut) {
+		t.Fatalf("resumed output differs from uninterrupted poisoned run (%d vs %d bytes)", len(got), len(wantOut))
+	}
+	gotQ, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotQ, wantQ) {
+		t.Fatal("resumed dead-letter file differs from uninterrupted poisoned run")
+	}
+	man, err = checkpoint.Load(checkpoint.PathFor(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Records != 11 || man.Quarantined != 1 {
+		t.Fatalf("final manifest %+v, want 11 records + 1 quarantined", man)
+	}
+}
+
+// TestMineResumeRefusesQuarantineMismatch: resuming a run whose
+// checkpoint records a quarantine file without passing -quarantine
+// (or vice versa after a discarding run) is refused — the dead-letter
+// log must stay complete.
+func TestMineResumeRefusesQuarantineMismatch(t *testing.T) {
+	model := crashModel(t)
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "mm.jsonl")
+	qpath := filepath.Join(dir, "mm.bad.jsonl")
+	disarmPoison := armPoison(2, 1)
+	disarmKill := faults.Enable(FaultEmit, faults.Fault{Err: errKill, Skip: 4})
+	err := mineTo(t, model, path, "-workers", "1", "-quarantine", qpath)
+	disarmKill()
+	disarmPoison()
+	if !errors.Is(err, errKill) {
+		t.Fatalf("mine returned %v, want injected kill", err)
+	}
+	err = mineTo(t, model, path, "-workers", "1", "-resume")
+	if err == nil || !strings.Contains(err.Error(), "quarantine") {
+		t.Fatalf("resume without -quarantine = %v, want quarantine refusal", err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"recipemodel"
 	"recipemodel/internal/core"
 	"recipemodel/internal/index"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/server"
 )
 
@@ -56,8 +57,16 @@ func (a pipeAdapter) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return a.p.AnnotateIngredient(phrase)
 }
 
+func (a pipeAdapter) AnnotateIngredientChecked(phrase string) (core.IngredientRecord, error) {
+	return a.p.AnnotateIngredientChecked(phrase)
+}
+
 func (a pipeAdapter) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
 	return a.p.AnnotateIngredientsContext(ctx, phrases)
+}
+
+func (a pipeAdapter) AnnotateIngredientsPartial(ctx context.Context, phrases []string) ([]core.IngredientRecord, []quarantine.Rejection, error) {
+	return a.p.AnnotateIngredientsPartial(ctx, phrases)
 }
 
 func (a pipeAdapter) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error) {

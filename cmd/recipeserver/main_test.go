@@ -16,6 +16,7 @@ import (
 
 	"recipemodel"
 	"recipemodel/internal/core"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/server"
 )
 
@@ -131,12 +132,21 @@ func (g gatedPipe) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return core.IngredientRecord{Phrase: phrase}
 }
 
+func (g gatedPipe) AnnotateIngredientChecked(phrase string) (core.IngredientRecord, error) {
+	return g.AnnotateIngredient(phrase), nil
+}
+
 func (g gatedPipe) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
 	out := make([]core.IngredientRecord, len(phrases))
 	for i, p := range phrases {
 		out[i] = core.IngredientRecord{Phrase: p}
 	}
 	return out, ctx.Err()
+}
+
+func (g gatedPipe) AnnotateIngredientsPartial(ctx context.Context, phrases []string) ([]core.IngredientRecord, []quarantine.Rejection, error) {
+	out, err := g.AnnotateIngredientsContext(ctx, phrases)
+	return out, nil, err
 }
 
 func (g gatedPipe) ModelRecipeContext(ctx context.Context, title, cuisine string, lines []string, instr string) (*core.RecipeModel, error) {

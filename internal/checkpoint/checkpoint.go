@@ -53,6 +53,16 @@ type Manifest struct {
 	// Offset is the output byte offset just past the last durable
 	// record; any bytes beyond it are a torn tail to truncate.
 	Offset int64 `json:"offset"`
+	// Quarantined counts inputs rejected into the dead-letter file so
+	// far. Inputs consumed = Records + Quarantined, which is where a
+	// resume re-enters the corpus; keeping the two counts separate
+	// keeps both files byte-identical across a kill.
+	Quarantined int `json:"quarantined,omitempty"`
+	// QuarantineOffset is the durable byte offset of the dead-letter
+	// file (0 when no quarantine sink is configured); a resume
+	// truncates the quarantine file's torn tail to it, mirroring
+	// Offset for the output.
+	QuarantineOffset int64 `json:"quarantineOffset,omitempty"`
 }
 
 // PathFor returns the manifest sidecar path for an output file.
@@ -91,6 +101,9 @@ func Load(path string) (Manifest, error) {
 	}
 	if m.Records < 0 || m.Offset < 0 {
 		return Manifest{}, fmt.Errorf("checkpoint: %s: negative records (%d) or offset (%d)", path, m.Records, m.Offset)
+	}
+	if m.Quarantined < 0 || m.QuarantineOffset < 0 {
+		return Manifest{}, fmt.Errorf("checkpoint: %s: negative quarantined (%d) or quarantine offset (%d)", path, m.Quarantined, m.QuarantineOffset)
 	}
 	return m, nil
 }

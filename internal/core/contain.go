@@ -1,0 +1,108 @@
+// Per-record fault containment. The checked annotation APIs wrap each
+// pipeline stage in a recover that converts a panic into a typed
+// quarantine error, so one poison record costs exactly one record:
+// the batch partial APIs collect the rejection, the legacy
+// single-record APIs degrade to an empty record, and in neither case
+// does the goroutine — or the batch — die.
+
+package core
+
+import (
+	"errors"
+
+	"recipemodel/internal/depparse"
+	"recipemodel/internal/faults"
+	"recipemodel/internal/quarantine"
+	"recipemodel/internal/tokenize"
+)
+
+// DefaultSanitize is the hardening policy applied by the annotation
+// entry points: repair invalid UTF-8, default byte/token caps. Mine
+// and serve share it by construction.
+var DefaultSanitize = SanitizePolicy{}
+
+// panicError converts a recovered panic value into a typed quarantine
+// error: an already-typed error (or one wrapping a quarantine code)
+// keeps its code, anything else is classified under fallback.
+func panicError(r any, fallback quarantine.Code) error {
+	if err, ok := r.(error); ok {
+		var qe *quarantine.Error
+		if errors.As(err, &qe) {
+			return qe
+		}
+	}
+	return quarantine.Errorf(fallback, "contained panic: %v", r)
+}
+
+// guard runs one pipeline stage with panic containment; a panic comes
+// back as a typed quarantine error carrying code (unless the panic
+// value itself was typed).
+func guard(code quarantine.Code, stage func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError(r, code)
+		}
+	}()
+	stage()
+	return nil
+}
+
+// AnnotateIngredientChecked is AnnotateIngredient with record-level
+// containment surfaced: the phrase is sanitized (typed rejection on
+// poison), and a tagger panic is contained and returned as
+// ErrTaggerPanic instead of unwinding the caller. On error the record
+// is zero but for the echoed phrase.
+func (p *Pipeline) AnnotateIngredientChecked(phrase string) (IngredientRecord, error) {
+	_ = faults.Inject(FaultAnnotate)
+	rec := IngredientRecord{Phrase: phrase}
+	clean, err := Sanitize(phrase, DefaultSanitize)
+	if err != nil {
+		return rec, err
+	}
+	tokens := tokenize.Words(tokenize.Tokenize(clean))
+	if err := checkTokens(tokens, DefaultSanitize); err != nil {
+		return rec, err
+	}
+	err = guard(quarantine.CodeTaggerPanic, func() {
+		spans := p.IngredientNER.Predict(tokens)
+		rec = RecordFromSpans(phrase, tokens, spans, p.lem)
+	})
+	if err != nil {
+		return IngredientRecord{Phrase: phrase}, err
+	}
+	return rec, nil
+}
+
+// AnnotateInstructionChecked is AnnotateInstruction with the same
+// containment contract: sanitization rejections are typed, a panic in
+// the NER/POS tagging stage returns ErrTaggerPanic, and a panic in
+// the dependency-parse/relation stage returns ErrParserPanic. On
+// error the annotation carries only the echoed step.
+func (p *Pipeline) AnnotateInstructionChecked(step string) (InstructionAnnotation, error) {
+	_ = faults.Inject(FaultInstruction)
+	ann := InstructionAnnotation{Step: step}
+	clean, err := Sanitize(step, DefaultSanitize)
+	if err != nil {
+		return ann, err
+	}
+	tokens := tokenize.Words(tokenize.Tokenize(clean))
+	if err := checkTokens(tokens, DefaultSanitize); err != nil {
+		return ann, err
+	}
+	var tags []string
+	err = guard(quarantine.CodeTaggerPanic, func() {
+		ann.Spans = p.InstructionNER.Predict(tokens)
+		tags = p.POS.Tag(tokens)
+	})
+	if err != nil {
+		return InstructionAnnotation{Step: step}, err
+	}
+	err = guard(quarantine.CodeParserPanic, func() {
+		ann.Tree = depparse.Parse(tokens, tags)
+		ann.Relations = p.Extractor.Extract(ann.Tree, ann.Spans)
+	})
+	if err != nil {
+		return InstructionAnnotation{Step: step}, err
+	}
+	return ann, nil
+}

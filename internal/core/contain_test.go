@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/faults"
+	"recipemodel/internal/quarantine"
+)
+
+// TestAnnotateIngredientEmptyPhrase pins the empty-input contract: an
+// empty or whitespace-only phrase returns a well-formed empty record
+// (echoing the phrase) — no panic, no garbage fields. This was the
+// original bug: the tokenizer's empty output used to reach the tagger.
+func TestAnnotateIngredientEmptyPhrase(t *testing.T) {
+	p := trainTestPipeline(t)
+	cases := []struct {
+		name   string
+		phrase string
+	}{
+		{"empty", ""},
+		{"spaces", "   "},
+		{"tabs and newlines", " \t \n \r "},
+		{"nbsp only", "\u00a0\u00a0"},
+		{"invisibles", "\ufeff\u200b"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := p.AnnotateIngredient(c.phrase)
+			want := IngredientRecord{Phrase: c.phrase}
+			if !reflect.DeepEqual(rec, want) {
+				t.Fatalf("AnnotateIngredient(%q) = %+v, want empty record echoing the phrase", c.phrase, rec)
+			}
+			// and the JSON form is well-formed (mine writes these).
+			if _, err := json.Marshal(rec); err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+		})
+	}
+}
+
+// TestAnnotateIngredientCheckedTaxonomy: each poison class maps to its
+// code, and the error'd record still echoes the phrase.
+func TestAnnotateIngredientCheckedTaxonomy(t *testing.T) {
+	p := trainTestPipeline(t)
+	cases := []struct {
+		phrase string
+		want   quarantine.Code
+	}{
+		{"", quarantine.CodeEmptyAfterClean},
+		{"   \t  ", quarantine.CodeEmptyAfterClean},
+		{strings.Repeat("very ", 40_000) + "long", quarantine.CodeTooLong},
+		{strings.Repeat("a ", 30_000), quarantine.CodeTooManyTokens},
+	}
+	for _, c := range cases {
+		rec, err := p.AnnotateIngredientChecked(c.phrase)
+		if quarantine.CodeOf(err) != c.want {
+			t.Fatalf("%.30q: code = %q, want %q", c.phrase, quarantine.CodeOf(err), c.want)
+		}
+		if rec.Phrase != c.phrase || rec.Name != "" {
+			t.Fatalf("%.30q: rejected record = %+v", c.phrase, rec)
+		}
+	}
+	// a clean phrase still annotates identically to the legacy API.
+	rec, err := p.AnnotateIngredientChecked("2 cups chopped onion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := p.AnnotateIngredient("2 cups chopped onion"); !reflect.DeepEqual(rec, legacy) {
+		t.Fatalf("checked %+v != legacy %+v", rec, legacy)
+	}
+}
+
+// TestAnnotateCheckedNeverPanicsOnPoisonCorpus: the whole checked-in
+// corpus, through both checked entry points, without a panic.
+func TestAnnotateCheckedNeverPanicsOnPoisonCorpus(t *testing.T) {
+	p := trainTestPipeline(t)
+	for i, phrase := range quarantine.PoisonPhrases() {
+		if rec, err := p.AnnotateIngredientChecked(phrase); err == nil && rec.Phrase != phrase {
+			t.Fatalf("poison %d: record echoes %q", i, rec.Phrase)
+		}
+		if _, err := p.AnnotateInstructionChecked(phrase); err != nil {
+			if quarantine.CodeOf(err) == "" {
+				t.Fatalf("poison %d: untyped error %v", i, err)
+			}
+		}
+	}
+}
+
+// TestContainedTaggerPanicIsTyped: a panic injected inside the
+// annotate path comes back as a typed rejection, not a crash, and the
+// pipeline keeps working afterwards.
+func TestContainedTaggerPanicIsTyped(t *testing.T) {
+	p := trainTestPipeline(t)
+	defer faults.Enable(FaultRecord, faults.Fault{PanicMsg: "wedged tagger", Indices: []int{1}})()
+	recs, rejs, err := p.AnnotateIngredientsPartial(context.Background(),
+		[]string{"2 cups chopped onion", "1 tsp salt", "3 large eggs"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 || rejs[0].Index != 1 || rejs[0].Code != quarantine.CodeRecordPanic {
+		t.Fatalf("rejections = %+v", rejs)
+	}
+	if !strings.Contains(rejs[0].Detail, "wedged tagger") {
+		t.Fatalf("detail = %q", rejs[0].Detail)
+	}
+	faults.Disable(FaultRecord)
+	// the survivors are byte-identical to a clean run.
+	clean, _, err := p.AnnotateIngredientsPartial(context.Background(),
+		[]string{"2 cups chopped onion", "1 tsp salt", "3 large eggs"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs[0], clean[0]) || !reflect.DeepEqual(recs[2], clean[2]) {
+		t.Fatal("surviving records differ from clean run")
+	}
+}
+
+// TestPartialMixedBatchAtAnyWorkerCount: the partial API's core
+// promise — N-1 good records byte-identical to a clean run, rejections
+// index-ordered and typed — at worker counts 1 and 4.
+func TestPartialMixedBatchAtAnyWorkerCount(t *testing.T) {
+	p := trainTestPipeline(t)
+	phrases := []string{
+		"2 cups chopped onion",
+		"", // poison: empty
+		"1 tsp salt",
+		strings.Repeat("a ", 30_000), // poison: token bomb
+		"3 large eggs",
+	}
+	cleanIdx := []int{0, 2, 4}
+	want := make(map[int]IngredientRecord)
+	for _, i := range cleanIdx {
+		want[i] = p.AnnotateIngredient(phrases[i])
+	}
+	for _, workers := range []int{1, 4} {
+		recs, rejs, err := p.AnnotateIngredientsPartial(context.Background(), phrases, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(recs) != len(phrases) {
+			t.Fatalf("workers=%d: %d slots", workers, len(recs))
+		}
+		if len(rejs) != 2 || rejs[0].Index != 1 || rejs[1].Index != 3 {
+			t.Fatalf("workers=%d: rejections = %+v", workers, rejs)
+		}
+		if rejs[0].Code != quarantine.CodeEmptyAfterClean || rejs[1].Code != quarantine.CodeTooManyTokens {
+			t.Fatalf("workers=%d: codes = %s/%s", workers, rejs[0].Code, rejs[1].Code)
+		}
+		for _, i := range cleanIdx {
+			if !reflect.DeepEqual(recs[i], want[i]) {
+				t.Fatalf("workers=%d: record %d differs from serial clean run", workers, i)
+			}
+		}
+	}
+}
+
+// TestInstructionsPartialContainsParserStage: instruction annotation
+// has two guarded stages; poison inputs reject typed, clean steps
+// annotate identically to the legacy API.
+func TestInstructionsPartialContainsParserStage(t *testing.T) {
+	p := trainTestPipeline(t)
+	steps := []string{
+		"Bring the water to a boil in a large pot.",
+		"\ufeff\u200b", // poison: invisibles only
+		"Mix the flour and sugar in a bowl.",
+	}
+	anns, rejs, err := p.AnnotateInstructionsPartial(context.Background(), steps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 || rejs[0].Index != 1 || rejs[0].Code != quarantine.CodeEmptyAfterClean {
+		t.Fatalf("rejections = %+v", rejs)
+	}
+	spans, tree, rels := p.AnnotateInstruction(steps[0])
+	if !reflect.DeepEqual(anns[0].Spans, spans) || !reflect.DeepEqual(anns[0].Tree, tree) || !reflect.DeepEqual(anns[0].Relations, rels) {
+		t.Fatal("partial annotation differs from legacy API on a clean step")
+	}
+}
+
+// TestModelRecipesPartialPoisonRecipe: an index-targeted panic inside
+// recipe mining costs exactly that recipe; survivors match the clean
+// run and Processed covers the full batch.
+func TestModelRecipesPartialPoisonRecipe(t *testing.T) {
+	p := trainTestPipeline(t)
+	inputs := []RecipeInput{
+		{Title: "Soup", IngredientLines: []string{"2 cups water"}, Instructions: "Boil the water."},
+		{Title: "Cake", IngredientLines: []string{"1 cup sugar"}, Instructions: "Mix the sugar."},
+		{Title: "Salad", IngredientLines: []string{"1 cup lettuce"}, Instructions: "Chop the lettuce."},
+	}
+	clean, rejs, err := p.ModelRecipesPartial(context.Background(), inputs, 2)
+	if err != nil || len(rejs) != 0 {
+		t.Fatalf("clean run: %v, %+v", err, rejs)
+	}
+	defer faults.Enable(FaultRecord, faults.Fault{PanicMsg: "poison recipe", Indices: []int{1}})()
+	models, rejs, err := p.ModelRecipesPartial(context.Background(), inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 || rejs[0].Index != 1 || rejs[0].Phrase != "Cake" {
+		t.Fatalf("rejections = %+v", rejs)
+	}
+	if models[1] != nil {
+		t.Fatal("poisoned slot holds a model")
+	}
+	if !reflect.DeepEqual(models[0], clean[0]) || !reflect.DeepEqual(models[2], clean[2]) {
+		t.Fatal("surviving models differ from clean run")
+	}
+	if n := Processed(models, rejs); n != 3 {
+		t.Fatalf("Processed = %d, want 3", n)
+	}
+}
+
+// TestProcessedStopsAtUndispatchedSlot: the resume arithmetic under
+// cancellation — a nil slot with no rejection ends the prefix.
+func TestProcessedStopsAtUndispatchedSlot(t *testing.T) {
+	m := &RecipeModel{}
+	models := []*RecipeModel{m, nil, nil, m}
+	rejs := []quarantine.Rejection{{Index: 1, Code: quarantine.CodeRecordPanic}}
+	if n := Processed(models, rejs); n != 2 {
+		t.Fatalf("Processed = %d, want 2 (slot 2 undispatched)", n)
+	}
+	if n := Processed(nil, nil); n != 0 {
+		t.Fatalf("Processed(empty) = %d", n)
+	}
+}

@@ -76,12 +76,14 @@ func NewPipeline(pos *postag.Tagger, ingredientNER, instructionNER *ner.Tagger, 
 }
 
 // AnnotateIngredient runs the ingredient-section NER over one phrase
-// and assembles the attribute record (Table I).
+// and assembles the attribute record (Table I). Input is hardened
+// first (see Sanitize); a rejected or panicking record degrades to a
+// well-formed empty record that echoes the phrase — this method never
+// panics on poison input. Callers that need the typed rejection use
+// AnnotateIngredientChecked.
 func (p *Pipeline) AnnotateIngredient(phrase string) IngredientRecord {
-	_ = faults.Inject(FaultAnnotate)
-	tokens := tokenize.Words(tokenize.Tokenize(phrase))
-	spans := p.IngredientNER.Predict(tokens)
-	return RecordFromSpans(phrase, tokens, spans, p.lem)
+	rec, _ := p.AnnotateIngredientChecked(phrase)
+	return rec
 }
 
 // RecordFromSpans assembles an IngredientRecord from entity spans;
@@ -124,18 +126,17 @@ func RecordFromSpans(phrase string, tokens []string, spans []ner.Span, lem *lemm
 }
 
 // AnnotateInstruction runs the instruction-section stack over one
-// step: NER entities, dependency parse, relation extraction.
+// step: NER entities, dependency parse, relation extraction. Like
+// AnnotateIngredient it hardens its input and contains per-record
+// panics: poison steps produce an empty annotation (nil spans, empty
+// parse, nil relations), never a panic. AnnotateInstructionChecked
+// surfaces the typed rejection.
 func (p *Pipeline) AnnotateInstruction(step string) ([]ner.Span, *depparse.Tree, []relations.Relation) {
-	_ = faults.Inject(FaultInstruction)
-	tokens := tokenize.Words(tokenize.Tokenize(step))
-	if len(tokens) == 0 {
+	ann, err := p.AnnotateInstructionChecked(step)
+	if err != nil || ann.Tree == nil {
 		return nil, depparse.Parse(nil, nil), nil
 	}
-	spans := p.InstructionNER.Predict(tokens)
-	tags := p.POS.Tag(tokens)
-	tree := depparse.Parse(tokens, tags)
-	rels := p.Extractor.Extract(tree, spans)
-	return spans, tree, rels
+	return ann.Spans, ann.Tree, ann.Relations
 }
 
 // ModelRecipe runs the full pipeline over a raw recipe: ingredient

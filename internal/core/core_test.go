@@ -12,7 +12,7 @@ import (
 )
 
 // trainTestPipeline builds a small but functional pipeline for tests.
-func trainTestPipeline(t *testing.T) *Pipeline {
+func trainTestPipeline(t testing.TB) *Pipeline {
 	t.Helper()
 	g := recipedb.NewGenerator(recipedb.SourceAllRecipes, 1)
 	ingTrain := corpus.IngredientSentences(g.UniquePhrases(600))

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"recipemodel/internal/quarantine"
+)
+
+// The fuzz targets drive arbitrary bytes through the full annotate
+// path — sanitizer, tokenizer, tagger, parser — end to end on a real
+// trained pipeline. The only contract is "never panic, never return an
+// untyped error": every rejection must carry a taxonomy code so the
+// mining and serving layers can quarantine it.
+
+func FuzzAnnotateIngredient(f *testing.F) {
+	p := trainTestPipeline(f)
+	f.Add("2 cups chopped onion")
+	for _, s := range quarantine.PoisonPhrases() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, phrase string) {
+		rec, err := p.AnnotateIngredientChecked(phrase)
+		if err != nil {
+			if quarantine.CodeOf(err) == "" {
+				t.Fatalf("untyped rejection for %.60q: %v", phrase, err)
+			}
+			return
+		}
+		if rec.Phrase != phrase {
+			t.Fatalf("accepted record does not echo its phrase: %.60q", rec.Phrase)
+		}
+	})
+}
+
+func FuzzAnnotateInstruction(f *testing.F) {
+	p := trainTestPipeline(f)
+	f.Add("Bring the water to a boil in a large pot.")
+	for _, s := range quarantine.PoisonPhrases() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, step string) {
+		if _, err := p.AnnotateInstructionChecked(step); err != nil {
+			if quarantine.CodeOf(err) == "" {
+				t.Fatalf("untyped rejection for %.60q: %v", step, err)
+			}
+		}
+	})
+}

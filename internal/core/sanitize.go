@@ -1,0 +1,172 @@
+// Input hardening: every phrase and instruction step passes through
+// Sanitize before tokenization, in AnnotateIngredient and
+// AnnotateInstruction alike, so the serving path and the mining path
+// agree byte-for-byte on what a record means. Web corpora carry
+// invalid UTF-8, invisible characters, decomposed diacritics, and
+// megabyte "phrases"; the sanitizer repairs what is safely repairable
+// and converts the rest into typed quarantine errors instead of
+// letting it reach the taggers.
+
+package core
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"recipemodel/internal/quarantine"
+)
+
+// Default hardening caps. A real ingredient phrase is tens of bytes;
+// the caps are three orders of magnitude above that, so they only ever
+// trip on poison.
+const (
+	// DefaultMaxPhraseBytes caps a phrase/step before tokenization.
+	DefaultMaxPhraseBytes = 64 << 10
+	// DefaultMaxPhraseTokens caps the token count fed to the taggers
+	// (CRF decoding is linear in tokens; a 100k-token "phrase" is a
+	// denial of service, not an ingredient).
+	DefaultMaxPhraseTokens = 512
+)
+
+// SanitizePolicy tunes input hardening. The zero value is the
+// production default: replace invalid UTF-8, default caps.
+type SanitizePolicy struct {
+	// RejectInvalidUTF8 rejects malformed input with ErrInvalidUTF8
+	// instead of repairing it with U+FFFD replacement runes.
+	RejectInvalidUTF8 bool
+	// MaxBytes overrides DefaultMaxPhraseBytes (<= 0: default).
+	MaxBytes int
+	// MaxTokens overrides DefaultMaxPhraseTokens (<= 0: default).
+	MaxTokens int
+}
+
+// maxBytes resolves the byte cap.
+func (p SanitizePolicy) maxBytes() int {
+	if p.MaxBytes > 0 {
+		return p.MaxBytes
+	}
+	return DefaultMaxPhraseBytes
+}
+
+// maxTokens resolves the token cap.
+func (p SanitizePolicy) maxTokens() int {
+	if p.MaxTokens > 0 {
+		return p.MaxTokens
+	}
+	return DefaultMaxPhraseTokens
+}
+
+// nfcCompose maps (base letter, combining mark) pairs to their
+// precomposed forms for the Latin letters recipe corpora actually
+// contain (crème, jalapeño, früh…). The full NFC tables live in
+// x/text, which the repository deliberately does not depend on; this
+// subset covers the decomposed sequences observed in scraped recipe
+// text, and unknown combinations pass through untouched.
+var nfcCompose = map[[2]rune]rune{
+	{'a', 0x0300}: 'à', {'a', 0x0301}: 'á', {'a', 0x0302}: 'â', {'a', 0x0303}: 'ã', {'a', 0x0308}: 'ä', {'a', 0x030A}: 'å',
+	{'e', 0x0300}: 'è', {'e', 0x0301}: 'é', {'e', 0x0302}: 'ê', {'e', 0x0308}: 'ë',
+	{'i', 0x0300}: 'ì', {'i', 0x0301}: 'í', {'i', 0x0302}: 'î', {'i', 0x0308}: 'ï',
+	{'o', 0x0300}: 'ò', {'o', 0x0301}: 'ó', {'o', 0x0302}: 'ô', {'o', 0x0303}: 'õ', {'o', 0x0308}: 'ö',
+	{'u', 0x0300}: 'ù', {'u', 0x0301}: 'ú', {'u', 0x0302}: 'û', {'u', 0x0308}: 'ü',
+	{'n', 0x0303}: 'ñ', {'c', 0x0327}: 'ç', {'y', 0x0301}: 'ý', {'y', 0x0308}: 'ÿ',
+	{'A', 0x0300}: 'À', {'A', 0x0301}: 'Á', {'A', 0x0302}: 'Â', {'A', 0x0303}: 'Ã', {'A', 0x0308}: 'Ä', {'A', 0x030A}: 'Å',
+	{'E', 0x0300}: 'È', {'E', 0x0301}: 'É', {'E', 0x0302}: 'Ê', {'E', 0x0308}: 'Ë',
+	{'I', 0x0300}: 'Ì', {'I', 0x0301}: 'Í', {'I', 0x0302}: 'Î', {'I', 0x0308}: 'Ï',
+	{'O', 0x0300}: 'Ò', {'O', 0x0301}: 'Ó', {'O', 0x0302}: 'Ô', {'O', 0x0303}: 'Õ', {'O', 0x0308}: 'Ö',
+	{'U', 0x0300}: 'Ù', {'U', 0x0301}: 'Ú', {'U', 0x0302}: 'Û', {'U', 0x0308}: 'Ü',
+	{'N', 0x0303}: 'Ñ', {'C', 0x0327}: 'Ç',
+}
+
+// dropRune reports runes that carry no annotatable content and are
+// deleted outright: BOM, zero-width space/joiner/non-joiner, and
+// directional marks — the invisible-character soup of copy-pasted web
+// text.
+func dropRune(r rune) bool {
+	switch r {
+	case 0xFEFF, 0x200B, 0x200C, 0x200D, 0x200E, 0x200F, 0x2060:
+		return true
+	}
+	return false
+}
+
+// spaceRune reports runes normalized to a plain space: non-breaking
+// and typographic spaces, plus C0/C1 control characters (tab and
+// newline included — a phrase is one logical line by the time it gets
+// here).
+func spaceRune(r rune) bool {
+	if r == 0x00A0 || r == 0x202F || r == 0x205F || r == 0x3000 {
+		return true
+	}
+	if unicode.Is(unicode.Zs, r) && r != ' ' {
+		return true
+	}
+	return unicode.IsControl(r)
+}
+
+// Sanitize applies the hardening policy to one phrase: byte cap,
+// UTF-8 validation (repair or reject), invisible-character removal,
+// space normalization, and NFC-lite composition of decomposed Latin
+// diacritics. It returns the cleaned phrase or a typed quarantine
+// error; a clean ASCII phrase comes back unchanged (and unallocated).
+func Sanitize(s string, pol SanitizePolicy) (string, error) {
+	if len(s) > pol.maxBytes() {
+		return "", quarantine.Errorf(quarantine.CodeTooLong,
+			"phrase is %d bytes, cap %d", len(s), pol.maxBytes())
+	}
+	if !utf8.ValidString(s) {
+		if pol.RejectInvalidUTF8 {
+			return "", quarantine.ErrInvalidUTF8
+		}
+		s = strings.ToValidUTF8(s, "�")
+	}
+	// Fast path: printable ASCII needs no rewriting.
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] > 0x7E {
+			clean = false
+			break
+		}
+	}
+	if !clean {
+		var b strings.Builder
+		b.Grow(len(s))
+		runes := []rune(s)
+		for i := 0; i < len(runes); i++ {
+			r := runes[i]
+			if i+1 < len(runes) {
+				if comp, ok := nfcCompose[[2]rune{r, runes[i+1]}]; ok {
+					b.WriteRune(comp)
+					i++
+					continue
+				}
+			}
+			switch {
+			case dropRune(r):
+			case spaceRune(r):
+				b.WriteByte(' ')
+			default:
+				b.WriteRune(r)
+			}
+		}
+		s = b.String()
+	}
+	if strings.TrimSpace(s) == "" {
+		return "", quarantine.ErrEmptyAfterClean
+	}
+	return s, nil
+}
+
+// checkTokens enforces the policy's token cap after tokenization and
+// classifies a token-free phrase (punctuation soup survives Sanitize
+// but tokenizes to nothing annotatable).
+func checkTokens(tokens []string, pol SanitizePolicy) error {
+	if len(tokens) == 0 {
+		return quarantine.ErrEmptyAfterClean
+	}
+	if len(tokens) > pol.maxTokens() {
+		return quarantine.Errorf(quarantine.CodeTooManyTokens,
+			"phrase has %d tokens, cap %d", len(tokens), pol.maxTokens())
+	}
+	return nil
+}

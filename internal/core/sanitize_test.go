@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/quarantine"
+)
+
+// TestSanitizeCleanInputPassesThroughUnchanged: the golden-output
+// invariant — clean phrases (the entire existing corpus) must come back
+// byte-identical, or every determinism test in the repo would shift.
+func TestSanitizeCleanInputPassesThroughUnchanged(t *testing.T) {
+	for _, s := range []string{
+		"2 cups chopped onion",
+		"1/2 tsp salt, to taste",
+		"3 large eggs (room temperature)",
+		"1 cup crème fraîche", // precomposed Unicode is already NFC
+	} {
+		got, err := Sanitize(s, SanitizePolicy{})
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("clean phrase altered: %q -> %q", s, got)
+		}
+	}
+}
+
+func TestSanitizeTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     string
+		pol    SanitizePolicy
+		want   string
+		wantIs error
+	}{
+		{name: "empty", in: "", wantIs: quarantine.ErrEmptyAfterClean},
+		{name: "whitespace only", in: "   \t  \n", wantIs: quarantine.ErrEmptyAfterClean},
+		{name: "invisibles only", in: "\ufeff\u200b\u200d", wantIs: quarantine.ErrEmptyAfterClean},
+		{name: "invalid utf8 repaired", in: "\x80\xff tomatoes", want: "\ufffd tomatoes"},
+		{name: "invalid utf8 rejected", in: "\x80\xff tomatoes",
+			pol: SanitizePolicy{RejectInvalidUTF8: true}, wantIs: quarantine.ErrInvalidUTF8},
+		{name: "nbsp to space", in: "1\u00a0cup\u00a0sugar", want: "1 cup sugar"},
+		{name: "controls to space", in: "2 cups\x00\x01 onion", want: "2 cups   onion"},
+		{name: "bom stripped", in: "\ufeff2 cups flour", want: "2 cups flour"},
+		{name: "nfc composes diacritics", in: "1 cup cre\u0301me frai\u0302che",
+			want: "1 cup cr\u00e9me fra\u00eeche"},
+		{name: "byte cap", in: strings.Repeat("a", 100), pol: SanitizePolicy{MaxBytes: 64},
+			wantIs: quarantine.ErrTooLong},
+		{name: "under byte cap", in: strings.Repeat("a", 64), pol: SanitizePolicy{MaxBytes: 64},
+			want: strings.Repeat("a", 64)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Sanitize(c.in, c.pol)
+			if c.wantIs != nil {
+				if !errors.Is(err, c.wantIs) {
+					t.Fatalf("err = %v, want %v", err, c.wantIs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("err = %v", err)
+			}
+			if got != c.want {
+				t.Fatalf("Sanitize(%q) = %q, want %q", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckTokensCaps(t *testing.T) {
+	if err := checkTokens(nil, SanitizePolicy{}); !errors.Is(err, quarantine.ErrEmptyAfterClean) {
+		t.Fatalf("zero tokens = %v", err)
+	}
+	if err := checkTokens([]string{"a", "b"}, SanitizePolicy{MaxTokens: 2}); err != nil {
+		t.Fatalf("at cap = %v", err)
+	}
+	err := checkTokens([]string{"a", "b", "c"}, SanitizePolicy{MaxTokens: 2})
+	if !errors.Is(err, quarantine.ErrTooManyTokens) {
+		t.Fatalf("over cap = %v", err)
+	}
+}
+
+// TestDefaultCapsTripOnPoison: the production defaults route every
+// poison-corpus phrase through a taxonomy branch (or clean it) without
+// a panic, and the pathological-size entry hits the byte cap.
+func TestDefaultCapsTripOnPoison(t *testing.T) {
+	tooLong := 0
+	for _, p := range quarantine.PoisonPhrases() {
+		if _, err := Sanitize(p, SanitizePolicy{}); errors.Is(err, quarantine.ErrTooLong) {
+			tooLong++
+		}
+	}
+	if tooLong == 0 {
+		t.Fatal("no poison phrase tripped the byte cap")
+	}
+}

@@ -56,6 +56,13 @@ type Fault struct {
 	// sleeps: tests use it to block a worker on a channel, record
 	// interleavings, or cancel a context at an exact call count.
 	OnHit func(hit int)
+	// Indices, when non-empty, restricts firing to InjectIndexed calls
+	// whose index is in the set — the poison-record drills use it to
+	// make a specific batch index fail regardless of worker count or
+	// scheduling (hit counts are scheduling-dependent under a pool;
+	// indices are not). Plain Inject calls never match an indexed
+	// fault.
+	Indices []int
 }
 
 // point is one armed failure site.
@@ -151,8 +158,21 @@ func hashName(s string) uint64 {
 	return h
 }
 
-// fires decides whether hit number n (1-based) fires, deterministically.
-func (f *Fault) fires(name string, n int) bool {
+// fires decides whether hit number n (1-based) with record index idx
+// fires, deterministically.
+func (f *Fault) fires(name string, n, idx int) bool {
+	if len(f.Indices) > 0 {
+		match := false
+		for _, want := range f.Indices {
+			if idx == want {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return false
+		}
+	}
 	if n <= f.Skip {
 		return false
 	}
@@ -168,8 +188,18 @@ func (f *Fault) fires(name string, n int) bool {
 // Inject is the planted hook. It returns nil instantly when the named
 // point is not armed; otherwise it counts the hit and, if the fault
 // fires, injects the configured delay, callback, panic, or error (in
-// that order).
+// that order). A plain Inject carries index -1 and so never matches a
+// fault armed with Indices.
 func Inject(name string) error {
+	return InjectIndexed(name, -1)
+}
+
+// InjectIndexed is Inject for points planted inside per-record batch
+// workers: the caller passes the record's batch index, and a fault
+// armed with Indices fires only on the targeted records — the
+// scheduling-independent way to poison "record i" under a worker
+// pool.
+func InjectIndexed(name string, index int) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -182,7 +212,7 @@ func Inject(name string) error {
 	p.hits++
 	hit := p.hits
 	f := p.fault
-	if !f.fires(name, hit) || (f.Limit > 0 && p.fired >= f.Limit) {
+	if !f.fires(name, hit, index) || (f.Limit > 0 && p.fired >= f.Limit) {
 		mu.Unlock()
 		return nil
 	}

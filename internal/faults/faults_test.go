@@ -116,3 +116,74 @@ func TestConcurrentInjectIsSafe(t *testing.T) {
 		t.Fatalf("hits = %d, want 800", Hits("p"))
 	}
 }
+
+// TestIndexedFaultFiresOnlyOnTargetIndices: a fault armed with Indices
+// fires on InjectIndexed calls carrying a listed index — every listed
+// index, regardless of arrival order — and on nothing else.
+func TestIndexedFaultFiresOnlyOnTargetIndices(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("rec", Fault{Err: errBoom, Indices: []int{3, 7}})()
+	var fired []int
+	for _, idx := range []int{7, 0, 1, 2, 3, 4, 3} {
+		if err := InjectIndexed("rec", idx); err != nil {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("index %d: err = %v", idx, err)
+			}
+			fired = append(fired, idx)
+		}
+	}
+	if !reflect.DeepEqual(fired, []int{7, 3, 3}) {
+		t.Fatalf("fired on %v, want [7 3 3]", fired)
+	}
+	if Hits("rec") != 7 || Fired("rec") != 3 {
+		t.Fatalf("hits = %d fired = %d, want 7/3", Hits("rec"), Fired("rec"))
+	}
+}
+
+// TestPlainInjectNeverMatchesIndexedFault: the drills rely on plain
+// Inject call sites staying inert when a fault targets record indices.
+func TestPlainInjectNeverMatchesIndexedFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("rec", Fault{Err: errBoom, Indices: []int{0}})()
+	for i := 0; i < 3; i++ {
+		if err := Inject("rec"); err != nil {
+			t.Fatalf("plain Inject fired an indexed fault: %v", err)
+		}
+	}
+	if err := InjectIndexed("rec", 0); !errors.Is(err, errBoom) {
+		t.Fatalf("indexed call = %v, want errBoom", err)
+	}
+}
+
+// TestIndexedFaultWithLimit: Limit still caps an indexed fault, so a
+// drill can poison "index i, first pass only".
+func TestIndexedFaultWithLimit(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("rec", Fault{Err: errBoom, Indices: []int{5}, Limit: 1})()
+	if err := InjectIndexed("rec", 5); !errors.Is(err, errBoom) {
+		t.Fatalf("first hit = %v", err)
+	}
+	if err := InjectIndexed("rec", 5); err != nil {
+		t.Fatalf("post-limit hit = %v, want nil", err)
+	}
+}
+
+// TestIndexedPanicInjection: indexed faults can panic too — the form
+// the containment drills use.
+func TestIndexedPanicInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("rec", Fault{PanicMsg: "poisoned", Indices: []int{2}})()
+	_ = InjectIndexed("rec", 1)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "poisoned") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = InjectIndexed("rec", 2)
+	t.Fatal("index 2 did not panic")
+}

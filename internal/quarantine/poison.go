@@ -1,0 +1,42 @@
+// The checked-in poison corpus: ingredient-phrase shapes that real
+// web-scraped corpora are known to contain (TASTEset and the UCL
+// ingredient-parser work both report malformed, truncated, and
+// mixed-encoding phrases as a primary failure mode). The chaos drills
+// feed these through every batch path, and the end-to-end fuzz targets
+// seed from them.
+
+package quarantine
+
+import "strings"
+
+// PoisonPhrases returns the known-bad phrase corpus. The slice is
+// rebuilt per call so callers may mutate it freely; contents are fully
+// deterministic.
+func PoisonPhrases() []string {
+	return []string{
+		// nothing annotatable.
+		"",
+		"   \t   ",
+		"\n\r\n",
+		// invalid and truncated UTF-8 (mixed-encoding scrapes).
+		"\x80\xff tomatoes",
+		"cr\u00e8me fra\xc3",        // phrase cut mid-rune
+		"\xc0\xafsalt",              // overlong-style sequence
+		"1 cup \xed\xa0\x80 butter", // surrogate half encoded as WTF-8
+		// invisible-character soup: BOM + zero-width space/joiner.
+		"\ufeff\u200b\u200d",
+		"1\u00a0cup\u00a0sugar", // NBSP-joined
+		// control characters embedded mid-phrase.
+		"2 cups\x00\x01\x02 chopped onion",
+		// decomposed diacritics (NFC-normalization targets).
+		"1 cup cre\u0301me frai\u0302che",
+		// pathological length: a "phrase" the size of a small page.
+		strings.Repeat("very ", 40_000) + "long phrase",
+		// pathological token count with tiny byte count per token.
+		strings.Repeat("a ", 30_000),
+		// bracket bomb for the tokenizer/parser.
+		strings.Repeat("(", 2_000) + "x" + strings.Repeat(")", 2_000),
+		// numeric garbage that stresses fraction handling.
+		"\u215b\u215b\u215b\u215b 1/0/0/1//2 -- - \u00bd\u00bd\u00bd\u00bd",
+	}
+}

@@ -1,0 +1,212 @@
+// Package quarantine is the record-level fault-containment vocabulary
+// of the batch pipeline. Web-scraped recipe corpora are dirty — invalid
+// UTF-8, megabyte "phrases", tokens that wedge a tagger — and the paper
+// runs over 11.5M of them (Table III), so the production posture is:
+// one poison record must cost exactly one record, never the batch.
+//
+// The package supplies the three pieces every batch path shares:
+//
+//   - a typed error taxonomy with stable machine-readable codes
+//     (ErrInvalidUTF8, ErrTooLong, ErrTaggerPanic, ...) so operators
+//     can alert on poison *kinds*, not log strings;
+//   - Rejection, the per-record containment report (input index, a
+//     truncated echo of the phrase, code, human detail);
+//   - a dead-letter sink that appends rejections as JSONL with the
+//     same flush/fsync discipline as internal/checkpoint, so a mining
+//     run's quarantine file resumes as deterministically as its output.
+package quarantine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"unicode/utf8"
+)
+
+// Code is a stable, machine-readable rejection cause. Codes are wire
+// format: they appear in dead-letter files, HTTP responses, and
+// checkpoint manifests, so existing values must never be renamed.
+type Code string
+
+// The rejection taxonomy. Input-validation codes come from the
+// sanitizer in internal/core; panic codes from the per-record recover
+// in the batch worker functions.
+const (
+	// CodeInvalidUTF8: the phrase is not valid UTF-8 and the active
+	// policy is reject (the replace policy repairs instead).
+	CodeInvalidUTF8 Code = "invalid_utf8"
+	// CodeTooLong: the phrase exceeds the byte cap.
+	CodeTooLong Code = "too_long"
+	// CodeTooManyTokens: the phrase tokenizes past the token cap.
+	CodeTooManyTokens Code = "too_many_tokens"
+	// CodeEmptyAfterClean: nothing annotatable survived sanitization
+	// (empty, whitespace, or control characters only).
+	CodeEmptyAfterClean Code = "empty_after_clean"
+	// CodeTaggerPanic: the NER/POS tagging stage panicked on this
+	// record and the panic was contained.
+	CodeTaggerPanic Code = "tagger_panic"
+	// CodeParserPanic: the dependency-parse/relation stage panicked on
+	// this record and the panic was contained.
+	CodeParserPanic Code = "parser_panic"
+	// CodeRecordPanic: a contained panic outside an attributable stage
+	// (the catch-all for ModelRecipe and injected drills).
+	CodeRecordPanic Code = "record_panic"
+)
+
+// Sentinel errors, one per code — the `errors.Is` handles for the
+// taxonomy. Wrap them with Errorf to attach detail.
+var (
+	ErrInvalidUTF8     = &Error{Code: CodeInvalidUTF8, Detail: "phrase is not valid UTF-8"}
+	ErrTooLong         = &Error{Code: CodeTooLong, Detail: "phrase exceeds the byte cap"}
+	ErrTooManyTokens   = &Error{Code: CodeTooManyTokens, Detail: "phrase exceeds the token cap"}
+	ErrEmptyAfterClean = &Error{Code: CodeEmptyAfterClean, Detail: "nothing annotatable after sanitization"}
+	ErrTaggerPanic     = &Error{Code: CodeTaggerPanic, Detail: "tagger panicked"}
+	ErrParserPanic     = &Error{Code: CodeParserPanic, Detail: "parser panicked"}
+	ErrRecordPanic     = &Error{Code: CodeRecordPanic, Detail: "record processing panicked"}
+)
+
+// Error is a typed rejection cause. Two Errors Is-match when their
+// codes match, so `errors.Is(err, quarantine.ErrTooLong)` works for
+// any detail string.
+type Error struct {
+	Code   Code
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("quarantine[%s]: %s", e.Code, e.Detail) }
+
+// Is matches any *Error with the same code.
+func (e *Error) Is(target error) bool {
+	var qe *Error
+	return errors.As(target, &qe) && qe.Code == e.Code
+}
+
+// Errorf builds a typed rejection with the given code and formatted
+// detail.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the taxonomy code from err, unwrapping as needed.
+// Errors outside the taxonomy report CodeRecordPanic's sibling "" so
+// callers can distinguish typed from untyped causes.
+func CodeOf(err error) Code {
+	var qe *Error
+	if errors.As(err, &qe) {
+		return qe.Code
+	}
+	return ""
+}
+
+// maxEchoBytes bounds the phrase echo stored in a Rejection: enough to
+// recognize the record, never enough to turn a 1 MiB poison phrase
+// into a 1 MiB dead-letter line.
+const maxEchoBytes = 200
+
+// Truncate returns s cut to at most maxEchoBytes bytes on a rune
+// boundary, with a "..." marker when anything was dropped. Invalid
+// UTF-8 is echoed byte-truncated (the JSON encoder sanitizes it).
+func Truncate(s string) string {
+	if len(s) <= maxEchoBytes {
+		return s
+	}
+	cut := maxEchoBytes
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "..."
+}
+
+// Rejection is one quarantined record: the dead-letter file line and
+// the per-item HTTP status, produced by the partial-result batch APIs.
+type Rejection struct {
+	// Index is the record's position in the batch input.
+	Index int `json:"index"`
+	// Phrase echoes the offending input, truncated to a bounded prefix.
+	Phrase string `json:"phrase"`
+	// Code is the machine-readable rejection cause.
+	Code Code `json:"code"`
+	// Detail is the human-readable cause.
+	Detail string `json:"detail"`
+}
+
+// Reject builds a Rejection from a typed (or untyped) error, echoing a
+// truncated phrase. Untyped errors are classified CodeRecordPanic.
+func Reject(index int, phrase string, err error) Rejection {
+	code := CodeOf(err)
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+		var qe *Error
+		if errors.As(err, &qe) {
+			detail = qe.Detail
+		}
+	}
+	if code == "" {
+		code = CodeRecordPanic
+	}
+	return Rejection{Index: index, Phrase: Truncate(phrase), Code: code, Detail: detail}
+}
+
+// Counters accumulates rejection tallies (total and by code) across a
+// run or a server's lifetime; safe for concurrent use. The zero value
+// is ready.
+type Counters struct {
+	mu     sync.Mutex
+	total  int64
+	byCode map[Code]int64
+}
+
+// Observe records one rejection with the given code.
+func (c *Counters) Observe(code Code) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byCode == nil {
+		c.byCode = make(map[Code]int64)
+	}
+	c.total++
+	c.byCode[code]++
+}
+
+// Total reports the cumulative rejection count.
+func (c *Counters) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// ByCode returns a copy of the per-code tallies.
+func (c *Counters) ByCode() map[Code]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Code]int64, len(c.byCode))
+	for k, v := range c.byCode {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the tallies as "total (code=n, code=n)" with codes
+// sorted for deterministic log lines; "0" when nothing was observed.
+func (c *Counters) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total == 0 {
+		return "0"
+	}
+	codes := make([]string, 0, len(c.byCode))
+	for k := range c.byCode {
+		codes = append(codes, string(k))
+	}
+	sort.Strings(codes)
+	s := fmt.Sprintf("%d (", c.total)
+	for i, k := range codes {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", k, c.byCode[Code(k)])
+	}
+	return s + ")"
+}

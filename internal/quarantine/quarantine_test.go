@@ -1,0 +1,244 @@
+package quarantine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestErrorIsMatchesByCode: errors.Is must match any taxonomy error of
+// the same code, regardless of detail — the contract alerting code
+// relies on.
+func TestErrorIsMatchesByCode(t *testing.T) {
+	detailed := Errorf(CodeTooLong, "phrase is %d bytes", 1<<20)
+	if !errors.Is(detailed, ErrTooLong) {
+		t.Fatal("detailed too_long error must Is-match ErrTooLong")
+	}
+	if errors.Is(detailed, ErrInvalidUTF8) {
+		t.Fatal("too_long must not match invalid_utf8")
+	}
+	wrapped := fmt.Errorf("mine record 7: %w", ErrTaggerPanic)
+	if !errors.Is(wrapped, ErrTaggerPanic) {
+		t.Fatal("wrapped sentinel must still match")
+	}
+	if CodeOf(wrapped) != CodeTaggerPanic {
+		t.Fatalf("CodeOf(wrapped) = %q", CodeOf(wrapped))
+	}
+	if CodeOf(errors.New("untyped")) != "" {
+		t.Fatal("untyped error must report empty code")
+	}
+}
+
+// TestRejectClassifiesUntypedAsRecordPanic: the catch-all for contained
+// panics whose value carried no taxonomy code.
+func TestRejectClassifiesUntypedAsRecordPanic(t *testing.T) {
+	r := Reject(3, "some phrase", errors.New("slice bounds out of range"))
+	if r.Code != CodeRecordPanic || r.Index != 3 || r.Phrase != "some phrase" {
+		t.Fatalf("rejection = %+v", r)
+	}
+	typed := Reject(0, "x", Errorf(CodeTooManyTokens, "30000 tokens"))
+	if typed.Code != CodeTooManyTokens || typed.Detail != "30000 tokens" {
+		t.Fatalf("typed rejection = %+v", typed)
+	}
+}
+
+// TestTruncateBoundsEchoOnRuneBoundary: a megabyte poison phrase must
+// not become a megabyte dead-letter line, and the cut never splits a
+// rune.
+func TestTruncateBoundsEchoOnRuneBoundary(t *testing.T) {
+	if got := Truncate("short"); got != "short" {
+		t.Fatalf("short phrase altered: %q", got)
+	}
+	// é is 2 bytes; position the cap mid-rune.
+	long := strings.Repeat("x", maxEchoBytes-1) + "é" + strings.Repeat("y", 50)
+	got := Truncate(long)
+	if len(got) > maxEchoBytes+len("...") {
+		t.Fatalf("echo is %d bytes", len(got))
+	}
+	if !strings.HasSuffix(got, "...") {
+		t.Fatalf("truncated echo lacks marker: %q", got[len(got)-10:])
+	}
+	if strings.ContainsRune(got[:len(got)-3], '�') {
+		t.Fatal("truncation split a rune")
+	}
+}
+
+// TestCountersSummaryDeterministic: codes sort, totals add up, zero
+// reads "0".
+func TestCountersSummaryDeterministic(t *testing.T) {
+	var c Counters
+	if c.Summary() != "0" {
+		t.Fatalf("empty summary = %q", c.Summary())
+	}
+	c.Observe(CodeTooLong)
+	c.Observe(CodeEmptyAfterClean)
+	c.Observe(CodeTooLong)
+	want := "3 (empty_after_clean=1, too_long=2)"
+	if c.Summary() != want {
+		t.Fatalf("summary = %q, want %q", c.Summary(), want)
+	}
+	if c.Total() != 3 || c.ByCode()[CodeTooLong] != 2 {
+		t.Fatalf("total = %d byCode = %v", c.Total(), c.ByCode())
+	}
+}
+
+// TestSinkRoundTrip: append → sync → read back, byte offsets reported
+// correctly.
+func TestSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejs := []Rejection{
+		{Index: 2, Phrase: "\x80\xff tomatoes", Code: CodeInvalidUTF8, Detail: "not UTF-8"},
+		{Index: 9, Phrase: "", Code: CodeEmptyAfterClean, Detail: "empty"},
+	}
+	for _, r := range rejs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != off {
+		t.Fatalf("reported offset %d, file is %d bytes", off, fi.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Index != 2 || got[0].Code != CodeInvalidUTF8 || got[1].Index != 9 {
+		t.Fatalf("read back %+v", got)
+	}
+	if s.Counters().Total() != 2 {
+		t.Fatalf("sink counters = %d", s.Counters().Total())
+	}
+}
+
+// TestSinkResumeTruncatesTornTail: resuming at a durable offset drops
+// bytes past it (a torn line from a crash) and subsequent appends land
+// exactly after the durable prefix — the same discipline as the mining
+// output.
+func TestSinkResumeTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Rejection{Index: 0, Code: CodeTooLong}); err != nil {
+		t.Fatal(err)
+	}
+	durable, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// simulate a crash that left a torn line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"co`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err = Resume(path, durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Rejection{Index: 1, Code: CodeTaggerPanic}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("file did not decode after torn-tail resume: %v", err)
+	}
+	if len(got) != 2 || got[0].Code != CodeTooLong || got[1].Code != CodeTaggerPanic {
+		t.Fatalf("resumed file = %+v", got)
+	}
+}
+
+// TestSinkResumeAtZeroRecreates: offset 0 means "nothing durable" — a
+// fresh file even if a stale one exists.
+func TestSinkResumeAtZeroRecreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("stale garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Resume(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("file = %+v, %v — stale content survived", got, err)
+	}
+}
+
+// TestNilSinkIsSafe: the discard sink accepts every call.
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	if err := s.Append(Rejection{Code: CodeTooLong}); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := s.Sync(); off != 0 || err != nil {
+		t.Fatalf("nil Sync = %d, %v", off, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters().Total() != 0 {
+		t.Fatal("nil sink counted")
+	}
+}
+
+// TestPoisonCorpusShape: the checked-in corpus keeps its advertised
+// properties — deterministic, and covering the taxonomy's input
+// classes.
+func TestPoisonCorpusShape(t *testing.T) {
+	a, b := PoisonPhrases(), PoisonPhrases()
+	if len(a) != len(b) {
+		t.Fatal("corpus not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("phrase %d differs between calls", i)
+		}
+	}
+	var hasInvalid, hasHuge, hasEmpty bool
+	for _, p := range a {
+		if !hasInvalid {
+			hasInvalid = !utf8.ValidString(p)
+		}
+		if len(p) > 100_000 {
+			hasHuge = true
+		}
+		if strings.TrimSpace(p) == "" {
+			hasEmpty = true
+		}
+	}
+	if !hasInvalid || !hasHuge || !hasEmpty {
+		t.Fatalf("corpus coverage: invalid=%v huge=%v empty=%v", hasInvalid, hasHuge, hasEmpty)
+	}
+}

@@ -1,0 +1,141 @@
+// The dead-letter sink: quarantined records append to a JSONL file
+// with the same durability discipline as the mining output it rides
+// alongside (flush, fsync — see internal/checkpoint). The checkpoint
+// manifest records the sink's durable byte offset, so a -resume
+// truncates the quarantine file's torn tail exactly as it truncates
+// the output's, keeping the pair byte-identical to an uninterrupted
+// run.
+
+package quarantine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Sink appends rejections as JSON Lines. The zero/nil Sink discards
+// writes but still counts them, so callers never branch on "was a
+// dead-letter file configured".
+type Sink struct {
+	f        *os.File
+	bw       *bufio.Writer
+	enc      *json.Encoder
+	counters Counters
+}
+
+// Create opens a fresh dead-letter sink at path, truncating any
+// previous file (the caller gates overwrite semantics the way mine
+// gates -o).
+func Create(path string) (*Sink, error) {
+	return open(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0)
+}
+
+// Resume reopens an existing dead-letter file, truncates everything
+// past offset (the torn tail a crash may have left), and appends from
+// there. A missing file is recreated when offset is 0.
+func Resume(path string, offset int64) (*Sink, error) {
+	if offset == 0 {
+		return Create(path)
+	}
+	return open(path, os.O_RDWR, offset)
+}
+
+func open(path string, flags int, offset int64) (*Sink, error) {
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("quarantine: %w", err)
+	}
+	if offset > 0 {
+		if err := f.Truncate(offset); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("quarantine: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("quarantine: %w", err)
+		}
+	}
+	s := &Sink{f: f, bw: bufio.NewWriter(f)}
+	s.enc = json.NewEncoder(s.bw)
+	return s, nil
+}
+
+// Append writes one rejection line (or only counts it on a nil/discard
+// sink).
+func (s *Sink) Append(r Rejection) error {
+	if s == nil {
+		return nil
+	}
+	s.counters.Observe(r.Code)
+	if s.enc == nil {
+		return nil
+	}
+	if err := s.enc.Encode(r); err != nil {
+		return fmt.Errorf("quarantine: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered lines and fsyncs the file, then reports the
+// durable byte offset — the value the checkpoint manifest records. A
+// nil/discard sink reports offset 0.
+func (s *Sink) Sync() (int64, error) {
+	if s == nil || s.f == nil {
+		return 0, nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, fmt.Errorf("quarantine: flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, fmt.Errorf("quarantine: fsync: %w", err)
+	}
+	off, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, fmt.Errorf("quarantine: %w", err)
+	}
+	return off, nil
+}
+
+// Counters exposes the sink's cumulative tallies.
+func (s *Sink) Counters() *Counters {
+	if s == nil {
+		return &Counters{}
+	}
+	return &s.counters
+}
+
+// Close flushes and closes the underlying file.
+func (s *Sink) Close() error {
+	if s == nil || s.f == nil {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("quarantine: close: %w", err)
+	}
+	return s.f.Close()
+}
+
+// ReadFile loads a dead-letter JSONL file back into rejections —
+// triage tooling and the drill tests share this decoder.
+func ReadFile(path string) ([]Rejection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("quarantine: %w", err)
+	}
+	defer f.Close()
+	var out []Rejection
+	dec := json.NewDecoder(f)
+	for {
+		var r Rejection
+		if err := dec.Decode(&r); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("quarantine: %s: %w", path, err)
+		}
+		out = append(out, r)
+	}
+}

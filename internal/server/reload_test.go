@@ -30,6 +30,12 @@ func (v versionedPipe) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return r
 }
 
+func (v versionedPipe) AnnotateIngredientChecked(phrase string) (core.IngredientRecord, error) {
+	r, err := v.fakePipe.AnnotateIngredientChecked(phrase)
+	r.State = v.marker
+	return r, err
+}
+
 // onionCanary matches the fake pipes, which extract "onion" from
 // everything.
 var onionCanary = []core.CanaryCase{{Phrase: "2 cups chopped onion", WantName: "onion"}}

@@ -43,6 +43,7 @@ import (
 	"recipemodel/internal/faults"
 	"recipemodel/internal/index"
 	"recipemodel/internal/nutrition"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/resilience"
 )
 
@@ -59,10 +60,19 @@ const FaultServe = "server.serve"
 // worker-pool computation instead of leaking it.
 type Pipeline interface {
 	AnnotateIngredient(phrase string) core.IngredientRecord
+	// AnnotateIngredientChecked is the containment-aware single-phrase
+	// form behind /annotate: a poison phrase comes back as a typed
+	// quarantine error instead of an empty record, so the handler can
+	// answer 422 with a machine-readable code.
+	AnnotateIngredientChecked(phrase string) (core.IngredientRecord, error)
 	// AnnotateIngredientsContext is the batch form behind
 	// /annotate/batch; implementations fan out over a worker pool,
 	// return record i for phrase i, and honor ctx cancellation.
 	AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error)
+	// AnnotateIngredientsPartial is the partial-result batch form: one
+	// poison phrase costs one rejection, not the batch. Slot i of the
+	// records is meaningful iff no rejection carries index i.
+	AnnotateIngredientsPartial(ctx context.Context, phrases []string) ([]core.IngredientRecord, []quarantine.Rejection, error)
 	ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error)
 }
 
@@ -124,6 +134,10 @@ type Server struct {
 	reloadState atomic.Value // reloadInfo
 	reloads     atomic.Int64
 	rejected    atomic.Int64
+	// quarantined tallies every record-level rejection the annotate
+	// endpoints produced over the server's lifetime; published on
+	// /readyz so operators can alert on poison-input rates by code.
+	quarantined quarantine.Counters
 }
 
 // New builds a server around a trained pipeline with no limits; ix may
@@ -303,6 +317,11 @@ type readyResponse struct {
 	Reloads         int64      `json:"reloads"`
 	RejectedReloads int64      `json:"rejectedReloads"`
 	Reload          reloadInfo `json:"reload"`
+	// Quarantined counts record-level rejections served by the annotate
+	// endpoints since startup, cumulative and broken down by taxonomy
+	// code.
+	Quarantined       int64                     `json:"quarantined"`
+	QuarantinedByCode map[quarantine.Code]int64 `json:"quarantinedByCode,omitempty"`
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -311,11 +330,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := readyResponse{
-		Ready:           s.ready.Load(),
-		Model:           s.ModelVersion(),
-		Reloads:         s.reloads.Load(),
-		RejectedReloads: s.rejected.Load(),
-		Reload:          s.lastReload(),
+		Ready:             s.ready.Load(),
+		Model:             s.ModelVersion(),
+		Reloads:           s.reloads.Load(),
+		RejectedReloads:   s.rejected.Load(),
+		Reload:            s.lastReload(),
+		Quarantined:       s.quarantined.Total(),
+		QuarantinedByCode: s.quarantined.ByCode(),
 	}
 	if !resp.Ready {
 		w.Header().Set("Content-Type", "application/json")
@@ -409,7 +430,20 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	writeJSON(w, s.pipeline().AnnotateIngredient(req.Phrase))
+	rec, err := s.pipeline().AnnotateIngredientChecked(req.Phrase)
+	if err != nil {
+		rej := quarantine.Reject(0, req.Phrase, err)
+		s.quarantined.Observe(rej.Code)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"error":  "phrase rejected",
+			"code":   string(rej.Code),
+			"detail": rej.Detail,
+		})
+		return
+	}
+	writeJSON(w, rec)
 }
 
 // batchAnnotateRequest is the /annotate/batch payload.
@@ -420,6 +454,26 @@ type batchAnnotateRequest struct {
 // maxBatchPhrases caps one /annotate/batch request; corpus-scale
 // clients should stream chunks of this size.
 const maxBatchPhrases = 10000
+
+// batchItem is one per-phrase result in a /annotate/batch response:
+// either an annotated record or a typed rejection. Item i answers
+// phrase i.
+type batchItem struct {
+	Status string                 `json:"status"` // "ok" or "rejected"
+	Record *core.IngredientRecord `json:"record,omitempty"`
+	Code   quarantine.Code        `json:"code,omitempty"`
+	Detail string                 `json:"detail,omitempty"`
+}
+
+// batchResponse is the /annotate/batch payload: per-item statuses plus
+// roll-up counts. The HTTP status follows the 207 Multi-Status idea:
+// 200 when every phrase annotated, 207 on a mix, 422 when every phrase
+// was rejected.
+type batchResponse struct {
+	Results  []batchItem `json:"results"`
+	OK       int         `json:"ok"`
+	Rejected int         `json:"rejected"`
+}
 
 func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchAnnotateRequest
@@ -442,12 +496,34 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	recs, err := s.pipeline().AnnotateIngredientsContext(r.Context(), req.Phrases)
+	recs, rejs, err := s.pipeline().AnnotateIngredientsPartial(r.Context(), req.Phrases)
 	if err != nil {
 		s.ctxError(w, err)
 		return
 	}
-	writeJSON(w, recs)
+	resp := batchResponse{Results: make([]batchItem, len(req.Phrases))}
+	for i := range resp.Results {
+		rec := recs[i]
+		resp.Results[i] = batchItem{Status: "ok", Record: &rec}
+	}
+	for _, rej := range rejs {
+		s.quarantined.Observe(rej.Code)
+		resp.Results[rej.Index] = batchItem{Status: "rejected", Code: rej.Code, Detail: rej.Detail}
+	}
+	resp.Rejected = len(rejs)
+	resp.OK = len(req.Phrases) - resp.Rejected
+	status := http.StatusOK
+	switch {
+	case resp.OK == 0:
+		status = http.StatusUnprocessableEntity
+	case resp.Rejected > 0:
+		status = http.StatusMultiStatus
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // modelRequest is the /model payload.

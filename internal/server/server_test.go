@@ -15,6 +15,7 @@ import (
 	"recipemodel/internal/faults"
 	"recipemodel/internal/index"
 	"recipemodel/internal/ner"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/relations"
 )
 
@@ -44,6 +45,27 @@ func (f fakePipe) AnnotateIngredient(phrase string) core.IngredientRecord {
 	return core.IngredientRecord{Phrase: phrase, Name: "onion", Quantity: "2", Unit: "cups"}
 }
 
+// poison classifies the stub's rejection behavior: whitespace-only
+// phrases reject as empty_after_clean, a "panic:" prefix as a contained
+// tagger panic — enough taxonomy to exercise both handler paths.
+func poison(phrase string) error {
+	switch {
+	case strings.TrimSpace(phrase) == "":
+		return quarantine.ErrEmptyAfterClean
+	case strings.HasPrefix(phrase, "panic:"):
+		return quarantine.ErrTaggerPanic
+	}
+	return nil
+}
+
+func (f fakePipe) AnnotateIngredientChecked(phrase string) (core.IngredientRecord, error) {
+	_ = f.wait(context.Background())
+	if err := poison(phrase); err != nil {
+		return core.IngredientRecord{Phrase: phrase}, err
+	}
+	return core.IngredientRecord{Phrase: phrase, Name: "onion", Quantity: "2", Unit: "cups"}, nil
+}
+
 func (f fakePipe) AnnotateIngredientsContext(ctx context.Context, phrases []string) ([]core.IngredientRecord, error) {
 	if err := f.wait(ctx); err != nil {
 		return nil, err
@@ -53,6 +75,22 @@ func (f fakePipe) AnnotateIngredientsContext(ctx context.Context, phrases []stri
 		out[i] = core.IngredientRecord{Phrase: p, Name: "onion", Quantity: "2", Unit: "cups"}
 	}
 	return out, ctx.Err()
+}
+
+func (f fakePipe) AnnotateIngredientsPartial(ctx context.Context, phrases []string) ([]core.IngredientRecord, []quarantine.Rejection, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, nil, err
+	}
+	out := make([]core.IngredientRecord, len(phrases))
+	var rejs []quarantine.Rejection
+	for i, p := range phrases {
+		if err := poison(p); err != nil {
+			rejs = append(rejs, quarantine.Reject(i, p, err))
+			continue
+		}
+		out[i] = core.IngredientRecord{Phrase: p, Name: "onion", Quantity: "2", Unit: "cups"}
+	}
+	return out, rejs, ctx.Err()
 }
 
 func (f fakePipe) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructions string) (*core.RecipeModel, error) {
@@ -173,6 +211,16 @@ func TestOversizedBodyIs413(t *testing.T) {
 	}
 }
 
+// decodeBatch parses a /annotate/batch response envelope.
+func decodeBatch(t *testing.T, w *httptest.ResponseRecorder) batchResponse {
+	t.Helper()
+	var resp batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode batch response: %v\n%s", err, w.Body.String())
+	}
+	return resp
+}
+
 func TestAnnotateBatch(t *testing.T) {
 	s := New(fakePipe{}, nil)
 	w := do(t, s, http.MethodPost, "/annotate/batch",
@@ -180,18 +228,110 @@ func TestAnnotateBatch(t *testing.T) {
 	if w.Code != 200 {
 		t.Fatalf("code = %d body = %s", w.Code, w.Body.String())
 	}
-	var recs []core.IngredientRecord
-	if err := json.Unmarshal(w.Body.Bytes(), &recs); err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 3 {
-		t.Fatalf("want 3 records, got %d", len(recs))
+	resp := decodeBatch(t, w)
+	if len(resp.Results) != 3 || resp.OK != 3 || resp.Rejected != 0 {
+		t.Fatalf("resp = ok %d rejected %d results %d", resp.OK, resp.Rejected, len(resp.Results))
 	}
 	// order must follow the request, not completion order.
 	for i, phrase := range []string{"2 cups onion", "1 tsp salt", "3 eggs"} {
-		if recs[i].Phrase != phrase {
-			t.Fatalf("record %d is for %q, want %q", i, recs[i].Phrase, phrase)
+		item := resp.Results[i]
+		if item.Status != "ok" || item.Record == nil || item.Record.Phrase != phrase {
+			t.Fatalf("item %d = %+v, want ok record for %q", i, item, phrase)
 		}
+	}
+}
+
+// TestAnnotateBatchMixed: one poison phrase in a batch costs exactly
+// that item — the response is 207 with per-item statuses, the good
+// records are present and in request order, and the server keeps
+// serving afterwards.
+func TestAnnotateBatchMixed(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/annotate/batch",
+		`{"phrases":["2 cups onion","   ","panic: wedge","3 eggs"]}`)
+	if w.Code != http.StatusMultiStatus {
+		t.Fatalf("mixed batch = %d, want 207\n%s", w.Code, w.Body.String())
+	}
+	resp := decodeBatch(t, w)
+	if resp.OK != 2 || resp.Rejected != 2 || len(resp.Results) != 4 {
+		t.Fatalf("resp = ok %d rejected %d results %d", resp.OK, resp.Rejected, len(resp.Results))
+	}
+	if resp.Results[0].Status != "ok" || resp.Results[0].Record.Phrase != "2 cups onion" {
+		t.Fatalf("item 0 = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Status != "rejected" || resp.Results[1].Code != quarantine.CodeEmptyAfterClean {
+		t.Fatalf("item 1 = %+v, want rejected empty_after_clean", resp.Results[1])
+	}
+	if resp.Results[2].Status != "rejected" || resp.Results[2].Code != quarantine.CodeTaggerPanic {
+		t.Fatalf("item 2 = %+v, want rejected tagger_panic", resp.Results[2])
+	}
+	if resp.Results[3].Status != "ok" || resp.Results[3].Record.Phrase != "3 eggs" {
+		t.Fatalf("item 3 = %+v", resp.Results[3])
+	}
+	// rejected items must not carry a record, ok items no code.
+	if resp.Results[1].Record != nil || resp.Results[0].Code != "" {
+		t.Fatalf("cross-contaminated items: %+v / %+v", resp.Results[0], resp.Results[1])
+	}
+	// the server survived the poison batch.
+	if w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"x"}`); w.Code != 200 {
+		t.Fatalf("request after poison batch = %d, want 200", w.Code)
+	}
+}
+
+// TestAnnotateBatchAllRejected: a batch with no annotatable phrase is a
+// 422, still with per-item detail.
+func TestAnnotateBatchAllRejected(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["   ","panic: x"]}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("all-rejected batch = %d, want 422\n%s", w.Code, w.Body.String())
+	}
+	resp := decodeBatch(t, w)
+	if resp.OK != 0 || resp.Rejected != 2 {
+		t.Fatalf("resp = ok %d rejected %d", resp.OK, resp.Rejected)
+	}
+}
+
+// TestAnnotateRejected422: the single-phrase endpoint answers a typed
+// 422 for a poison phrase.
+func TestAnnotateRejected422(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	w := do(t, s, http.MethodPost, "/annotate", `{"phrase":"   "}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("poison phrase = %d, want 422\n%s", w.Code, w.Body.String())
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["code"] != string(quarantine.CodeEmptyAfterClean) {
+		t.Fatalf("code = %q, want empty_after_clean", resp["code"])
+	}
+}
+
+// TestReadyzQuarantineCounters: rejections served by the annotate
+// endpoints surface on /readyz, cumulative and by code.
+func TestReadyzQuarantineCounters(t *testing.T) {
+	s := New(fakePipe{}, nil)
+	s.SetReady(true)
+	do(t, s, http.MethodPost, "/annotate", `{"phrase":"   "}`)
+	do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["ok phrase","panic: wedge","   "]}`)
+	w := do(t, s, http.MethodGet, "/readyz", "")
+	if w.Code != 200 {
+		t.Fatalf("readyz = %d", w.Code)
+	}
+	var resp struct {
+		Quarantined       int64            `json:"quarantined"`
+		QuarantinedByCode map[string]int64 `json:"quarantinedByCode"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Quarantined != 3 {
+		t.Fatalf("quarantined = %d, want 3\n%s", resp.Quarantined, w.Body.String())
+	}
+	if resp.QuarantinedByCode["empty_after_clean"] != 2 || resp.QuarantinedByCode["tagger_panic"] != 1 {
+		t.Fatalf("byCode = %v", resp.QuarantinedByCode)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"recipemodel/internal/ner"
 	"recipemodel/internal/nutrition"
 	"recipemodel/internal/persist"
+	"recipemodel/internal/quarantine"
 	"recipemodel/internal/recipedb"
 	"recipemodel/internal/relations"
 	"recipemodel/internal/similarity"
@@ -73,6 +74,13 @@ type (
 	// RecipeInput is one raw recipe, the unit of work of the batch
 	// mining engine.
 	RecipeInput = core.RecipeInput
+	// Rejection is one quarantined record from a partial-result batch
+	// call: input index, truncated phrase echo, machine-readable code,
+	// and human detail.
+	Rejection = quarantine.Rejection
+	// RejectionCode is the stable machine-readable cause taxonomy
+	// carried by Rejection.Code and the dead-letter JSONL format.
+	RejectionCode = quarantine.Code
 )
 
 // Options configures pipeline construction. The taggers are trained at
@@ -229,6 +237,39 @@ func (p *Pipeline) ModelRecipes(recipes []RecipeInput) []*RecipeModel {
 // undispatched slots are nil, and no worker goroutine leaks.
 func (p *Pipeline) ModelRecipesContext(ctx context.Context, recipes []RecipeInput) ([]*RecipeModel, error) {
 	return p.inner.ModelRecipesContext(ctx, recipes, p.workers)
+}
+
+// AnnotateIngredientChecked is AnnotateIngredient with the typed
+// rejection surfaced: poison input (invalid UTF-8 under a reject
+// policy, over-cap length, nothing annotatable, a contained tagger
+// panic) returns a quarantine error whose stable code callers can
+// branch on; the record is then empty but for the echoed phrase.
+func (p *Pipeline) AnnotateIngredientChecked(phrase string) (IngredientRecord, error) {
+	return p.inner.AnnotateIngredientChecked(phrase)
+}
+
+// AnnotateIngredientsPartial decomposes a batch with record-level
+// fault containment: record i is byte-identical to a clean
+// AnnotateIngredient(phrases[i]), poison phrases come back as typed,
+// index-ordered rejections instead of aborting the batch, and the
+// error is non-nil only when ctx was cancelled.
+func (p *Pipeline) AnnotateIngredientsPartial(ctx context.Context, phrases []string) ([]IngredientRecord, []Rejection, error) {
+	return p.inner.AnnotateIngredientsPartial(ctx, phrases, p.workers)
+}
+
+// AnnotateInstructionsPartial is the containment-aware form of
+// AnnotateInstructions (same contract as AnnotateIngredientsPartial).
+func (p *Pipeline) AnnotateInstructionsPartial(ctx context.Context, steps []string) ([]InstructionAnnotation, []Rejection, error) {
+	return p.inner.AnnotateInstructionsPartial(ctx, steps, p.workers)
+}
+
+// ModelRecipesPartial mines a corpus with record-level fault
+// containment: a poison recipe yields a nil slot plus a typed
+// rejection (echoing its title), and the surviving N-1 models are
+// byte-identical to the same recipes in a clean run at any worker
+// count.
+func (p *Pipeline) ModelRecipesPartial(ctx context.Context, recipes []RecipeInput) ([]*RecipeModel, []Rejection, error) {
+	return p.inner.ModelRecipesPartial(ctx, recipes, p.workers)
 }
 
 // ModelRecipeContext mines one recipe under a context, checking for
