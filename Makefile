@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify staticcheck bench bench-parallel tables crash-test poison-test fuzz-smoke clean
+.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel tables crash-test poison-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,16 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-verify: build vet test staticcheck
+verify: build vet test lint staticcheck
+
+# Project-specific static analysis (DESIGN §11): the recipelint rule
+# suite enforces the invariants the reproduction rests on — determinism
+# of the modeling packages, context threading, durable-write
+# discipline, fault-point hygiene, and the quarantine error taxonomy.
+# Built on the stdlib go/types toolchain, so it needs nothing beyond
+# the Go toolchain itself.
+lint:
+	$(GO) run ./cmd/recipelint ./...
 
 # Static analysis beyond vet. The tool is not vendored: when it is
 # absent the target skips with a notice instead of failing, so `make

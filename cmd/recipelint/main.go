@@ -1,0 +1,192 @@
+// Command recipelint is the project's static-analysis driver: it
+// loads every non-test package of the module with the stdlib
+// go/parser + go/types toolchain and runs the recipelint rule suite
+// (internal/analyzers) over them — the machine-checked form of the
+// invariants DESIGN documents (determinism, context propagation,
+// durable writes, fault-point hygiene, quarantine taxonomy).
+//
+// Usage:
+//
+//	recipelint [-rules nondeterminism,ctxflow,...] [-list] [patterns]
+//
+// Patterns follow the go tool's shape: ./... (the default) lints the
+// whole module, ./internal/core lints one package, ./internal/...
+// lints a subtree. The whole module is always loaded and type-checked
+// (rules like faultpoint are module-wide); patterns only filter which
+// packages' findings are reported.
+//
+// Exit status: 0 — clean; 1 — findings; 2 — usage, load, or
+// type-check errors. Every finding prints file:line:col, the rule,
+// the violation, and a fix hint. Findings are silenced line-by-line
+// with a justified directive (see DESIGN §11 for the policy):
+//
+//	//recipelint:allow <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"recipemodel/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("recipelint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list the rules and exit")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		var selected []*analyzers.Analyzer
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range suite {
+				if a.Name == name {
+					selected = append(selected, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(errOut, "recipelint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+		}
+		suite = selected
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errOut, "recipelint:", err)
+		return 2
+	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(errOut, "recipelint:", err)
+		return 2
+	}
+	fset, pkgs, err := analyzers.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(errOut, "recipelint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := filterPackages(pkgs, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(errOut, "recipelint:", err)
+		return 2
+	}
+
+	findings := analyzers.RunRules(fset, selected, suite)
+	for _, f := range findings {
+		f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "recipelint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// filterPackages keeps the packages matching the go-tool-style dir
+// patterns, resolved relative to cwd.
+func filterPackages(pkgs []*analyzers.Package, cwd string, patterns []string) ([]*analyzers.Package, error) {
+	var out []*analyzers.Package
+	for _, p := range pkgs {
+		match := false
+		for _, pat := range patterns {
+			ok, err := matchPattern(p.Dir, cwd, pat)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				match = true
+				break
+			}
+		}
+		if match {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return out, nil
+}
+
+// matchPattern reports whether the package directory matches one
+// pattern: "dir/..." matches the subtree rooted at dir, a plain dir
+// matches exactly.
+func matchPattern(pkgDir, cwd, pat string) (bool, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+	}
+	base := pat
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(cwd, base)
+	}
+	base = filepath.Clean(base)
+	pkgDir = filepath.Clean(pkgDir)
+	if pkgDir == base {
+		return true, nil
+	}
+	if recursive {
+		rel, err := filepath.Rel(base, pkgDir)
+		if err != nil {
+			return false, nil
+		}
+		return rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)), nil
+	}
+	return false, nil
+}
+
+// relPath renders path relative to base when that is shorter and
+// doesn't escape it; used to keep findings readable.
+func relPath(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -38,6 +38,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -63,6 +64,8 @@ import (
 // exact call counts to simulate a kill mid-run — unflushed bytes are
 // lost and the manifest is stale, exactly the state a SIGKILL leaves.
 const FaultEmit = "recipemine.emit"
+
+var _ = faults.MustRegister(FaultEmit)
 
 func main() {
 	// SIGINT cancels the context; streaming subcommands (mine) flush
@@ -140,12 +143,14 @@ func cmdTrain(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "published %s to store %s\n", version, *store)
 		return nil
 	}
-	f, err := os.Create(*output)
-	if err != nil {
+	// The model file is a durable artifact: write it atomically
+	// (temp + fsync + rename) so a crash mid-save can never leave a
+	// torn pipeline.bin for a later -model load to choke on.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := p.Save(f); err != nil {
+	if err := checkpoint.WriteFileAtomic(*output, buf.Bytes(), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "saved pipeline to %s\n", *output)

@@ -1,0 +1,131 @@
+// The errtaxonomy rule. The quarantine boundary (PR 4) promises
+// operators stable machine-readable rejection codes, and the rest of
+// internal/ promises errors.Is/As keep working across wrapping. Two
+// checks:
+//
+//  1. In internal/ packages, fmt.Errorf with an error-typed argument
+//     must wrap with %w — otherwise the cause is flattened to text
+//     and errors.Is(err, quarantine.ErrTooLong) stops matching at
+//     that frame.
+//  2. Quarantine errors are constructed from the declared taxonomy:
+//     outside internal/quarantine itself, quarantine.Errorf's code
+//     argument and the Code field of quarantine.Error / Rejection
+//     literals must be a typed Code value (a taxonomy constant or a
+//     threaded Code variable), never a raw string — ad-hoc codes
+//     would silently fork the wire taxonomy.
+
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// quarantinePkgSuffix identifies the taxonomy package by import path.
+const quarantinePkgSuffix = "internal/quarantine"
+
+// NewErrtaxonomy builds the errtaxonomy rule.
+func NewErrtaxonomy() *Analyzer {
+	return &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "errors wrap with %w in internal/; quarantine codes come from the declared taxonomy, never raw strings",
+		Run:  runErrtaxonomy,
+	}
+}
+
+func runErrtaxonomy(p *Pass) {
+	internal := isInternal(p.Pkg.Path)
+	inQuarantine := pathEndsWith(p.Pkg.Path, quarantinePkgSuffix)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := callee(p.Info(), n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if internal && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+					checkErrorfWrap(p, n)
+				}
+				if !inQuarantine && pathEndsWith(fn.Pkg().Path(), quarantinePkgSuffix) &&
+					fn.Name() == "Errorf" && len(n.Args) > 0 {
+					checkCodeExpr(p, n.Args[0], "quarantine.Errorf code")
+				}
+			case *ast.CompositeLit:
+				if !inQuarantine {
+					checkQuarantineLit(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that carry an error argument
+// but no %w verb in a constant format string.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := p.Info().Types[arg]
+		if ok && tv.Type != nil && isErrorType(tv.Type) {
+			p.Report(arg.Pos(),
+				"fmt.Errorf flattens an error argument without %w",
+				"wrap the cause with %w so errors.Is/As and the quarantine taxonomy survive")
+			return
+		}
+	}
+}
+
+// checkCodeExpr flags raw-string (or string-conversion) quarantine
+// codes: the expression must reference a typed Code value.
+func checkCodeExpr(p *Pass, e ast.Expr, what string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return // a taxonomy constant or threaded Code variable
+	}
+	p.Report(e.Pos(),
+		what+" is not a declared taxonomy code",
+		"pass a quarantine.Code constant (CodeInvalidUTF8, CodeTooLong, ...) or a threaded Code value")
+}
+
+// checkQuarantineLit flags quarantine.Error / quarantine.Rejection
+// composite literals whose Code field is populated with a raw string.
+func checkQuarantineLit(p *Pass, lit *ast.CompositeLit) {
+	tv, ok := p.Info().Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathEndsWith(obj.Pkg().Path(), quarantinePkgSuffix) {
+		return
+	}
+	if name := obj.Name(); name != "Error" && name != "Rejection" {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+			continue
+		}
+		checkCodeExpr(p, kv.Value, "quarantine."+obj.Name()+" Code field")
+	}
+}

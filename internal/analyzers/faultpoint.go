@@ -1,0 +1,145 @@
+// The faultpoint rule. The fault-injection harness (internal/faults)
+// addresses points by string name, and the crash/poison drills depend
+// on those names being stable, declared, and unique — a typo'd or
+// colliding name silently turns a drill into a no-op. Module-wide
+// checks:
+//
+//  1. Every faults.Inject / faults.InjectIndexed call site passes a
+//     declared package-level constant whose name starts with "Fault"
+//     — never a raw string literal or computed value.
+//  2. Fault-point names are unique across the module: two Fault*
+//     constants with the same string value collide.
+//  3. No orphans: a Fault* constant that no Inject/InjectIndexed call
+//     plants is a dead drill hook.
+//  4. Static and runtime registries agree: every Fault* constant is
+//     registered with faults.MustRegister (which panics on duplicate
+//     names the moment two colliding packages are linked into one
+//     test binary).
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// faultsPkgSuffix identifies the fault-injection package by import
+// path (matches the real module and testdata universes alike).
+const faultsPkgSuffix = "internal/faults"
+
+// faultConst is one declared package-level Fault* string constant.
+type faultConst struct {
+	pos   token.Pos
+	pkg   string
+	name  string
+	value string
+}
+
+// NewFaultpoint builds the faultpoint rule.
+func NewFaultpoint() *Analyzer {
+	var consts []*faultConst
+	injected := map[string]bool{}   // point name → some Inject site plants it
+	registered := map[string]bool{} // point name → MustRegister'd
+	a := &Analyzer{
+		Name: "faultpoint",
+		Doc:  "fault points must be declared Fault* constants, unique module-wide, planted somewhere, and runtime-registered",
+	}
+	a.Run = func(p *Pass) {
+		// The faults package itself forwards names through parameters
+		// (Inject → InjectIndexed); the constant rule applies to the
+		// packages that plant points, not the harness.
+		if pathEndsWith(p.Pkg.Path, faultsPkgSuffix) {
+			return
+		}
+		// Collect the package's Fault* constants (scope names are
+		// sorted, keeping report order deterministic).
+		scope := p.Pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !strings.HasPrefix(name, "Fault") || c.Val().Kind() != constant.String {
+				continue
+			}
+			consts = append(consts, &faultConst{
+				pos: c.Pos(), pkg: p.Pkg.Path, name: name,
+				value: constant.StringVal(c.Val()),
+			})
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(p.Info(), call)
+				if fn == nil || fn.Pkg() == nil || !pathEndsWith(fn.Pkg().Path(), faultsPkgSuffix) || len(call.Args) == 0 {
+					return true
+				}
+				switch fn.Name() {
+				case "Inject", "InjectIndexed":
+					if c := faultConstArg(p.Info(), call.Args[0]); c != nil {
+						injected[constant.StringVal(c.Val())] = true
+					} else {
+						p.Report(call.Args[0].Pos(),
+							"faults."+fn.Name()+" called without a declared Fault* constant",
+							"declare `const FaultX = \"pkg.point\"` at package level and pass it")
+					}
+				case "MustRegister":
+					if tv, ok := p.Info().Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						registered[constant.StringVal(tv.Value)] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(report func(pos token.Pos, msg, hint string)) {
+		byValue := map[string]*faultConst{}
+		for _, c := range consts {
+			if first, ok := byValue[c.value]; ok {
+				report(c.pos,
+					fmt.Sprintf("fault point name %q of %s.%s collides with %s.%s", c.value, c.pkg, c.name, first.pkg, first.name),
+					"fault-point names are module-unique; rename one of the points")
+				continue
+			}
+			byValue[c.value] = c
+			if !injected[c.value] {
+				report(c.pos,
+					fmt.Sprintf("orphaned fault point %s (%q): no faults.Inject site plants it", c.name, c.value),
+					"plant the point with faults.Inject/InjectIndexed or delete the constant")
+			}
+			if !registered[c.value] {
+				report(c.pos,
+					fmt.Sprintf("fault point %s (%q) is not runtime-registered", c.name, c.value),
+					"add `var _ = faults.MustRegister("+c.name+")` next to the declaration")
+			}
+		}
+	}
+	return a
+}
+
+// faultConstArg resolves arg to a declared package-level Fault* string
+// constant, or nil.
+func faultConstArg(info *types.Info, arg ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || !strings.HasPrefix(c.Name(), "Fault") || c.Val().Kind() != constant.String {
+		return nil
+	}
+	// Package-level: the constant's parent scope is its package scope.
+	if c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		return nil
+	}
+	return c
+}

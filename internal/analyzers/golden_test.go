@@ -1,0 +1,154 @@
+// Golden tests: each rule runs over its testdata/src/<rule> universe,
+// and every line carrying a `// want `regexp“ comment must produce a
+// matching finding — while any finding without a want comment fails
+// the test. Suppressed seeds prove the //recipelint:allow machinery:
+// if suppression broke, the silenced finding would surface as
+// "unexpected".
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the backtick-quoted expectations of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// want is one expected finding: a message regexp anchored to a line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants parses the `// want` comments of the loaded universe.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					ms := wantRe.FindAllStringSubmatch(text, -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s: want comment carries no backtick-quoted regexp", pos)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden matches findings against want comments, both ways.
+func checkGolden(t *testing.T, fset *token.FileSet, pkgs []*Package, findings []Finding) {
+	t.Helper()
+	wants := collectWants(t, fset, pkgs)
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		dir string
+		mk  func() *Analyzer
+	}{
+		{"nondet", NewNondeterminism},
+		{"ctxflow", NewCtxflow},
+		{"atomicwrite", NewAtomicwrite},
+		{"faultpoint", NewFaultpoint},
+		{"errtaxonomy", NewErrtaxonomy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			fset, pkgs, err := LoadTree(filepath.Join("testdata", "src", tc.dir), tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatal("no packages loaded")
+			}
+			checkGolden(t, fset, pkgs, RunRules(fset, pkgs, []*Analyzer{tc.mk()}))
+		})
+	}
+}
+
+// TestDirectiveMisuse covers the findings a want comment cannot mark:
+// malformed, unknown-rule, reasonless, and unused directives are
+// themselves comments, and a second comment cannot share their line.
+func TestDirectiveMisuse(t *testing.T) {
+	fset, pkgs, err := LoadTree(filepath.Join("testdata", "src", "directive"), "directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range RunRules(fset, pkgs, All()) {
+		if f.Rule != DirectiveRule {
+			t.Errorf("unexpected non-directive finding: %s", f)
+			continue
+		}
+		got = append(got, fmt.Sprintf("%d: %s", f.Pos.Line, f.Message))
+	}
+	expect := []string{
+		"6: suppression directive names no rule",
+		`9: suppression directive names unknown rule "bogusrule"`,
+		"12: suppression of nondeterminism gives no reason",
+		"15: suppression of nondeterminism silences nothing",
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("got %d directive findings %q, want %d", len(got), got, len(expect))
+	}
+	for i := range expect {
+		if got[i] != expect[i] {
+			t.Errorf("finding %d: got %q, want %q", i, got[i], expect[i])
+		}
+	}
+}
+
+// TestUnusedSuppressionScopedToSelectedRules: a partial -rules run
+// must not misreport directives belonging to the rules it skipped —
+// but still reports stale directives for the rules it ran.
+func TestUnusedSuppressionScopedToSelectedRules(t *testing.T) {
+	fset, pkgs, err := LoadTree(filepath.Join("testdata", "src", "directive"), "directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunRules(fset, pkgs, []*Analyzer{NewCtxflow()}) {
+		if strings.Contains(f.Message, "silences nothing") {
+			t.Errorf("unused-suppression finding for a rule that did not run: %s", f)
+		}
+	}
+}

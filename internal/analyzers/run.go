@@ -1,0 +1,87 @@
+// Orchestration: run a rule suite over loaded packages, apply
+// suppression directives, and return the surviving findings in stable
+// position order.
+
+package analyzers
+
+import (
+	"go/token"
+	"sort"
+)
+
+// RunRules runs the given analyzers over the packages and returns the
+// findings that survive suppression, sorted by position. Directive
+// misuse (malformed, unknown-rule, reasonless, or unused suppressions)
+// is reported alongside rule findings under the "directive" rule;
+// unused-suppression findings are only raised for rules present in
+// this run, so a partial -rules invocation does not misreport
+// directives belonging to the rules it skipped.
+func RunRules(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) []Finding {
+	type raw struct {
+		pos  token.Pos
+		rule string
+		msg  string
+		hint string
+	}
+	var found []raw
+	for _, a := range rules {
+		report := func(pos token.Pos, msg, hint string) {
+			found = append(found, raw{pos: pos, rule: a.Name, msg: msg, hint: hint})
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Fset: fset, Pkg: pkg, report: report})
+		}
+		if a.Finish != nil {
+			a.Finish(report)
+		}
+	}
+
+	known := map[string]bool{}
+	for _, name := range AllNames() {
+		known[name] = true
+	}
+	selected := map[string]bool{}
+	for _, a := range rules {
+		selected[a.Name] = true
+	}
+	dirs, out := collectDirectives(fset, pkgs, known)
+
+	for _, r := range found {
+		pos := fset.Position(r.pos)
+		suppressed := false
+		for _, d := range dirs {
+			if d.suppresses(r.rule, pos.Filename, pos.Line) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, Finding{Pos: pos, Rule: r.rule, Message: r.msg, Hint: r.hint})
+		}
+	}
+	for _, d := range dirs {
+		if !d.used && selected[d.rule] {
+			out = append(out, Finding{
+				Pos:     fset.Position(d.pos),
+				Rule:    DirectiveRule,
+				Message: "suppression of " + d.rule + " silences nothing",
+				Hint:    "delete the stale //recipelint:allow directive",
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

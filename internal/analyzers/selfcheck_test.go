@@ -1,0 +1,40 @@
+// The self-check: recipelint must be clean on its own repository.
+// This is the acceptance bar for the suite, and the reason deleting
+// any justified //recipelint:allow fails the build — the directive
+// machinery reports the re-exposed finding (or a stale directive) and
+// this test prints it.
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecipelintSelfCheck(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatalf("no go.mod above %s", cwd)
+		}
+		root = parent
+	}
+	fset, pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from the module")
+	}
+	for _, f := range RunRules(fset, pkgs, All()) {
+		t.Errorf("recipelint: %s", f)
+	}
+}

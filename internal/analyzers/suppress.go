@@ -1,0 +1,90 @@
+// Suppression directives. A finding is silenced by a justified
+// directive on its line or the line directly above:
+//
+//	//recipelint:allow <rule> <reason...>
+//
+// Directives are themselves linted: an unknown rule, a missing
+// reason, or a directive that silences nothing is reported under the
+// "directive" rule, so the suppression inventory can only shrink to
+// what is actually needed — deleting any live directive makes the run
+// fail again.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//recipelint:allow"
+
+// DirectiveRule is the rule name under which malformed or unused
+// suppression directives are reported.
+const DirectiveRule = "directive"
+
+// directive is one parsed //recipelint:allow comment.
+type directive struct {
+	pos    token.Pos
+	file   string
+	line   int
+	rule   string
+	reason string
+	used   bool
+}
+
+// collectDirectives parses every suppression directive in the files,
+// reporting malformed ones (unknown rule, missing reason) as findings.
+func collectDirectives(fset *token.FileSet, pkgs []*Package, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						bad = append(bad, Finding{
+							Pos: pos, Rule: DirectiveRule,
+							Message: "suppression directive names no rule",
+							Hint:    "write //recipelint:allow <rule> <reason>",
+						})
+					case !known[fields[0]]:
+						bad = append(bad, Finding{
+							Pos: pos, Rule: DirectiveRule,
+							Message: fmt.Sprintf("suppression directive names unknown rule %q", fields[0]),
+							Hint:    "known rules: " + strings.Join(AllNames(), ", "),
+						})
+					case len(fields) == 1:
+						bad = append(bad, Finding{
+							Pos: pos, Rule: DirectiveRule,
+							Message: "suppression of " + fields[0] + " gives no reason",
+							Hint:    "justify the suppression: //recipelint:allow " + fields[0] + " <reason>",
+						})
+					default:
+						dirs = append(dirs, &directive{
+							pos:  c.Pos(),
+							file: pos.Filename, line: pos.Line,
+							rule:   fields[0],
+							reason: strings.Join(fields[1:], " "),
+						})
+					}
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppresses reports whether d silences a finding of rule at file:line
+// — the directive must sit on the finding's line or the line above.
+func (d *directive) suppresses(rule, file string, line int) bool {
+	return d.rule == rule && d.file == file && (d.line == line || d.line == line-1)
+}

@@ -1,0 +1,35 @@
+// Seeded violations for the atomicwrite golden test. The package is
+// named checkpoint so the rule classifies it as durable.
+package checkpoint
+
+import "os"
+
+// WriteRaw uses the non-durable one-shot writer.
+func WriteRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile in durable package checkpoint`
+}
+
+// CreateRaw hands back a file that is not durable on close.
+func CreateRaw(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create in durable package checkpoint`
+}
+
+// UnsyncedWrite writes with no fsync anywhere in the function.
+func UnsyncedWrite(f *os.File, data []byte) error {
+	_, err := f.Write(data) // want `\(\*os.File\)\.Write without a Sync`
+	return err
+}
+
+// SyncedWrite pairs the write with its fsync.
+func SyncedWrite(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// AllowedCreate carries a justified suppression.
+func AllowedCreate(path string) (*os.File, error) {
+	//recipelint:allow atomicwrite golden: proves a justified directive silences the rule
+	return os.Create(path)
+}

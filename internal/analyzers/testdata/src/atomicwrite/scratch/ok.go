@@ -1,0 +1,10 @@
+// A package outside the durable set: raw writes carry no durability
+// contract and the rule must stay silent.
+package scratch
+
+import "os"
+
+// Dump writes a scratch file.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

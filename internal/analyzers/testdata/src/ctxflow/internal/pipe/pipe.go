@@ -1,0 +1,55 @@
+// Seeded violations for the ctxflow golden test. The package sits
+// under internal/ so the Background/TODO ban applies to it.
+package pipe
+
+import "context"
+
+// Helper accepts a context.
+func Helper(ctx context.Context) error { return ctx.Err() }
+
+// Fetch has a context-accepting sibling, FetchContext.
+func Fetch() int { return 0 }
+
+// FetchContext is the cancellable variant of Fetch.
+func FetchContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return -1
+	}
+	return 0
+}
+
+// Rooted invents a context inside library code.
+func Rooted() error {
+	return Helper(context.Background()) // want `context.Background\(\) in internal package`
+}
+
+// ReRoots already receives a ctx and re-roots anyway.
+func ReRoots(ctx context.Context) error {
+	_ = ctx
+	return Helper(context.Background()) // want `context.Background\(\) inside a function that already receives a ctx`
+}
+
+// NilCtx passes nil where a context is expected.
+func NilCtx(ctx context.Context) error {
+	_ = ctx
+	return Helper(nil) // want `nil context passed to Helper`
+}
+
+// DropsCtx calls the non-ctx variant of a sibling pair.
+func DropsCtx(ctx context.Context) int {
+	_ = ctx
+	return Fetch() // want `call to Fetch drops ctx; FetchContext accepts one`
+}
+
+// Threads is the clean path: the received ctx flows everywhere.
+func Threads(ctx context.Context) error {
+	if FetchContext(ctx) < 0 {
+		return context.Canceled
+	}
+	return Helper(ctx)
+}
+
+// Shim is a documented non-ctx wrapper — the sanctioned suppression.
+func Shim() error {
+	return Helper(context.Background()) //recipelint:allow ctxflow golden: documented non-ctx wrapper shim
+}

@@ -1,0 +1,8 @@
+// A package outside internal/: Background at the composition root is
+// legal when no ctx parameter is in scope.
+package outside
+
+import "context"
+
+// Root builds the root context of a program.
+func Root() context.Context { return context.Background() }

@@ -1,0 +1,16 @@
+// Directive-misuse seeds: a want comment cannot share a line with a
+// directive comment (a // comment runs to end of line), so the golden
+// harness asserts these findings explicitly in TestDirectiveMisuse.
+package pkg
+
+//recipelint:allow
+func Bare() {}
+
+//recipelint:allow bogusrule because reasons
+func Unknown() {}
+
+//recipelint:allow nondeterminism
+func NoReason() {}
+
+//recipelint:allow nondeterminism golden: silences nothing on purpose
+func Unused() {}

@@ -1,0 +1,32 @@
+// Package quarantine is a miniature stand-in for the real taxonomy
+// package: the errtaxonomy rule recognizes it by its import-path
+// suffix, internal/quarantine, and exempts its own internals.
+package quarantine
+
+import "fmt"
+
+// Code is a stable machine-readable rejection code.
+type Code string
+
+// CodeTooLong is the one declared taxonomy code of the fake.
+const CodeTooLong Code = "too_long"
+
+// Error is a quarantine rejection error.
+type Error struct {
+	Code   Code
+	Detail string
+}
+
+// Error renders the code and detail.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Detail }
+
+// Rejection is the dead-letter wire record.
+type Rejection struct {
+	Index int
+	Code  Code
+}
+
+// Errorf builds an Error from a taxonomy code and a format string.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,50 @@
+// Seeded violations for the errtaxonomy golden test. The package sits
+// under internal/ so the %w wrapping rule applies.
+package taxo
+
+import (
+	"fmt"
+
+	"errtaxonomy/internal/quarantine"
+)
+
+// Flattens loses the cause chain.
+func Flattens(err error) error {
+	return fmt.Errorf("stage: %v", err) // want `fmt.Errorf flattens an error argument without %w`
+}
+
+// Wraps preserves the cause chain.
+func Wraps(err error) error {
+	return fmt.Errorf("stage: %w", err)
+}
+
+// AdHocCode forks the taxonomy with a raw string.
+func AdHocCode() error {
+	return quarantine.Errorf("made_up", "bad input") // want `quarantine.Errorf code is not a declared taxonomy code`
+}
+
+// TypedCode passes a declared taxonomy constant.
+func TypedCode() error {
+	return quarantine.Errorf(quarantine.CodeTooLong, "bad input")
+}
+
+// ThreadedCode passes a Code value through.
+func ThreadedCode(code quarantine.Code) error {
+	return quarantine.Errorf(code, "bad input")
+}
+
+// RawLit populates a Code field with a raw string.
+func RawLit() *quarantine.Error {
+	return &quarantine.Error{Code: "raw", Detail: "bad input"} // want `quarantine.Error Code field is not a declared taxonomy code`
+}
+
+// RawRejection hides the raw string behind a conversion.
+func RawRejection() quarantine.Rejection {
+	return quarantine.Rejection{Index: 1, Code: quarantine.Code("raw")} // want `quarantine.Rejection Code field is not a declared taxonomy code`
+}
+
+// Allowed carries a justified suppression.
+func Allowed(err error) error {
+	//recipelint:allow errtaxonomy golden: proves a justified directive silences the rule
+	return fmt.Errorf("stage: %v", err)
+}

@@ -1,0 +1,34 @@
+// Seeded fault-point declarations for the faultpoint golden test.
+package alpha
+
+import "faultpoint/internal/faults"
+
+// FaultGood is declared, planted, and registered — fully clean.
+const FaultGood = "alpha.good"
+
+var _ = faults.MustRegister(FaultGood)
+
+// FaultOrphan is registered but never planted.
+const FaultOrphan = "alpha.orphan" // want `orphaned fault point FaultOrphan`
+
+var _ = faults.MustRegister(FaultOrphan)
+
+// FaultNoReg is planted but never registered.
+const FaultNoReg = "alpha.noreg" // want `fault point FaultNoReg \("alpha.noreg"\) is not runtime-registered`
+
+// Plant exercises the Inject call-site checks.
+func Plant() error {
+	if err := faults.Inject(FaultGood); err != nil {
+		return err
+	}
+	if err := faults.InjectIndexed(FaultNoReg, 3); err != nil {
+		return err
+	}
+	return faults.Inject("alpha.literal") // want `faults.Inject called without a declared Fault\* constant`
+}
+
+// PlantAllowed carries a justified suppression for a literal name.
+func PlantAllowed() error {
+	//recipelint:allow faultpoint golden: proves a justified directive silences the rule
+	return faults.Inject("alpha.allowed")
+}

@@ -1,0 +1,13 @@
+// A second package whose fault point collides with alpha's — the
+// collision check is module-wide.
+package beta
+
+import "faultpoint/internal/faults"
+
+// FaultClash reuses alpha.FaultGood's string value.
+const FaultClash = "alpha.good" // want `fault point name "alpha.good" of faultpoint/beta.FaultClash collides with faultpoint/alpha.FaultGood`
+
+var _ = faults.MustRegister(FaultClash)
+
+// Plant keeps FaultClash planted so only the collision fires.
+func Plant() error { return faults.Inject(FaultClash) }

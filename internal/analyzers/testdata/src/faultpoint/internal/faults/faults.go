@@ -1,0 +1,19 @@
+// Package faults is a miniature stand-in for the real injection
+// harness: the faultpoint rule recognizes it by its import-path
+// suffix, internal/faults, and exempts it from the constant rule.
+package faults
+
+// Inject fires the named fault point.
+func Inject(name string) error {
+	_ = name
+	return nil
+}
+
+// InjectIndexed fires the named fault point at an index.
+func InjectIndexed(name string, index int) error {
+	_, _ = name, index
+	return nil
+}
+
+// MustRegister records a fault-point name.
+func MustRegister(name string) string { return name }

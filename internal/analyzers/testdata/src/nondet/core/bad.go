@@ -1,0 +1,66 @@
+// Seeded violations and clean counterparts for the nondeterminism
+// golden test. The package is named core so the rule classifies it as
+// a deterministic package.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want `wall-clock call time.Now`
+}
+
+// GlobalDraw draws from the unseeded global source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global math/rand draw rand.Intn`
+}
+
+// SeededDraw builds a seeded generator — constructors are legal, and
+// methods on a *rand.Rand are too.
+func SeededDraw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// AllowedDraw carries a justified suppression.
+func AllowedDraw() int {
+	//recipelint:allow nondeterminism golden: proves a justified directive silences the rule
+	return rand.Int()
+}
+
+// EmitMap writes under map iteration.
+func EmitMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written under map iteration`
+	}
+}
+
+// SendMap sends under map iteration.
+func SendMap(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send under map iteration`
+	}
+}
+
+// CollectNoSort appends map keys and never sorts them.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `append to keys under map iteration without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the collect-keys-then-sort idiom the rule accepts.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,14 @@
+// A package outside the deterministic set: the rule must stay silent
+// here even though the code reads the wall clock and the global
+// math/rand source.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp may read the clock and draw globally in a helper package.
+func Timestamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(5))
+}

@@ -36,6 +36,8 @@ import (
 // survive by re-mining the unrecorded tail.
 const FaultSave = "checkpoint.save"
 
+var _ = faults.MustRegister(FaultSave)
+
 // manifestVersion guards against stale sidecar formats.
 const manifestVersion = 1
 

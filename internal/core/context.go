@@ -30,6 +30,12 @@ const (
 	FaultModel = "core.model"
 )
 
+var (
+	_ = faults.MustRegister(FaultAnnotate)
+	_ = faults.MustRegister(FaultInstruction)
+	_ = faults.MustRegister(FaultModel)
+)
+
 // AnnotateIngredientsContext is AnnotateIngredients with cooperative
 // cancellation: on ctx cancellation no new phrase is dispatched,
 // in-flight phrases finish, and the partial records are returned with
@@ -54,7 +60,10 @@ func (p *Pipeline) AnnotateInstructionsContext(ctx context.Context, steps []stri
 // are returned with ctx.Err().
 func (p *Pipeline) ModelRecipesContext(ctx context.Context, recipes []RecipeInput, workers int) ([]*RecipeModel, error) {
 	return parallel.MapOrderedCtx(ctx, workers, recipes, func(_ int, r RecipeInput) *RecipeModel {
-		return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions)
+		// Pool contract: cancellation gates dispatch, never a record
+		// mid-mine — in-flight recipes finish whole, so the worker
+		// deliberately calls the non-ctx ModelRecipe.
+		return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions) //recipelint:allow ctxflow in-flight records finish whole; cancellation stops dispatch, not a record mid-mine
 	})
 }
 

@@ -192,21 +192,21 @@ type RecipeInput struct {
 // to workers goroutines (<= 0: all CPUs). Result i corresponds to
 // phrases[i] and is identical to AnnotateIngredient(phrases[i]).
 func (p *Pipeline) AnnotateIngredients(phrases []string, workers int) []IngredientRecord {
-	out, _ := p.AnnotateIngredientsContext(context.Background(), phrases, workers)
+	out, _ := p.AnnotateIngredientsContext(context.Background(), phrases, workers) //recipelint:allow ctxflow documented non-ctx wrapper shim over the Context API
 	return out
 }
 
 // AnnotateInstructions runs the instruction stack over a batch of
 // steps on up to workers goroutines (<= 0: all CPUs).
 func (p *Pipeline) AnnotateInstructions(steps []string, workers int) []InstructionAnnotation {
-	out, _ := p.AnnotateInstructionsContext(context.Background(), steps, workers)
+	out, _ := p.AnnotateInstructionsContext(context.Background(), steps, workers) //recipelint:allow ctxflow documented non-ctx wrapper shim over the Context API
 	return out
 }
 
 // ModelRecipes mines a corpus of raw recipes into recipe models, one
 // recipe per pool slot. Result i corresponds to recipes[i].
 func (p *Pipeline) ModelRecipes(recipes []RecipeInput, workers int) []*RecipeModel {
-	out, _ := p.ModelRecipesContext(context.Background(), recipes, workers)
+	out, _ := p.ModelRecipesContext(context.Background(), recipes, workers) //recipelint:allow ctxflow documented non-ctx wrapper shim over the Context API
 	return out
 }
 

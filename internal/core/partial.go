@@ -22,6 +22,8 @@ import (
 // panic into a quarantine rejection.
 const FaultRecord = "core.record"
 
+var _ = faults.MustRegister(FaultRecord)
+
 // outcome is one worker-slot result: the value, a typed rejection, and
 // a dispatch marker distinguishing "processed" from "cancelled before
 // dispatch" (whose slot stays the zero outcome).
@@ -109,7 +111,7 @@ func (p *Pipeline) AnnotateInstructionsPartial(ctx context.Context, steps []stri
 func (p *Pipeline) ModelRecipesPartial(ctx context.Context, recipes []RecipeInput, workers int) ([]*RecipeModel, []quarantine.Rejection, error) {
 	outs, err := parallel.MapOrderedCtx(ctx, workers, recipes, func(i int, r RecipeInput) outcome[*RecipeModel] {
 		return contained(i, quarantine.CodeRecordPanic, func() (*RecipeModel, error) {
-			return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions), nil
+			return p.ModelRecipe(r.Title, r.Cuisine, r.IngredientLines, r.Instructions), nil //recipelint:allow ctxflow in-flight records finish whole; cancellation stops dispatch, not a record mid-mine
 		})
 	})
 	models, rejs := collect(outs, func(i int) string { return recipes[i].Title })

@@ -1,6 +1,7 @@
 package depparse
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 
@@ -212,7 +213,7 @@ func TrainArcStandard(trees []*Tree, epochs int, seed int64) *ArcStandardParser 
 	for a := range actionSet {
 		actions = append(actions, a)
 	}
-	sortStrings(actions)
+	sort.Strings(actions)
 	model := perceptron.New(actions)
 
 	var examples []perceptron.Example
@@ -233,14 +234,6 @@ func TrainArcStandard(trees []*Tree, epochs int, seed int64) *ArcStandardParser 
 	}
 	model.Train(examples, perceptron.TrainConfig{Epochs: epochs, Seed: seed})
 	return &ArcStandardParser{model: model}
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Parse runs the greedy learned parser.

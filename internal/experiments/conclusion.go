@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"recipemodel/internal/alias"
@@ -18,6 +19,8 @@ import (
 // FaultMine fires once per recipe inside the corpus-mining pool of
 // RunConclusionContext (see internal/faults).
 const FaultMine = "experiments.mine"
+
+var _ = faults.MustRegister(FaultMine)
 
 // ConclusionResult reproduces the §V statistics: the relations-per-
 // instruction distribution over a large recipe corpus and the unique
@@ -37,7 +40,7 @@ type ConclusionResult struct {
 // synthetic recipes (half per source), extracting relations from every
 // instruction and ingredient names from every phrase.
 func RunConclusion(cfg Config, ingredientNER, instructionNER *ner.Tagger) *ConclusionResult {
-	res, _ := RunConclusionContext(context.Background(), cfg, ingredientNER, instructionNER)
+	res, _ := RunConclusionContext(context.Background(), cfg, ingredientNER, instructionNER) //recipelint:allow ctxflow documented non-ctx wrapper shim over the Context API
 	return res
 }
 
@@ -116,6 +119,10 @@ func RunConclusionContext(ctx context.Context, cfg Config, ingredientNER, instru
 	for n := range names {
 		all = append(all, n)
 	}
+	// Sorted so the alias resolver sees a deterministic order — its
+	// count is order-independent today, but the determinism contract
+	// (and recipelint's nondeterminism rule) want no map-order leak.
+	sort.Strings(all)
 	res.DedupedNames = len(resolver.Dedup(all))
 	return res, err
 }

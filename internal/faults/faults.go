@@ -21,6 +21,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,56 @@ var (
 	// and Inject returns immediately.
 	armed atomic.Int32
 )
+
+// The fault-point registry: the runtime twin of recipelint's static
+// faultpoint rule. Every package that plants a point declares
+//
+//	const FaultX = "pkg.point"
+//	var _ = faults.MustRegister(FaultX)
+//
+// so the full inventory of names is built at init time, and two
+// packages claiming the same name panic the moment they are linked
+// into one binary — a test run, not a production incident, is where a
+// collision or a renamed drill hook surfaces.
+var (
+	regMu    sync.Mutex
+	registry = map[string]bool{}
+)
+
+// MustRegister records a declared fault-point name, panicking on a
+// duplicate or empty name. It returns the name so registration can
+// ride a package-level `var _ =` next to the constant.
+func MustRegister(name string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" {
+		panic("faults: MustRegister of empty fault-point name")
+	}
+	if registry[name] {
+		panic(fmt.Sprintf("faults: duplicate fault point name %q", name))
+	}
+	registry[name] = true
+	return name
+}
+
+// Registered reports whether name was declared via MustRegister.
+func Registered(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// RegisteredNames returns the sorted declared fault-point names.
+func RegisteredNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Enable arms the named point and returns a disarm func (convenient
 // for defer). Re-enabling a name replaces the previous fault and

@@ -3,6 +3,7 @@ package faults
 import (
 	"errors"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -186,4 +187,52 @@ func TestIndexedPanicInjection(t *testing.T) {
 	}()
 	_ = InjectIndexed("rec", 2)
 	t.Fatal("index 2 did not panic")
+}
+
+// TestMustRegisterDuplicatePanics: the registry is the runtime half of
+// the faultpoint lint rule — two packages declaring the same point
+// name blow up the moment both are linked into one binary.
+func TestMustRegisterDuplicatePanics(t *testing.T) {
+	const name = "faults_test.dup"
+	if got := MustRegister(name); got != name {
+		t.Fatalf("MustRegister = %q, want %q", got, name)
+	}
+	if !Registered(name) {
+		t.Fatalf("Registered(%q) = false after MustRegister", name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate MustRegister did not panic")
+		}
+	}()
+	MustRegister(name)
+}
+
+// TestMustRegisterEmptyPanics: a nameless point is unaddressable.
+func TestMustRegisterEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name MustRegister did not panic")
+		}
+	}()
+	MustRegister("")
+}
+
+// TestRegisteredNamesSorted: the inventory is deterministic.
+func TestRegisteredNamesSorted(t *testing.T) {
+	MustRegister("faults_test.names-b")
+	MustRegister("faults_test.names-a")
+	names := RegisteredNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("RegisteredNames not sorted: %q", names)
+	}
+	found := 0
+	for _, n := range names {
+		if n == "faults_test.names-a" || n == "faults_test.names-b" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("registered names missing from inventory %q", names)
+	}
 }

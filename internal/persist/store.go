@@ -44,6 +44,8 @@ import (
 // previous version.
 const FaultInstall = "persist.install"
 
+var _ = faults.MustRegister(FaultInstall)
+
 // currentFile is the pointer file naming the serving version.
 const currentFile = "CURRENT"
 

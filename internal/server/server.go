@@ -53,6 +53,8 @@ import (
 // shedding tests (see internal/faults).
 const FaultServe = "server.serve"
 
+var _ = faults.MustRegister(FaultServe)
+
 // Pipeline is the subset of the pipeline API the server needs;
 // satisfied by the public recipemodel.Pipeline via a thin adapter or
 // by core-level components directly. The batch and model calls take
