@@ -1,0 +1,68 @@
+// The race runtime instruments allocations of its own, so
+// AllocsPerRun counts are only meaningful in normal builds.
+//go:build !race
+
+package recipemodel
+
+import (
+	"testing"
+
+	"recipemodel/internal/ner"
+	"recipemodel/internal/tokenize"
+)
+
+// Steady-state allocation regression caps. The compiled fast path
+// makes extraction and decoding allocation-free; what remains per
+// phrase is the record's own output strings (joins, lowering, field
+// splits in RecordFromSpans) plus sanitization. The cap is set with a
+// little headroom over the worst measured phrase (7) so a regression
+// that reintroduces per-token allocation — tokens × features × labels
+// would blow far past it — fails loudly, while GC-timing noise does
+// not.
+const maxAllocsPerPhrase = 10
+
+// TestAnnotateIngredientAllocCap pins the steady-state allocation
+// count of the public single-phrase path.
+func TestAnnotateIngredientAllocCap(t *testing.T) {
+	p := pipe(t)
+	phrases := []string{
+		"1 (8 ounce) package cream cheese, softened",
+		"2 cups chopped fresh basil",
+		"salt to taste",
+		"1 1/2 pounds skinless, boneless chicken breast halves",
+	}
+	for _, ph := range phrases {
+		p.AnnotateIngredient(ph) // warm the pools
+		allocs := testing.AllocsPerRun(200, func() {
+			p.AnnotateIngredient(ph)
+		})
+		if allocs > maxAllocsPerPhrase {
+			t.Errorf("AnnotateIngredient(%q) allocates %.1f per call, cap %d",
+				ph, allocs, maxAllocsPerPhrase)
+		}
+	}
+}
+
+// TestCompiledDecodePathZeroAlloc pins the stronger invariant under
+// the cap: the compiled extract→decode→span path itself performs zero
+// heap allocations in steady state. Everything AnnotateIngredient
+// still allocates is record assembly, not tagging.
+func TestCompiledDecodePathZeroAlloc(t *testing.T) {
+	p := pipe(t)
+	tagger := p.inner.IngredientNER
+	if !tagger.Compiled() {
+		t.Fatal("ingredient tagger did not compile")
+	}
+	tokens := tokenize.Words(tokenize.Tokenize("1 ( 8 ounce ) package cream cheese , softened"))
+	spans := make([]ner.Span, 0, 16)
+	spans = tagger.AppendPredict(spans[:0], tokens) // warm the pool
+	if len(spans) == 0 {
+		t.Fatal("no spans predicted")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		spans = tagger.AppendPredict(spans[:0], tokens)
+	})
+	if allocs != 0 {
+		t.Errorf("compiled AppendPredict allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -261,6 +261,7 @@ func BenchmarkPOSTagger(b *testing.B) {
 func BenchmarkCRFDecode(b *testing.B) {
 	p := benchPipeline(b)
 	tokens := strings.Fields("1 ( 8 ounce ) package cream cheese , softened")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if rec := p.AnnotateIngredient(strings.Join(tokens, " ")); rec.Name == "" {
@@ -323,6 +324,7 @@ func BenchmarkRecipeGeneration(b *testing.B) {
 func BenchmarkEndToEndRecipe(b *testing.B) {
 	p := benchPipeline(b)
 	raw := SyntheticRecipes(1, 5)[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := p.ModelRecipe(raw.Title, raw.Cuisine, raw.IngredientLines, raw.Instructions)
@@ -375,6 +377,7 @@ func benchAnnotateCorpus(b *testing.B, workers int) {
 	p.SetWorkers(workers)
 	defer p.SetWorkers(prev)
 	phrases := benchCorpusPhrases(512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -399,6 +402,7 @@ func BenchmarkAnnotateCorpusParallel(b *testing.B) { benchAnnotateCorpus(b, 0) }
 func BenchmarkAnnotateRunParallel(b *testing.B) {
 	p := benchPipeline(b)
 	phrases := benchCorpusPhrases(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	b.RunParallel(func(pb *testing.PB) {

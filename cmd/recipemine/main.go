@@ -50,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"recipemodel"
@@ -229,6 +230,54 @@ func cmdAnnotate(args []string, out io.Writer) error {
 	return nil
 }
 
+// startCPUProfile begins a CPU profile into path and returns the stop
+// function. The file is opened with explicit flags and synced on stop:
+// recipemine is a durable package, and a truncated profile from a
+// crashed run should at least be visibly truncated, not silently
+// cached.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "recipemine: cpuprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "recipemine: cpuprofile:", err)
+		}
+	}, nil
+}
+
+// writeHeapProfile dumps a heap profile to path, forcing a GC first so
+// the profile reflects live objects rather than garbage awaiting
+// collection.
+func writeHeapProfile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
 // cmdMine is the batch-mining engine: generate (or later: ingest) a
 // recipe corpus and mine every recipe into the paper's uniform
 // structure on a worker pool, emitting one RecipeModel JSON per line.
@@ -255,6 +304,8 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	quarantinePath := fs.String("quarantine", "", "dead-letter JSONL file for poison records (empty: count but discard)")
 	resume := fs.Bool("resume", false, "continue an interrupted -o run from its checkpoint")
 	force := fs.Bool("force", false, "overwrite an existing -o file instead of refusing")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run (train + mine) to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -266,6 +317,22 @@ func cmdMine(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *resume && *force {
 		return fmt.Errorf("mine: -resume and -force are contradictory; pick one")
+	}
+	if *cpuprofile != "" {
+		stopProfile, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stopProfile()
+	}
+	if *memprofile != "" {
+		// A failed profile write at exit must not fail the mine (the
+		// mined records are already flushed); report it and move on.
+		defer func() {
+			if perr := writeHeapProfile(*memprofile); perr != nil {
+				fmt.Fprintln(os.Stderr, "recipemine:", perr)
+			}
+		}()
 	}
 	p, err := loadOrTrain(*modelPath, os.Stderr)
 	if err != nil {

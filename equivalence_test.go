@@ -1,0 +1,75 @@
+package recipemodel
+
+import (
+	"strings"
+	"testing"
+
+	"recipemodel/internal/ner"
+	"recipemodel/internal/quarantine"
+	"recipemodel/internal/recipedb"
+	"recipemodel/internal/tokenize"
+)
+
+// TestCompiledEquivalenceCorpus pins the compiled fast path against
+// the legacy string-keyed path over a full recipedb corpus (both
+// source styles, at training scale) plus the poison-phrase corpus:
+// for every phrase, tags and spans must be identical. This is the
+// repo-level half of the determinism contract — the per-package
+// randomized differentials check the layers, this checks the wired
+// pipeline.
+func TestCompiledEquivalenceCorpus(t *testing.T) {
+	p := pipe(t)
+	ing := p.inner.IngredientNER
+	ins := p.inner.InstructionNER
+	if !ing.Compiled() || !ins.Compiled() {
+		t.Fatal("pipeline taggers did not compile")
+	}
+	// Legacy twins share the trained models but not the compiled path.
+	legacyIng := ner.FromModel(ing.Model, ing.Extract)
+	legacyIns := ner.FromModel(ins.Model, ins.Extract)
+
+	gA := recipedb.NewGenerator(recipedb.SourceAllRecipes, 99)
+	gF := recipedb.NewGenerator(recipedb.SourceFoodCom, 100)
+
+	var phrases []string
+	for _, ph := range gA.UniquePhrases(2500) {
+		phrases = append(phrases, ph.Text)
+	}
+	for _, ph := range gF.UniquePhrases(2500) {
+		phrases = append(phrases, ph.Text)
+	}
+	phrases = append(phrases, quarantine.PoisonPhrases()...)
+	checkTaggerEquivalence(t, "ingredient", ing, legacyIng, phrases)
+
+	var steps []string
+	for _, in := range gA.Instructions(1200) {
+		steps = append(steps, in.Text)
+	}
+	for _, in := range gF.Instructions(1200) {
+		steps = append(steps, in.Text)
+	}
+	steps = append(steps, quarantine.PoisonPhrases()...)
+	checkTaggerEquivalence(t, "instruction", ins, legacyIns, steps)
+}
+
+func checkTaggerEquivalence(t *testing.T, name string, compiled, legacy *ner.Tagger, texts []string) {
+	t.Helper()
+	for _, text := range texts {
+		tokens := tokenize.Words(tokenize.Tokenize(text))
+		wantTags := legacy.PredictTags(tokens)
+		gotTags := compiled.PredictTags(tokens)
+		if strings.Join(gotTags, " ") != strings.Join(wantTags, " ") {
+			t.Fatalf("%s tags diverge on %q:\n got %v\nwant %v", name, text, gotTags, wantTags)
+		}
+		wantSpans := legacy.Predict(tokens)
+		gotSpans := compiled.Predict(tokens)
+		if len(gotSpans) != len(wantSpans) {
+			t.Fatalf("%s spans diverge on %q:\n got %v\nwant %v", name, text, gotSpans, wantSpans)
+		}
+		for i := range gotSpans {
+			if gotSpans[i] != wantSpans[i] {
+				t.Fatalf("%s span %d diverges on %q:\n got %v\nwant %v", name, i, text, gotSpans, wantSpans)
+			}
+		}
+	}
+}

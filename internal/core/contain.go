@@ -9,9 +9,11 @@ package core
 
 import (
 	"errors"
+	"sync"
 
 	"recipemodel/internal/depparse"
 	"recipemodel/internal/faults"
+	"recipemodel/internal/ner"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/tokenize"
 )
@@ -47,6 +49,25 @@ func guard(code quarantine.Code, stage func()) (err error) {
 	return nil
 }
 
+// annScratch carries the per-call buffers of the checked annotation
+// paths. Every field is length-reset before use and fully overwritten
+// before it is read, so recycling a scratch whose previous owner's
+// stage panicked (the deferred Put still runs after guard recovers)
+// can never leak stale tokens or spans into a later record.
+type annScratch struct {
+	toks  []tokenize.Token
+	words []string
+	spans []ner.Span
+}
+
+var annPool = sync.Pool{New: func() any {
+	return &annScratch{
+		toks:  make([]tokenize.Token, 0, 64),
+		words: make([]string, 0, 64),
+		spans: make([]ner.Span, 0, 16),
+	}
+}}
+
 // AnnotateIngredientChecked is AnnotateIngredient with record-level
 // containment surfaced: the phrase is sanitized (typed rejection on
 // poison), and a tagger panic is contained and returned as
@@ -59,13 +80,20 @@ func (p *Pipeline) AnnotateIngredientChecked(phrase string) (IngredientRecord, e
 	if err != nil {
 		return rec, err
 	}
-	tokens := tokenize.Words(tokenize.Tokenize(clean))
+	s := annPool.Get().(*annScratch)
+	defer annPool.Put(s)
+	s.toks = tokenize.AppendTo(s.toks[:0], clean)
+	s.words = s.words[:0]
+	for _, t := range s.toks {
+		s.words = append(s.words, t.Text)
+	}
+	tokens := s.words
 	if err := checkTokens(tokens, DefaultSanitize); err != nil {
 		return rec, err
 	}
 	err = guard(quarantine.CodeTaggerPanic, func() {
-		spans := p.IngredientNER.Predict(tokens)
-		rec = RecordFromSpans(phrase, tokens, spans, p.lem)
+		s.spans = p.IngredientNER.AppendPredict(s.spans[:0], tokens)
+		rec = RecordFromSpans(phrase, tokens, s.spans, p.lem)
 	})
 	if err != nil {
 		return IngredientRecord{Phrase: phrase}, err
@@ -85,7 +113,12 @@ func (p *Pipeline) AnnotateInstructionChecked(step string) (InstructionAnnotatio
 	if err != nil {
 		return ann, err
 	}
-	tokens := tokenize.Words(tokenize.Tokenize(clean))
+	// Only the token scratch is poolable here: the spans and the token
+	// strings escape into the returned annotation (ann.Spans, ann.Tree).
+	s := annPool.Get().(*annScratch)
+	s.toks = tokenize.AppendTo(s.toks[:0], clean)
+	tokens := tokenize.Words(s.toks)
+	annPool.Put(s)
 	if err := checkTokens(tokens, DefaultSanitize); err != nil {
 		return ann, err
 	}

@@ -1,0 +1,206 @@
+// The compiled decode fast path. Compile flattens a trained Model's
+// map-of-slices weight tables into packed arrays indexed by interned
+// feature ID × label, and Viterbi then runs over pooled flat lattices:
+// steady-state decoding performs zero heap allocations and no string
+// hashing.
+//
+// Determinism contract: Compiled.Decode must be BIT-IDENTICAL to
+// Model.Decode. The packed emission loop adds the same float64 values
+// in the same order as Model.emissionScores (per position, features in
+// extraction order, labels innermost), and the Viterbi recurrence and
+// its tie-breaking are verbatim ports, so every golden output and the
+// parallel==serial guarantee carry over unchanged. The equivalence is
+// pinned by TestCompiledDecodeEquivalence and the randomized property
+// test in compiled_test.go.
+
+package crf
+
+import (
+	"math"
+	"sync"
+
+	"recipemodel/internal/intern"
+)
+
+// Compiled is the packed, read-only decode form of a Model. It is safe
+// for concurrent use: all weight tables are immutable after Compile
+// and all mutable state lives in pooled per-call scratch.
+type Compiled struct {
+	labels []string
+	l      int
+	feats  *intern.Table
+	// emit[fid*L+y] is the emission weight of feature fid for label y.
+	emit []float64
+	// trans[r*L+y] flattens Model.Trans; row L is the virtual
+	// begin-of-sequence state.
+	trans    []float64
+	transEnd []float64
+
+	pool sync.Pool // *decodeScratch
+}
+
+// decodeScratch holds one decode's lattice buffers. Every field is
+// re-sliced and fully overwritten before use, so a scratch returned to
+// the pool by a deferred Put after a contained panic (see core's
+// record-level containment) can never leak stale state into a later
+// decode.
+type decodeScratch struct {
+	emit  []float64 // n*L emission rows
+	delta []float64 // n*L Viterbi scores
+	back  []int32   // n*L backpointers
+}
+
+// Compile builds the packed decode form of m. Feature IDs are assigned
+// in sorted feature-name order so compilation is deterministic.
+func Compile(m *Model) *Compiled {
+	L := m.L()
+	c := &Compiled{
+		labels:   append([]string(nil), m.Labels...),
+		l:        L,
+		feats:    intern.FromMapKeys(m.Emit),
+		transEnd: append([]float64(nil), m.TransEnd...),
+	}
+	c.emit = make([]float64, c.feats.Len()*L)
+	for name, w := range m.Emit {
+		base := int(c.feats.Lookup(name)) * L
+		copy(c.emit[base:base+L], w)
+	}
+	c.trans = make([]float64, (L+1)*L)
+	for r, row := range m.Trans {
+		copy(c.trans[r*L:(r+1)*L], row)
+	}
+	return c
+}
+
+// Compile returns the packed decode form of the model.
+func (m *Model) Compile() *Compiled { return Compile(m) }
+
+// Labels returns the label inventory (shared backing; do not mutate).
+func (c *Compiled) Labels() []string { return c.labels }
+
+// L returns the number of labels.
+func (c *Compiled) L() int { return c.l }
+
+// Features exposes the feature-interning table so callers can resolve
+// feature IDs once and decode by ID.
+func (c *Compiled) Features() *intern.Table { return c.feats }
+
+func (c *Compiled) getScratch(n int) *decodeScratch {
+	s, _ := c.pool.Get().(*decodeScratch)
+	if s == nil {
+		s = &decodeScratch{}
+	}
+	need := n * c.l
+	if cap(s.emit) < need {
+		s.emit = make([]float64, need)
+		s.delta = make([]float64, need)
+		s.back = make([]int32, need)
+	}
+	s.emit = s.emit[:need]
+	s.delta = s.delta[:need]
+	s.back = s.back[:need]
+	return s
+}
+
+// AppendDecodeIDs runs Viterbi over a sequence given as an interned
+// feature arena: ids[offs[t]:offs[t+1]] are position t's feature IDs
+// (features absent from the model are simply not present; every ID
+// must come from Features()). The optimal label IDs are appended to
+// path and returned with the unnormalized path score. Steady-state
+// calls perform zero heap allocations when path has capacity.
+func (c *Compiled) AppendDecodeIDs(path []int32, ids []int32, offs []int32) ([]int32, float64) {
+	n := len(offs) - 1
+	L := c.l
+	if n <= 0 || L == 0 {
+		return path, 0
+	}
+	s := c.getScratch(n)
+	defer c.pool.Put(s)
+
+	// Emission rows: same value-addition order as Model.emissionScores
+	// (feature outer, label inner) for bit-identical sums.
+	emit := s.emit
+	for i := range emit {
+		emit[i] = 0
+	}
+	for t := 0; t < n; t++ {
+		row := emit[t*L : (t+1)*L]
+		for _, fid := range ids[offs[t]:offs[t+1]] {
+			w := c.emit[int(fid)*L : int(fid)*L+L]
+			for y := 0; y < L; y++ {
+				row[y] += w[y]
+			}
+		}
+	}
+
+	// Viterbi, ported verbatim from Model.Decode (strict > keeps the
+	// lowest-index tie-break).
+	delta, back := s.delta, s.back
+	bosRow := c.trans[L*L : (L+1)*L]
+	for y := 0; y < L; y++ {
+		delta[y] = bosRow[y] + emit[y]
+		back[y] = -1
+	}
+	for t := 1; t < n; t++ {
+		prev := delta[(t-1)*L : t*L]
+		cur := delta[t*L : (t+1)*L]
+		curBack := back[t*L : (t+1)*L]
+		erow := emit[t*L : (t+1)*L]
+		for y := 0; y < L; y++ {
+			bestPrev, bestScore := int32(0), math.Inf(-1)
+			for yp := 0; yp < L; yp++ {
+				if sc := prev[yp] + c.trans[yp*L+y]; sc > bestScore {
+					bestScore = sc
+					bestPrev = int32(yp)
+				}
+			}
+			cur[y] = bestScore + erow[y]
+			curBack[y] = bestPrev
+		}
+	}
+	bestLast, bestScore := int32(0), math.Inf(-1)
+	last := delta[(n-1)*L : n*L]
+	for y := 0; y < L; y++ {
+		if sc := last[y] + c.transEnd[y]; sc > bestScore {
+			bestScore = sc
+			bestLast = int32(y)
+		}
+	}
+
+	start := len(path)
+	for i := 0; i < n; i++ {
+		path = append(path, 0)
+	}
+	out := path[start:]
+	out[n-1] = bestLast
+	for t := n - 1; t > 0; t-- {
+		out[t-1] = back[t*L+int(out[t])]
+	}
+	return path, bestScore
+}
+
+// Decode is the string-feature form of AppendDecodeIDs, provided for
+// tests and drop-in comparison against Model.Decode. It returns the
+// same path and score as the Model it was compiled from.
+func (c *Compiled) Decode(features [][]string) ([]int, float64) {
+	n := len(features)
+	if n == 0 || c.l == 0 {
+		return nil, 0
+	}
+	ids := make([]int32, 0, n*8)
+	offs := make([]int32, 1, n+1)
+	for _, feats := range features {
+		for _, f := range feats {
+			if id := c.feats.Lookup(f); id != intern.None {
+				ids = append(ids, id)
+			}
+		}
+		offs = append(offs, int32(len(ids)))
+	}
+	path32, score := c.AppendDecodeIDs(nil, ids, offs)
+	path := make([]int, len(path32))
+	for i, y := range path32 {
+		path[i] = int(y)
+	}
+	return path, score
+}

@@ -1,0 +1,30 @@
+// The race runtime instruments allocations of its own, so
+// AllocsPerRun counts are only meaningful in normal builds.
+//go:build !race
+
+package crf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAppendDecodeIDsZeroAlloc pins the pooled decode's steady-state
+// zero-allocation property at the crf layer.
+func TestAppendDecodeIDsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := packedRandModel(rng, 5, 30)
+	c := m.Compile()
+	ids := []int32{0, 3, 7, 1, 2, 9, 4, 0, 5}
+	offs := []int32{0, 2, 4, 7, 9}
+	path := make([]int32, 0, 16)
+	// warm the pool
+	path, _ = c.AppendDecodeIDs(path[:0], ids, offs)
+	_ = path
+	allocs := testing.AllocsPerRun(100, func() {
+		path, _ = c.AppendDecodeIDs(path[:0], ids, offs)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendDecodeIDs allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,27 @@
+package fraction
+
+// LooksLower is Looks for an already-lower-cased token given as bytes.
+// It is the compiled annotation path's form of the quantity feature
+// test and performs no heap allocation: map probes use the
+// string-conversion-in-index-position idiom and prefix checks compare
+// in place.
+//
+// Contract (pinned by TestLooksLowerMatchesLooks): for any string s,
+// LooksLower([]byte(lower(s))) == Looks(lower(s)).
+func LooksLower(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	if _, ok := numberWords[string(b)]; ok {
+		return true
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return true
+	}
+	for v := range vulgar {
+		if len(b) >= len(v) && string(b[:len(v)]) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package fraction
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLooksLowerMatchesLooks(t *testing.T) {
+	inputs := []string{
+		"", "1", "12", "1/2", "1 1/2", "2.5", "2-4", "½", "1½", "⅞x",
+		"one", "dozen", "half", "a", "an", "few", "couple",
+		"cup", "cups", "salt", "-", ".", "x½", "0abc", "9", "tomato",
+		"\xff\xfe", "\x00", "onehalf",
+	}
+	for w := range numberWords {
+		inputs = append(inputs, w, w+"x", "x"+w)
+	}
+	for v := range vulgar {
+		inputs = append(inputs, v, v+"cup", "cup"+v)
+	}
+	for _, in := range inputs {
+		lw := strings.ToLower(in)
+		if got, want := LooksLower([]byte(lw)), Looks(lw); got != want {
+			t.Errorf("LooksLower(%q) = %v, Looks = %v", lw, got, want)
+		}
+	}
+}
+
+func TestLooksLowerZeroAlloc(t *testing.T) {
+	probes := [][]byte{[]byte("1/2"), []byte("dozen"), []byte("salt"), []byte("½")}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range probes {
+			LooksLower(p)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LooksLower allocated %.1f times per run, want 0", allocs)
+	}
+}

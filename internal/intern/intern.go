@@ -1,0 +1,106 @@
+// Package intern maps strings to dense int32 IDs. It is the backbone
+// of the compiled annotation fast path: feature names, vocabulary
+// words, and suffixes are interned once at model build/load time, and
+// the hot decode loops then work entirely in IDs against packed weight
+// arrays instead of hashing strings into map[string][]float64.
+//
+// The zero-allocation contract: LookupBytes performs a map access with
+// a string([]byte) conversion in index position, which the compiler
+// compiles without copying the bytes. A decode loop can therefore
+// assemble candidate keys in a reusable scratch buffer and probe the
+// table with no per-token heap allocation.
+package intern
+
+import (
+	"sort"
+	"unicode"
+	"unicode/utf8"
+)
+
+// None is the ID returned for strings that are not in the table.
+const None int32 = -1
+
+// Table is an immutable-after-build string→ID mapping. IDs are dense:
+// 0..Len()-1. Lookups are safe for concurrent use once the table is
+// no longer being mutated by Add.
+type Table struct {
+	ids   map[string]int32
+	names []string
+}
+
+// New returns an empty table with capacity for n entries.
+func New(n int) *Table {
+	return &Table{ids: make(map[string]int32, n), names: make([]string, 0, n)}
+}
+
+// FromSorted builds a table whose ID assignment follows the given
+// order. Callers that start from a Go map must sort the keys first so
+// the table — and everything serialized or logged from it — is
+// deterministic (the repo's nondeterminism lint bans map-ordered
+// output).
+func FromSorted(keys []string) *Table {
+	t := New(len(keys))
+	for _, k := range keys {
+		t.Add(k)
+	}
+	return t
+}
+
+// FromMapKeys builds a deterministic table over the keys of m by
+// sorting them first.
+func FromMapKeys[V any](m map[string]V) *Table {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return FromSorted(keys)
+}
+
+// Add interns s, returning its ID (existing or newly assigned).
+func (t *Table) Add(s string) int32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := int32(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Lookup returns the ID of s, or None.
+func (t *Table) Lookup(s string) int32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	return None
+}
+
+// LookupBytes is Lookup over a byte slice without allocating: the
+// string conversion happens in map-index position, which the compiler
+// performs without copying.
+func (t *Table) LookupBytes(b []byte) int32 {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	return None
+}
+
+// AppendLower appends strings.ToLower(s) to dst without allocating:
+// rune-wise unicode.ToLower with invalid bytes mapped to U+FFFD,
+// exactly the strings.Map semantics ToLower uses. Shared by the
+// compiled extractors, which lower each token once into an arena and
+// probe tables with the bytes.
+func AppendLower(dst []byte, s string) []byte {
+	for _, r := range s {
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+	}
+	return dst
+}
+
+// Len returns the number of interned strings.
+func (t *Table) Len() int { return len(t.names) }
+
+// Name returns the string with the given ID; it panics on an ID not
+// produced by this table, matching slice-index semantics.
+func (t *Table) Name(id int32) string { return t.names[id] }

@@ -1,0 +1,125 @@
+package intern
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"recipemodel/internal/quarantine"
+)
+
+func TestAddLookupRoundTrip(t *testing.T) {
+	tab := New(4)
+	words := []string{"salt", "pepper", "olive oil", "", "salt"}
+	ids := make([]int32, len(words))
+	for i, w := range words {
+		ids[i] = tab.Add(w)
+	}
+	if ids[0] != ids[4] {
+		t.Fatalf("re-adding %q changed its ID: %d vs %d", words[0], ids[0], ids[4])
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (duplicate must not mint a new ID)", tab.Len())
+	}
+	for i, w := range words {
+		if got := tab.Lookup(w); got != ids[i] {
+			t.Errorf("Lookup(%q) = %d, want %d", w, got, ids[i])
+		}
+		if got := tab.LookupBytes([]byte(w)); got != ids[i] {
+			t.Errorf("LookupBytes(%q) = %d, want %d", w, got, ids[i])
+		}
+		if name := tab.Name(ids[i]); name != w {
+			t.Errorf("Name(%d) = %q, want %q", ids[i], name, w)
+		}
+	}
+	if got := tab.Lookup("cumin"); got != None {
+		t.Errorf("Lookup(absent) = %d, want None", got)
+	}
+	if got := tab.LookupBytes([]byte("cumin")); got != None {
+		t.Errorf("LookupBytes(absent) = %d, want None", got)
+	}
+}
+
+func TestFromMapKeysDeterministic(t *testing.T) {
+	m := map[string]int{"zz": 1, "aa": 2, "mm": 3, "bb": 4}
+	a, b := FromMapKeys(m), FromMapKeys(m)
+	if a.Len() != len(m) || b.Len() != len(m) {
+		t.Fatalf("Len = %d/%d, want %d", a.Len(), b.Len(), len(m))
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if a.Lookup(k) != int32(i) || b.Lookup(k) != int32(i) {
+			t.Errorf("key %q: IDs %d/%d, want sorted position %d", k, a.Lookup(k), b.Lookup(k), i)
+		}
+	}
+}
+
+func TestLookupBytesZeroAlloc(t *testing.T) {
+	tab := FromSorted([]string{"w=salt", "suf3=alt", "bias"})
+	key := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		key = append(key[:0], "w="...)
+		key = append(key, "salt"...)
+		if tab.LookupBytes(key) == None {
+			t.Fatal("lost key")
+		}
+		key = append(key[:0], "pre2=xx"...)
+		_ = tab.LookupBytes(key) // miss path must not allocate either
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupBytes allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzLookupBytes feeds dirty input — seeded with the quarantine
+// poison corpus: invalid UTF-8, NUL bytes, pathological lengths —
+// through both lookup forms and checks they agree and never corrupt
+// the table.
+func FuzzLookupBytes(f *testing.F) {
+	for _, p := range quarantine.PoisonPhrases() {
+		f.Add([]byte(p))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	tab := New(64)
+	for i, s := range []string{"", "bias", "w=\x00", "w=\xff\xfe", "gaz=ingr"} {
+		if id := tab.Add(s); id != int32(i) {
+			f.Fatalf("seed Add(%q) = %d, want %d", s, id, i)
+		}
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		want := tab.Lookup(string(b))
+		if got := tab.LookupBytes(b); got != want {
+			t.Fatalf("LookupBytes(%q) = %d, Lookup = %d", b, got, want)
+		}
+		// interning dirty bytes must round-trip exactly
+		id := tab.Add(string(b))
+		if tab.Name(id) != string(b) {
+			t.Fatalf("round trip lost bytes: %q -> %q", b, tab.Name(id))
+		}
+		if got := tab.LookupBytes(b); got != id {
+			t.Fatalf("post-Add LookupBytes(%q) = %d, want %d", b, got, id)
+		}
+	})
+}
+
+func BenchmarkLookupBytes(b *testing.B) {
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("w=token%03d", i)
+	}
+	tab := FromSorted(keys)
+	probe := make([]byte, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe = append(probe[:0], keys[i%len(keys)]...)
+		if tab.LookupBytes(probe) == None {
+			b.Fatal("missing key")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Byte-slice twins of the lemmatizer used by the compiled annotation
+// fast path. AppendAuto reproduces LemmaAuto exactly (pinned by the
+// differential tests in bytes_test.go) while performing zero heap
+// allocations for ordinary tokens: candidates are assembled in a
+// stack buffer and every lexicon/exception probe uses the
+// string-conversion-in-map-index idiom, which does not copy.
+
+package lemma
+
+// maxFastWord bounds the token length served by the allocation-free
+// path; longer (pathological) tokens fall back to the string
+// implementation, trading an allocation for unchanged behaviour.
+const maxFastWord = 64
+
+// AppendAuto appends LemmaAuto(string(w)) to dst and returns the
+// extended slice. w must already be lower-cased (the compiled
+// extractor lowers once per token into an arena); LemmaAuto lower-cases
+// idempotently, so the results agree.
+func (l *Lemmatizer) AppendAuto(dst []byte, w []byte) []byte {
+	if len(w) > maxFastWord {
+		return append(dst, l.LemmaAuto(string(w))...)
+	}
+	// candidate scratch: longest candidate is len(w)+3 ("men"→"man"
+	// style rules never grow by more than the new suffix).
+	var scratch [maxFastWord + 8]byte
+	for _, pos := range [...]POS{Noun, Verb, Adj} {
+		if out, ok := l.lemmaLower(scratch[:0], w, pos); ok {
+			return append(dst, out...)
+		}
+	}
+	return append(dst, w...)
+}
+
+// lemmaLower computes Lemma(string(w), pos) for lower-cased w into buf,
+// returning (lemma, true) iff the lemma differs from w. The branch
+// structure mirrors Lemma exactly; see the differential tests.
+func (l *Lemmatizer) lemmaLower(buf []byte, w []byte, pos POS) ([]byte, bool) {
+	if len(w) == 0 {
+		return nil, false
+	}
+	if base, ok := l.exceptions[pos][string(w)]; ok {
+		if base == string(w) {
+			return nil, false
+		}
+		return append(buf, base...), true
+	}
+	if l.lexicon[string(w)] && !looksInflectedLower(w, pos) {
+		return nil, false
+	}
+	for _, r := range detachments[pos] {
+		if !hasSuffixLower(w, r.old) || len(w) <= len(r.old) {
+			continue
+		}
+		cand := append(buf[:0], w[:len(w)-len(r.old)]...)
+		cand = append(cand, r.new...)
+		if len(cand) < 2 {
+			continue
+		}
+		// A detachment hit always differs from w: every rule has
+		// r.new != r.old.
+		if l.lexicon[string(cand)] {
+			return cand, true
+		}
+	}
+	// Every fallback branch strictly shortens w, so a hit differs.
+	return fallbackLower(buf[:0], w, pos)
+}
+
+// looksInflectedLower mirrors looksInflected over bytes.
+func looksInflectedLower(w []byte, pos POS) bool {
+	switch pos {
+	case Noun:
+		if hasSuffixLower(w, "ss") || hasSuffixLower(w, "us") || hasSuffixLower(w, "is") {
+			return false
+		}
+		return hasSuffixLower(w, "s")
+	case Verb:
+		if hasSuffixLower(w, "ing") || hasSuffixLower(w, "ed") {
+			return true
+		}
+		return hasSuffixLower(w, "s") && !hasSuffixLower(w, "ss")
+	}
+	return false
+}
+
+// fallbackLower mirrors fallback over bytes, building the candidate in
+// buf.
+func fallbackLower(buf []byte, w []byte, pos POS) ([]byte, bool) {
+	switch pos {
+	case Noun:
+		switch {
+		case hasSuffixLower(w, "ies") && len(w) > 4:
+			return append(append(buf, w[:len(w)-3]...), 'y'), true
+		case hasSuffixLower(w, "ches") || hasSuffixLower(w, "shes") ||
+			hasSuffixLower(w, "xes") || hasSuffixLower(w, "sses") ||
+			hasSuffixLower(w, "zes"):
+			return append(buf, w[:len(w)-2]...), true
+		case hasSuffixLower(w, "oes") && len(w) > 4:
+			return append(buf, w[:len(w)-2]...), true
+		case hasSuffixLower(w, "s") && !hasSuffixLower(w, "ss") &&
+			!hasSuffixLower(w, "us") && !hasSuffixLower(w, "is") && len(w) > 3:
+			return append(buf, w[:len(w)-1]...), true
+		}
+	case Verb:
+		switch {
+		case hasSuffixLower(w, "ies") && len(w) > 4:
+			return append(append(buf, w[:len(w)-3]...), 'y'), true
+		case hasSuffixLower(w, "ing") && len(w) > 5:
+			stem := w[:len(w)-3]
+			if isDoubledFinalLower(stem) {
+				return append(buf, stem[:len(stem)-1]...), true
+			}
+			return appendRestoreE(buf, stem), true
+		case hasSuffixLower(w, "ed") && len(w) > 4:
+			stem := w[:len(w)-2]
+			if isDoubledFinalLower(stem) {
+				return append(buf, stem[:len(stem)-1]...), true
+			}
+			return appendRestoreE(buf, stem), true
+		case hasSuffixLower(w, "es") && len(w) > 4:
+			stem := w[:len(w)-2]
+			if hasSuffixLower(stem, "ch") || hasSuffixLower(stem, "sh") ||
+				hasSuffixLower(stem, "ss") || hasSuffixLower(stem, "x") ||
+				hasSuffixLower(stem, "zz") || hasSuffixLower(stem, "o") {
+				return append(buf, stem...), true
+			}
+			return append(buf, w[:len(w)-1]...), true
+		case hasSuffixLower(w, "s") && !hasSuffixLower(w, "ss") && len(w) > 3:
+			return append(buf, w[:len(w)-1]...), true
+		}
+	}
+	return nil, false
+}
+
+// appendRestoreE mirrors restoreE over bytes.
+func appendRestoreE(buf []byte, stem []byte) []byte {
+	buf = append(buf, stem...)
+	n := len(stem)
+	if n < 2 {
+		return buf
+	}
+	last := stem[n-1]
+	switch {
+	case last == 'v' || last == 'c' || last == 'u' || last == 'z':
+		return append(buf, 'e')
+	case last == 'l' && !isVowelByte(stem[n-2]):
+		return append(buf, 'e')
+	}
+	return buf
+}
+
+func isDoubledFinalLower(stem []byte) bool {
+	n := len(stem)
+	if n < 3 {
+		return false
+	}
+	a, b := stem[n-2], stem[n-1]
+	if a != b {
+		return false
+	}
+	switch b {
+	case 'b', 'd', 'g', 'l', 'm', 'n', 'p', 'r', 't':
+		return true
+	}
+	return false
+}
+
+// hasSuffixLower reports whether b ends with s, comparing without
+// allocating.
+func hasSuffixLower(b []byte, s string) bool {
+	return len(b) >= len(s) && string(b[len(b)-len(s):]) == s
+}

@@ -1,0 +1,110 @@
+package lemma
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// byteTwinInputs assembles a word list that exercises every branch of
+// the lemmatizer: the full embedded lexicon, all exception keys and
+// values, systematic suffix mutations, and dirty strings.
+func byteTwinInputs() []string {
+	var words []string
+	for w := range baseLexicon {
+		words = append(words, w)
+	}
+	for _, exc := range []map[string]string{nounExceptions, verbExceptions, adjExceptions} {
+		for k, v := range exc {
+			words = append(words, k, v)
+		}
+	}
+	base := append([]string(nil), words...)
+	for _, w := range base {
+		for _, suf := range []string{"s", "es", "ies", "ed", "ing", "er", "est", "men", "ves", "oes"} {
+			words = append(words, w+suf)
+		}
+	}
+	words = append(words,
+		"", "s", "ss", "a", "½", "1/2", "co-op", "tomatoes",
+		"molasses", "cookies", "chopped", "dancing", "mixes", "washes",
+		"sizes", "crumbled", "caramelized", "\xff\xfe", "x\x00y",
+		strings.Repeat("tomatoes", 20), // past the fast-path length cap
+	)
+	return words
+}
+
+// TestAppendAutoMatchesLemmaAuto is the differential pin: the
+// byte-path lemmatizer must agree with the string path on every input.
+func TestAppendAutoMatchesLemmaAuto(t *testing.T) {
+	l := New()
+	buf := make([]byte, 0, 128)
+	for _, w := range byteTwinInputs() {
+		lw := strings.ToLower(w)
+		want := l.LemmaAuto(lw)
+		buf = l.AppendAuto(buf[:0], []byte(lw))
+		if string(buf) != want {
+			t.Fatalf("AppendAuto(%q) = %q, want %q", lw, buf, want)
+		}
+	}
+}
+
+// TestAppendAutoRandomized mutates random lexicon words with random
+// suffix garbage to hit rule interactions the curated list misses.
+func TestAppendAutoRandomized(t *testing.T) {
+	l := New()
+	words := make([]string, 0, len(baseLexicon))
+	for w := range baseLexicon {
+		words = append(words, w)
+	}
+	rng := rand.New(rand.NewSource(99))
+	sufs := []string{"", "s", "es", "ies", "ed", "ing", "zes", "ches", "shes", "xes", "sses"}
+	buf := make([]byte, 0, 128)
+	for trial := 0; trial < 5000; trial++ {
+		w := words[rng.Intn(len(words))]
+		if n := rng.Intn(3); n > 0 && len(w) > n {
+			w = w[:len(w)-n]
+		}
+		w += sufs[rng.Intn(len(sufs))]
+		want := l.LemmaAuto(w)
+		buf = l.AppendAuto(buf[:0], []byte(w))
+		if string(buf) != want {
+			t.Fatalf("AppendAuto(%q) = %q, want %q", w, buf, want)
+		}
+	}
+}
+
+func TestAppendAutoZeroAlloc(t *testing.T) {
+	l := New()
+	buf := make([]byte, 0, 128)
+	inputs := [][]byte{
+		[]byte("tomatoes"), []byte("chopped"), []byte("cups"),
+		[]byte("molasses"), []byte("xyzzies"),
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, w := range inputs {
+			buf = l.AppendAuto(buf[:0], w)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendAuto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendAuto(b *testing.B) {
+	l := New()
+	buf := make([]byte, 0, 64)
+	w := []byte("tomatoes")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = l.AppendAuto(buf[:0], w)
+	}
+}
+
+func BenchmarkLemmaAuto(b *testing.B) {
+	l := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.LemmaAuto("tomatoes")
+	}
+}

@@ -1,0 +1,26 @@
+// The race runtime instruments allocations of its own, so
+// AllocsPerRun counts are only meaningful in normal builds.
+//go:build !race
+
+package ner
+
+import "testing"
+
+// TestAppendPredictZeroAlloc pins the tentpole property: steady-state
+// compiled prediction allocates nothing.
+func TestAppendPredictZeroAlloc(t *testing.T) {
+	compiled, _ := trainedPair(t)
+	toks := []string{"2", "cups", "chopped", "flour", "(", "sifted", ")"}
+	spans := make([]Span, 0, 16)
+	spans = compiled.AppendPredict(spans[:0], toks) // warm pools
+	_ = spans
+	allocs := testing.AllocsPerRun(100, func() {
+		spans = compiled.AppendPredict(spans[:0], toks)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendPredict allocated %.1f times per run, want 0", allocs)
+	}
+	if len(spans) == 0 {
+		t.Fatal("AppendPredict produced no spans on an in-sample phrase")
+	}
+}

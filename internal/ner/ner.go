@@ -136,11 +136,14 @@ func BIOToSpans(tags []string) []Span {
 type Extractor func(tokens []string, i int) []string
 
 // Tagger couples a trained CRF with its feature extractor and label
-// scheme.
+// scheme. CompileFor installs a compiled fast path (see compiled.go)
+// that Predict/PredictTags route through when present; the two paths
+// produce byte-identical output.
 type Tagger struct {
-	Model   *crf.Model
-	Extract Extractor
-	labels  []string
+	Model    *crf.Model
+	Extract  Extractor
+	labels   []string
+	compiled *compiled
 }
 
 // TrainConfig re-exports the CRF training knobs.
@@ -188,12 +191,29 @@ func (t *Tagger) PredictTags(tokens []string) []string {
 	if len(tokens) == 0 {
 		return nil
 	}
+	if t.compiled != nil {
+		return t.compiled.predictTags(tokens)
+	}
 	return t.Model.DecodeLabels(extractAll(t.Extract, tokens))
 }
 
 // Predict returns the entity spans for the tokens.
 func (t *Tagger) Predict(tokens []string) []Span {
+	if t.compiled != nil {
+		return t.compiled.appendPredict(nil, tokens)
+	}
 	return BIOToSpans(t.PredictTags(tokens))
+}
+
+// AppendPredict appends the predicted entity spans to spans and
+// returns the extended slice. On a compiled tagger this is the
+// zero-allocation form of Predict (no heap allocation once spans has
+// capacity); otherwise it falls back to the legacy path.
+func (t *Tagger) AppendPredict(spans []Span, tokens []string) []Span {
+	if t.compiled != nil {
+		return t.compiled.appendPredict(spans, tokens)
+	}
+	return append(spans, BIOToSpans(t.PredictTags(tokens))...)
 }
 
 // Labels returns the tagger's BIO label inventory.

@@ -109,6 +109,22 @@ func extractorFor(task Task, opts ner.FeatureOptions) (ner.Extractor, error) {
 	}
 }
 
+// compile installs the interned/packed fast path on a freshly loaded
+// tagger. Compilation happens on load rather than in the wire format,
+// so bundles saved by earlier versions stay format-compatible; the
+// compile step's canary self-check guards against a recorded task or
+// option set that no longer matches the extractor it names.
+func compile(t *ner.Tagger, task Task, opts ner.FeatureOptions) (*ner.Tagger, error) {
+	nt := ner.TaskIngredient
+	if task == TaskInstruction {
+		nt = ner.TaskInstruction
+	}
+	if err := t.CompileFor(nt, opts); err != nil {
+		return nil, fmt.Errorf("persist: compile %s fast path: %w", task, err)
+	}
+	return t, nil
+}
+
 // SaveTagger writes one tagger.
 func SaveTagger(w io.Writer, t *ner.Tagger, task Task, opts ner.FeatureOptions) error {
 	enc := gob.NewEncoder(w)
@@ -129,7 +145,7 @@ func LoadTagger(r io.Reader) (*ner.Tagger, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ner.FromModel(m, ex), nil
+	return compile(ner.FromModel(m, ex), s.Task, s.Options)
 }
 
 // SaveBundle writes an ingredient + instruction tagger pair.
@@ -167,7 +183,15 @@ func LoadBundle(r io.Reader) (ingredient, instruction *ner.Tagger, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("instruction tagger: %w", err)
 	}
-	return ner.FromModel(mIng, exIng), ner.FromModel(mIns, exIns), nil
+	ingredient, err = compile(ner.FromModel(mIng, exIng), b.Ingredient.Task, b.Ingredient.Options)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingredient tagger: %w", err)
+	}
+	instruction, err = compile(ner.FromModel(mIns, exIns), b.Instruction.Task, b.Instruction.Options)
+	if err != nil {
+		return nil, nil, fmt.Errorf("instruction tagger: %w", err)
+	}
+	return ingredient, instruction, nil
 }
 
 // LoadBundleFile is LoadBundle against a file path; errors name the

@@ -1,0 +1,142 @@
+package postag
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tagRef is the original map-based Viterbi decode, kept verbatim as
+// the differential reference for the packed rewrite. It calls the
+// still-live emission() so the packed tables are checked against the
+// maps they were built from.
+func (h *HMM) tagRef(words []string) []string {
+	n := len(words)
+	out := make([]string, n)
+	if n == 0 {
+		return out
+	}
+	T := len(h.tags)
+	delta := make([][]float64, n)
+	back := make([][]int, n)
+	for i := range delta {
+		delta[i] = make([]float64, T)
+		back[i] = make([]int, T)
+	}
+	lw := make([]string, n)
+	punct := make([]bool, n)
+	for i, w := range words {
+		lw[i] = strings.ToLower(w)
+		if pt, ok := punctTagFor(w); ok {
+			punct[i] = true
+			out[i] = pt
+		}
+	}
+	for t := 0; t < T; t++ {
+		delta[0][t] = h.logInit[t] + h.emission(t, lw[0])
+	}
+	for i := 1; i < n; i++ {
+		for t := 0; t < T; t++ {
+			best, bestScore := 0, math.Inf(-1)
+			for tp := 0; tp < T; tp++ {
+				if s := delta[i-1][tp] + h.logTrans[tp][t]; s > bestScore {
+					bestScore = s
+					best = tp
+				}
+			}
+			delta[i][t] = bestScore + h.emission(t, lw[i])
+			back[i][t] = best
+		}
+	}
+	bestLast, bestScore := 0, math.Inf(-1)
+	for t := 0; t < T; t++ {
+		if delta[n-1][t] > bestScore {
+			bestScore = delta[n-1][t]
+			bestLast = t
+		}
+	}
+	path := make([]int, n)
+	path[n-1] = bestLast
+	for i := n - 1; i > 0; i-- {
+		path[i-1] = back[i][path[i]]
+	}
+	for i := range out {
+		if !punct[i] {
+			out[i] = h.tags[path[i]]
+		}
+	}
+	return out
+}
+
+// TestHMMTagMatchesReference pins the packed decode against the
+// map-based reference on corpus sentences, unknown words, numerics,
+// punctuation, and dirty input.
+func TestHMMTagMatchesReference(t *testing.T) {
+	h := TrainHMM(Corpus())
+	var phrases [][]string
+	for _, s := range Corpus()[:50] {
+		phrases = append(phrases, s.Words)
+	}
+	phrases = append(phrases,
+		[]string{"Preheat", "the", "oven", "to", "350", "degrees"},
+		[]string{"unknownword", "flibbertigibbet", "zs"},
+		[]string{"1", "1/2", "2-4", "3.5", ","},
+		[]string{"(", "8", "ounce", ")", "!", "?"},
+		[]string{"½", "sauté", "über", "\xff\xfe"},
+		[]string{""},
+		[]string{"x"},
+	)
+	for _, words := range phrases {
+		want := h.tagRef(words)
+		got := h.Tag(words)
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("Tag(%q): got %v, want %v", words, got, want)
+		}
+	}
+}
+
+// TestHMMTagRandomizedDifferential mixes known corpus words with
+// generated unknowns and punctuation.
+func TestHMMTagRandomizedDifferential(t *testing.T) {
+	corpus := Corpus()
+	h := TrainHMM(corpus)
+	var vocab []string
+	for _, s := range corpus[:30] {
+		vocab = append(vocab, s.Words...)
+	}
+	vocab = append(vocab, "zzz", "9-12", "x½y", "(", ")", ".", ",", "", "ments", "ingly", "\xff")
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+		want := h.tagRef(words)
+		got := h.Tag(words)
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Fatalf("trial %d: Tag(%q): got %v, want %v", trial, words, got, want)
+		}
+	}
+}
+
+func BenchmarkHMMTag(b *testing.B) {
+	h := TrainHMM(Corpus())
+	words := []string{"Bring", "the", "water", "to", "a", "boil", "in", "a", "large", "pot", "."}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Tag(words)
+	}
+}
+
+func BenchmarkHMMTagRef(b *testing.B) {
+	h := TrainHMM(Corpus())
+	words := []string{"Bring", "the", "water", "to", "a", "boil", "in", "a", "large", "pot", "."}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.tagRef(words)
+	}
+}

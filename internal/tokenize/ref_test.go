@@ -1,0 +1,249 @@
+package tokenize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// tokenizeRef is the original rune-index implementation of Tokenize,
+// kept verbatim as the differential reference for the byte-offset
+// rewrite.
+func tokenizeRef(text string) []Token {
+	var toks []Token
+	runes := make([]rune, 0, len(text))
+	byteAt := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		runes = append(runes, r)
+		byteAt = append(byteAt, i)
+	}
+	byteAt = append(byteAt, len(text))
+
+	emit := func(i, j int, k Kind) {
+		toks = append(toks, Token{
+			Text:  text[byteAt[i]:byteAt[j]],
+			Start: byteAt[i],
+			End:   byteAt[j],
+			Kind:  k,
+		})
+	}
+
+	i := 0
+	n := len(runes)
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isDigitRune(r):
+			j := scanNumberRef(runes, i)
+			emit(i, j, Number)
+			i = j
+		case IsVulgarFraction(r):
+			emit(i, i+1, Number)
+			i++
+		case unicode.IsLetter(r):
+			j := scanWordRef(runes, i)
+			emit(i, j, Word)
+			i = j
+		case r == '(' || r == '[' || r == '{':
+			emit(i, i+1, Open)
+			i++
+		case r == ')' || r == ']' || r == '}':
+			emit(i, i+1, Close)
+			i++
+		case r == '%' || r == '°' || r == '&' || r == '+' || r == '*' || r == '#' || r == '@' || r == '$' || r == '=' || r == '<' || r == '>':
+			emit(i, i+1, Symbol)
+			i++
+		default:
+			emit(i, i+1, Punct)
+			i++
+		}
+	}
+	return toks
+}
+
+func scanNumberRef(runes []rune, i int) int {
+	n := len(runes)
+	j := i
+	digits := func(j int) int {
+		for j < n && isDigitRune(runes[j]) {
+			j++
+		}
+		return j
+	}
+	j = digits(j)
+	if j < n && (runes[j] == '.' || runes[j] == ',') && j+1 < n && isDigitRune(runes[j+1]) {
+		j = digits(j + 2)
+	}
+	if j < n && runes[j] == '/' && j+1 < n && isDigitRune(runes[j+1]) {
+		j = digits(j + 2)
+	}
+	if j < n && (runes[j] == '-' || runes[j] == '–') && j+1 < n && isDigitRune(runes[j+1]) {
+		k := digits(j + 2)
+		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
+			k = digits(k + 2)
+		}
+		j = k
+	}
+	if j+1 < n && runes[j] == ' ' && isDigitRune(runes[j+1]) {
+		k := digits(j + 1)
+		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
+			j = digits(k + 2)
+		}
+	}
+	if j < n && IsVulgarFraction(runes[j]) {
+		j++
+	}
+	return j
+}
+
+func scanWordRef(runes []rune, i int) int {
+	n := len(runes)
+	j := i
+	for j < n {
+		r := runes[j]
+		if unicode.IsLetter(r) || isDigitRune(r) {
+			j++
+			continue
+		}
+		if (r == '-' || r == '\'') && j+1 < n && isWordRune(runes[j+1]) && j > i {
+			j++
+			continue
+		}
+		break
+	}
+	return j
+}
+
+func sameTokens(a, b []Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTokenizeMatchesReference pins the byte-offset rewrite against
+// the rune-index reference on curated edge cases.
+func TestTokenizeMatchesReference(t *testing.T) {
+	cases := []string{
+		"",
+		"1 (8 ounce) package cream cheese, softened",
+		"1 1/2 cups all-purpose flour",
+		"2-4 cloves garlic, minced",
+		"1-1/2 tsp. vanilla",
+		"½ cup sugar or 1½ cups",
+		"2.5 kg; 3,5 l",
+		"don't over-mix the half-and-half",
+		"350° for 20 min. then broil",
+		"1 ",
+		"1 2",
+		"1 2/3",
+		"3/",
+		"2-",
+		"2- 4",
+		"9½",
+		"sauté über jalapeño",
+		"bad \xff byte \xfe\x00 soup",
+		"a\xffb 1\xff2",
+		"x-\xff y'\xff",
+		"trailing hyphen- and quote'",
+		"100%(*)[ok]{no}<>=+&#@$",
+		"١٢٣ arabic digits", // non-ASCII digits exercise multibyte digit runes
+		"mixed ١/٢ fraction",
+		"1 ١/٢",
+	}
+	for _, text := range cases {
+		got := Tokenize(text)
+		want := tokenizeRef(text)
+		if !sameTokens(got, want) {
+			t.Errorf("Tokenize(%q):\n got %v\nwant %v", text, got, want)
+		}
+	}
+}
+
+// TestTokenizeRandomizedDifferential throws random byte soup —
+// weighted toward the tokenizer's special characters — at both
+// implementations.
+func TestTokenizeRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	alphabet := []string{
+		"1", "2", "9", "0", "a", "z", "A", " ", "  ", "-", "–", "/", ".", ",",
+		"'", "(", ")", "[", "]", "½", "⅞", "°", "%", "é", "ü", "\xff", "\xc3",
+		"\x00", "word", "12", "1/2", "\t", "\n",
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var b strings.Builder
+		n := rng.Intn(20)
+		for k := 0; k < n; k++ {
+			b.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		text := b.String()
+		got := Tokenize(text)
+		want := tokenizeRef(text)
+		if !sameTokens(got, want) {
+			t.Fatalf("trial %d: Tokenize(%q):\n got %v\nwant %v", trial, text, got, want)
+		}
+	}
+}
+
+// FuzzTokenizeDifferential is the continuous form of the differential
+// test, seeded with the curated edge cases.
+func FuzzTokenizeDifferential(f *testing.F) {
+	for _, s := range []string{
+		"1 1/2 cups flour", "2-4 eggs", "½x", "1½", "a\xffb", "don't",
+		"(8 ounce)", "1 ١/٢", "9- ", "1. 2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		got := Tokenize(text)
+		want := tokenizeRef(text)
+		if !sameTokens(got, want) {
+			t.Fatalf("Tokenize(%q):\n got %v\nwant %v", text, got, want)
+		}
+		// offsets must exactly tile the input
+		for _, tok := range got {
+			if tok.Start < 0 || tok.End > len(text) || text[tok.Start:tok.End] != tok.Text {
+				t.Fatalf("bad offsets in %v for %q", tok, text)
+			}
+		}
+	})
+}
+
+func TestAppendToReusesBuffer(t *testing.T) {
+	buf := make([]Token, 0, 32)
+	out := AppendTo(buf[:0], "1 cup sugar")
+	if len(out) != 3 || cap(out) != 32 {
+		t.Fatalf("AppendTo did not reuse buffer: len %d cap %d", len(out), cap(out))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendTo(buf[:0], "2 cups chopped fresh basil")
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTo allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := "1 (8 ounce) package cream cheese, softened to 1 1/2 cups"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkAppendTo(b *testing.B) {
+	text := "1 (8 ounce) package cream cheese, softened to 1 1/2 cups"
+	buf := make([]Token, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTo(buf[:0], text)
+	}
+}

@@ -13,6 +13,7 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single lexical unit with its position in the source text.
@@ -94,104 +95,120 @@ func isDigitRune(r rune) bool {
 // with the original gaps restored always reproduces the input
 // (offsets are exact).
 func Tokenize(text string) []Token {
-	var toks []Token
-	// Decode via string range so byte offsets stay exact even for
-	// invalid UTF-8 (a bad byte decodes to U+FFFD but consumes exactly
-	// one input byte, which []rune arithmetic would miscount).
-	runes := make([]rune, 0, len(text))
-	byteAt := make([]int, 0, len(text)+1)
-	for i, r := range text {
-		runes = append(runes, r)
-		byteAt = append(byteAt, i)
-	}
-	byteAt = append(byteAt, len(text))
+	return AppendTo(nil, text)
+}
 
-	emit := func(i, j int, k Kind) {
-		toks = append(toks, Token{
-			// slice the original text so invalid bytes round-trip exactly.
-			Text:  text[byteAt[i]:byteAt[j]],
-			Start: byteAt[i],
-			End:   byteAt[j],
-			Kind:  k,
-		})
-	}
-
+// AppendTo is Tokenize appending into a caller-owned slice, the
+// allocation-free form for hot loops that reuse a token buffer. The
+// scan works on byte offsets directly (utf8.DecodeRuneInString mirrors
+// string-range semantics: an invalid byte decodes to U+FFFD and
+// consumes exactly one byte), so no per-call rune or offset slices are
+// built. Differential tests against the rune-index reference
+// implementation pin the equivalence.
+func AppendTo(toks []Token, text string) []Token {
 	i := 0
-	n := len(runes)
+	n := len(text)
 	for i < n {
-		r := runes[i]
+		r, sz := utf8.DecodeRuneInString(text[i:])
 		switch {
 		case unicode.IsSpace(r):
-			i++
+			i += sz
 		case isDigitRune(r):
-			j := scanNumber(runes, i)
-			emit(i, j, Number)
+			j := scanNumber(text, i)
+			toks = append(toks, Token{text[i:j], i, j, Number})
 			i = j
 		case IsVulgarFraction(r):
-			emit(i, i+1, Number)
-			i++
+			toks = append(toks, Token{text[i : i+sz], i, i + sz, Number})
+			i += sz
 		case unicode.IsLetter(r):
-			j := scanWord(runes, i)
-			emit(i, j, Word)
+			j := scanWord(text, i)
+			toks = append(toks, Token{text[i:j], i, j, Word})
 			i = j
 		case r == '(' || r == '[' || r == '{':
-			emit(i, i+1, Open)
-			i++
+			toks = append(toks, Token{text[i : i+sz], i, i + sz, Open})
+			i += sz
 		case r == ')' || r == ']' || r == '}':
-			emit(i, i+1, Close)
-			i++
+			toks = append(toks, Token{text[i : i+sz], i, i + sz, Close})
+			i += sz
 		case r == '%' || r == '°' || r == '&' || r == '+' || r == '*' || r == '#' || r == '@' || r == '$' || r == '=' || r == '<' || r == '>':
-			emit(i, i+1, Symbol)
-			i++
+			toks = append(toks, Token{text[i : i+sz], i, i + sz, Symbol})
+			i += sz
 		default:
-			emit(i, i+1, Punct)
-			i++
+			toks = append(toks, Token{text[i : i+sz], i, i + sz, Punct})
+			i += sz
 		}
 	}
 	return toks
+}
+
+// runeAt decodes the rune starting at byte offset j; past the end it
+// returns (RuneError, 0), which fails every class test below exactly
+// like the old bounds checks did.
+func runeAt(text string, j int) (rune, int) {
+	if j >= len(text) {
+		return utf8.RuneError, 0
+	}
+	return utf8.DecodeRuneInString(text[j:])
+}
+
+// scanDigits consumes a run of digit runes starting at byte offset j.
+func scanDigits(text string, j int) int {
+	for j < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[j:])
+		if !isDigitRune(r) {
+			break
+		}
+		j += sz
+	}
+	return j
 }
 
 // scanNumber consumes a numeric token starting at i: digits with
 // optional decimal point, fraction slash, range hyphen, or a trailing
 // mixed fraction ("1 1/2" is consumed as one token only when joined by
 // a space and a fraction follows).
-func scanNumber(runes []rune, i int) int {
-	n := len(runes)
-	j := i
-	digits := func(j int) int {
-		for j < n && isDigitRune(runes[j]) {
-			j++
-		}
-		return j
-	}
-	j = digits(j)
+func scanNumber(text string, i int) int {
+	n := len(text)
+	j := scanDigits(text, i)
 	// decimal part
-	if j < n && (runes[j] == '.' || runes[j] == ',') && j+1 < n && isDigitRune(runes[j+1]) {
-		j = digits(j + 2)
+	if j < n && (text[j] == '.' || text[j] == ',') {
+		if r, sz := runeAt(text, j+1); isDigitRune(r) {
+			j = scanDigits(text, j+1+sz)
+		}
 	}
 	// fraction part: "3/4"
-	if j < n && runes[j] == '/' && j+1 < n && isDigitRune(runes[j+1]) {
-		j = digits(j + 2)
+	if j < n && text[j] == '/' {
+		if r, sz := runeAt(text, j+1); isDigitRune(r) {
+			j = scanDigits(text, j+1+sz)
+		}
 	}
 	// range part: "2-4", "2 - 4" is NOT merged (hyphen must be tight)
-	if j < n && (runes[j] == '-' || runes[j] == '–') && j+1 < n && isDigitRune(runes[j+1]) {
-		k := digits(j + 2)
-		// possible fraction in upper bound "1-1/2"
-		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
-			k = digits(k + 2)
+	if r, sz := runeAt(text, j); r == '-' || r == '–' {
+		if r2, sz2 := runeAt(text, j+sz); isDigitRune(r2) {
+			k := scanDigits(text, j+sz+sz2)
+			// possible fraction in upper bound "1-1/2"
+			if k < n && text[k] == '/' {
+				if r3, sz3 := runeAt(text, k+1); isDigitRune(r3) {
+					k = scanDigits(text, k+1+sz3)
+				}
+			}
+			j = k
 		}
-		j = k
 	}
 	// mixed number: "1 1/2" — single space, then a pure fraction
-	if j+1 < n && runes[j] == ' ' && isDigitRune(runes[j+1]) {
-		k := digits(j + 1)
-		if k < n && runes[k] == '/' && k+1 < n && isDigitRune(runes[k+1]) {
-			j = digits(k + 2)
+	if j < n && text[j] == ' ' {
+		if r, _ := runeAt(text, j+1); isDigitRune(r) {
+			k := scanDigits(text, j+1)
+			if k < n && text[k] == '/' {
+				if r2, sz2 := runeAt(text, k+1); isDigitRune(r2) {
+					j = scanDigits(text, k+1+sz2)
+				}
+			}
 		}
 	}
 	// attached vulgar fraction: "1½"
-	if j < n && IsVulgarFraction(runes[j]) {
-		j++
+	if r, sz := runeAt(text, j); IsVulgarFraction(r) {
+		j += sz
 	}
 	return j
 }
@@ -199,18 +216,19 @@ func scanNumber(runes []rune, i int) int {
 // scanWord consumes a word, allowing internal hyphens and apostrophes
 // between letters ("half-and-half", "don't") but stopping at other
 // punctuation.
-func scanWord(runes []rune, i int) int {
-	n := len(runes)
+func scanWord(text string, i int) int {
 	j := i
-	for j < n {
-		r := runes[j]
+	for j < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[j:])
 		if unicode.IsLetter(r) || isDigitRune(r) {
-			j++
+			j += sz
 			continue
 		}
-		if (r == '-' || r == '\'') && j+1 < n && isWordRune(runes[j+1]) && j > i {
-			j++
-			continue
+		if (r == '-' || r == '\'') && j > i {
+			if r2, _ := runeAt(text, j+sz); isWordRune(r2) {
+				j += sz
+				continue
+			}
 		}
 		break
 	}

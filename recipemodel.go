@@ -167,6 +167,12 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		ner.NewIngredientExtractor(ner.DefaultFeatureOptions), cfg)
 	insNER := ner.Train(insTrain, ner.InstructionTypes,
 		ner.NewInstructionExtractor(ner.DefaultFeatureOptions), cfg)
+	if err := ingNER.CompileFor(ner.TaskIngredient, ner.DefaultFeatureOptions); err != nil {
+		return nil, fmt.Errorf("recipemodel: %w", err)
+	}
+	if err := insNER.CompileFor(ner.TaskInstruction, ner.DefaultFeatureOptions); err != nil {
+		return nil, fmt.Errorf("recipemodel: %w", err)
+	}
 
 	return &Pipeline{
 		inner:     core.NewPipeline(nil, ingNER, insNER, nil),
