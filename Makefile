@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test fuzz-smoke clean
+.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,17 @@ crash-test:
 poison-test:
 	$(GO) test ./cmd/recipemine -run 'TestMinePoison' -count=1
 	$(GO) test ./internal/core -run 'TestContained|TestPartial|TestModelRecipesPartial|TestInstructionsPartial' -count=1
+
+# Heavy-tail chaos drills (DESIGN §13), under -race: a duplicated-
+# phrase herd replayed at worker counts 1 and 4 while a hot reload or
+# a leader kill lands mid-herd, every response byte-identical to an
+# uncached serial oracle; plus the 1000-strong herd that must decode
+# exactly once, the reload-mid-herd generation pinning, and the
+# degraded-mode (saturated limiter) posture. All disruption timing is
+# fault-point driven — no sleeps.
+herd-test:
+	$(GO) test -race ./internal/server -run 'TestHerdChaos|TestHerdCoalescesToOneDecode|TestReloadDuringHerdNoStaleGenerationServed|TestDegradedModeHitsServedMissesShed' -count=1
+	$(GO) test -race ./internal/flight ./internal/cache -count=1
 
 # Short fuzz passes over the model-load boundary and the end-to-end
 # annotate path (arbitrary bytes through sanitizer, tagger, parser) —

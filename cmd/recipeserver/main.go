@@ -21,6 +21,13 @@
 // termination signal flips /readyz to false, drains in-flight requests
 // for up to -drain-timeout, then exits 0.
 //
+// Heavy-tail posture: annotations are memoized in a bounded,
+// generation-pinned cache (-cache-entries, default 65536; -cache-off
+// disables) with singleflight coalescing, so a herd of identical
+// requests decodes once and, under a saturated limiter, cached
+// phrases still answer while only uncached work sheds. /readyz
+// reports the cache and shed counters.
+//
 // Durability posture: with -store the pipeline is served out of a
 // versioned, checksummed model store (internal/persist). A retrain
 // publishes a new version with `recipemine train -store`; SIGHUP or
@@ -127,6 +134,33 @@ func buildServer(modelPath, storePath string, corpusSize int, opts recipemodel.O
 	return server.NewWithConfig(pipeAdapter{p}, ix, cfg), nil
 }
 
+// defaultCacheEntries bounds the annotation cache out of the box: at
+// ~200 bytes per cached record, 64k entries is on the order of 15 MB
+// — big enough that a heavy-tail phrase distribution lives entirely
+// in cache, small enough to be irrelevant next to the model itself.
+const defaultCacheEntries = 64 << 10
+
+// resolveCacheEntries folds the two cache flags into the config
+// value: -cache-off wins over any -cache-entries, and a negative
+// entry count means off (the cache constructor treats <= 0 as
+// disabled, so the fold is total).
+func resolveCacheEntries(entries int, off bool) int {
+	if off || entries < 0 {
+		return 0
+	}
+	return entries
+}
+
+// cacheConfigLine is the startup log line stating the cache posture,
+// so an operator reading the log knows whether heavy-tail hardening
+// is active without probing /readyz.
+func cacheConfigLine(entries int) string {
+	if entries <= 0 {
+		return "annotation cache: off (every request decodes; no coalescing)"
+	}
+	return fmt.Sprintf("annotation cache: on (%d entries, singleflight coalescing, hits served under overload)", entries)
+}
+
 // newHTTPServer wraps the handler in a hardened http.Server: header
 // reads, full-request reads, response writes, and idle keep-alives are
 // all bounded so no stalled peer can pin a connection goroutine
@@ -187,13 +221,17 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 1024, "admitted work units before shedding with 429 (batch = phrase count; 0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline threaded through the pipeline (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	cacheEntries := flag.Int("cache-entries", defaultCacheEntries, "annotation cache capacity in entries (0 disables)")
+	cacheOff := flag.Bool("cache-off", false, "disable the annotation cache and request coalescing entirely")
 	flag.Parse()
 
 	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *requestTimeout,
 		RetryAfter:     time.Second,
+		CacheEntries:   resolveCacheEntries(*cacheEntries, *cacheOff),
 	}
+	log.Print(cacheConfigLine(cfg.CacheEntries))
 	s, err := buildServer(*modelPath, *storePath, *corpusSize, recipemodel.DefaultOptions(), cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,234 @@
+// Package cache is the heavy-tail annotation memo: a sharded,
+// concurrency-safe LRU keyed on sanitized phrase bytes. The paper's
+// corpus applies one CRF to 11.5M largely duplicated phrases ("salt",
+// "2 eggs" dominate real ingredient traffic), so a serving stack that
+// remembers the last few tens of thousands of decodes answers the
+// bulk of a heavy-tail mix from a map lookup instead of a Viterbi
+// pass.
+//
+// Two design points carry the correctness story:
+//
+//   - Keys are canonical: callers key on core.CanonicalKey(phrase)
+//     (the PR 4 sanitizer), so byte-level variants of one phrase
+//     (NBSP vs space, un-normalized composition) share an entry while
+//     the echoed Phrase field stays the caller's raw string.
+//   - Entries are generation-pinned: every Get and Put carries the
+//     generation of the model the caller resolved, and Get returns an
+//     entry only when its generation matches. A hot reload bumps the
+//     serving generation (internal/server pairs it atomically with
+//     the pipeline pointer), which invalidates every older entry
+//     logically at zero cost — stale entries are collected lazily, on
+//     the mismatching Get or by LRU pressure, never by a
+//     stop-the-world flush.
+//
+// The cache.lookup fault point fires at the top of every Get; an
+// injected error makes the lookup behave as a miss (a flaky cache
+// degrades to decoding, never to wrong answers), and OnHit gives
+// chaos drills a deterministic interleaving hook between a caller's
+// lookup and its decode.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"recipemodel/internal/faults"
+)
+
+// FaultLookup fires at the top of every Get, before the shard lock is
+// taken. Arm with Err to simulate an unavailable cache (lookups
+// degrade to misses), or OnHit to gate drill interleavings at exact
+// lookup counts.
+const FaultLookup = "cache.lookup"
+
+var _ = faults.MustRegister(FaultLookup)
+
+// numShards spreads the key space over independent locks; 16 is
+// plenty for a single process (the lock is held for a map probe and a
+// couple of pointer swaps).
+const numShards = 16
+
+// entry is one cached record on its shard's intrusive LRU list.
+type entry[V any] struct {
+	key        string
+	val        V
+	gen        uint64
+	prev, next *entry[V]
+}
+
+// shard is one lock's worth of the cache: a map for lookup plus a
+// doubly-linked list in recency order (root.next is most recent).
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[string]*entry[V]
+	root  entry[V] // sentinel: root.next = MRU, root.prev = LRU
+	limit int
+}
+
+func (s *shard[V]) init(limit int) {
+	s.items = make(map[string]*entry[V])
+	s.root.next = &s.root
+	s.root.prev = &s.root
+	s.limit = limit
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.next = s.root.next
+	e.prev = &s.root
+	s.root.next.prev = e
+	s.root.next = e
+}
+
+func (s *shard[V]) moveFront(e *entry[V]) {
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Stats is a point-in-time counter snapshot. Misses include lookups
+// that found a stale-generation entry (which also count one eviction,
+// since the entry is dropped on the spot).
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Cache is a sharded LRU of at most ~entries values. All methods are
+// safe for concurrent use; a nil *Cache is a valid always-miss cache,
+// so callers can keep one code path whether caching is on or off.
+type Cache[V any] struct {
+	shards    [numShards]shard[V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds a cache bounded to roughly entries values (the bound is
+// enforced per shard, so the effective capacity is the nearest
+// multiple of the shard count, minimum one per shard). entries <= 0
+// returns nil — the always-miss cache.
+func New[V any](entries int) *Cache[V] {
+	if entries <= 0 {
+		return nil
+	}
+	perShard := (entries + numShards - 1) / numShards
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// shardFor picks the shard by FNV-1a over the key bytes.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%numShards]
+}
+
+// Get returns the value cached under key for generation gen. A stored
+// entry from another generation is a miss — and is evicted on the
+// spot, since no future Get at the current generation can ever use
+// it. An injected FaultLookup error also reads as a miss: the caller
+// falls back to decoding.
+func (c *Cache[V]) Get(key string, gen uint64) (v V, ok bool) {
+	if c == nil {
+		return v, false
+	}
+	if err := faults.Inject(FaultLookup); err != nil {
+		c.misses.Add(1)
+		return v, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, found := s.items[key]
+	if !found {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return v, false
+	}
+	if e.gen != gen {
+		s.unlink(e)
+		delete(s.items, key)
+		s.mu.Unlock()
+		c.evictions.Add(1)
+		c.misses.Add(1)
+		return v, false
+	}
+	s.moveFront(e)
+	v = e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under key for generation gen, refreshing recency. When
+// the shard is over its bound the least-recently-used entry is
+// evicted. Storing over an existing key replaces its value and
+// generation in place.
+func (c *Cache[V]) Put(key string, gen uint64, v V) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		e.val, e.gen = v, gen
+		s.moveFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry[V]{key: key, val: v, gen: gen}
+	s.items[key] = e
+	s.pushFront(e)
+	var evicted bool
+	if len(s.items) > s.limit {
+		lru := s.root.prev
+		s.unlink(lru)
+		delete(s.items, lru.key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len reports the live entry count across all shards (including
+// not-yet-collected stale-generation entries).
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

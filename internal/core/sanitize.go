@@ -104,6 +104,18 @@ func spaceRune(r rune) bool {
 	return unicode.IsControl(r)
 }
 
+// CanonicalKey maps a raw phrase to its canonical cache-key bytes:
+// the phrase as the default sanitization policy would hand it to the
+// tokenizer. Byte-level variants of one phrase (NBSP vs space,
+// decomposed diacritics, stray controls) collapse onto one key, which
+// is what lets the serving cache share a decode across them while
+// echoing each caller's raw Phrase untouched. The error is the same
+// typed quarantine rejection Sanitize would produce — an unkeyable
+// phrase is exactly a phrase the pipeline would quarantine.
+func CanonicalKey(phrase string) (string, error) {
+	return Sanitize(phrase, DefaultSanitize)
+}
+
 // Sanitize applies the hardening policy to one phrase: byte cap,
 // UTF-8 validation (repair or reject), invisible-character removal,
 // space normalization, and NFC-lite composition of decomposed Latin

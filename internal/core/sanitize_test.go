@@ -71,6 +71,33 @@ func TestSanitizeTable(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyCollapsesVariants: byte-level variants of one
+// phrase share a key (the cache-sharing contract), while a clean
+// phrase keys as itself and a quarantine-bound phrase is unkeyable
+// with the same typed error the pipeline would reject it with.
+func TestCanonicalKeyCollapsesVariants(t *testing.T) {
+	base, err := CanonicalKey("2 cups onion")
+	if err != nil || base != "2 cups onion" {
+		t.Fatalf("clean phrase key = (%q, %v)", base, err)
+	}
+	for _, variant := range []string{
+		"2 cups onion",  // NBSP
+		"2 cups onion​", // zero-width space
+		"2 cups onion",  // thin space
+	} {
+		k, err := CanonicalKey(variant)
+		if err != nil {
+			t.Fatalf("CanonicalKey(%q) = %v", variant, err)
+		}
+		if k != base {
+			t.Fatalf("CanonicalKey(%q) = %q, want %q", variant, k, base)
+		}
+	}
+	if _, err := CanonicalKey(strings.Repeat("a", 1<<20)); !errors.Is(err, quarantine.ErrTooLong) {
+		t.Fatalf("oversized phrase err = %v, want too_long", err)
+	}
+}
+
 func TestCheckTokensCaps(t *testing.T) {
 	if err := checkTokens(nil, SanitizePolicy{}); !errors.Is(err, quarantine.ErrEmptyAfterClean) {
 		t.Fatalf("zero tokens = %v", err)

@@ -1,0 +1,136 @@
+// Package flight is request coalescing for the heavy-tail traffic
+// shape: when N concurrent callers ask for the same uncached phrase,
+// exactly one of them (the leader) runs the expensive decode and the
+// other N-1 (the waiters) receive its result — the classic
+// singleflight idea, adapted to the serving stack's contracts:
+//
+//   - Waiters are context-aware: a waiter whose request context dies
+//     detaches immediately with ctx.Err() instead of blocking on a
+//     slow leader. The leader keeps running — its result is still
+//     useful to the cache and to the waiters that stayed.
+//   - A panicking leader must not poison its waiters: the panic
+//     propagates to the leader's own caller (where the server's
+//     recovery middleware turns it into a 500), while every waiter
+//     falls through to its own fn call rather than re-throwing a
+//     panic it cannot attribute or returning a fabricated error.
+//   - Calls are keyed by the caller; the server keys on
+//     (generation, phrase) so a hot reload mid-herd starts a fresh
+//     flight for the new model instead of handing new requests a
+//     stale leader's result.
+//
+// The flight.leader fault point fires in the leader path after the
+// call slot is published, so drills can hold a leader in place while
+// a herd assembles (OnHit), fail it (Err), or kill it (PanicMsg) at a
+// deterministic hit count — no sleeps anywhere.
+package flight
+
+import (
+	"context"
+	"sync"
+
+	"recipemodel/internal/faults"
+)
+
+// FaultLeader fires inside the leader path of every Do call, after
+// the leader has won the election and published its call slot (so
+// concurrent Do calls for the same key are guaranteed to join as
+// waiters while the fault holds the leader). Arm with OnHit to gate a
+// herd deterministically, PanicMsg to drill leader-panic containment,
+// or Err to fail the whole flight.
+const FaultLeader = "flight.leader"
+
+var _ = faults.MustRegister(FaultLeader)
+
+// call is one in-flight computation. done is closed exactly once,
+// after val/err/panicked are final; waiters read them only after the
+// close, so the fields need no lock of their own.
+type call[V any] struct {
+	done     chan struct{}
+	val      V
+	err      error
+	panicked bool
+	waiters  int // joins so far; Group.mu-protected, test introspection
+}
+
+// Group coalesces concurrent calls by key. The zero value is ready to
+// use. A Group must not be copied after first use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do executes fn exactly once per key among concurrent callers: the
+// first caller for a key becomes the leader and runs fn; callers that
+// arrive while the leader is running become waiters and receive the
+// leader's (value, error) with shared=true. Sequential calls do not
+// coalesce — once the leader finishes, the key is free and the next
+// caller leads its own flight.
+//
+// A waiter whose ctx is done returns ctx.Err() without waiting for
+// the leader. If the leader panics, the panic propagates out of the
+// leader's Do, and each waiter runs fn itself (shared=false) — a dead
+// leader never poisons the herd. The leader itself ignores ctx: by
+// the time it is elected it is doing work others depend on.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.panicked {
+				v, err = fn()
+				return v, false, err
+			}
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return v, false, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The deferred epilogue runs on both the normal return and the
+	// panic unwind; completed distinguishes them so waiters learn the
+	// leader died and fall through to their own fn.
+	completed := false
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.panicked = !completed
+		close(c.done)
+	}()
+	if ferr := faults.Inject(FaultLeader); ferr != nil {
+		c.err = ferr
+		completed = true
+		return v, false, ferr
+	}
+	c.val, c.err = fn()
+	completed = true
+	return c.val, false, c.err
+}
+
+// Waiters reports how many callers have joined the in-flight call for
+// key (0 when no call is in flight). Drills poll it to know a herd
+// has fully assembled behind a fault-held leader before releasing —
+// the sleep-free way to pin "N waiters, one decode".
+func (g *Group[V]) Waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}
+
+// InFlight reports the number of keys with a live leader.
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

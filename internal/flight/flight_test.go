@@ -1,0 +1,291 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"recipemodel/internal/faults"
+)
+
+// waitFor spins until cond holds — a convergent, clock-free gate (the
+// condition is monotone in every test that uses it).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; !cond(); i++ {
+		if i > 1e8 {
+			t.Fatal("condition never became true")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestHerdOneExecution: a held leader plus N waiters resolve with
+// exactly one fn call, every caller seeing the leader's value and the
+// waiters flagged shared.
+func TestHerdOneExecution(t *testing.T) {
+	defer faults.Reset()
+	const herd = 50
+	release := make(chan struct{})
+	// OnHit fires in the leader after its call slot is published, so
+	// blocking here guarantees every other Do joins as a waiter.
+	faults.Enable(FaultLeader, faults.Fault{OnHit: func(int) { <-release }})
+
+	var g Group[string]
+	var calls atomic.Int32
+	fn := func() (string, error) {
+		calls.Add(1)
+		return "decoded", nil
+	}
+
+	type result struct {
+		v      string
+		shared bool
+		err    error
+	}
+	results := make(chan result, herd)
+	for i := 0; i < herd; i++ {
+		go func() {
+			v, shared, err := g.Do(context.Background(), "salt", fn)
+			results <- result{v, shared, err}
+		}()
+	}
+	waitFor(t, func() bool { return g.Waiters("salt") == herd-1 })
+	close(release)
+
+	sharedCount := 0
+	for i := 0; i < herd; i++ {
+		r := <-results
+		if r.err != nil || r.v != "decoded" {
+			t.Fatalf("result = (%q, %v)", r.v, r.err)
+		}
+		if r.shared {
+			sharedCount++
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if sharedCount != herd-1 {
+		t.Fatalf("shared results = %d, want %d", sharedCount, herd-1)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after completion", g.InFlight())
+	}
+}
+
+// TestWaiterDetachesOnCancel: a waiter whose context dies returns
+// ctx.Err() immediately instead of blocking on the held leader; the
+// leader still completes normally.
+func TestWaiterDetachesOnCancel(t *testing.T) {
+	defer faults.Reset()
+	release := make(chan struct{})
+	faults.Enable(FaultLeader, faults.Fault{OnHit: func(int) { <-release }})
+
+	var g Group[int]
+	fn := func() (int, error) { return 42, nil }
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", fn)
+		leaderDone <- err
+	}()
+	waitFor(t, func() bool { return g.InFlight() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", fn)
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return g.Waiters("k") == 1 })
+
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	// the leader is unaffected by the waiter's departure.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader error = %v", err)
+	}
+}
+
+// TestLeaderPanicDoesNotPoisonWaiters: the leader's panic propagates
+// to the leader's caller only; every waiter falls through to its own
+// fn call and succeeds.
+func TestLeaderPanicDoesNotPoisonWaiters(t *testing.T) {
+	defer faults.Reset()
+	const waiters = 8
+	release := make(chan struct{})
+	// OnHit assembles the herd, then the injected panic kills the
+	// leader (Inject order: Delay, OnHit, PanicMsg, Err).
+	faults.Enable(FaultLeader, faults.Fault{
+		OnHit:    func(int) { <-release },
+		PanicMsg: "leader corrupted",
+		Limit:    1,
+	})
+
+	var g Group[string]
+	var calls atomic.Int32
+	fn := func() (string, error) {
+		calls.Add(1)
+		return "own decode", nil
+	}
+
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		g.Do(context.Background(), "k", fn)
+	}()
+	waitFor(t, func() bool { return g.InFlight() == 1 })
+
+	var wg sync.WaitGroup
+	results := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", fn)
+			if shared {
+				results <- errors.New("waiter got shared result from a dead leader")
+				return
+			}
+			if v != "own decode" {
+				results <- errors.New("waiter value = " + v)
+				return
+			}
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.Waiters("k") == waiters })
+	close(release)
+
+	rec := <-leaderPanic
+	if rec == nil {
+		t.Fatal("leader did not panic")
+	}
+	if !strings.Contains(rec.(string), "leader corrupted") {
+		t.Fatalf("panic value = %v", rec)
+	}
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// every waiter decoded on its own; the leader never reached fn.
+	if got := calls.Load(); got != waiters {
+		t.Fatalf("fn ran %d times, want %d", got, waiters)
+	}
+}
+
+// TestLeaderFaultErrorShared: an injected leader error is the flight's
+// result — waiters share it rather than re-decoding (the fault models
+// a failure fn itself would have hit).
+func TestLeaderFaultErrorShared(t *testing.T) {
+	defer faults.Reset()
+	errBoom := errors.New("boom")
+	release := make(chan struct{})
+	faults.Enable(FaultLeader, faults.Fault{
+		OnHit: func(int) { <-release },
+		Err:   errBoom,
+	})
+
+	var g Group[int]
+	var calls atomic.Int32
+	fn := func() (int, error) { calls.Add(1); return 1, nil }
+
+	errs := make(chan error, 2)
+	sharedc := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, shared, err := g.Do(context.Background(), "k", fn)
+			sharedc <- shared
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.Waiters("k") == 1 })
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, errBoom) {
+			t.Fatalf("error = %v, want boom", err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("fn ran %d times, want 0 (fault preempted the leader)", calls.Load())
+	}
+	shared := 0
+	for i := 0; i < 2; i++ {
+		if <-sharedc {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("shared results = %d, want 1", shared)
+	}
+}
+
+// TestKeysIndependent: flights on different keys run concurrently and
+// do not share results.
+func TestKeysIndependent(t *testing.T) {
+	defer faults.Reset()
+	var g Group[string]
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		key := key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), key, func() (string, error) { return "v:" + key, nil })
+			if err != nil || v != "v:"+key {
+				t.Errorf("Do(%q) = (%q, %v)", key, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSequentialCallsEachExecute: coalescing is a property of
+// concurrency, not of the key's history.
+func TestSequentialCallsEachExecute(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int32
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			return int(calls.Add(1)), nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d = (%d, shared=%v, %v)", i, v, shared, err)
+		}
+	}
+}
+
+// TestFnErrorShared: a leader's real error propagates to waiters as
+// the shared flight result.
+func TestFnErrorShared(t *testing.T) {
+	defer faults.Reset()
+	errDecode := errors.New("decode failed")
+	release := make(chan struct{})
+	faults.Enable(FaultLeader, faults.Fault{OnHit: func(int) { <-release }})
+
+	var g Group[int]
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, _, err := g.Do(context.Background(), "k", func() (int, error) { return 0, errDecode })
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return g.Waiters("k") == 1 })
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, errDecode) {
+			t.Fatalf("error = %v, want decode failed", err)
+		}
+	}
+}

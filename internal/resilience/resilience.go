@@ -110,6 +110,21 @@ func (l *Limiter) TryAcquire(weight int) (release func(), ok bool) {
 	}, true
 }
 
+// Saturated reports whether the limiter currently has no headroom —
+// the next TryAcquire of any weight would shed. This is the server's
+// degraded-mode signal: while saturated, cache hits (which cost no
+// admission weight) are still served and misses shed, and the
+// hits-served-degraded counter tells operators it is happening. An
+// unlimited limiter is never saturated.
+func (l *Limiter) Saturated() bool {
+	if l == nil || l.capacity <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight >= l.capacity
+}
+
 // InFlight reports the units currently admitted.
 func (l *Limiter) InFlight() int {
 	if l == nil {

@@ -187,6 +187,39 @@ func TestShedJSONRetryAfter(t *testing.T) {
 	}
 }
 
+// TestLimiterSaturated: the degraded-mode signal tracks headroom
+// exactly — false with any capacity left, true at or beyond the
+// bound, and never true for unlimited or nil limiters.
+func TestLimiterSaturated(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Saturated() {
+		t.Fatal("idle limiter saturated")
+	}
+	rel1, _ := l.TryAcquire(1)
+	if l.Saturated() {
+		t.Fatal("half-full limiter saturated")
+	}
+	rel2, _ := l.TryAcquire(1)
+	if !l.Saturated() {
+		t.Fatal("full limiter not saturated")
+	}
+	rel2()
+	if l.Saturated() {
+		t.Fatal("saturation did not clear on release")
+	}
+	rel1()
+	// an over-capacity admit (idle limiter, huge weight) saturates too.
+	relBig, ok := l.TryAcquire(100)
+	if !ok || !l.Saturated() {
+		t.Fatal("over-capacity admission should saturate")
+	}
+	relBig()
+	var nilL *Limiter
+	if nilL.Saturated() || NewLimiter(0).Saturated() {
+		t.Fatal("nil/unlimited limiter can never saturate")
+	}
+}
+
 func TestLimiterUnlimitedAndNil(t *testing.T) {
 	for _, l := range []*Limiter{nil, NewLimiter(0)} {
 		rel, ok := l.TryAcquire(1 << 30)

@@ -26,6 +26,21 @@
 // candidate and the previous model keeps serving — in-flight requests
 // are never dropped either way, because each request resolves the
 // pipeline pointer once at admission.
+//
+// Heavy-tail traffic shape (DESIGN §13): real ingredient traffic is
+// massively duplicated, so with Config.CacheEntries > 0 the annotate
+// endpoints memoize successful decodes in a sharded LRU keyed on
+// core.CanonicalKey(phrase) and coalesce concurrent misses for one
+// phrase into a single decode (internal/flight). The cache is
+// generation-pinned: each request resolves {pipeline, version,
+// generation} as one atomic unit, entries carry the generation that
+// produced them, and a hot reload bumps the generation — so a cached
+// record is served only to requests resolving the very pipeline that
+// computed it, and a reload invalidates without a stop-the-world
+// flush. Under overload the cache keeps the hot set alive: hits cost
+// no admission weight and are served even when the limiter is
+// saturated (counted as degraded-mode serves), while misses shed with
+// 429 + Retry-After.
 package server
 
 import (
@@ -35,12 +50,15 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"recipemodel/internal/cache"
 	"recipemodel/internal/core"
 	"recipemodel/internal/faults"
+	"recipemodel/internal/flight"
 	"recipemodel/internal/index"
 	"recipemodel/internal/nutrition"
 	"recipemodel/internal/quarantine"
@@ -100,14 +118,23 @@ type Config struct {
 	Canary []core.CanaryCase
 	// ModelVersion labels the initially served model in /readyz.
 	ModelVersion string
+	// CacheEntries bounds the annotation cache (in entries); 0
+	// disables caching and request coalescing entirely, restoring the
+	// decode-every-request behavior.
+	CacheEntries int
 }
 
-// pipeState pairs the serving pipeline with its version label; it is
-// swapped as a unit so /readyz never reports a version the handlers
-// are not actually serving.
+// pipeState pairs the serving pipeline with its version label and
+// cache generation; it is swapped as a unit so /readyz never reports
+// a version the handlers are not actually serving, and so a cached
+// record can never be served to a request resolving a different
+// pipeline than the one that computed it (the generation a request
+// reads is, by construction, the generation of the pipeline it
+// decodes with).
 type pipeState struct {
 	pipe    Pipeline
 	version string
+	gen     uint64
 }
 
 // reloadInfo is the observable state of the reload machine, published
@@ -140,6 +167,20 @@ type Server struct {
 	// endpoints produced over the server's lifetime; published on
 	// /readyz so operators can alert on poison-input rates by code.
 	quarantined quarantine.Counters
+	// cache memoizes successful ingredient decodes keyed on canonical
+	// phrase bytes; nil when Config.CacheEntries is 0 (every lookup
+	// misses and the handlers take the decode path unconditionally).
+	cache *cache.Cache[core.IngredientRecord]
+	// flights coalesces concurrent uncached decodes of one phrase so a
+	// thundering herd costs a single decode. Keys carry the generation,
+	// so a reload mid-herd starts fresh flights for the new model.
+	flights flight.Group[core.IngredientRecord]
+	// shedTotal counts every 429 this server answered; degradedHits
+	// counts cache hits served while the limiter was saturated — the
+	// observable signature of degraded mode (still answering the hot
+	// set while shedding cold misses).
+	shedTotal    atomic.Int64
+	degradedHits atomic.Int64
 }
 
 // New builds a server around a trained pipeline with no limits; ix may
@@ -161,8 +202,9 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 		ix:        ix,
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		cfg:       cfg,
+		cache:     cache.New[core.IngredientRecord](cfg.CacheEntries),
 	}
-	s.pipe.Store(pipeState{pipe: pipe, version: cfg.ModelVersion})
+	s.pipe.Store(pipeState{pipe: pipe, version: cfg.ModelVersion, gen: 1})
 	s.reloadState.Store(reloadInfo{})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -196,13 +238,24 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // Ready reports the current readiness state.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
+// state resolves the serving {pipeline, version, generation} triple
+// once; a handler holds the same state for its whole request even if
+// a reload swaps the pointer mid-flight, which is what makes the
+// cache's generation pinning airtight: a record is cached and served
+// under the generation of the pipeline that computed it.
+func (s *Server) state() pipeState { return s.pipe.Load().(pipeState) }
+
 // pipeline resolves the serving pipeline once; a handler holds the
 // same pipeline for its whole request even if a reload swaps the
 // pointer mid-flight.
-func (s *Server) pipeline() Pipeline { return s.pipe.Load().(pipeState).pipe }
+func (s *Server) pipeline() Pipeline { return s.state().pipe }
 
 // ModelVersion reports the version label of the serving pipeline.
-func (s *Server) ModelVersion() string { return s.pipe.Load().(pipeState).version }
+func (s *Server) ModelVersion() string { return s.state().version }
+
+// Generation reports the cache generation of the serving pipeline;
+// it starts at 1 and increments on every adopted reload.
+func (s *Server) Generation() uint64 { return s.state().gen }
 
 // canarySet returns the golden phrases a reload candidate must pass.
 func (s *Server) canarySet() []core.CanaryCase {
@@ -266,7 +319,14 @@ func (s *Server) reloadLocked() (string, error) {
 	if err := runCanary(cand, s.canarySet()); err != nil {
 		return version, err
 	}
-	s.pipe.Store(pipeState{pipe: cand, version: version})
+	// Bumping the generation with the pipeline swap is the whole cache
+	// invalidation: entries decoded by the old model carry the old
+	// generation and no request resolving the new state can read them
+	// (they age out lazily — no stop-the-world flush). A decode still
+	// in flight under the old state caches its result under the old
+	// generation, where it is equally unreachable.
+	old := s.state()
+	s.pipe.Store(pipeState{pipe: cand, version: version, gen: old.gen + 1})
 	return version, nil
 }
 
@@ -324,6 +384,32 @@ type readyResponse struct {
 	// code.
 	Quarantined       int64                     `json:"quarantined"`
 	QuarantinedByCode map[quarantine.Code]int64 `json:"quarantinedByCode,omitempty"`
+	// Cache reports the annotation cache's counters and the serving
+	// generation; Shed reports overload behavior. Together they make
+	// degraded mode observable: shed.total climbing while
+	// cache.hits climbs and shed.degraded_hits_served > 0 means the
+	// server is at capacity but still answering the hot set.
+	Cache cacheStatus `json:"cache"`
+	Shed  shedStatus  `json:"shed"`
+}
+
+// cacheStatus is the /readyz cache block.
+type cacheStatus struct {
+	Enabled    bool   `json:"enabled"`
+	Entries    int    `json:"entries,omitempty"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Evictions  int64  `json:"evictions"`
+	Generation uint64 `json:"generation"`
+}
+
+// shedStatus is the /readyz overload block.
+type shedStatus struct {
+	// Total counts every 429 answered since startup.
+	Total int64 `json:"total"`
+	// DegradedHitsServed counts cache hits served while the limiter
+	// was saturated — requests that would have shed without the cache.
+	DegradedHitsServed int64 `json:"degraded_hits_served"`
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +417,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	st := s.cache.Stats()
 	resp := readyResponse{
 		Ready:             s.ready.Load(),
 		Model:             s.ModelVersion(),
@@ -339,6 +426,18 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Reload:            s.lastReload(),
 		Quarantined:       s.quarantined.Total(),
 		QuarantinedByCode: s.quarantined.ByCode(),
+		Cache: cacheStatus{
+			Enabled:    s.cache != nil,
+			Entries:    st.Entries,
+			Hits:       st.Hits,
+			Misses:     st.Misses,
+			Evictions:  st.Evictions,
+			Generation: s.Generation(),
+		},
+		Shed: shedStatus{
+			Total:              s.shedTotal.Load(),
+			DegradedHitsServed: s.degradedHits.Load(),
+		},
 	}
 	if !resp.Ready {
 		w.Header().Set("Content-Type", "application/json")
@@ -355,10 +454,16 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 func (s *Server) admit(w http.ResponseWriter, weight int) (release func(), ok bool) {
 	release, ok = s.limiter.TryAcquire(weight)
 	if !ok {
-		resilience.ShedJSON(w, s.cfg.RetryAfter)
+		s.shed(w)
 		return nil, false
 	}
 	return release, true
+}
+
+// shed answers 429 + Retry-After and counts it.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.shedTotal.Add(1)
+	resilience.ShedJSON(w, s.cfg.RetryAfter)
 }
 
 // writeJSON writes v with status 200.
@@ -427,6 +532,10 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "phrase is required")
 		return
 	}
+	if s.cache != nil {
+		s.annotateCached(w, r, req.Phrase)
+		return
+	}
 	release, ok := s.admit(w, 1)
 	if !ok {
 		return
@@ -434,18 +543,105 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	rec, err := s.pipeline().AnnotateIngredientChecked(req.Phrase)
 	if err != nil {
-		rej := quarantine.Reject(0, req.Phrase, err)
-		s.quarantined.Observe(rej.Code)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusUnprocessableEntity)
-		_ = json.NewEncoder(w).Encode(map[string]string{
-			"error":  "phrase rejected",
-			"code":   string(rej.Code),
-			"detail": rej.Detail,
-		})
+		s.rejectPhrase(w, req.Phrase, err)
 		return
 	}
 	writeJSON(w, rec)
+}
+
+// rejectPhrase answers the 422 quarantine payload for one phrase and
+// counts the rejection (shared by the cached and uncached paths, so
+// the response bytes are identical either way).
+func (s *Server) rejectPhrase(w http.ResponseWriter, phrase string, err error) {
+	rej := quarantine.Reject(0, phrase, err)
+	s.quarantined.Observe(rej.Code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":  "phrase rejected",
+		"code":   string(rej.Code),
+		"detail": rej.Detail,
+	})
+}
+
+// errShedMiss marks a decode that could not be admitted: the limiter
+// is saturated and the phrase is not cached, so the request (and any
+// waiters coalesced behind it) sheds with 429.
+var errShedMiss = errors.New("limiter saturated; uncached decode shed")
+
+// flightKey scopes a coalescing key to the serving generation, so a
+// reload mid-herd starts a fresh flight against the new model instead
+// of handing new-generation requests an old leader's result. Flights
+// key on the raw phrase (not the canonical key): identical requests —
+// the thundering-herd shape — still coalesce perfectly, and sharing
+// only between byte-identical phrases keeps every response, including
+// error details that echo the input, byte-identical to the uncached
+// server's.
+func flightKey(gen uint64, phrase string) string {
+	return strconv.FormatUint(gen, 10) + "\x00" + phrase
+}
+
+// annotateCached is /annotate with the heavy-tail layer in front of
+// the decode: canonical-key cache lookup (hits are served with zero
+// admission weight, even under a saturated limiter), then singleflight
+// coalescing for misses with admission paid once, by the leader,
+// inside the flight. The cached record's derived fields depend only on
+// the canonical key, so the response re-echoes this request's raw
+// phrase and is byte-identical to an uncached decode.
+func (s *Server) annotateCached(w http.ResponseWriter, r *http.Request, phrase string) {
+	st := s.state()
+	key, kerr := core.CanonicalKey(phrase)
+	if kerr == nil {
+		if rec, ok := s.cache.Get(key, st.gen); ok {
+			if s.limiter.Saturated() {
+				s.degradedHits.Add(1)
+			}
+			rec.Phrase = phrase
+			writeJSON(w, rec)
+			return
+		}
+	}
+	// An unkeyable phrase (kerr != nil) still flies: the decode will
+	// reject it with the exact quarantine error, and concurrent
+	// identical poison requests coalesce onto one rejection.
+	rec, _, err := s.flights.Do(r.Context(), flightKey(st.gen, phrase), func() (core.IngredientRecord, error) {
+		// Double-check inside the flight: a leader that won the race
+		// against a just-finished Put (looked up before it, got the
+		// flight slot after the previous leader released it) finds the
+		// entry here instead of decoding again — what makes "one herd,
+		// one decode" exact rather than probabilistic.
+		if kerr == nil {
+			if rec, ok := s.cache.Get(key, st.gen); ok {
+				return rec, nil
+			}
+		}
+		release, ok := s.limiter.TryAcquire(1)
+		if !ok {
+			return core.IngredientRecord{}, errShedMiss
+		}
+		defer release()
+		rec, err := st.pipe.AnnotateIngredientChecked(phrase)
+		if err != nil {
+			return core.IngredientRecord{}, err
+		}
+		if kerr == nil {
+			s.cache.Put(key, st.gen, rec)
+		}
+		return rec, nil
+	})
+	switch {
+	case err == nil:
+		rec.Phrase = phrase
+		writeJSON(w, rec)
+	case errors.Is(err, errShedMiss):
+		s.shed(w)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// a detached waiter: the client's context died while the
+		// leader was decoding.
+		s.ctxError(w, err)
+	default:
+		s.rejectPhrase(w, phrase, err)
+	}
 }
 
 // batchAnnotateRequest is the /annotate/batch payload.
@@ -491,6 +687,10 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("at most %d phrases per batch", maxBatchPhrases))
 		return
 	}
+	if s.cache != nil {
+		s.annotateBatchCached(w, r, req.Phrases)
+		return
+	}
 	// a batch occupies as many admission units as it has phrases, so
 	// one giant batch can't starve the interactive endpoints silently.
 	release, ok := s.admit(w, len(req.Phrases))
@@ -503,17 +703,25 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		s.ctxError(w, err)
 		return
 	}
-	resp := batchResponse{Results: make([]batchItem, len(req.Phrases))}
+	writeBatch(w, len(req.Phrases), recs, rejs, &s.quarantined)
+}
+
+// writeBatch assembles and writes the /annotate/batch envelope from
+// per-slot records and rejections (slot i is a rejection iff some
+// rejection carries index i), counting rejections into quarantined.
+// Shared by the cached and uncached paths so the bytes are identical.
+func writeBatch(w http.ResponseWriter, n int, recs []core.IngredientRecord, rejs []quarantine.Rejection, quarantined *quarantine.Counters) {
+	resp := batchResponse{Results: make([]batchItem, n)}
 	for i := range resp.Results {
 		rec := recs[i]
 		resp.Results[i] = batchItem{Status: "ok", Record: &rec}
 	}
 	for _, rej := range rejs {
-		s.quarantined.Observe(rej.Code)
+		quarantined.Observe(rej.Code)
 		resp.Results[rej.Index] = batchItem{Status: "rejected", Code: rej.Code, Detail: rej.Detail}
 	}
 	resp.Rejected = len(rejs)
-	resp.OK = len(req.Phrases) - resp.Rejected
+	resp.OK = n - resp.Rejected
 	status := http.StatusOK
 	switch {
 	case resp.OK == 0:
@@ -526,6 +734,103 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
+}
+
+// annotateBatchCached is /annotate/batch with the heavy-tail layer:
+// cached phrases are served for free, the remaining distinct phrases
+// are deduplicated (a 10k-phrase batch of "salt" decodes once) and
+// decoded through the worker-pool partial API, and admission is
+// weighed by the deduplicated miss count only — so under overload an
+// all-hot batch still answers while a cold batch sheds. Dedup is by
+// raw phrase: derived record fields depend only on the canonical key,
+// but rejection details echo the input, and byte-identity with the
+// uncached server is the differential contract.
+func (s *Server) annotateBatchCached(w http.ResponseWriter, r *http.Request, phrases []string) {
+	st := s.state()
+	n := len(phrases)
+	recs := make([]core.IngredientRecord, n)
+	done := make([]bool, n)
+	keys := make([]string, n)
+	keyOK := make([]bool, n)
+	hits := 0
+	for i, p := range phrases {
+		key, kerr := core.CanonicalKey(p)
+		if kerr != nil {
+			continue // decodes (and rejects) below
+		}
+		keys[i], keyOK[i] = key, true
+		if rec, ok := s.cache.Get(key, st.gen); ok {
+			rec.Phrase = p
+			recs[i] = rec
+			done[i] = true
+			hits++
+		}
+	}
+	// Saturation is sampled at arrival: a batch's own miss admission
+	// must not make its hits look degraded. The counter moves only
+	// when the batch is actually served (below) — hits in a batch that
+	// sheds on its miss weight were never answered.
+	degraded := hits > 0 && s.limiter.Saturated()
+	var rejs []quarantine.Rejection
+	missIdx := make(map[string]int) // raw phrase → index into miss slices
+	var missPhrases []string
+	var missKeys []string
+	var missKeyOK []bool
+	for i, p := range phrases {
+		if done[i] {
+			continue
+		}
+		if _, seen := missIdx[p]; seen {
+			continue
+		}
+		missIdx[p] = len(missPhrases)
+		missPhrases = append(missPhrases, p)
+		missKeys = append(missKeys, keys[i])
+		missKeyOK = append(missKeyOK, keyOK[i])
+	}
+	if len(missPhrases) > 0 {
+		release, ok := s.admit(w, len(missPhrases))
+		if !ok {
+			return
+		}
+		defer release()
+		mrecs, mrejs, err := st.pipe.AnnotateIngredientsPartial(r.Context(), missPhrases)
+		if err != nil {
+			s.ctxError(w, err)
+			return
+		}
+		rejected := make(map[int]quarantine.Rejection, len(mrejs))
+		for _, rej := range mrejs {
+			rejected[rej.Index] = rej
+		}
+		for j := range missPhrases {
+			if _, bad := rejected[j]; !bad && missKeyOK[j] {
+				s.cache.Put(missKeys[j], st.gen, mrecs[j])
+			}
+		}
+		// Expand the deduplicated results back onto every slot. A
+		// duplicate of a rejected phrase rejects at every slot it
+		// occupies, exactly as the uncached per-slot decode would.
+		for i, p := range phrases {
+			if done[i] {
+				continue
+			}
+			j := missIdx[p]
+			if rej, bad := rejected[j]; bad {
+				rej.Index = i
+				rejs = append(rejs, rej)
+				continue
+			}
+			rec := mrecs[j]
+			rec.Phrase = p
+			recs[i] = rec
+			done[i] = true
+		}
+	}
+	if degraded {
+		s.degradedHits.Add(int64(hits))
+	}
+	writeBatch(w, n, recs, rejs, &s.quarantined)
 }
 
 // modelRequest is the /model payload.
