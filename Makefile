@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test fuzz-smoke clean
+.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test query-chaos-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -115,14 +115,27 @@ herd-test:
 	$(GO) test -race ./internal/server -run 'TestHerdChaos|TestHerdCoalescesToOneDecode|TestReloadDuringHerdNoStaleGenerationServed|TestDegradedModeHitsServedMissesShed' -count=1
 	$(GO) test -race ./internal/flight ./internal/cache -count=1
 
-# Short fuzz passes over the model-load boundary and the end-to-end
-# annotate path (arbitrary bytes through sanitizer, tagger, parser) —
-# enough to catch a hardening regression in CI without a long budget.
+# Sharded-query chaos drills (DESIGN §14), under -race: kill one of N
+# shards mid-query (every response degraded yet byte-identical to the
+# serial oracle restricted to the survivors), reload a new snapshot
+# while a query is in flight (generation pinning: the in-flight answer
+# stays on the old version), and publish a torn snapshot (rejected
+# with the previous version still serving). Disruption timing is
+# fault-point driven — no sleeps.
+query-chaos-test:
+	$(GO) test -race ./internal/server -run 'TestQueryChaos' -count=1
+	$(GO) test -race ./internal/snapshot -count=1
+
+# Short fuzz passes over the model-load boundary, the end-to-end
+# annotate path (arbitrary bytes through sanitizer, tagger, parser),
+# and the snapshot manifest/segment loader — enough to catch a
+# hardening regression in CI without a long budget.
 fuzz-smoke:
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadBundle' -fuzztime 15s
 	$(GO) test ./internal/persist -run '^$$' -fuzz 'FuzzLoadTagger' -fuzztime 15s
 	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateIngredient' -fuzztime 15s
 	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateInstruction' -fuzztime 15s
+	$(GO) test ./internal/snapshot -run '^$$' -fuzz 'FuzzLoadSnapshot' -fuzztime 15s
 
 # Paper-scale artifact generation.
 tables:

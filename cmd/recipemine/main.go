@@ -14,6 +14,7 @@
 //	recipemine mine      -n 100000 -o corpus.jsonl    # durable, checkpointed run
 //	recipemine mine      -resume -n 100000 -o corpus.jsonl  # continue after a crash
 //	recipemine mine      -n 100000 -o corpus.jsonl -quarantine bad.jsonl  # dead-letter poison records
+//	recipemine snapshot  -store snapshots/ -from corpus.jsonl  # publish a corpus snapshot version
 //	recipemine model     < recipe.txt     # title \n ingredients... \n -- \n instructions
 //	recipemine nutrition < recipe.txt
 //	recipemine translate -lang fr < recipe.txt
@@ -55,9 +56,11 @@ import (
 
 	"recipemodel"
 	"recipemodel/internal/checkpoint"
+	"recipemodel/internal/core"
 	"recipemodel/internal/faults"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/recipedb"
+	"recipemodel/internal/snapshot"
 )
 
 // FaultEmit fires after every record a durable (-o) mine appends,
@@ -88,7 +91,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 func runCtx(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|mine|model|nutrition> [args]")
+		return fmt.Errorf("usage: recipemine <generate|annotate|instruct|mine|snapshot|model|nutrition> [args]")
 	}
 	switch args[0] {
 	case "generate":
@@ -101,6 +104,8 @@ func runCtx(ctx context.Context, args []string, in io.Reader, out io.Writer) err
 		return cmdInstruct(args[1:], out)
 	case "mine":
 		return cmdMine(ctx, args[1:], out)
+	case "snapshot":
+		return cmdSnapshot(args[1:], out)
 	case "model":
 		return cmdModel(args[1:], in, out, modeStructure)
 	case "nutrition":
@@ -636,6 +641,49 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 		}
 	}
 	fmt.Fprintf(os.Stderr, "recipemine: mined %d/%d records to %s; quarantined %s\n", mined, len(inputs), path, qc.Summary())
+	return nil
+}
+
+// cmdSnapshot packs a mined JSONL corpus into a new version of the
+// versioned snapshot store — the segmented, sha256-manifested form
+// recipeserver's query endpoints load and hot-swap. Publishing is
+// two-phase and crash-safe; the store's CURRENT pointer swings to the
+// new version only after every segment and the manifest are durable.
+func cmdSnapshot(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	store := fs.String("store", "", "snapshot store directory (required)")
+	from := fs.String("from", "", "mined corpus JSONL file, as produced by `recipemine mine -o` (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" || *from == "" {
+		return fmt.Errorf("snapshot: -store and -from are required")
+	}
+	f, err := os.Open(*from)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	var models []*core.RecipeModel
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var m core.RecipeModel
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("snapshot: %s: decode record %d: %w", *from, len(models), err)
+		}
+		models = append(models, &m)
+	}
+	st, err := snapshot.OpenStore(*store)
+	if err != nil {
+		return err
+	}
+	version, err := st.Build(models)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "published snapshot %s (%d docs) to %s\n", version, len(models), *store)
 	return nil
 }
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/snapshot"
+)
+
+// writeCorpusJSONL writes n hand-built RecipeModels in the exact wire
+// form `recipemine mine -o` produces (one JSON object per line).
+func writeCorpusJSONL(t *testing.T, path string, n int) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		m := core.RecipeModel{
+			Title:   "corpus-recipe",
+			Cuisine: "french",
+			Ingredients: []core.IngredientRecord{
+				{Phrase: "2 cups onion", Name: "onion", Quantity: "2", Unit: "cups"},
+			},
+			Instructions: []string{"Chop the onion."},
+		}
+		if err := enc.Encode(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotSubcommand publishes a mined corpus into a snapshot
+// store and loads it back through the store's integrity checks.
+func TestSnapshotSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.jsonl")
+	storeDir := filepath.Join(dir, "snapshots")
+	writeCorpusJSONL(t, corpus, 7)
+
+	var out bytes.Buffer
+	if err := run([]string{"snapshot", "-store", storeDir, "-from", corpus}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "published snapshot v000001 (7 docs)") {
+		t.Fatalf("output: %s", out.String())
+	}
+	st, err := snapshot.OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != "v000001" || len(snap.Models) != 7 {
+		t.Fatalf("loaded %q with %d docs", snap.Version, len(snap.Models))
+	}
+	if snap.Models[0].Ingredients[0].Name != "onion" {
+		t.Fatalf("round-trip lost ingredient: %+v", snap.Models[0])
+	}
+
+	// A second publish becomes v000002 and CURRENT follows it.
+	out.Reset()
+	if err := run([]string{"snapshot", "-store", storeDir, "-from", corpus}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "v000002") {
+		t.Fatalf("second publish output: %s", out.String())
+	}
+}
+
+func TestSnapshotSubcommandValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"snapshot"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	corpus := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(corpus, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"snapshot", "-store", filepath.Join(dir, "s"), "-from", corpus}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "empty snapshot") {
+		t.Fatalf("empty corpus: err = %v", err)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"snapshot", "-store", filepath.Join(dir, "s2"), "-from", bad}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "decode record 0") {
+		t.Fatalf("bad corpus: err = %v", err)
+	}
+}

@@ -28,6 +28,18 @@
 // phrases still answer while only uncached work sheds. /readyz
 // reports the cache and shed counters.
 //
+// Query posture: with -snapshots the server boots a versioned corpus
+// snapshot store (internal/snapshot) and serves POST /query/similar,
+// /query/search, and /query/nutrition over -query-shards in-memory
+// shards with per-shard panic containment and an optional
+// -query-shard-budget deadline. A failed shard degrades queries to
+// partial results (degraded:true in the envelope) instead of 5xx. Boot
+// uses the newest snapshot that passes integrity checks — a torn
+// CURRENT version is rejected with a named-file digest error and the
+// previous version serves. SIGHUP (or POST /admin/reload/corpus)
+// hot-swaps to a newly published snapshot; in-flight queries finish on
+// the snapshot they started on.
+//
 // Durability posture: with -store the pipeline is served out of a
 // versioned, checksummed model store (internal/persist). A retrain
 // publishes a new version with `recipemine train -store`; SIGHUP or
@@ -53,6 +65,7 @@ import (
 	"recipemodel/internal/index"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/server"
+	"recipemodel/internal/snapshot"
 )
 
 // pipeAdapter bridges the public Pipeline to the server's interface.
@@ -161,6 +174,27 @@ func cacheConfigLine(entries int) string {
 	return fmt.Sprintf("annotation cache: on (%d entries, singleflight coalescing, hits served under overload)", entries)
 }
 
+// openCorpus boots the query-service corpus from a versioned snapshot
+// store: the newest snapshot that passes integrity checks is loaded
+// (each rejected version is logged with its named-file digest error),
+// and the returned loader backs /admin/reload/corpus and the SIGHUP
+// hot-swap. The loader reads CURRENT strictly — a torn freshly
+// published version is a rejected reload, never a silent rollback.
+func openCorpus(dir string, logger *log.Logger) (*snapshot.Snapshot, func() (*snapshot.Snapshot, error), error) {
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, rejected, err := st.LoadLatestGood(context.Background())
+	for _, rerr := range rejected {
+		logger.Printf("corpus snapshot rejected at boot: %v", rerr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, func() (*snapshot.Snapshot, error) { return st.Load(context.Background()) }, nil
+}
+
 // newHTTPServer wraps the handler in a hardened http.Server: header
 // reads, full-request reads, response writes, and idle keep-alives are
 // all bounded so no stalled peer can pin a connection goroutine
@@ -198,6 +232,13 @@ func serve(srv *http.Server, s *server.Server, ln net.Listener, drain time.Durat
 				} else {
 					logger.Printf("SIGHUP reload ok: serving model %s", version)
 				}
+				if s.CorpusReloadEnabled() {
+					if version, err := s.ReloadCorpus(); err != nil {
+						logger.Printf("SIGHUP corpus reload rejected: %v (still serving %s)", err, s.CorpusVersion())
+					} else {
+						logger.Printf("SIGHUP corpus reload ok: serving snapshot %s", version)
+					}
+				}
 				continue
 			}
 			logger.Printf("received %v; draining in-flight requests (up to %v)", sig, drain)
@@ -223,6 +264,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	cacheEntries := flag.Int("cache-entries", defaultCacheEntries, "annotation cache capacity in entries (0 disables)")
 	cacheOff := flag.Bool("cache-off", false, "disable the annotation cache and request coalescing entirely")
+	snapshotsPath := flag.String("snapshots", "", "versioned corpus snapshot store directory; enables the /query endpoints and corpus hot reload")
+	queryShards := flag.Int("query-shards", 4, "in-memory corpus shards behind the /query endpoints (clamped to the doc count)")
+	queryShardBudget := flag.Duration("query-shard-budget", 2*time.Second, "per-shard deadline before a query degrades to partial results (0 disables)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -232,6 +276,17 @@ func main() {
 		CacheEntries:   resolveCacheEntries(*cacheEntries, *cacheOff),
 	}
 	log.Print(cacheConfigLine(cfg.CacheEntries))
+	if *snapshotsPath != "" {
+		snap, loader, err := openCorpus(*snapshotsPath, log.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CorpusSnapshot = snap
+		cfg.CorpusShards = *queryShards
+		cfg.CorpusLoader = loader
+		cfg.QueryShardBudget = *queryShardBudget
+		log.Printf("serving corpus snapshot %s (%d docs) over %d shards", snap.Version, len(snap.Models), *queryShards)
+	}
 	s, err := buildServer(*modelPath, *storePath, *corpusSize, recipemodel.DefaultOptions(), cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/server"
+	"recipemodel/internal/snapshot"
+)
+
+// corpusModels builds a small, structurally varied corpus.
+func corpusModels(n int) []*core.RecipeModel {
+	names := []string{"onion", "garlic", "tomato"}
+	out := make([]*core.RecipeModel, n)
+	for i := range out {
+		out[i] = &core.RecipeModel{
+			Title:   "recipe",
+			Cuisine: "thai",
+			Ingredients: []core.IngredientRecord{
+				{Phrase: "1 cup " + names[i%3], Name: names[i%3], Quantity: "1", Unit: "cup"},
+			},
+			Instructions: []string{"Cook."},
+		}
+	}
+	return out
+}
+
+// TestOpenCorpus: boot loads the newest good version; a torn CURRENT
+// version is logged and rolled past.
+func TestOpenCorpus(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Build(corpusModels(5)); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st.Build(corpusModels(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "snapshots", v2, "seg-000000.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	snap, loader, err := openCorpus(dir, log.New(&logBuf, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != "v000001" || len(snap.Models) != 5 {
+		t.Fatalf("boot snapshot %q with %d docs, want v000001 with 5", snap.Version, len(snap.Models))
+	}
+	if !strings.Contains(logBuf.String(), v2) || !strings.Contains(logBuf.String(), "manifest expects") {
+		t.Fatalf("rejection log: %s", logBuf.String())
+	}
+	// The strict loader keeps refusing the torn CURRENT version.
+	if _, err := loader(); err == nil {
+		t.Fatal("loader accepted the torn CURRENT version")
+	}
+}
+
+// TestServeSIGHUPReloadsCorpus: a SIGHUP swaps in a newly published
+// snapshot without terminating the server.
+func TestServeSIGHUPReloadsCorpus(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Build(corpusModels(4)); err != nil {
+		t.Fatal(err)
+	}
+	snap, loader, err := openCorpus(dir, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.NewWithConfig(gatedPipe{}, nil, server.Config{
+		CorpusSnapshot: snap,
+		CorpusShards:   2,
+		CorpusLoader:   loader,
+	})
+	s.SetReady(true)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(ln.Addr().String(), s)
+	sigs := make(chan os.Signal, 1)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(srv, s, ln, 5*time.Second, sigs, log.New(io.Discard, "", 0)) }()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	// Queries serve the boot snapshot.
+	resp, err := http.Post(base+"/query/similar", "application/json", strings.NewReader(`{"id": 0, "k": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Snapshot string `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if env.Snapshot != "v000001" {
+		t.Fatalf("boot query served %q", env.Snapshot)
+	}
+
+	// Publish v2, SIGHUP, and wait for the swap.
+	if _, err := st.Build(corpusModels(6)); err != nil {
+		t.Fatal(err)
+	}
+	sigs <- syscall.SIGHUP
+	deadline := time.Now().Add(3 * time.Second)
+	for s.CorpusVersion() != "v000002" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.CorpusVersion(); got != "v000002" {
+		t.Fatalf("corpus after SIGHUP = %q, want v000002", got)
+	}
+
+	sigs <- syscall.SIGTERM
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v, want nil", err)
+	}
+}

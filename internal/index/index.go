@@ -80,25 +80,28 @@ func (ix *Index) Len() int { return len(ix.models) }
 func (ix *Index) Model(doc int) *core.RecipeModel { return ix.models[doc] }
 
 // Query is a conjunctive structured query; empty fields are wildcards.
+// The JSON tags are the wire form of the query service's /query/search
+// endpoint, which decodes request bodies straight into this type.
 type Query struct {
 	// Ingredients the recipe must contain (all of them).
-	Ingredients []string
+	Ingredients []string `json:"ingredients,omitempty"`
 	// Processes the event chain must contain (all of them).
-	Processes []string
+	Processes []string `json:"processes,omitempty"`
 	// Utensils the recipe must use.
-	Utensils []string
+	Utensils []string `json:"utensils,omitempty"`
 	// Cuisine restricts the cuisine label.
-	Cuisine string
+	Cuisine string `json:"cuisine,omitempty"`
 	// Applied restricts to recipes where Applied.Process is applied to
 	// Applied.Ingredient in one relation (the many-to-many structure).
-	Applied []Pair
+	Applied []Pair `json:"applied,omitempty"`
 	// InState requires an ingredient mined with a processing state.
-	InState []Pair
+	InState []Pair `json:"in_state,omitempty"`
 }
 
 // Pair is a (process, ingredient) or (ingredient, state) combination.
 type Pair struct {
-	A, B string
+	A string `json:"a"`
+	B string `json:"b"`
 }
 
 // Search returns the matching document ids in ascending order.

@@ -152,3 +152,26 @@ func (e *Estimator) EstimateRecipe(m *core.RecipeModel) (total Profile, resolved
 	}
 	return total, resolved
 }
+
+// RecipeProfile is one precomputed recipe estimate: the nutrient
+// totals plus how many of the recipe's ingredients resolved against
+// the table (the coverage signal the paper's nutrition application
+// reports alongside every profile).
+type RecipeProfile struct {
+	Profile     Profile `json:"profile"`
+	Ingredients int     `json:"ingredients"`
+	Resolved    int     `json:"resolved"`
+}
+
+// EstimateAll precomputes the profile of every model, in order — the
+// shard-build form: a corpus snapshot's nutrition state is computed
+// once at load, so serving a profile is an array lookup instead of a
+// per-request table walk.
+func (e *Estimator) EstimateAll(models []*core.RecipeModel) []RecipeProfile {
+	out := make([]RecipeProfile, len(models))
+	for i, m := range models {
+		total, resolved := e.EstimateRecipe(m)
+		out[i] = RecipeProfile{Profile: total, Ingredients: len(m.Ingredients), Resolved: resolved}
+	}
+	return out
+}

@@ -114,3 +114,36 @@ func TestTableSanity(t *testing.T) {
 		t.Fatalf("table too small: %d", len(nutrientTable))
 	}
 }
+
+func TestEstimateAll(t *testing.T) {
+	e := NewEstimator()
+	models := []*core.RecipeModel{
+		{Ingredients: []core.IngredientRecord{
+			{Name: "sugar", Quantity: "100", Unit: "grams"},
+			{Name: "unknownium", Quantity: "1", Unit: "cup"},
+		}},
+		{Ingredients: []core.IngredientRecord{
+			{Name: "butter", Quantity: "100", Unit: "grams"},
+		}},
+		{},
+	}
+	profiles := e.EstimateAll(models)
+	if len(profiles) != len(models) {
+		t.Fatalf("got %d profiles for %d models", len(profiles), len(models))
+	}
+	// Each entry must agree with a direct EstimateRecipe of its model.
+	for i, m := range models {
+		total, resolved := e.EstimateRecipe(m)
+		p := profiles[i]
+		if p.Profile != total || p.Resolved != resolved || p.Ingredients != len(m.Ingredients) {
+			t.Fatalf("model %d: %+v, want profile %+v resolved %d ingredients %d",
+				i, p, total, resolved, len(m.Ingredients))
+		}
+	}
+	if profiles[0].Resolved != 1 || profiles[0].Ingredients != 2 {
+		t.Fatalf("partial resolution: %+v", profiles[0])
+	}
+	if profiles[2].Ingredients != 0 || profiles[2].Profile.Calories != 0 {
+		t.Fatalf("empty model: %+v", profiles[2])
+	}
+}

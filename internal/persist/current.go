@@ -1,0 +1,43 @@
+// The CURRENT pointer: the one-file commit protocol shared by every
+// versioned store in the system. A store directory holds immutable
+// version directories plus a single CURRENT file naming the serving
+// version; publishing and rollback are both an atomic rename of that
+// file, so a reader sees the old complete version or the new complete
+// version, never a mixture. The model store (store.go) and the corpus
+// snapshot store (internal/snapshot) both speak this protocol.
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"recipemodel/internal/checkpoint"
+)
+
+// currentFile is the pointer file naming the serving version.
+const currentFile = "CURRENT"
+
+// WriteCurrentPointer atomically points dir's CURRENT file at version.
+// The caller is responsible for having made the version durable first;
+// this is only the commit record.
+func WriteCurrentPointer(dir, version string) error {
+	return checkpoint.WriteFileAtomic(filepath.Join(dir, currentFile), []byte(version+"\n"), 0o644)
+}
+
+// ReadCurrentPointer reads the serving version from dir's CURRENT
+// file; an empty pointer is an error (it names nothing servable).
+func ReadCurrentPointer(dir string) (string, error) {
+	path := filepath.Join(dir, currentFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	version := strings.TrimSpace(string(data))
+	if version == "" {
+		return "", fmt.Errorf("%s is empty", path)
+	}
+	return version, nil
+}

@@ -46,9 +46,6 @@ const FaultInstall = "persist.install"
 
 var _ = faults.MustRegister(FaultInstall)
 
-// currentFile is the pointer file naming the serving version.
-const currentFile = "CURRENT"
-
 // Store is a versioned, crash-safe bundle directory.
 type Store struct {
 	dir string
@@ -180,7 +177,7 @@ func (s *Store) SetCurrent(version string) error {
 	if _, err := os.Stat(s.versionDir(version)); err != nil {
 		return fmt.Errorf("persist: set current: version %q not installed: %w", version, err)
 	}
-	if err := checkpoint.WriteFileAtomic(filepath.Join(s.dir, currentFile), []byte(version+"\n"), 0o644); err != nil {
+	if err := WriteCurrentPointer(s.dir, version); err != nil {
 		return fmt.Errorf("persist: set current %s: %w", version, err)
 	}
 	return nil
@@ -188,13 +185,9 @@ func (s *Store) SetCurrent(version string) error {
 
 // Current reads the serving version from CURRENT.
 func (s *Store) Current() (string, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, currentFile))
+	version, err := ReadCurrentPointer(s.dir)
 	if err != nil {
-		return "", fmt.Errorf("persist: read %s: %w", filepath.Join(s.dir, currentFile), err)
-	}
-	version := strings.TrimSpace(string(data))
-	if version == "" {
-		return "", fmt.Errorf("persist: %s is empty", filepath.Join(s.dir, currentFile))
+		return "", fmt.Errorf("persist: %w", err)
 	}
 	return version, nil
 }

@@ -9,6 +9,7 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -205,10 +206,11 @@ func (b Backoff) withDefaults() Backoff {
 }
 
 // Retry calls fn up to b.Attempts times, backing off between attempts,
-// until fn returns nil. It stops early — returning the last error —
-// when ctx is cancelled, and never sleeps past cancellation. The
-// returned error is fn's last error (or ctx.Err() if cancelled before
-// the first attempt).
+// until fn returns nil. It stops early when ctx is cancelled and never
+// sleeps past cancellation: a cancellation that lands mid-backoff
+// returns promptly with an error satisfying errors.Is(err, ctx.Err()),
+// joined with fn's last error so neither cause is lost. When every
+// attempt runs, the returned error is fn's last error.
 func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) error {
 	b = b.withDefaults()
 	delays := b.Delays()
@@ -216,9 +218,9 @@ func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) e
 	for attempt := 0; attempt < b.Attempts; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if err == nil {
-				err = cerr
+				return cerr
 			}
-			return err
+			return errors.Join(err, cerr)
 		}
 		if err = fn(ctx); err == nil {
 			return nil
@@ -227,7 +229,7 @@ func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) e
 			break
 		}
 		if !sleepCtx(ctx, delays[attempt], b.Sleep) {
-			return err
+			return errors.Join(err, ctx.Err())
 		}
 	}
 	return err

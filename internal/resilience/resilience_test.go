@@ -349,3 +349,58 @@ func TestRetryStopsOnCancel(t *testing.T) {
 		t.Fatalf("pre-cancelled err = %v", err)
 	}
 }
+
+// TestRetryCancelDuringBackoffReturnsCtxErr pins the mid-backoff
+// cancellation contract: a context that dies while Retry is sleeping
+// between attempts must surface promptly as ctx.Err() — joined with
+// fn's last error so neither cause is lost — and fn must not run
+// again. (Cancellation *between* attempts was already covered; the
+// delay window is the gap this test closes.)
+func TestRetryCancelDuringBackoffReturnsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	calls := 0
+	b := Backoff{
+		Base:     time.Hour, // real sleeps would hang the test; Sleep below never does
+		Attempts: 5,
+		Sleep: func(time.Duration) {
+			// The cancellation lands mid-delay: Retry is inside its
+			// backoff sleep when the context dies.
+			cancel()
+		},
+	}
+	err := Retry(ctx, b, func(context.Context) error {
+		calls++
+		return transient
+	})
+	if calls != 1 {
+		t.Fatalf("fn ran %d times; cancellation during backoff must stop retries", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want fn's last error joined in", err)
+	}
+
+	// The real-clock variant: a timer-based sleep must return promptly
+	// (well under the hour-long delay) once the context dies.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx2, Backoff{Base: time.Hour, Attempts: 5}, func(context.Context) error {
+			calls++
+			cancel2() // dies before the first backoff delay starts
+			return transient
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) || calls != 1 {
+			t.Fatalf("err = %v calls = %d", err, calls)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return promptly after cancellation during its backoff delay")
+	}
+}

@@ -1,0 +1,257 @@
+// Chaos drills for the sharded query service (run by `make
+// query-chaos-test` under -race). Each drill injects a failure through
+// internal/faults — a killed shard, a reload racing an in-flight
+// query, a torn snapshot on disk — and checks the degraded answers
+// against a serial single-shard oracle: the surviving shards' results
+// must match, element for element, what a healthy one-shard server
+// would answer over only the surviving documents. No drill sleeps;
+// stalls are channel gates and ordering is enforced by the gates, not
+// the scheduler.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"recipemodel/internal/faults"
+	"recipemodel/internal/resilience"
+	"recipemodel/internal/snapshot"
+)
+
+// chaosQuery runs one query and decodes its envelope.
+func chaosQuery(t *testing.T, s *Server, path, body string) (envelope, int) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		return envelope{}, w.Code
+	}
+	return decodeEnvelope(t, w.Body), w.Code
+}
+
+// TestQueryChaosShardKill is the headline acceptance drill: shard k of
+// N is killed mid-query; every query still completes with 200 and
+// degraded:true, and the served results are identical to the serial
+// oracle restricted to the surviving documents.
+func TestQueryChaosShardKill(t *testing.T) {
+	const docs, shards, killed = 24, 4, 2
+	s := queryServer(shards, docs)
+	oracle := queryServer(1, docs)
+	defer faults.Enable(FaultQueryShard, faults.Fault{
+		Err:     errors.New("injected shard kill"),
+		Indices: []int{killed},
+	})()
+	survives := func(id int) bool { return id%shards != killed }
+
+	// /query/similar for a spread of query docs — including docs owned
+	// by the killed shard, which must still be rankable (the query
+	// model comes from the snapshot, not from its shard).
+	for id := 0; id < docs; id += 5 {
+		body := `{"id": ` + strconv.Itoa(id) + `, "k": 6}`
+		env, code := chaosQuery(t, s, "/query/similar", body)
+		if code != http.StatusOK {
+			t.Fatalf("similar id=%d: status %d", id, code)
+		}
+		if !env.Degraded || env.ShardsServed != shards-1 || len(env.FailedShards) != 1 || env.FailedShards[0] != killed {
+			t.Fatalf("similar id=%d envelope %+v", id, env)
+		}
+		var got []similarHit
+		if err := json.Unmarshal(env.Results, &got); err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: the full serial ranking, filtered to survivors, then
+		// truncated to k. Filter-then-truncate equals the degraded
+		// ranking exactly because both use one deterministic total order.
+		fullEnv, _ := chaosQuery(t, oracle, "/query/similar", `{"id": `+strconv.Itoa(id)+`, "k": `+strconv.Itoa(docs)+`}`)
+		var full []similarHit
+		if err := json.Unmarshal(fullEnv.Results, &full); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]similarHit, 0, 6)
+		for _, h := range full {
+			if survives(h.ID) && len(want) < 6 {
+				want = append(want, h)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("similar id=%d degraded results diverge from oracle:\n  got  %+v\n  want %+v", id, got, want)
+		}
+	}
+
+	// /query/search: degraded hits = oracle hits minus the killed
+	// shard's documents.
+	for _, body := range []string{`{"processes": ["fry"]}`, `{"ingredients": ["onion"]}`, `{"cuisine": "thai"}`} {
+		env, code := chaosQuery(t, s, "/query/search", body)
+		if code != http.StatusOK || !env.Degraded {
+			t.Fatalf("search %s: status %d envelope %+v", body, code, env)
+		}
+		var got, full []searchHit
+		if err := json.Unmarshal(env.Results, &got); err != nil {
+			t.Fatal(err)
+		}
+		oEnv, _ := chaosQuery(t, oracle, "/query/search", body)
+		if err := json.Unmarshal(oEnv.Results, &full); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]searchHit, 0, len(full))
+		for _, h := range full {
+			if survives(h.ID) {
+				want = append(want, h)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("search %s diverges from oracle:\n  got  %+v\n  want %+v", body, got, want)
+		}
+	}
+
+	// /query/nutrition: rows for the killed shard's ids are absent,
+	// surviving rows identical to the oracle's.
+	env, code := chaosQuery(t, s, "/query/nutrition", `{"ids": [0,1,2,3,10,14,22]}`)
+	if code != http.StatusOK || !env.Degraded {
+		t.Fatalf("nutrition: status %d envelope %+v", code, env)
+	}
+	var got, full []nutritionItem
+	if err := json.Unmarshal(env.Results, &got); err != nil {
+		t.Fatal(err)
+	}
+	oEnv, _ := chaosQuery(t, oracle, "/query/nutrition", `{"ids": [0,1,2,3,10,14,22]}`)
+	if err := json.Unmarshal(oEnv.Results, &full); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]nutritionItem, 0, len(full))
+	for _, it := range full {
+		if survives(it.ID) {
+			want = append(want, it)
+		}
+	}
+	if len(want) == len(full) {
+		t.Fatal("drill is vacuous: no requested id was owned by the killed shard")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("nutrition diverges from oracle:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
+// TestQueryChaosReloadMidQuery: a snapshot hot-swap lands while a
+// query is suspended inside a shard. The in-flight query must finish
+// on the snapshot it started on; the next query serves the new one.
+func TestQueryChaosReloadMidQuery(t *testing.T) {
+	s := NewWithConfig(fakePipe{}, nil, Config{
+		CorpusSnapshot: querySnapshot("v000001", 8),
+		CorpusShards:   2,
+		CorpusLoader:   func() (*snapshot.Snapshot, error) { return querySnapshot("v000002", 10), nil },
+	})
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	defer faults.Enable(FaultQueryShard, faults.Fault{
+		Indices: []int{0},
+		OnHit:   func(int) { entered <- struct{}{}; <-gate },
+	})()
+
+	type answer struct {
+		env  envelope
+		code int
+	}
+	done := make(chan answer, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/query/similar", strings.NewReader(`{"id": 1, "k": 4}`))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		var env envelope
+		if w.Code == http.StatusOK {
+			_ = json.Unmarshal(w.Body.Bytes(), &env)
+		}
+		done <- answer{env, w.Code}
+	}()
+
+	<-entered // the query is inside shard 0, pinned to v000001
+	if v, err := s.ReloadCorpus(); err != nil || v != "v000002" {
+		t.Fatalf("reload under in-flight query: %q, %v", v, err)
+	}
+	close(gate)
+	ans := <-done
+	if ans.code != http.StatusOK {
+		t.Fatalf("in-flight query: status %d", ans.code)
+	}
+	if ans.env.Snapshot != "v000001" || ans.env.Degraded {
+		t.Fatalf("in-flight query not pinned to its snapshot: %+v", ans.env)
+	}
+	env, _ := chaosQuery(t, s, "/query/similar", `{"id": 1, "k": 4}`)
+	if env.Snapshot != "v000002" || env.ShardsTotal != 2 || env.Degraded {
+		t.Fatalf("post-reload query: %+v", env)
+	}
+}
+
+// TestQueryChaosTornSnapshot: the server boots from a real on-disk
+// store; a torn publish is rejected at reload with a named-file,
+// expected-vs-found digest error while the previous version keeps
+// serving — and LoadLatestGood recovers it for a fresh boot.
+func TestQueryChaosTornSnapshot(t *testing.T) {
+	st, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Backoff = resilience.Backoff{Sleep: func(time.Duration) {}}
+	if _, err := st.Build(queryCorpusModels(10)); err != nil {
+		t.Fatal(err)
+	}
+	boot, err := st.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(fakePipe{}, nil, Config{
+		CorpusSnapshot: boot,
+		CorpusShards:   3,
+		CorpusLoader:   func() (*snapshot.Snapshot, error) { return st.Load(context.Background()) },
+	})
+
+	// A new version is published, then torn on disk (crash mid-copy,
+	// bit rot — the manifest no longer matches the bytes).
+	v2, err := st.Build(queryCorpusModels(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(st.Dir(), "snapshots", v2, "seg-000000.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/admin/reload/corpus", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("torn snapshot reload: status %d: %s", w.Code, w.Body.String())
+	}
+	if msg := w.Body.String(); !strings.Contains(msg, "seg-000000.jsonl") || !strings.Contains(msg, "manifest expects") {
+		t.Fatalf("rejection does not name the torn file: %s", msg)
+	}
+	env, code := chaosQuery(t, s, "/query/similar", `{"id": 0, "k": 3}`)
+	if code != http.StatusOK || env.Snapshot != "v000001" || env.Degraded {
+		t.Fatalf("previous version not serving after torn publish: status %d, %+v", code, env)
+	}
+
+	// A fresh boot through LoadLatestGood rolls back to v000001 and
+	// reports why v000002 was rejected.
+	snap, rejected, err := st.LoadLatestGood(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != "v000001" || len(rejected) != 1 || !strings.Contains(rejected[0].Error(), v2) {
+		t.Fatalf("LoadLatestGood: %q, rejected %v", snap.Version, rejected)
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"recipemodel/internal/nutrition"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/resilience"
+	"recipemodel/internal/snapshot"
 )
 
 // FaultServe fires at the top of every routed request (before the
@@ -122,6 +123,20 @@ type Config struct {
 	// disables caching and request coalescing entirely, restoring the
 	// decode-every-request behavior.
 	CacheEntries int
+	// CorpusSnapshot is the initial mined corpus served by the /query
+	// endpoints; nil disables them with a 503.
+	CorpusSnapshot *snapshot.Snapshot
+	// CorpusShards is the number of in-memory shards the corpus is
+	// partitioned into (clamped to [1, docs]).
+	CorpusShards int
+	// CorpusLoader loads a candidate snapshot for corpus hot reload;
+	// nil disables /admin/reload/corpus with a 503.
+	CorpusLoader func() (*snapshot.Snapshot, error)
+	// QueryShardBudget bounds each query's per-shard fan-out: a shard
+	// that has not answered within the budget is skipped (the query
+	// degrades to partial results) and marked unhealthy. 0 leaves only
+	// the request deadline in force.
+	QueryShardBudget time.Duration
 }
 
 // pipeState pairs the serving pipeline with its version label and
@@ -181,6 +196,15 @@ type Server struct {
 	// set while shedding cold misses).
 	shedTotal    atomic.Int64
 	degradedHits atomic.Int64
+	// corpus holds the generation-pinned *corpusState serving the
+	// /query endpoints; swapped atomically by ReloadCorpus, resolved
+	// once per request (see query.go). corpusMu serializes reloads;
+	// query handlers never take it.
+	corpus          atomic.Value
+	corpusMu        sync.Mutex
+	corpusReloads   atomic.Int64
+	corpusRejected  atomic.Int64
+	degradedQueries atomic.Int64
 }
 
 // New builds a server around a trained pipeline with no limits; ix may
@@ -206,6 +230,9 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 	}
 	s.pipe.Store(pipeState{pipe: pipe, version: cfg.ModelVersion, gen: 1})
 	s.reloadState.Store(reloadInfo{})
+	if cfg.CorpusSnapshot != nil && len(cfg.CorpusSnapshot.Models) > 0 {
+		s.corpus.Store(newCorpusState(cfg.CorpusSnapshot, cfg.CorpusShards))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
@@ -213,7 +240,11 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 	mux.HandleFunc("/annotate/batch", s.handleAnnotateBatch)
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/query/similar", s.handleQuerySimilar)
+	mux.HandleFunc("/query/search", s.handleQuerySearch)
+	mux.HandleFunc("/query/nutrition", s.handleQueryNutrition)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/admin/reload/corpus", s.handleReloadCorpus)
 	s.handler = resilience.Recover(cfg.Logger,
 		resilience.Deadline(cfg.RequestTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if err := faults.Inject(FaultServe); err != nil {
@@ -391,6 +422,42 @@ type readyResponse struct {
 	// server is at capacity but still answering the hot set.
 	Cache cacheStatus `json:"cache"`
 	Shed  shedStatus  `json:"shed"`
+	// Corpus reports the query service's serving snapshot and shard
+	// health: shards_healthy < shards_total with
+	// degraded_queries_served climbing means queries are answering
+	// partial results over the survivors — time to reload a snapshot.
+	Corpus corpusStatus `json:"corpus"`
+}
+
+// corpusStatus is the /readyz corpus block.
+type corpusStatus struct {
+	Enabled bool `json:"enabled"`
+	// Version is the serving snapshot version ("" when disabled).
+	Version               string `json:"version,omitempty"`
+	Docs                  int    `json:"docs,omitempty"`
+	ShardsTotal           int    `json:"shards_total"`
+	ShardsHealthy         int    `json:"shards_healthy"`
+	DegradedQueriesServed int64  `json:"degraded_queries_served"`
+	Reloads               int64  `json:"reloads"`
+	RejectedReloads       int64  `json:"rejected_reloads"`
+}
+
+// corpusStatusNow assembles the /readyz corpus block from the serving
+// state.
+func (s *Server) corpusStatusNow() corpusStatus {
+	st := corpusStatus{
+		DegradedQueriesServed: s.degradedQueries.Load(),
+		Reloads:               s.corpusReloads.Load(),
+		RejectedReloads:       s.corpusRejected.Load(),
+	}
+	if cs := s.loadCorpus(); cs != nil {
+		st.Enabled = true
+		st.Version = cs.version
+		st.Docs = len(cs.snap.Models)
+		st.ShardsTotal = len(cs.shards)
+		st.ShardsHealthy = cs.healthyShards()
+	}
+	return st
 }
 
 // cacheStatus is the /readyz cache block.
@@ -438,6 +505,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			Total:              s.shedTotal.Load(),
 			DegradedHitsServed: s.degradedHits.Load(),
 		},
+		Corpus: s.corpusStatusNow(),
 	}
 	if !resp.Ready {
 		w.Header().Set("Content-Type", "application/json")
@@ -469,6 +537,15 @@ func (s *Server) shed(w http.ResponseWriter) {
 // writeJSON writes v with status 200.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONStatus writes v as indented JSON under a non-200 status.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)

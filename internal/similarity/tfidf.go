@@ -2,6 +2,7 @@ package similarity
 
 import (
 	"math"
+	"sort"
 	"strings"
 
 	"recipemodel/internal/core"
@@ -43,16 +44,26 @@ func (w *CorpusWeights) IDF(name string) float64 {
 // IDF-weighted Jaccard: Σ idf(shared) / Σ idf(union).
 func WeightedScore(a, b *core.RecipeModel, cw *CorpusWeights, w Weights) float64 {
 	sa, sb := ingredientSet(a), ingredientSet(b)
-	var inter, union float64
+	// Sum in sorted-name order: float addition is not associative and
+	// Go randomizes map iteration, so summing in map order makes the
+	// score vary between calls at the last ulp — enough to break the
+	// byte-identity contract of the sharded query service.
+	names := make([]string, 0, len(sa)+len(sb))
 	for name := range sa {
-		if sb[name] {
-			inter += cw.IDF(name)
-		}
-		union += cw.IDF(name)
+		names = append(names, name)
 	}
 	for name := range sb {
 		if !sa[name] {
-			union += cw.IDF(name)
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var inter, union float64
+	for _, name := range names {
+		idf := cw.IDF(name)
+		union += idf
+		if sa[name] && sb[name] {
+			inter += idf
 		}
 	}
 	ingScore := 0.0

@@ -1,0 +1,105 @@
+package similarity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"recipemodel/internal/core"
+)
+
+// randomRanked builds a result set with deliberate score ties so the
+// index tiebreak is exercised.
+func randomRanked(rng *rand.Rand, n int) []Ranked {
+	out := make([]Ranked, n)
+	for i := range out {
+		out[i] = Ranked{Index: i, Score: float64(rng.Intn(n/2+1)) / 10}
+	}
+	rng.Shuffle(n, func(i, j int) { out[i].Index, out[j].Index = out[j].Index, out[i].Index })
+	return out
+}
+
+// TestTopKMatchesFullSort: TopK(results, k) must equal the first k of
+// the full deterministic sort, for every k — the heap is an
+// optimization, never a different order.
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 17, 64} {
+		results := randomRanked(rng, n)
+		full := append([]Ranked(nil), results...)
+		sortRanked(full)
+		for k := -1; k <= n+2; k++ {
+			got := TopK(results, k)
+			want := full
+			if k > 0 && k < n {
+				want = full[:k]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d:\n  got  %v\n  want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKDoesNotMutateInput(t *testing.T) {
+	results := []Ranked{{Index: 0, Score: 1}, {Index: 1, Score: 3}, {Index: 2, Score: 2}}
+	snapshot := append([]Ranked(nil), results...)
+	TopK(results, 2)
+	TopK(results, 0)
+	if !reflect.DeepEqual(results, snapshot) {
+		t.Fatalf("input mutated: %v", results)
+	}
+}
+
+// TestMergeTopKEqualsUnion: merging per-shard top-K lists equals the
+// top K of the union — the coordinator's correctness condition.
+func TestMergeTopKEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	all := randomRanked(rng, 40)
+	const k = 8
+	// Partition round-robin into 4 "shards", rank each locally.
+	lists := make([][]Ranked, 4)
+	for i, r := range all {
+		lists[i%4] = append(lists[i%4], r)
+	}
+	for i := range lists {
+		lists[i] = TopK(lists[i], k)
+	}
+	got := MergeTopK(lists, k)
+	want := TopK(all, k)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged shard top-K diverges from union top-K:\n  got  %v\n  want %v", got, want)
+	}
+}
+
+// TestMostSimilarWeightedTopKMatchesFullRanking pins the per-shard
+// form against the existing full ranking.
+func TestMostSimilarWeightedTopKMatchesFullRanking(t *testing.T) {
+	mk := func(names ...string) *core.RecipeModel {
+		m := &core.RecipeModel{Title: "t"}
+		for _, n := range names {
+			m.Ingredients = append(m.Ingredients, core.IngredientRecord{Name: n})
+		}
+		return m
+	}
+	corpus := []*core.RecipeModel{
+		mk("onion", "garlic"),
+		mk("onion", "tomato"),
+		mk("garlic", "tomato", "basil"),
+		mk("rice"),
+		mk("onion", "garlic", "tomato"),
+	}
+	cw := LearnWeights(corpus)
+	query := mk("onion", "garlic")
+	full := MostSimilarWeighted(query, corpus, cw, DefaultWeights)
+	for k := 1; k <= len(corpus)+1; k++ {
+		got := MostSimilarWeightedTopK(query, corpus, cw, DefaultWeights, k)
+		want := full
+		if k < len(full) {
+			want = full[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d:\n  got  %v\n  want %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeedVersion installs one real snapshot and returns its manifest
+// and first-segment bytes — the honest starting points the fuzzer
+// mutates from.
+func buildSeedVersion(tb testing.TB) (manData, segData []byte) {
+	tb.Helper()
+	st, err := OpenStore(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v, err := st.Build(testModels(5))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	manData, err = os.ReadFile(filepath.Join(st.versionDir(v), "MANIFEST.json"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	segData, err = os.ReadFile(filepath.Join(st.versionDir(v), "seg-000000.jsonl"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return manData, segData
+}
+
+// FuzzLoadSnapshot pins the loader's survival contract: whatever bytes
+// sit where the manifest and segment should be — torn, transposed,
+// hostile, or empty — LoadVersion returns a usable snapshot or an
+// error, never a panic, and never a snapshot inconsistent with the
+// manifest it trusted.
+func FuzzLoadSnapshot(f *testing.F) {
+	manData, segData := buildSeedVersion(f)
+	f.Add(manData, segData)                                // the valid pair
+	f.Add(manData, segData[:len(segData)/2])               // torn segment
+	f.Add(manData[:len(manData)/2], segData)               // torn manifest
+	f.Add(segData, manData)                                // transposed
+	f.Add([]byte("{}"), []byte{})                          // empty manifest object
+	f.Add([]byte(`{"docs":-1}`), []byte("null\n"))         // negative docs
+	f.Add([]byte(`{"segments":[{"name":".."}]}`), segData) // escaping name
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, man, seg []byte) {
+		dir := t.TempDir()
+		verDir := filepath.Join(dir, "snapshots", "v000001")
+		if err := os.MkdirAll(verDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(verDir, "MANIFEST.json"), man, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(verDir, "seg-000000.jsonl"), seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := st.LoadVersion("v000001")
+		if err != nil {
+			return
+		}
+		for i, m := range snap.Models {
+			if m == nil {
+				t.Fatalf("accepted snapshot holds nil model at doc %d", i)
+			}
+		}
+	})
+}
+
+// TestLoadVersionFuzzRegressions replays the fuzz corpus classes under
+// plain `go test`, so the contract is exercised without -fuzz.
+func TestLoadVersionFuzzRegressions(t *testing.T) {
+	manData, segData := buildSeedVersion(t)
+	cases := map[string]struct{ man, seg []byte }{
+		"torn segment":   {manData, segData[:len(segData)/2]},
+		"torn manifest":  {manData[:len(manData)/2], segData},
+		"transposed":     {segData, manData},
+		"empty manifest": {[]byte("{}"), nil},
+		"negative docs":  {[]byte(`{"docs":-1}`), []byte("null\n")},
+		"escaping name":  {[]byte(`{"segments":[{"name":"../CURRENT"}]}`), segData},
+		"empty files":    {nil, nil},
+	}
+	for name, c := range cases {
+		dir := t.TempDir()
+		verDir := filepath.Join(dir, "snapshots", "v000001")
+		if err := os.MkdirAll(verDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(verDir, "MANIFEST.json"), c.man, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(verDir, "seg-000000.jsonl"), c.seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := OpenStore(dir)
+		if _, err := st.LoadVersion("v000001"); err == nil && !bytes.Equal(c.man, manData) {
+			t.Errorf("%s: corrupt version loaded without error", name)
+		}
+	}
+}
+
+// TestLoadVersionValidSeed keeps the fuzzer's honest seed honest: the
+// unmutated pair must load.
+func TestLoadVersionValidSeed(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Build(testModels(5)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load(context.Background())
+	if err != nil || len(snap.Models) != 5 {
+		t.Fatalf("valid seed: %v, %d docs", err, len(snap.Models))
+	}
+}

@@ -1,0 +1,371 @@
+// Package snapshot is the versioned corpus store: the crash-safe
+// deployment form of a mined recipe corpus, the read-side twin of the
+// model store in internal/persist. `recipemine mine` produces a JSONL
+// corpus; `recipemine snapshot` packs it into an immutable, segmented,
+// sha256-manifested snapshot version that the query service loads into
+// memory shards and hot-swaps under traffic. Layout on disk:
+//
+//	<dir>/
+//	  CURRENT                      ← version name, swapped by atomic rename
+//	  snapshots/
+//	    v000001/
+//	      MANIFEST.json            ← docs + per-segment size/sha256
+//	      seg-000000.jsonl         ← RecipeModel JSONL segments
+//	      seg-000001.jsonl
+//	    v000002/
+//	      ...
+//
+// The install discipline is persist's, reused verbatim: segments and
+// manifest are written atomically inside a hidden temp directory, the
+// directory is renamed into place, and only then does CURRENT swing —
+// a crash anywhere leaves CURRENT naming the previous, fully durable
+// version. Loads verify every segment's size and sha256 against the
+// manifest before decoding a single record, so a torn or bit-flipped
+// snapshot is a named-file, expected-vs-found-digest error, never a
+// half corpus. Load attempts retry with resilience.Backoff (transient
+// I/O), and LoadLatestGood falls back version by version when the
+// current snapshot is rejected — the server keeps serving the newest
+// corpus that checks out.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"recipemodel/internal/checkpoint"
+	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
+	"recipemodel/internal/persist"
+	"recipemodel/internal/resilience"
+)
+
+// FaultLoad fires at the top of every snapshot version load attempt —
+// before any file is read. Tests arm it to simulate transient I/O
+// failures (exercising the retry path) or a persistently unreadable
+// version (exercising the fallback to the previous good snapshot).
+const FaultLoad = "snapshot.load"
+
+var _ = faults.MustRegister(FaultLoad)
+
+// segRecords is how many recipe models one segment file holds; small
+// enough that a torn tail costs one segment's re-read, large enough
+// that a 100k-recipe corpus is a few dozen files, not thousands.
+const segRecords = 2048
+
+// Snapshot is one loaded corpus version: the models in their stable
+// mined order. Document i of the corpus is Models[i] in every version
+// of the truth — global doc ids are positions, and the query service's
+// shard assignment (id mod shards) is derived from them, so any shard
+// count serves the same ids.
+type Snapshot struct {
+	Version string
+	Models  []*core.RecipeModel
+}
+
+// Store is a versioned, crash-safe corpus snapshot directory.
+type Store struct {
+	dir string
+	// Backoff paces the per-version load retries; the zero value uses
+	// the resilience defaults (3 attempts, 10ms base). Tests install a
+	// no-op Sleep to keep retry drills clock-free.
+	Backoff resilience.Backoff
+}
+
+// OpenStore opens (creating if necessary) a snapshot store rooted at
+// dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "snapshots"), 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) snapshotsDir() string { return filepath.Join(s.dir, "snapshots") }
+
+func (s *Store) versionDir(version string) string {
+	return filepath.Join(s.snapshotsDir(), version)
+}
+
+// segmentEntry is one segment file's integrity record.
+type segmentEntry struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	Size    int64  `json:"size"`
+	SHA256  string `json:"sha256"`
+}
+
+// manifest is the per-version integrity record: total docs plus every
+// segment's size and digest. A loader trusts nothing it has not
+// checked against this file.
+type manifest struct {
+	Version  string         `json:"version"`
+	Docs     int            `json:"docs"`
+	Segments []segmentEntry `json:"segments"`
+}
+
+// Versions lists the installed versions in ascending order (temp
+// directories from interrupted installs are excluded).
+func (s *Store) Versions() ([]string, error) {
+	entries, err := os.ReadDir(s.snapshotsDir())
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: list versions: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "v") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// nextVersion allocates the next sequential version name.
+func (s *Store) nextVersion() (string, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	for _, v := range versions {
+		var i int
+		if _, err := fmt.Sscanf(v, "v%06d", &i); err == nil && i > n {
+			n = i
+		}
+	}
+	return fmt.Sprintf("v%06d", n+1), nil
+}
+
+// SetCurrent atomically points CURRENT at an installed version — also
+// the rollback primitive: point it back at a previous version.
+func (s *Store) SetCurrent(version string) error {
+	if _, err := os.Stat(s.versionDir(version)); err != nil {
+		return fmt.Errorf("snapshot: set current: version %q not installed: %w", version, err)
+	}
+	if err := persist.WriteCurrentPointer(s.dir, version); err != nil {
+		return fmt.Errorf("snapshot: set current %s: %w", version, err)
+	}
+	return nil
+}
+
+// Current reads the serving version from CURRENT.
+func (s *Store) Current() (string, error) {
+	version, err := persist.ReadCurrentPointer(s.dir)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	return version, nil
+}
+
+// Build installs the models as a new snapshot version and swaps
+// CURRENT to it, returning the version name. Models are encoded in
+// their given order (positions are the corpus's global doc ids) into
+// fixed-size JSONL segments; the install is two-phase, so a crash at
+// any point leaves CURRENT on the previous, fully durable version.
+func (s *Store) Build(models []*core.RecipeModel) (version string, err error) {
+	if len(models) == 0 {
+		return "", fmt.Errorf("snapshot: refusing to build an empty snapshot")
+	}
+	version, err = s.nextVersion()
+	if err != nil {
+		return "", err
+	}
+	tmpDir := filepath.Join(s.snapshotsDir(), ".install-"+version)
+	// A previous interrupted install may have left the temp dir behind.
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(tmpDir)
+		}
+	}()
+
+	man := manifest{Version: version, Docs: len(models)}
+	for lo := 0; lo < len(models); lo += segRecords {
+		hi := min(lo+segRecords, len(models))
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, m := range models[lo:hi] {
+			if err := enc.Encode(m); err != nil {
+				return "", fmt.Errorf("snapshot: install %s: encode doc %d: %w", version, lo, err)
+			}
+		}
+		name := fmt.Sprintf("seg-%06d.jsonl", len(man.Segments))
+		sum := sha256.Sum256(buf.Bytes())
+		if err := checkpoint.WriteFileAtomic(filepath.Join(tmpDir, name), buf.Bytes(), 0o644); err != nil {
+			return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+		}
+		man.Segments = append(man.Segments, segmentEntry{
+			Name:    name,
+			Records: hi - lo,
+			Size:    int64(buf.Len()),
+			SHA256:  hex.EncodeToString(sum[:]),
+		})
+	}
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	if err := checkpoint.WriteFileAtomic(filepath.Join(tmpDir, "MANIFEST.json"), append(manData, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	if err := os.Rename(tmpDir, s.versionDir(version)); err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	if err := checkpoint.SyncDir(s.snapshotsDir()); err != nil {
+		return "", fmt.Errorf("snapshot: install %s: %w", version, err)
+	}
+	if err := s.SetCurrent(version); err != nil {
+		return version, err
+	}
+	return version, nil
+}
+
+// LoadVersion loads one installed version: the manifest is read first,
+// every segment's size and sha256 are checked against it, and only
+// then are the records decoded. Every error names the offending file;
+// checksum failures carry both the expected and the found digest.
+func (s *Store) LoadVersion(version string) (*Snapshot, error) {
+	if err := faults.Inject(FaultLoad); err != nil {
+		return nil, fmt.Errorf("snapshot: load %s: %w", version, err)
+	}
+	verDir := s.versionDir(version)
+	manPath := filepath.Join(verDir, "MANIFEST.json")
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		return nil, fmt.Errorf("snapshot: %s: %w", manPath, err)
+	}
+	// Build refuses empty corpora, so a manifest claiming zero (or
+	// negative) docs can only be corruption.
+	if man.Docs <= 0 {
+		return nil, fmt.Errorf("snapshot: %s: implausible doc count %d", manPath, man.Docs)
+	}
+	snap := &Snapshot{Version: version}
+	for _, seg := range man.Segments {
+		// Segment names come from a file an attacker or a corruption may
+		// have rewritten; confine them to the version directory.
+		if seg.Name != filepath.Base(seg.Name) || seg.Name == "." || seg.Name == ".." {
+			return nil, fmt.Errorf("snapshot: %s: invalid segment name %q", manPath, seg.Name)
+		}
+		segPath := filepath.Join(verDir, seg.Name)
+		data, err := os.ReadFile(segPath)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if int64(len(data)) != seg.Size {
+			return nil, fmt.Errorf("snapshot: %s: size %d bytes, manifest expects %d", segPath, len(data), seg.Size)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != seg.SHA256 {
+			return nil, fmt.Errorf("snapshot: %s: checksum mismatch: manifest expects sha256 %s, file has %s", segPath, seg.SHA256, got)
+		}
+		records, err := decodeSegment(data)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %s: %w", segPath, err)
+		}
+		if len(records) != seg.Records {
+			return nil, fmt.Errorf("snapshot: %s: holds %d records, manifest expects %d", segPath, len(records), seg.Records)
+		}
+		snap.Models = append(snap.Models, records...)
+	}
+	if len(snap.Models) != man.Docs {
+		return nil, fmt.Errorf("snapshot: %s: segments hold %d docs, manifest expects %d", manPath, len(snap.Models), man.Docs)
+	}
+	return snap, nil
+}
+
+// decodeSegment parses one segment's JSONL records.
+func decodeSegment(data []byte) ([]*core.RecipeModel, error) {
+	var out []*core.RecipeModel
+	dec := json.NewDecoder(bufio.NewReader(bytes.NewReader(data)))
+	for {
+		var m core.RecipeModel
+		if err := dec.Decode(&m); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("decode record %d: %w", len(out), err)
+		}
+		out = append(out, &m)
+	}
+}
+
+// loadVersionRetry is LoadVersion behind the store's backoff: a
+// transient read failure (or an armed snapshot.load fault with a
+// limit) is retried; a persistent one comes back as the last error.
+func (s *Store) loadVersionRetry(ctx context.Context, version string) (*Snapshot, error) {
+	var snap *Snapshot
+	err := resilience.Retry(ctx, s.Backoff, func(context.Context) error {
+		var lerr error
+		snap, lerr = s.LoadVersion(version)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Load opens the CURRENT version, verifying integrity before decode
+// and retrying transient failures per the store's backoff.
+func (s *Store) Load(ctx context.Context) (*Snapshot, error) {
+	version, err := s.Current()
+	if err != nil {
+		return nil, err
+	}
+	return s.loadVersionRetry(ctx, version)
+}
+
+// LoadLatestGood loads the newest snapshot that passes integrity
+// checks: CURRENT first, then earlier versions in descending order
+// when CURRENT is torn or corrupt — the automatic-fallback form the
+// server boots and reloads through, so one bad publish never takes
+// the corpus offline. The rejected slice reports each version that
+// failed (named files, expected-vs-found digests) for the caller to
+// log; err is non-nil only when no version loads at all.
+func (s *Store) LoadLatestGood(ctx context.Context) (snap *Snapshot, rejected []error, err error) {
+	current, err := s.Current()
+	if err != nil {
+		return nil, nil, err
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		return nil, nil, err
+	}
+	// CURRENT first, then everything newer-to-older, skipping CURRENT's
+	// own slot in the walk.
+	try := []string{current}
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i] != current {
+			try = append(try, versions[i])
+		}
+	}
+	for _, v := range try {
+		snap, lerr := s.loadVersionRetry(ctx, v)
+		if lerr == nil {
+			return snap, rejected, nil
+		}
+		rejected = append(rejected, fmt.Errorf("version %s rejected: %w", v, lerr))
+	}
+	return nil, rejected, fmt.Errorf("snapshot: no loadable version in %s (tried %d)", s.dir, len(try))
+}
