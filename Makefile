@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test query-chaos-test fuzz-smoke clean
+.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test tier-test query-chaos-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,18 @@ poison-test:
 herd-test:
 	$(GO) test -race ./internal/server -run 'TestHerdChaos|TestHerdCoalescesToOneDecode|TestReloadDuringHerdNoStaleGenerationServed|TestDegradedModeHitsServedMissesShed' -count=1
 	$(GO) test -race ./internal/flight ./internal/cache -count=1
+
+# Degradation-ladder chaos drills (DESIGN §15), under -race: the
+# trip→degrade→recover drill (CRF tier switched dead: zero 5xx, every
+# miss answers 200 tier:"rules", the breaker trips and then recovers
+# on an injected clock within the probe budget), the differential
+# byte-identity contract (rules tier + breaker configured, routing
+# off: responses identical to the pre-tier server), the saturated-miss
+# and mixed-batch ladder rungs, plus the breaker and rules-tier unit
+# drills. No sleeps anywhere — breaker time is clock-injected.
+tier-test:
+	$(GO) test -race ./internal/server -run 'TestTier' -count=1
+	$(GO) test -race ./internal/breaker ./internal/rules -count=1
 
 # Sharded-query chaos drills (DESIGN §14), under -race: kill one of N
 # shards mid-query (every response degraded yet byte-identical to the

@@ -28,6 +28,18 @@
 // phrases still answer while only uncached work sheds. /readyz
 // reports the cache and shed counters.
 //
+// Tier posture: annotation resolves through the degradation ladder
+// (DESIGN §15): CRF tier → cache hot-set → rules tier → shed. A
+// circuit breaker watches CRF-tier health (contained record panics,
+// canary-rejected reloads, shard failures); when it trips, annotation
+// endpoints answer 200 from the deterministic gazetteer tier
+// (degraded:true, tier:"rules") instead of 429/500, and half-open
+// probes restore the CRF tier automatically. -rules-off disables the
+// ladder; -rules-route enables healthy-mode short-circuiting of
+// high-confidence phrases; -breaker-* tune the trip/probe behavior;
+// -agreement-sample audits CRF output against the rules tier. /readyz
+// reports per-tier counters and the breaker state.
+//
 // Query posture: with -snapshots the server boots a versioned corpus
 // snapshot store (internal/snapshot) and serves POST /query/similar,
 // /query/search, and /query/nutrition over -query-shards in-memory
@@ -61,9 +73,12 @@ import (
 	"time"
 
 	"recipemodel"
+	"recipemodel/internal/breaker"
 	"recipemodel/internal/core"
 	"recipemodel/internal/index"
 	"recipemodel/internal/quarantine"
+	"recipemodel/internal/resilience"
+	"recipemodel/internal/rules"
 	"recipemodel/internal/server"
 	"recipemodel/internal/snapshot"
 )
@@ -174,6 +189,18 @@ func cacheConfigLine(entries int) string {
 	return fmt.Sprintf("annotation cache: on (%d entries, singleflight coalescing, hits served under overload)", entries)
 }
 
+// tierConfigLine is the startup log line stating the degradation-
+// ladder posture (DESIGN §15), mirroring cacheConfigLine.
+func tierConfigLine(enabled, route bool, threshold float64) string {
+	if !enabled {
+		return "rules tier: off (CRF failures surface; no degraded fallback)"
+	}
+	if route {
+		return fmt.Sprintf("rules tier: on (breaker-guarded fallback; healthy-mode routing at confidence >= %g)", threshold)
+	}
+	return "rules tier: on (breaker-guarded fallback; healthy-mode routing off)"
+}
+
 // openCorpus boots the query-service corpus from a versioned snapshot
 // store: the newest snapshot that passes integrity checks is loaded
 // (each rejected version is logged with its named-file digest error),
@@ -267,6 +294,16 @@ func main() {
 	snapshotsPath := flag.String("snapshots", "", "versioned corpus snapshot store directory; enables the /query endpoints and corpus hot reload")
 	queryShards := flag.Int("query-shards", 4, "in-memory corpus shards behind the /query endpoints (clamped to the doc count)")
 	queryShardBudget := flag.Duration("query-shard-budget", 2*time.Second, "per-shard deadline before a query degrades to partial results (0 disables)")
+	rulesOff := flag.Bool("rules-off", false, "disable the rule-tier annotation fallback (annotation errors surface instead of degrading)")
+	rulesRoute := flag.Bool("rules-route", false, "healthy-mode routing: answer high-confidence phrases from the rules tier without a CRF decode")
+	rulesThreshold := flag.Float64("rules-threshold", 1, "minimum rules-tier confidence for healthy-mode routing and agreement audits, in (0, 1]")
+	breakerWindow := flag.Int("breaker-window", 64, "CRF-tier breaker: sliding outcome window size")
+	breakerFailureRate := flag.Float64("breaker-failure-rate", 0.5, "CRF-tier breaker: failure fraction of the window that trips it open")
+	breakerMinSamples := flag.Int("breaker-min-samples", 8, "CRF-tier breaker: outcomes required in the window before it can trip")
+	breakerOpenTimeout := flag.Duration("breaker-open-timeout", 5*time.Second, "CRF-tier breaker: base open interval before half-open probing (escalates with jittered backoff)")
+	breakerProbes := flag.Int("breaker-probes", 1, "CRF-tier breaker: concurrent half-open probe decodes")
+	breakerCloseAfter := flag.Int("breaker-close-successes", 3, "CRF-tier breaker: consecutive probe successes that close it")
+	agreementSample := flag.Int("agreement-sample", 0, "audit every Nth successful CRF decode against the rules tier (0 disables)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -276,6 +313,32 @@ func main() {
 		CacheEntries:   resolveCacheEntries(*cacheEntries, *cacheOff),
 	}
 	log.Print(cacheConfigLine(cfg.CacheEntries))
+	if !*rulesOff {
+		cfg.Rules = rules.New()
+		cfg.RulesRoute = *rulesRoute
+		cfg.RulesThreshold = *rulesThreshold
+		cfg.AgreementSample = *agreementSample
+		cfg.Breaker = breaker.Config{
+			Window:      *breakerWindow,
+			FailureRate: *breakerFailureRate,
+			MinSamples:  *breakerMinSamples,
+			OpenTimeout: *breakerOpenTimeout,
+			MaxProbes:   *breakerProbes,
+			CloseAfter:  *breakerCloseAfter,
+			// Escalating, spread-jittered reopen schedule: a fleet of
+			// replicas tripping together desynchronizes its probes
+			// instead of re-hammering a struggling model in lockstep.
+			ReopenBackoff: &resilience.Backoff{
+				Base:     *breakerOpenTimeout,
+				Max:      8 * *breakerOpenTimeout,
+				Attempts: 6,
+				Jitter:   0.5,
+				Mode:     resilience.JitterSpread,
+				Seed:     int64(os.Getpid()),
+			},
+		}
+	}
+	log.Print(tierConfigLine(!*rulesOff, *rulesRoute, *rulesThreshold))
 	if *snapshotsPath != "" {
 		snap, loader, err := openCorpus(*snapshotsPath, log.Default())
 		if err != nil {

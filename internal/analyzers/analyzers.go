@@ -109,6 +109,9 @@ var deterministicPkgs = map[string]bool{
 	"perceptron":  true,
 	"depparse":    true,
 	"experiments": true,
+	// The rules tier must answer identically on every replica: it is
+	// the thing the fleet degrades to in unison.
+	"rules": true,
 }
 
 // durablePkgs are the packages that persist durable artifacts and so

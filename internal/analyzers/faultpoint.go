@@ -15,6 +15,11 @@
 //     registered with faults.MustRegister (which panics on duplicate
 //     names the moment two colliding packages are linked into one
 //     test binary).
+//  5. Namespaced: the point's "<ns>." prefix names the declaring
+//     package (its import path's last segment), so an operator reading
+//     "breaker.trip" in a drill log finds the hook in
+//     internal/breaker without a module-wide grep. A deliberate
+//     cross-namespace point carries a justified //recipelint:allow.
 
 package analyzers
 
@@ -46,7 +51,7 @@ func NewFaultpoint() *Analyzer {
 	registered := map[string]bool{} // point name → MustRegister'd
 	a := &Analyzer{
 		Name: "faultpoint",
-		Doc:  "fault points must be declared Fault* constants, unique module-wide, planted somewhere, and runtime-registered",
+		Doc:  "fault points must be declared Fault* constants, unique module-wide, planted somewhere, runtime-registered, and namespaced to their package",
 	}
 	a.Run = func(p *Pass) {
 		// The faults package itself forwards names through parameters
@@ -99,6 +104,11 @@ func NewFaultpoint() *Analyzer {
 	a.Finish = func(report func(pos token.Pos, msg, hint string)) {
 		byValue := map[string]*faultConst{}
 		for _, c := range consts {
+			if ns, _, ok := strings.Cut(c.value, "."); !ok || ns != lastSegment(c.pkg) {
+				report(c.pos,
+					fmt.Sprintf("fault point %s (%q) is not namespaced to its package %q", c.name, c.value, lastSegment(c.pkg)),
+					fmt.Sprintf("name it %q or justify with //recipelint:allow faultpoint <reason>", lastSegment(c.pkg)+".<point>"))
+			}
 			if first, ok := byValue[c.value]; ok {
 				report(c.pos,
 					fmt.Sprintf("fault point name %q of %s.%s collides with %s.%s", c.value, c.pkg, c.name, first.pkg, first.name),

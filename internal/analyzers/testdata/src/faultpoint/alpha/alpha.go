@@ -27,8 +27,27 @@ func Plant() error {
 	return faults.Inject("alpha.literal") // want `faults.Inject called without a declared Fault\* constant`
 }
 
+// FaultWrongNS is planted and registered but named into another
+// package's namespace.
+const FaultWrongNS = "gamma.point" // want `fault point FaultWrongNS \("gamma.point"\) is not namespaced to its package "alpha"`
+
+var _ = faults.MustRegister(FaultWrongNS)
+
+// FaultLegacy crosses namespaces deliberately; the directive keeps it.
+//
+//recipelint:allow faultpoint golden: legacy cross-namespace name kept for drill compat
+const FaultLegacy = "legacy.point"
+
+var _ = faults.MustRegister(FaultLegacy)
+
 // PlantAllowed carries a justified suppression for a literal name.
 func PlantAllowed() error {
+	if err := faults.Inject(FaultWrongNS); err != nil {
+		return err
+	}
+	if err := faults.Inject(FaultLegacy); err != nil {
+		return err
+	}
 	//recipelint:allow faultpoint golden: proves a justified directive silences the rule
 	return faults.Inject("alpha.allowed")
 }

@@ -4,8 +4,10 @@ package beta
 
 import "faultpoint/internal/faults"
 
-// FaultClash reuses alpha.FaultGood's string value.
-const FaultClash = "alpha.good" // want `fault point name "alpha.good" of faultpoint/beta.FaultClash collides with faultpoint/alpha.FaultGood`
+// FaultClash reuses alpha.FaultGood's string value — which also lands
+// it in alpha's namespace, so both the collision and the namespace
+// checks fire.
+const FaultClash = "alpha.good" // want `fault point name "alpha.good" of faultpoint/beta.FaultClash collides with faultpoint/alpha.FaultGood` `fault point FaultClash \("alpha.good"\) is not namespaced to its package "beta"`
 
 var _ = faults.MustRegister(FaultClash)
 

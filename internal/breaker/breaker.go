@@ -1,0 +1,426 @@
+// Package breaker implements a generic circuit breaker for the
+// serving tiers (DESIGN §15): a sliding failure-rate window over
+// recent outcomes, the classic closed → open → half-open state
+// machine, and a bounded half-open probe budget. Every time source is
+// injected (Config.Clock plus an optional reopen Backoff schedule), so
+// the full state machine is exercisable in tests without a single
+// sleep: advance a fake clock, call Acquire, observe the transition.
+//
+// Protocol: callers bracket each guarded operation with
+//
+//	tk := b.Acquire()      // admission decision
+//	if !tk.OK() { ... }    // open: serve the fallback tier
+//	err := op()
+//	b.Done(tk, err == nil) // outcome report
+//
+// Tickets are epoch-stamped: a Done that arrives after the state
+// machine has since transitioned (a slow decode finishing during a
+// new probe round) is discarded rather than polluting the fresh
+// window or probe accounting. Out-of-band failure signals that have
+// no bracketed operation — a rejected reload canary, a shard budget
+// overrun — feed the window through Report.
+//
+// A nil *Breaker is valid and always admits: tiering is opt-in, and
+// the server passes nil when no fallback tier is configured, keeping
+// that configuration byte-identical to the pre-tier server.
+package breaker
+
+import (
+	"sync"
+	"time"
+
+	"recipemodel/internal/faults"
+	"recipemodel/internal/resilience"
+)
+
+// FaultTrip fires at the moment the breaker trips closed → open, after
+// the transition is published. Chaos drills hook its OnHit to timestamp
+// the trip without sleeping; an injected error is ignored (the trip
+// itself is not abortable).
+const FaultTrip = "breaker.trip"
+
+// FaultProbe fires when a half-open probe slot is about to be granted.
+// An injected error denies the probe (the slot is returned), letting
+// drills hold the breaker half-open deterministically.
+const FaultProbe = "breaker.probe"
+
+var (
+	_ = faults.MustRegister(FaultTrip)
+	_ = faults.MustRegister(FaultProbe)
+)
+
+// State is the breaker position.
+type State int32
+
+const (
+	// StateClosed: traffic flows; outcomes feed the sliding window.
+	StateClosed State = iota
+	// StateOpen: traffic is denied until the reopen delay elapses.
+	StateOpen
+	// StateHalfOpen: up to MaxProbes trial operations are admitted;
+	// CloseAfter consecutive successes close the breaker, any failure
+	// reopens it with the next (escalated) delay.
+	StateHalfOpen
+)
+
+// String returns the conventional lower-case state name.
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Config tunes a Breaker. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Window is the sliding outcome window size (default 64).
+	Window int
+	// FailureRate in (0, 1] trips the breaker when the window's
+	// failure fraction reaches it (default 0.5).
+	FailureRate float64
+	// MinSamples gates tripping until the window holds at least this
+	// many outcomes, so one early failure cannot open the breaker
+	// (default 8).
+	MinSamples int
+	// OpenTimeout is the base delay before an open breaker admits
+	// half-open probes (default 5s). When ReopenBackoff is set it
+	// supplies the full escalation schedule instead.
+	OpenTimeout time.Duration
+	// ReopenBackoff, when non-nil, supplies the reopen delay
+	// schedule: Delays()[k] spaces the k-th consecutive reopen
+	// (capped at the last entry), typically with JitterSpread so
+	// probe storms desynchronize across instances. Nil uses the fixed
+	// OpenTimeout for every reopen.
+	ReopenBackoff *resilience.Backoff
+	// MaxProbes bounds concurrently admitted half-open probes
+	// (default 1).
+	MaxProbes int
+	// CloseAfter is the consecutive probe successes required to close
+	// (default 3).
+	CloseAfter int
+	// Clock replaces time.Now in tests; nil uses the real clock.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = 1
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Ticket is an admission stamp returned by Acquire and redeemed by
+// Done (or Cancel). The zero Ticket is not OK.
+type Ticket struct {
+	epoch uint64
+	probe bool
+	ok    bool
+}
+
+// OK reports whether the operation was admitted.
+func (t Ticket) OK() bool { return t.ok }
+
+// Probe reports whether the ticket is a half-open trial slot.
+func (t Ticket) Probe() bool { return t.probe }
+
+// Breaker is the circuit breaker. All methods are safe for concurrent
+// use and safe on a nil receiver (which always admits and ignores
+// reports).
+type Breaker struct {
+	cfg Config
+	// delays is the resolved reopen schedule; delays[min(k, len-1)]
+	// spaces the k-th consecutive reopen. Always non-empty.
+	delays []time.Duration
+
+	mu    sync.Mutex
+	state State
+	// epoch increments on every transition; tickets minted before a
+	// transition are stale and their Done is discarded.
+	epoch uint64
+	// outcomes is a ring of recent closed-state results (true =
+	// failure); head is the next write slot.
+	outcomes    []bool
+	head, count int
+	fails       int
+	openedAt    time.Time
+	// delayIdx indexes delays for the current open period.
+	delayIdx int
+	// probes is the number of outstanding half-open tickets; streak
+	// the consecutive probe successes this half-open round.
+	probes, streak int
+
+	// monotonic counters for /readyz.
+	trips, reopens, closes, probesGranted, denied int64
+}
+
+// New builds a Breaker; zero-value Config fields take the documented
+// defaults.
+func New(cfg Config) *Breaker {
+	cfg = cfg.withDefaults()
+	b := &Breaker{cfg: cfg, outcomes: make([]bool, cfg.Window)}
+	if bo := cfg.ReopenBackoff; bo != nil {
+		b.delays = bo.Delays()
+	}
+	if len(b.delays) == 0 {
+		b.delays = []time.Duration{cfg.OpenTimeout}
+	}
+	return b
+}
+
+// reopenDelay returns the delay for the k-th consecutive reopen.
+func (b *Breaker) reopenDelay(k int) time.Duration {
+	if k >= len(b.delays) {
+		k = len(b.delays) - 1
+	}
+	return b.delays[k]
+}
+
+// Acquire decides admission for one guarded operation. A non-OK
+// ticket means the breaker is open (or the probe budget is spent) and
+// the caller must serve its fallback. An OK ticket must be redeemed
+// with exactly one Done (or Cancel if the operation never ran).
+func (b *Breaker) Acquire() Ticket {
+	if b == nil {
+		return Ticket{ok: true}
+	}
+	b.mu.Lock()
+	if b.state == StateOpen && b.cfg.Clock().Sub(b.openedAt) >= b.reopenDelay(b.delayIdx) {
+		// Reopen delay elapsed: lazily transition to half-open. No
+		// background timer — the state machine only moves under
+		// traffic, which is what makes it fully clock-injectable.
+		b.state = StateHalfOpen
+		b.epoch++
+		b.probes = 0
+		b.streak = 0
+	}
+	switch b.state {
+	case StateClosed:
+		t := Ticket{epoch: b.epoch, ok: true}
+		b.mu.Unlock()
+		return t
+	case StateHalfOpen:
+		if b.probes >= b.cfg.MaxProbes {
+			b.denied++
+			b.mu.Unlock()
+			return Ticket{}
+		}
+		b.probes++
+		b.probesGranted++
+		t := Ticket{epoch: b.epoch, probe: true, ok: true}
+		b.mu.Unlock()
+		// The probe fault point runs outside the lock: OnHit hooks
+		// may call back into the breaker (e.g. to inspect Stats).
+		if err := faults.Inject(FaultProbe); err != nil {
+			b.Cancel(t)
+			b.mu.Lock()
+			b.denied++
+			b.mu.Unlock()
+			return Ticket{}
+		}
+		return t
+	default: // StateOpen
+		b.denied++
+		b.mu.Unlock()
+		return Ticket{}
+	}
+}
+
+// Done redeems a ticket with the operation's outcome. Stale tickets
+// (minted before the last transition) are discarded.
+func (b *Breaker) Done(t Ticket, success bool) {
+	if b == nil || !t.ok {
+		return
+	}
+	b.mu.Lock()
+	if t.epoch != b.epoch {
+		b.mu.Unlock()
+		return
+	}
+	tripped := false
+	if t.probe {
+		b.probes--
+		if success {
+			b.streak++
+			if b.streak >= b.cfg.CloseAfter {
+				b.toClosedLocked()
+			}
+		} else {
+			b.toOpenLocked(b.delayIdx + 1)
+			b.reopens++
+		}
+	} else {
+		b.recordLocked(!success)
+		if b.shouldTripLocked() {
+			b.toOpenLocked(0)
+			b.trips++
+			tripped = true
+		}
+	}
+	b.mu.Unlock()
+	if tripped {
+		// Fired after the transition is visible and outside the lock;
+		// the trip is a fact, so an injected error is ignored — OnHit
+		// is the observable drills hook.
+		_ = faults.Inject(FaultTrip)
+	}
+}
+
+// Cancel returns a ticket without recording an outcome — for admitted
+// operations that never ran (e.g. the load-shed limiter refused the
+// work after the breaker admitted it).
+func (b *Breaker) Cancel(t Ticket) {
+	if b == nil || !t.ok || !t.probe {
+		return
+	}
+	b.mu.Lock()
+	if t.epoch == b.epoch {
+		b.probes--
+	}
+	b.mu.Unlock()
+}
+
+// Report feeds one out-of-band outcome into the closed-state window —
+// failure signals with no bracketed operation, like a canary-rejected
+// reload or a query shard blowing its deadline budget. Ignored unless
+// the breaker is closed (an open breaker is already acting on the
+// news).
+func (b *Breaker) Report(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.state != StateClosed {
+		b.mu.Unlock()
+		return
+	}
+	b.recordLocked(!success)
+	tripped := false
+	if b.shouldTripLocked() {
+		b.toOpenLocked(0)
+		b.trips++
+		tripped = true
+	}
+	b.mu.Unlock()
+	if tripped {
+		_ = faults.Inject(FaultTrip)
+	}
+}
+
+// State returns the current stored state. An open breaker whose
+// reopen delay has elapsed still reads open until the next Acquire
+// performs the lazy half-open transition.
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// recordLocked pushes one outcome into the sliding window.
+func (b *Breaker) recordLocked(failure bool) {
+	if b.count == len(b.outcomes) {
+		if b.outcomes[b.head] {
+			b.fails--
+		}
+	} else {
+		b.count++
+	}
+	b.outcomes[b.head] = failure
+	if failure {
+		b.fails++
+	}
+	b.head = (b.head + 1) % len(b.outcomes)
+}
+
+func (b *Breaker) shouldTripLocked() bool {
+	return b.state == StateClosed &&
+		b.count >= b.cfg.MinSamples &&
+		float64(b.fails)/float64(b.count) >= b.cfg.FailureRate
+}
+
+// toOpenLocked transitions to open with the delayIdx-th reopen delay.
+func (b *Breaker) toOpenLocked(delayIdx int) {
+	b.state = StateOpen
+	b.epoch++
+	b.openedAt = b.cfg.Clock()
+	b.delayIdx = delayIdx
+	b.probes = 0
+	b.streak = 0
+}
+
+// toClosedLocked transitions to closed with a fresh window.
+func (b *Breaker) toClosedLocked() {
+	b.state = StateClosed
+	b.epoch++
+	b.head, b.count, b.fails = 0, 0, 0
+	b.delayIdx = 0
+	b.probes = 0
+	b.streak = 0
+	b.closes++
+}
+
+// Stats is a point-in-time snapshot for /readyz and drills.
+type Stats struct {
+	State       string  `json:"state"`
+	WindowSize  int     `json:"window_size"`
+	Samples     int     `json:"samples"`
+	Failures    int     `json:"failures"`
+	FailureRate float64 `json:"failure_rate"`
+	Trips       int64   `json:"trips"`
+	Reopens     int64   `json:"reopens"`
+	Closes      int64   `json:"closes"`
+	Probes      int64   `json:"probes_granted"`
+	Denied      int64   `json:"denied"`
+	ProbeStreak int     `json:"probe_streak"`
+}
+
+// Stats snapshots the breaker. A nil breaker reads as a closed,
+// empty-window breaker.
+func (b *Breaker) Stats() Stats {
+	if b == nil {
+		return Stats{State: StateClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Stats{
+		State:       b.state.String(),
+		WindowSize:  len(b.outcomes),
+		Samples:     b.count,
+		Failures:    b.fails,
+		Trips:       b.trips,
+		Reopens:     b.reopens,
+		Closes:      b.closes,
+		Probes:      b.probesGranted,
+		Denied:      b.denied,
+		ProbeStreak: b.streak,
+	}
+	if b.count > 0 {
+		st.FailureRate = float64(b.fails) / float64(b.count)
+	}
+	return st
+}

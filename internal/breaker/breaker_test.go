@@ -1,0 +1,409 @@
+package breaker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"recipemodel/internal/faults"
+	"recipemodel/internal/resilience"
+)
+
+// fakeClock is a manually advanced time source; every test in this
+// package is sleep-free by construction.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testBreaker returns a small, fast-tripping breaker on a fake clock:
+// window 8, trip at ≥50% of ≥4 samples, reopen after 1s, 1 probe,
+// close after 2 consecutive probe successes.
+func testBreaker(clk *fakeClock) *Breaker {
+	return New(Config{
+		Window:      8,
+		FailureRate: 0.5,
+		MinSamples:  4,
+		OpenTimeout: time.Second,
+		MaxProbes:   1,
+		CloseAfter:  2,
+		Clock:       clk.Now,
+	})
+}
+
+// outcome pushes one closed-state result through the ticket protocol.
+func outcome(t *testing.T, b *Breaker, success bool) {
+	t.Helper()
+	tk := b.Acquire()
+	if !tk.OK() {
+		t.Fatal("closed breaker denied admission")
+	}
+	b.Done(tk, success)
+}
+
+// TestBreakerTransitionTable walks every (state × event) cell of the
+// state machine and asserts the resulting state.
+func TestBreakerTransitionTable(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk)
+
+	// closed × success → closed.
+	outcome(t, b, true)
+	if b.State() != StateClosed {
+		t.Fatalf("closed×success → %v", b.State())
+	}
+
+	// closed × failure below MinSamples → closed (no premature trip).
+	outcome(t, b, false)
+	outcome(t, b, false)
+	if b.State() != StateClosed {
+		t.Fatalf("closed×2 failures of 3 samples → %v (MinSamples=4 not met)", b.State())
+	}
+
+	// closed × failure reaching rate over MinSamples → open (trip).
+	outcome(t, b, false) // window now {ok,fail,fail,fail}: 75% ≥ 50%, 4 ≥ 4
+	if b.State() != StateOpen {
+		t.Fatalf("closed×tripping failure → %v, want open", b.State())
+	}
+	if got := b.Stats().Trips; got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// open × acquire before timeout → denied, still open.
+	if tk := b.Acquire(); tk.OK() {
+		t.Fatal("open breaker admitted before reopen delay")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("open×early acquire → %v", b.State())
+	}
+
+	// open × acquire after timeout → half-open, probe granted.
+	clk.Advance(time.Second)
+	tk := b.Acquire()
+	if !tk.OK() || !tk.Probe() {
+		t.Fatalf("post-timeout acquire: ok=%v probe=%v, want probe ticket", tk.OK(), tk.Probe())
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("open×timeout acquire → %v, want half-open", b.State())
+	}
+
+	// half-open × probe budget spent → denied.
+	if extra := b.Acquire(); extra.OK() {
+		t.Fatal("second probe admitted with MaxProbes=1 outstanding")
+	}
+
+	// half-open × probe failure → open again (reopen, not trip).
+	b.Done(tk, false)
+	if b.State() != StateOpen {
+		t.Fatalf("half-open×probe failure → %v, want open", b.State())
+	}
+	st := b.Stats()
+	if st.Reopens != 1 || st.Trips != 1 {
+		t.Fatalf("reopens=%d trips=%d, want 1/1", st.Reopens, st.Trips)
+	}
+
+	// half-open × probe success streak → closed after CloseAfter.
+	clk.Advance(time.Second)
+	p1 := b.Acquire()
+	if !p1.Probe() {
+		t.Fatal("expected probe after second reopen delay")
+	}
+	b.Done(p1, true)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("1/2 probe successes → %v, want still half-open", b.State())
+	}
+	p2 := b.Acquire()
+	b.Done(p2, true)
+	if b.State() != StateClosed {
+		t.Fatalf("2/2 probe successes → %v, want closed", b.State())
+	}
+	if got := b.Stats().Closes; got != 1 {
+		t.Fatalf("closes = %d, want 1", got)
+	}
+
+	// The close wiped the window: old failures must not linger.
+	if s := b.Stats(); s.Samples != 0 || s.Failures != 0 {
+		t.Fatalf("window after close: samples=%d failures=%d, want 0/0", s.Samples, s.Failures)
+	}
+}
+
+// TestBreakerWindowSlides pins that old outcomes age out: a burst of
+// failures followed by enough successes drops the rate below the
+// threshold without any transition.
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := newClock()
+	b := New(Config{Window: 4, FailureRate: 0.75, MinSamples: 4, Clock: clk.Now})
+	// 2 failures then 6 successes: the failures leave the 4-wide window.
+	outcome(t, b, false)
+	outcome(t, b, false)
+	for i := 0; i < 6; i++ {
+		outcome(t, b, true)
+	}
+	if st := b.Stats(); st.Failures != 0 || st.Samples != 4 {
+		t.Fatalf("failures=%d samples=%d, want 0/4 after sliding", st.Failures, st.Samples)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+// TestBreakerStaleDoneDiscarded: a Done carrying a ticket from before
+// a transition must not pollute the new round's accounting.
+func TestBreakerStaleDoneDiscarded(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk)
+	slow := b.Acquire() // minted in epoch 0, redeemed much later
+	for i := 0; i < 4; i++ {
+		outcome(t, b, false)
+	}
+	if b.State() != StateOpen {
+		t.Fatal("did not trip")
+	}
+	clk.Advance(time.Second)
+	probe := b.Acquire()
+	if !probe.Probe() {
+		t.Fatal("expected probe")
+	}
+	// The slow pre-trip decode finishes now, as a failure. If it were
+	// counted it would be recorded into a half-open round's state.
+	b.Done(slow, false)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("stale Done moved state to %v", b.State())
+	}
+	b.Done(probe, true)
+	b.Done(b.Acquire(), true)
+	if b.State() != StateClosed {
+		t.Fatalf("recovery blocked by stale ticket: %v", b.State())
+	}
+	// And a stale probe ticket redeemed after close is also inert.
+	b.Done(probe, false)
+	if b.State() != StateClosed {
+		t.Fatalf("stale probe Done reopened: %v", b.State())
+	}
+}
+
+// TestBreakerReopenBackoffSchedule pins delay escalation: consecutive
+// reopens follow the injected Backoff schedule (seeded JitterSpread),
+// and the breaker only admits probes once the scheduled delay for the
+// current open period has elapsed.
+func TestBreakerReopenBackoffSchedule(t *testing.T) {
+	bo := &resilience.Backoff{
+		Base: time.Second, Max: 4 * time.Second, Attempts: 4,
+		Jitter: 0.5, Mode: resilience.JitterSpread, Seed: 11,
+	}
+	delays := bo.Delays() // 3 entries, deterministic for seed 11
+	clk := newClock()
+	b := New(Config{
+		Window: 8, FailureRate: 0.5, MinSamples: 2,
+		ReopenBackoff: bo, MaxProbes: 1, CloseAfter: 1, Clock: clk.Now,
+	})
+	outcome(t, b, false)
+	outcome(t, b, false) // trip: delay index 0
+	for k := 0; k < 4; k++ {
+		want := delays[len(delays)-1] // schedule caps at its last entry
+		if k < len(delays) {
+			want = delays[k]
+		}
+		if tk := b.Acquire(); tk.OK() {
+			t.Fatalf("reopen %d: admitted with no time elapsed", k)
+		}
+		clk.Advance(want - time.Nanosecond)
+		if tk := b.Acquire(); tk.OK() {
+			t.Fatalf("reopen %d: admitted %v early", k, time.Nanosecond)
+		}
+		clk.Advance(time.Nanosecond)
+		tk := b.Acquire()
+		if !tk.OK() || !tk.Probe() {
+			t.Fatalf("reopen %d: no probe after scheduled delay %v", k, want)
+		}
+		if k < 3 {
+			b.Done(tk, false) // fail the probe: escalate to delay k+1
+		} else {
+			b.Done(tk, true) // CloseAfter=1: recover
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerProbeCapConcurrent hammers a half-open breaker from many
+// goroutines: at most MaxProbes tickets may be outstanding at once.
+// Run under -race (make tier-test does).
+func TestBreakerProbeCapConcurrent(t *testing.T) {
+	clk := newClock()
+	b := New(Config{
+		Window: 8, FailureRate: 0.5, MinSamples: 2,
+		OpenTimeout: time.Second, MaxProbes: 3, CloseAfter: 100, Clock: clk.Now,
+	})
+	outcome(t, b, false)
+	outcome(t, b, false)
+	clk.Advance(time.Second)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	granted := make(chan Ticket, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tk := b.Acquire(); tk.OK() {
+				granted <- tk // hold the slot: nobody calls Done yet
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	var held []Ticket
+	for tk := range granted {
+		held = append(held, tk)
+	}
+	if len(held) != 3 {
+		t.Fatalf("%d probes granted with MaxProbes=3", len(held))
+	}
+	// Releasing a slot with a success frees exactly one more probe.
+	b.Done(held[0], true)
+	if tk := b.Acquire(); !tk.OK() {
+		t.Fatal("freed probe slot not re-admitted")
+	}
+}
+
+// TestBreakerTripFaultPoint: the trip publishes through the
+// breaker.trip fault point so drills can timestamp it, and the probe
+// point can deny probes deterministically.
+func TestBreakerTripFaultPoint(t *testing.T) {
+	defer faults.Reset()
+	clk := newClock()
+	b := testBreaker(clk)
+
+	tripped := make(chan struct{}, 1)
+	disable := faults.Enable(FaultTrip, faults.Fault{OnHit: func(int) { tripped <- struct{}{} }})
+	for i := 0; i < 4; i++ {
+		outcome(t, b, false)
+	}
+	if got := faults.Fired(FaultTrip); got != 1 {
+		t.Fatalf("breaker.trip fired %d times, want 1", got)
+	}
+	disable()
+	select {
+	case <-tripped:
+	default:
+		t.Fatal("breaker.trip OnHit did not fire on trip")
+	}
+
+	// breaker.probe with an injected error denies the probe and
+	// returns the slot.
+	clk.Advance(time.Second)
+	disable = faults.Enable(FaultProbe, faults.Fault{Err: errors.New("hold half-open")})
+	if tk := b.Acquire(); tk.OK() {
+		t.Fatal("probe admitted while breaker.probe injects an error")
+	}
+	disable()
+	tk := b.Acquire()
+	if !tk.OK() || !tk.Probe() {
+		t.Fatal("probe slot leaked by denied probe")
+	}
+	b.Done(tk, true)
+	b.Done(b.Acquire(), true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerReport: out-of-band failures (canary-rejected reloads,
+// shard budget overruns) trip a closed breaker and are ignored in
+// other states.
+func TestBreakerReport(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Report(false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("4 reported failures → %v, want open", b.State())
+	}
+	// Reports while open are discarded — they must not disturb the
+	// reopen clock or the (empty) next window.
+	b.Report(false)
+	clk.Advance(time.Second)
+	tk := b.Acquire()
+	if !tk.Probe() {
+		t.Fatal("probe expected")
+	}
+	b.Done(tk, true)
+	b.Done(b.Acquire(), true)
+	if st := b.Stats(); st.Samples != 0 {
+		t.Fatalf("open-state Report leaked into window: samples=%d", st.Samples)
+	}
+}
+
+// TestBreakerNil: a nil breaker is the no-tier configuration — always
+// admits, never trips, reads closed.
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	tk := b.Acquire()
+	if !tk.OK() || tk.Probe() {
+		t.Fatal("nil breaker must admit plain tickets")
+	}
+	b.Done(tk, false)
+	b.Report(false)
+	b.Cancel(tk)
+	if b.State() != StateClosed {
+		t.Fatalf("nil state = %v", b.State())
+	}
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestBreakerCancelReturnsProbeSlot: an admitted probe whose operation
+// never ran (limiter shed) must hand its slot back without counting as
+// an outcome.
+func TestBreakerCancelReturnsProbeSlot(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		outcome(t, b, false)
+	}
+	clk.Advance(time.Second)
+	tk := b.Acquire()
+	if !tk.Probe() {
+		t.Fatal("probe expected")
+	}
+	b.Cancel(tk)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("Cancel moved state to %v", b.State())
+	}
+	again := b.Acquire()
+	if !again.OK() {
+		t.Fatal("cancelled probe slot not reusable")
+	}
+	b.Done(again, true)
+	b.Done(b.Acquire(), true)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateClosed.String() != "closed" || StateOpen.String() != "open" || StateHalfOpen.String() != "half-open" {
+		t.Fatal("state names changed; /readyz consumers depend on them")
+	}
+}

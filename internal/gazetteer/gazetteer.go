@@ -20,17 +20,20 @@ type Lexicon struct {
 	maxWords int
 }
 
-// NewLexicon builds a lexicon from terms (case-insensitive).
+// NewLexicon builds a lexicon from terms (case-insensitive). Interior
+// whitespace runs are normalized to single spaces so a term written
+// "sour  cream" still matches the token sequence ["sour","cream"] —
+// match candidates are always assembled with single spaces.
 func NewLexicon(terms []string) *Lexicon {
 	l := &Lexicon{terms: make(map[string]bool, len(terms))}
 	for _, t := range terms {
-		t = strings.ToLower(strings.TrimSpace(t))
-		if t == "" {
+		fields := strings.Fields(strings.ToLower(t))
+		if len(fields) == 0 {
 			continue
 		}
-		l.terms[t] = true
-		if n := len(strings.Fields(t)); n > l.maxWords {
-			l.maxWords = n
+		l.terms[strings.Join(fields, " ")] = true
+		if len(fields) > l.maxWords {
+			l.maxWords = len(fields)
 		}
 	}
 	return l
@@ -57,28 +60,67 @@ func (l *Lexicon) Terms() []string {
 	return out
 }
 
-// MatchSpans finds all non-overlapping longest matches of lexicon
-// terms in the token slice (tokens should be lower-cased). It returns
-// [start, end) index pairs.
+// ContainsBytes reports whether the exact byte phrase (lower-case,
+// single-spaced) is a term. The probe compiles to a map lookup without
+// materializing a string, so it never allocates.
+func (l *Lexicon) ContainsBytes(b []byte) bool { return l.terms[string(b)] }
+
+// MatchAt returns the length in tokens of the longest lexicon term
+// starting at tokens[i], or 0 when no term starts there. Candidate
+// phrases are assembled into *buf — grown once, reused across calls —
+// with ASCII upper-case folded while appending, so a steady-state scan
+// over any capacity-sufficient buffer performs zero allocations. Terms
+// are matched greedily: among all lexicon terms anchored at i, the
+// longest wins.
+func (l *Lexicon) MatchAt(tokens []string, i int, buf *[]byte) int {
+	limit := l.maxWords
+	if rem := len(tokens) - i; rem < limit {
+		limit = rem
+	}
+	b := (*buf)[:0]
+	best := 0
+	for n := 0; n < limit; n++ {
+		if n > 0 {
+			b = append(b, ' ')
+		}
+		b = appendLowerASCII(b, tokens[i+n])
+		if l.terms[string(b)] {
+			best = n + 1
+		}
+	}
+	*buf = b
+	return best
+}
+
+// appendLowerASCII appends s to dst with ASCII letters lower-cased.
+// Lexicon terms are ASCII, so this is sufficient case folding for
+// candidate assembly and keeps the hot path allocation-free.
+func appendLowerASCII(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// MatchSpans finds all non-overlapping matches of lexicon terms in the
+// token slice under greedy-leftmost-longest semantics: scanning left
+// to right, at each position the longest term anchored there is taken
+// and the scan resumes after it — an earlier anchor always beats a
+// longer term starting inside the span it claimed ("sour cream" wins
+// over "cream cheese" in ["sour","cream","cheese"], leaving "cheese"
+// to match alone). It returns [start, end) index pairs.
 func (l *Lexicon) MatchSpans(tokens []string) [][2]int {
 	var spans [][2]int
+	var buf []byte
 	i := 0
 	for i < len(tokens) {
-		matched := 0
-		limit := l.maxWords
-		if rem := len(tokens) - i; rem < limit {
-			limit = rem
-		}
-		for n := limit; n >= 1; n-- {
-			cand := strings.Join(tokens[i:i+n], " ")
-			if l.terms[strings.ToLower(cand)] {
-				matched = n
-				break
-			}
-		}
-		if matched > 0 {
-			spans = append(spans, [2]int{i, i + matched})
-			i += matched
+		if n := l.MatchAt(tokens, i, &buf); n > 0 {
+			spans = append(spans, [2]int{i, i + n})
+			i += n
 		} else {
 			i++
 		}

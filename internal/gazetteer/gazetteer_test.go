@@ -60,6 +60,133 @@ func TestMatchSpansNoOverlap(t *testing.T) {
 	}
 }
 
+// TestMatchSpansGreedyLeftmostLongest pins the overlap-resolution
+// contract: scanning left to right, the longest term anchored at the
+// current position wins, and the scan resumes after it — even when a
+// longer term starts inside the claimed span. The rules tier (DESIGN
+// §15) depends on these exact semantics being deterministic.
+func TestMatchSpansGreedyLeftmostLongest(t *testing.T) {
+	cases := []struct {
+		name   string
+		terms  []string
+		tokens []string
+		want   [][2]int
+	}{
+		{
+			// Leftmost anchor beats a longer match starting later:
+			// "sour cream" claims [0,2), then "cheese" matches alone —
+			// "cream cheese" never gets a chance at [1,3).
+			name:   "leftmost wins over interior longer match",
+			terms:  []string{"sour cream", "cream cheese", "cheese"},
+			tokens: []string{"sour", "cream", "cheese"},
+			want:   [][2]int{{0, 2}, {2, 3}},
+		},
+		{
+			// At a single anchor the longest term wins over its prefix.
+			name:   "longest at anchor beats prefix term",
+			terms:  []string{"ground", "ground black pepper", "ground black"},
+			tokens: []string{"ground", "black", "pepper"},
+			want:   [][2]int{{0, 3}},
+		},
+		{
+			// A failed long candidate must not block the short one.
+			name:   "prefix matches when extension fails",
+			terms:  []string{"olive", "olive oil"},
+			tokens: []string{"olive", "pit"},
+			want:   [][2]int{{0, 1}},
+		},
+		{
+			// Adjacent multiword terms tile without gaps.
+			name:   "adjacent multiword terms",
+			terms:  []string{"red wine", "wine vinegar", "red wine vinegar"},
+			tokens: []string{"red", "wine", "vinegar", "red", "wine"},
+			want:   [][2]int{{0, 3}, {3, 5}},
+		},
+		{
+			// Unmatched tokens advance the scan by one, so a term
+			// starting mid-phrase is still found.
+			name:   "scan advances past unmatched tokens",
+			terms:  []string{"cream cheese"},
+			tokens: []string{"whipped", "cream", "cheese"},
+			want:   [][2]int{{1, 3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewLexicon(tc.terms).MatchSpans(tc.tokens)
+			if len(got) != len(tc.want) {
+				t.Fatalf("spans = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("spans = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestNewLexiconInteriorWhitespace pins the bugfix: a term written
+// with doubled interior spaces used to be stored verbatim and could
+// never match, because candidates are assembled with single spaces.
+func TestNewLexiconInteriorWhitespace(t *testing.T) {
+	l := NewLexicon([]string{"sour  cream", "ice\t tea", "   "})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (whitespace-only term dropped)", l.Len())
+	}
+	if got := l.MatchSpans([]string{"sour", "cream"}); len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Fatalf("double-spaced term did not match: %v", got)
+	}
+	if got := l.MatchSpans([]string{"ice", "tea"}); len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Fatalf("tab-separated term did not match: %v", got)
+	}
+	if l.MaxWords() != 2 {
+		t.Fatalf("MaxWords = %d, want 2", l.MaxWords())
+	}
+}
+
+func TestMatchAt(t *testing.T) {
+	l := NewLexicon([]string{"olive oil", "salt"})
+	var buf []byte
+	tokens := []string{"Olive", "OIL", "salt"}
+	if n := l.MatchAt(tokens, 0, &buf); n != 2 {
+		t.Fatalf("MatchAt(0) = %d, want 2 (ASCII case folded)", n)
+	}
+	if n := l.MatchAt(tokens, 2, &buf); n != 1 {
+		t.Fatalf("MatchAt(2) = %d, want 1", n)
+	}
+	if n := l.MatchAt(tokens, 1, &buf); n != 0 {
+		t.Fatalf("MatchAt(1) = %d, want 0", n)
+	}
+}
+
+// The rules tier scans every token of every phrase through MatchAt;
+// the candidate buffer must absorb all growth so steady-state matching
+// allocates nothing.
+func TestMatchAtZeroAlloc(t *testing.T) {
+	l := Ingredients()
+	tokens := []string{"extra", "virgin", "olive", "oil", "and", "salt"}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range tokens {
+			l.MatchAt(tokens, i, &buf)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchAt allocates %.1f/scan, want 0", allocs)
+	}
+}
+
+func TestContainsBytes(t *testing.T) {
+	l := Units()
+	if !l.ContainsBytes([]byte("tablespoon")) {
+		t.Fatal("ContainsBytes(tablespoon) = false")
+	}
+	if l.ContainsBytes([]byte("Tablespoon")) {
+		t.Fatal("ContainsBytes is exact-match; upper case must miss")
+	}
+}
+
 func TestMatchSpansEmpty(t *testing.T) {
 	if spans := Ingredients().MatchSpans(nil); spans != nil {
 		t.Fatalf("spans = %v", spans)

@@ -161,9 +161,12 @@ type Backoff struct {
 	Max time.Duration
 	// Attempts bounds the number of calls (default 3).
 	Attempts int
-	// Jitter in [0, 1] stretches each delay by a random factor in
-	// [1, 1+Jitter] (default 0: none).
+	// Jitter in [0, 1] perturbs each delay by a seeded random factor;
+	// how the factor is applied is chosen by Mode (default 0: none).
 	Jitter float64
+	// Mode selects the jitter shape (default JitterStretch, the
+	// original grow-only behavior).
+	Mode JitterMode
 	// Seed keys the jitter stream.
 	Seed int64
 	// Sleep replaces time.Sleep in tests; nil uses the real clock
@@ -171,8 +174,28 @@ type Backoff struct {
 	Sleep func(time.Duration)
 }
 
+// JitterMode selects how Backoff.Jitter perturbs a nominal delay.
+type JitterMode int
+
+const (
+	// JitterStretch multiplies each delay by a seeded factor in
+	// [1, 1+Jitter]: delays only grow. This is the zero value and the
+	// original Backoff behavior — existing schedules are unchanged.
+	JitterStretch JitterMode = iota
+	// JitterSpread multiplies each delay by a seeded factor in
+	// [1-Jitter/2, 1+Jitter/2]: delays scatter around the nominal
+	// value instead of drifting longer. The circuit breaker's
+	// half-open probe spacing uses this mode so probes from many
+	// instances desynchronize while the mean reopen delay still
+	// tracks the configured timeout.
+	JitterSpread
+)
+
 // Delays returns the exact backoff schedule the configuration
-// produces: one delay per retry gap (Attempts-1 entries).
+// produces: one delay per retry gap (Attempts-1 entries). The jitter
+// stream is keyed only by Seed, so a fixed configuration reproduces
+// the identical schedule on every call — the determinism the breaker
+// and retry tests pin.
 func (b Backoff) Delays() []time.Duration {
 	b = b.withDefaults()
 	rng := rand.New(rand.NewSource(b.Seed))
@@ -181,7 +204,12 @@ func (b Backoff) Delays() []time.Duration {
 	for i := 0; i < b.Attempts-1; i++ {
 		delay := d
 		if b.Jitter > 0 {
-			delay = time.Duration(float64(delay) * (1 + b.Jitter*rng.Float64()))
+			switch b.Mode {
+			case JitterSpread:
+				delay = time.Duration(float64(delay) * (1 + b.Jitter*(rng.Float64()-0.5)))
+			default:
+				delay = time.Duration(float64(delay) * (1 + b.Jitter*rng.Float64()))
+			}
 		}
 		out = append(out, delay)
 		d *= 2

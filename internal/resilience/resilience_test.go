@@ -293,6 +293,68 @@ func TestBackoffDelaysDeterministic(t *testing.T) {
 	}
 }
 
+// TestBackoffJitterSpreadDeterministic pins the JitterSpread mode the
+// breaker's half-open probe spacing uses: same seed ⇒ identical
+// schedule, every delay inside [1-J/2, 1+J/2]·nominal, and schedules
+// keyed off different seeds diverge.
+func TestBackoffJitterSpreadDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond,
+		Attempts: 6, Jitter: 0.5, Mode: JitterSpread, Seed: 7}
+	a1, a2 := b.Delays(), b.Delays()
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different spread schedules")
+	}
+	if len(a1) != 5 {
+		t.Fatalf("want 5 gaps, got %d", len(a1))
+	}
+	sawShrunk := false
+	for i, d := range a1 {
+		nominal := 100 * time.Millisecond << uint(i)
+		if nominal > 400*time.Millisecond {
+			nominal = 400 * time.Millisecond
+		}
+		lo := time.Duration(float64(nominal) * 0.75)
+		hi := time.Duration(float64(nominal) * 1.25)
+		if d < lo || d > hi {
+			t.Fatalf("gap %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		if d < nominal {
+			sawShrunk = true
+		}
+	}
+	if !sawShrunk {
+		// Spread must be able to shorten delays — that is what
+		// distinguishes it from the grow-only stretch mode. With 5
+		// draws at seed 7 at least one lands below nominal.
+		t.Fatal("JitterSpread never produced a delay below nominal")
+	}
+	b.Seed = 8
+	if reflect.DeepEqual(a1, b.Delays()) {
+		t.Fatal("different seeds produced identical spread jitter")
+	}
+}
+
+// TestBackoffJitterModeDefaultUnchanged pins that the zero-value Mode
+// is the original stretch behavior: adding the Mode field must not
+// alter any pre-existing schedule.
+func TestBackoffJitterModeDefaultUnchanged(t *testing.T) {
+	base := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Attempts: 5, Jitter: 0.5, Seed: 42}
+	explicit := base
+	explicit.Mode = JitterStretch
+	if !reflect.DeepEqual(base.Delays(), explicit.Delays()) {
+		t.Fatal("zero-value Mode differs from explicit JitterStretch")
+	}
+	for i, d := range base.Delays() {
+		nominal := 10 * time.Millisecond << uint(i)
+		if nominal > 40*time.Millisecond {
+			nominal = 40 * time.Millisecond
+		}
+		if d < nominal {
+			t.Fatalf("stretch mode shrank gap %d to %v (< %v)", i, d, nominal)
+		}
+	}
+}
+
 func TestRetrySucceedsAfterFailures(t *testing.T) {
 	var slept []time.Duration
 	b := Backoff{Base: time.Millisecond, Attempts: 4, Sleep: func(d time.Duration) { slept = append(slept, d) }}

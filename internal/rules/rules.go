@@ -1,0 +1,299 @@
+// Package rules is the deterministic fallback annotation tier (DESIGN
+// §15): a pure gazetteer/pattern tagger over the internal/gazetteer
+// lexicons that emits the same IngredientRecord shape as the CRF
+// pipeline — no model weights, no training artifacts, microsecond
+// decodes. It exists to keep annotation endpoints answering 200 when
+// the CRF tier is unhealthy: cooking-with-context (SNIPPETS.md §3)
+// shows the recipe label set is largely recoverable from dictionaries
+// and surface patterns alone, and the breaker-routed server leans on
+// exactly that independence — nothing the rules tier needs can be
+// poisoned by a bad model reload.
+//
+// Tagging is greedy leftmost-longest over four signal sources:
+// quantity patterns (digits, vulgar and spelled fractions, ranges —
+// fraction.Looks), unit terms with a plural/abbreviation fold
+// ("cups"→"cup", "tbsp"→tablespoon class), the multiword ingredient/
+// state/size/temp/dry-fresh lexicons via Lexicon.MatchAt, and one
+// context rule: on a length tie, a unit reading wins directly after a
+// quantity ("2 cloves garlic") while the ingredient reading wins
+// elsewhere ("garlic clove"). Each phrase gets a confidence score —
+// the fraction of content tokens covered by some span, zeroed when no
+// NAME was found — which the server uses to gate healthy-mode routing
+// and agreement audits.
+//
+// The span-matching core (AppendTag) allocates nothing: candidate
+// assembly reuses pooled byte scratch, lexicon probes are
+// map[string(bytes)] lookups, and plural folding goes through
+// lemma.AppendAuto. Record assembly on top of it allocates only the
+// record's own strings.
+package rules
+
+import (
+	"strings"
+	"sync"
+
+	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
+	"recipemodel/internal/fraction"
+	"recipemodel/internal/gazetteer"
+	"recipemodel/internal/lemma"
+	"recipemodel/internal/ner"
+	"recipemodel/internal/quarantine"
+	"recipemodel/internal/tokenize"
+)
+
+// FaultAnnotate fires at the top of every Annotate call — the drill
+// hook for "the rules tier is down too": an injected error surfaces as
+// the annotation error, which the server maps to the final shed rung.
+const FaultAnnotate = "rules.annotate"
+
+var _ = faults.MustRegister(FaultAnnotate)
+
+// unitAbbrev folds the common measurement abbreviations onto their
+// lexicon terms. Keys are lower-case as they appear post-tokenization
+// (the tokenizer splits a trailing period off "tbsp." already).
+var unitAbbrev = map[string]string{
+	"tbsp": "tablespoon",
+	"tbs":  "tablespoon",
+	"tsp":  "teaspoon",
+	"oz":   "ounce",
+	"lb":   "pound",
+	"lbs":  "pound",
+	"pt":   "pint",
+	"qt":   "quart",
+	"gal":  "gallon",
+	"g":    "gram",
+	"kg":   "kilogram",
+	"ml":   "milliliter",
+	"pkg":  "package",
+}
+
+// Tagger is the rule-tier annotator. It is immutable after New and
+// safe for concurrent use; all per-call state lives in pooled scratch.
+type Tagger struct {
+	ing   *gazetteer.Lexicon
+	units *gazetteer.Lexicon
+	state *gazetteer.Lexicon
+	size  *gazetteer.Lexicon
+	temp  *gazetteer.Lexicon
+	dry   *gazetteer.Lexicon
+	lem   *lemma.Lemmatizer
+}
+
+// New builds a Tagger over the standard domain lexicons.
+func New() *Tagger {
+	return &Tagger{
+		ing:   gazetteer.Ingredients(),
+		units: gazetteer.Units(),
+		state: gazetteer.States(),
+		size:  gazetteer.Sizes(),
+		temp:  gazetteer.Temperatures(),
+		dry:   gazetteer.DryFresh(),
+		lem:   lemma.New(),
+	}
+}
+
+// scratch carries one Annotate call's buffers; length-reset before
+// use, fully overwritten before read (same recycling contract as
+// core's annScratch).
+type scratch struct {
+	toks  []tokenize.Token
+	words []string
+	spans []ner.Span
+}
+
+// tagScratch is the zero-alloc matching state shared by AppendTag.
+type tagScratch struct {
+	cand []byte // lexicon candidate assembly
+	word []byte // copy of the word being folded (AppendAuto input)
+	lemb []byte // plural-folded last word (AppendAuto output)
+}
+
+var pool = sync.Pool{New: func() any {
+	return &scratch{
+		toks:  make([]tokenize.Token, 0, 64),
+		words: make([]string, 0, 64),
+		spans: make([]ner.Span, 0, 16),
+	}
+}}
+
+// Annotate runs the full rule tier over one raw phrase: sanitize
+// (identical policy and typed rejections as the CRF path — a phrase
+// poisonous to one tier is rejected identically by the other),
+// tokenize, tag, and assemble an IngredientRecord. The confidence in
+// [0, 1] is the covered-content fraction described on Confidence.
+func (t *Tagger) Annotate(phrase string) (core.IngredientRecord, float64, error) {
+	if err := faults.Inject(FaultAnnotate); err != nil {
+		return core.IngredientRecord{Phrase: phrase}, 0, err
+	}
+	clean, err := core.Sanitize(phrase, core.DefaultSanitize)
+	if err != nil {
+		return core.IngredientRecord{Phrase: phrase}, 0, err
+	}
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.toks = tokenize.AppendTo(sc.toks[:0], clean)
+	sc.words = sc.words[:0]
+	for _, tok := range sc.toks {
+		sc.words = append(sc.words, strings.ToLower(tok.Text))
+	}
+	if len(sc.words) == 0 {
+		return core.IngredientRecord{Phrase: phrase}, 0, quarantine.ErrEmptyAfterClean
+	}
+	if len(sc.words) > core.DefaultMaxPhraseTokens {
+		return core.IngredientRecord{Phrase: phrase}, 0, quarantine.Errorf(quarantine.CodeTooManyTokens,
+			"phrase has %d tokens, cap %d", len(sc.words), core.DefaultMaxPhraseTokens)
+	}
+	sc.spans = t.AppendTag(sc.spans[:0], sc.words)
+	rec := core.RecordFromSpans(phrase, sc.words, sc.spans, t.lem)
+	return rec, t.Confidence(sc.words, sc.spans), nil
+}
+
+// AppendTag appends rule-derived entity spans for the lower-cased
+// token slice and returns the extended slice — the same shape as the
+// CRF tagger's AppendPredict. The matching core performs zero
+// allocations once spans has capacity (pinned by TestAppendTagZeroAlloc).
+func (t *Tagger) AppendTag(spans []ner.Span, words []string) []ner.Span {
+	sc := tagPool.Get().(*tagScratch)
+	defer tagPool.Put(sc)
+	afterQuantity := false
+	for i := 0; i < len(words); {
+		w := words[i]
+		// Quantity pattern first: digits, ranges, vulgar/spelled
+		// fractions and number words. The tokenizer has already glued
+		// mixed numbers ("1 1/2") into one token.
+		if fraction.Looks(w) {
+			spans = append(spans, ner.Span{Start: i, End: i + 1, Type: ner.Quantity})
+			afterQuantity = true
+			i++
+			continue
+		}
+		bestN, bestType := 0, ""
+		consider := func(n int, typ string) {
+			if n > bestN {
+				bestN, bestType = n, typ
+			}
+		}
+		un := t.matchUnit(words, i, sc)
+		ing := t.matchFold(t.ing, words, i, sc)
+		if afterQuantity {
+			// "2 cloves garlic": directly after a quantity the unit
+			// reading of an ambiguous word ("clove") wins a tie.
+			consider(un, ner.Unit)
+			consider(ing, ner.Name)
+		} else {
+			// "garlic clove": elsewhere the ingredient reading wins.
+			consider(ing, ner.Name)
+			consider(un, ner.Unit)
+		}
+		consider(t.state.MatchAt(words, i, &sc.cand), ner.State)
+		consider(t.dry.MatchAt(words, i, &sc.cand), ner.DryFresh)
+		consider(t.temp.MatchAt(words, i, &sc.cand), ner.Temp)
+		consider(t.size.MatchAt(words, i, &sc.cand), ner.Size)
+		if bestN == 0 {
+			afterQuantity = false
+			i++
+			continue
+		}
+		spans = append(spans, ner.Span{Start: i, End: i + bestN, Type: bestType})
+		afterQuantity = false
+		i += bestN
+	}
+	return spans
+}
+
+var tagPool = sync.Pool{New: func() any {
+	return &tagScratch{
+		cand: make([]byte, 0, 128),
+		word: make([]byte, 0, 32),
+		lemb: make([]byte, 0, 32),
+	}
+}}
+
+// matchFold is Lexicon.MatchAt with a plural fold on the last word of
+// the candidate: "roma tomatoes" matches the term "roma tomato". The
+// longer of the exact and folded matches wins.
+func (t *Tagger) matchFold(lex *gazetteer.Lexicon, words []string, i int, sc *tagScratch) int {
+	best := lex.MatchAt(words, i, &sc.cand)
+	limit := lex.MaxWords()
+	if rem := len(words) - i; rem < limit {
+		limit = rem
+	}
+	for n := limit; n > best; n-- {
+		last := words[i+n-1]
+		sc.word = append(sc.word[:0], last...)
+		sc.lemb = t.lem.AppendAuto(sc.lemb[:0], sc.word)
+		if string(sc.lemb) == last {
+			continue // no fold happened; exact probe already covered it
+		}
+		sc.cand = sc.cand[:0]
+		for k := 0; k < n-1; k++ {
+			sc.cand = append(sc.cand, words[i+k]...)
+			sc.cand = append(sc.cand, ' ')
+		}
+		sc.cand = append(sc.cand, sc.lemb...)
+		if lex.ContainsBytes(sc.cand) {
+			return n
+		}
+	}
+	return best
+}
+
+// matchUnit matches a measuring unit at words[i]: lexicon terms with
+// the plural fold, plus the abbreviation table ("tbsp", "oz", ...).
+func (t *Tagger) matchUnit(words []string, i int, sc *tagScratch) int {
+	if n := t.matchFold(t.units, words, i, sc); n > 0 {
+		return n
+	}
+	if _, ok := unitAbbrev[words[i]]; ok {
+		return 1
+	}
+	return 0
+}
+
+// Confidence scores a tagging: the fraction of content tokens (tokens
+// containing a letter or digit — punctuation doesn't count either
+// way) covered by some span. A tagging with no NAME span scores 0
+// regardless of coverage: a record without an ingredient name is not
+// a useful annotation, and the server must not route to it.
+func (t *Tagger) Confidence(words []string, spans []ner.Span) float64 {
+	content, covered := 0, 0
+	hasName := false
+	for _, s := range spans {
+		if s.Type == ner.Name {
+			hasName = true
+		}
+	}
+	if !hasName {
+		return 0
+	}
+	si := 0
+	for i, w := range words {
+		if !isContent(w) {
+			continue
+		}
+		content++
+		for si < len(spans) && spans[si].End <= i {
+			si++
+		}
+		if si < len(spans) && spans[si].Start <= i && i < spans[si].End {
+			covered++
+		}
+	}
+	if content == 0 {
+		return 0
+	}
+	return float64(covered) / float64(content)
+}
+
+// isContent reports whether a token carries annotatable content (at
+// least one letter or digit).
+func isContent(w string) bool {
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' || c >= 0x80 {
+			return true
+		}
+	}
+	return false
+}

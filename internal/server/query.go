@@ -54,6 +54,8 @@ import (
 // stall exactly shard k of N regardless of scheduling. An injected
 // error or panic marks the shard unhealthy and degrades the query to
 // partial results over the survivors.
+//
+//recipelint:allow faultpoint query.* is the query subsystem's namespace within server; drills address shards, not the package
 const FaultQueryShard = "query.shard"
 
 var _ = faults.MustRegister(FaultQueryShard)
@@ -321,6 +323,10 @@ func (s *Server) queryShards(ctx context.Context, targets []*corpusShard, fn fun
 // cause.
 func (s *Server) failShard(sh *corpusShard, err error) {
 	sh.failures.Add(1)
+	// Shard panics and budget overruns feed the CRF-tier breaker
+	// (DESIGN §15): corpus shards share the process with the decode
+	// path, and a shard dying is evidence of the same poisoned load.
+	s.brk.Report(false)
 	if sh.healthy.CompareAndSwap(true, false) {
 		logger := s.cfg.Logger
 		if logger == nil {

@@ -55,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"recipemodel/internal/breaker"
 	"recipemodel/internal/cache"
 	"recipemodel/internal/core"
 	"recipemodel/internal/faults"
@@ -137,6 +138,26 @@ type Config struct {
 	// degrades to partial results) and marked unhealthy. 0 leaves only
 	// the request deadline in force.
 	QueryShardBudget time.Duration
+	// Rules is the deterministic fallback annotation tier (DESIGN
+	// §15). Setting it arms the full degradation ladder — CRF → cache
+	// hot-set → rules tier → shed — and the CRF-tier circuit breaker.
+	// nil disables both: annotation behavior (and bytes) match the
+	// pre-tier server exactly.
+	Rules RulesAnnotator
+	// RulesRoute enables the healthy-mode short circuit: phrases the
+	// rules tier annotates at >= RulesThreshold confidence are served
+	// from it directly while the breaker is closed. Off by default —
+	// routed responses are not byte-identical to CRF decodes.
+	RulesRoute bool
+	// RulesThreshold is the minimum rules-tier confidence for routing
+	// and agreement audits (default 1: only fully-covered phrases).
+	RulesThreshold float64
+	// Breaker tunes the CRF-tier circuit breaker; zero-value fields
+	// take the breaker package defaults. Ignored when Rules is nil.
+	Breaker breaker.Config
+	// AgreementSample runs the cross-tier agreement audit on every
+	// Nth successful CRF decode (0 disables auditing).
+	AgreementSample int
 }
 
 // pipeState pairs the serving pipeline with its version label and
@@ -205,6 +226,21 @@ type Server struct {
 	corpusReloads   atomic.Int64
 	corpusRejected  atomic.Int64
 	degradedQueries atomic.Int64
+	// brk is the CRF-tier circuit breaker; nil unless Config.Rules is
+	// set (a nil breaker always admits — see internal/breaker), so
+	// the no-tier configuration cannot trip and stays byte-identical
+	// to the pre-tier server.
+	brk *breaker.Breaker
+	// Tier traffic counters (DESIGN §15), published on /readyz.
+	crfServed     atomic.Int64
+	rulesRouted   atomic.Int64
+	rulesDegraded atomic.Int64
+	// Cross-tier agreement audit state: auditTick drives the
+	// deterministic every-Nth sampling; sampled/disagree are the
+	// published results.
+	auditTick     atomic.Uint64
+	auditSampled  atomic.Int64
+	auditDisagree atomic.Int64
 }
 
 // New builds a server around a trained pipeline with no limits; ix may
@@ -221,12 +257,18 @@ func NewWithConfig(pipe Pipeline, ix *index.Index, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.RulesThreshold <= 0 {
+		cfg.RulesThreshold = 1
+	}
 	s := &Server{
 		estimator: nutrition.NewEstimator(),
 		ix:        ix,
 		limiter:   resilience.NewLimiter(cfg.MaxInFlight),
 		cfg:       cfg,
 		cache:     cache.New[core.IngredientRecord](cfg.CacheEntries),
+	}
+	if cfg.Rules != nil {
+		s.brk = breaker.New(cfg.Breaker)
 	}
 	s.pipe.Store(pipeState{pipe: pipe, version: cfg.ModelVersion, gen: 1})
 	s.reloadState.Store(reloadInfo{})
@@ -330,6 +372,9 @@ func (s *Server) Reload() (version string, err error) {
 	if err != nil {
 		s.rejected.Add(1)
 		s.reloadState.Store(reloadInfo{Last: "rejected", Detail: err.Error()})
+		// A canary-rejected (or unloadable) candidate is a CRF-tier
+		// health signal: feed the breaker window out of band.
+		s.brk.Report(false)
 		return version, err
 	}
 	s.reloads.Add(1)
@@ -427,6 +472,12 @@ type readyResponse struct {
 	// degraded_queries_served climbing means queries are answering
 	// partial results over the survivors — time to reload a snapshot.
 	Corpus corpusStatus `json:"corpus"`
+	// Tiers reports the annotation degradation ladder (DESIGN §15):
+	// per-tier served/degraded/disagreement counters and the CRF-tier
+	// breaker snapshot. rules_degraded_served climbing with
+	// breaker.state "open" means the CRF tier is tripped and the
+	// gazetteer tier is carrying annotation traffic.
+	Tiers tierStatus `json:"tiers"`
 }
 
 // corpusStatus is the /readyz corpus block.
@@ -506,6 +557,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			DegradedHitsServed: s.degradedHits.Load(),
 		},
 		Corpus: s.corpusStatusNow(),
+		Tiers:  s.tierStatusNow(),
 	}
 	if !resp.Ready {
 		w.Header().Set("Content-Type", "application/json")
@@ -532,6 +584,15 @@ func (s *Server) admit(w http.ResponseWriter, weight int) (release func(), ok bo
 func (s *Server) shed(w http.ResponseWriter) {
 	s.shedTotal.Add(1)
 	resilience.ShedJSON(w, s.cfg.RetryAfter)
+}
+
+// logf logs through the configured logger (or the default one).
+func (s *Server) logf(format string, args ...any) {
+	l := s.cfg.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
 }
 
 // writeJSON writes v with status 200.
@@ -613,16 +674,43 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.annotateCached(w, r, req.Phrase)
 		return
 	}
-	release, ok := s.admit(w, 1)
+	if s.tryRouteRules(w, req.Phrase) {
+		return
+	}
+	tk := s.brk.Acquire()
+	if !tk.OK() {
+		// Breaker open: skip the CRF tier entirely.
+		s.serveRulesDegraded(w, req.Phrase)
+		return
+	}
+	release, ok := s.limiter.TryAcquire(1)
 	if !ok {
+		// Saturated: the rules rung still answers in microseconds
+		// without pipeline admission; shed only when it is absent.
+		s.brk.Cancel(tk)
+		if s.cfg.Rules != nil {
+			s.serveRulesDegraded(w, req.Phrase)
+			return
+		}
+		s.shed(w)
 		return
 	}
 	defer release()
 	rec, err := s.pipeline().AnnotateIngredientChecked(req.Phrase)
+	s.brk.Done(tk, !isCRFFailure(err))
 	if err != nil {
+		// A contained pipeline panic is the CRF tier's failure, not
+		// the input's: with a rules tier configured the request still
+		// deserves an answer. Input poison rejects 422 from any tier.
+		if isCRFFailure(err) && s.cfg.Rules != nil {
+			s.serveRulesDegraded(w, req.Phrase)
+			return
+		}
 		s.rejectPhrase(w, req.Phrase, err)
 		return
 	}
+	s.crfServed.Add(1)
+	s.maybeAudit(req.Phrase, rec)
 	writeJSON(w, rec)
 }
 
@@ -678,6 +766,9 @@ func (s *Server) annotateCached(w http.ResponseWriter, r *http.Request, phrase s
 			return
 		}
 	}
+	if s.tryRouteRules(w, phrase) {
+		return
+	}
 	// An unkeyable phrase (kerr != nil) still flies: the decode will
 	// reject it with the exact quarantine error, and concurrent
 	// identical poison requests coalesce onto one rejection.
@@ -692,31 +783,56 @@ func (s *Server) annotateCached(w http.ResponseWriter, r *http.Request, phrase s
 				return rec, nil
 			}
 		}
+		// The breaker ticket is leader-only: waiters coalesced behind
+		// this flight share the outcome (and the degraded fallback)
+		// without consuming half-open probe slots.
+		tk := s.brk.Acquire()
+		if !tk.OK() {
+			return core.IngredientRecord{}, errCRFOpen
+		}
 		release, ok := s.limiter.TryAcquire(1)
 		if !ok {
+			s.brk.Cancel(tk)
 			return core.IngredientRecord{}, errShedMiss
 		}
 		defer release()
 		rec, err := st.pipe.AnnotateIngredientChecked(phrase)
+		s.brk.Done(tk, !isCRFFailure(err))
 		if err != nil {
 			return core.IngredientRecord{}, err
 		}
 		if kerr == nil {
 			s.cache.Put(key, st.gen, rec)
 		}
+		s.maybeAudit(phrase, rec)
 		return rec, nil
 	})
 	switch {
 	case err == nil:
+		s.crfServed.Add(1)
 		rec.Phrase = phrase
 		writeJSON(w, rec)
+	case errors.Is(err, errCRFOpen):
+		s.serveRulesDegraded(w, phrase)
 	case errors.Is(err, errShedMiss):
+		// Saturated miss: the rules rung answers without pipeline
+		// admission; shed only when it is absent.
+		if s.cfg.Rules != nil {
+			s.serveRulesDegraded(w, phrase)
+			return
+		}
 		s.shed(w)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// a detached waiter: the client's context died while the
 		// leader was decoding.
 		s.ctxError(w, err)
 	default:
+		// A contained pipeline panic degrades to the rules tier when
+		// one is configured; input poison rejects 422 from any tier.
+		if isCRFFailure(err) && s.cfg.Rules != nil {
+			s.serveRulesDegraded(w, phrase)
+			return
+		}
 		s.rejectPhrase(w, phrase, err)
 	}
 }
@@ -738,6 +854,10 @@ type batchItem struct {
 	Record *core.IngredientRecord `json:"record,omitempty"`
 	Code   quarantine.Code        `json:"code,omitempty"`
 	Detail string                 `json:"detail,omitempty"`
+	// Tier marks a record served by a fallback tier ("rules"); absent
+	// on CRF-tier and cache-hit records, so healthy envelopes are
+	// byte-identical to the pre-tier server's.
+	Tier string `json:"tier,omitempty"`
 }
 
 // batchResponse is the /annotate/batch payload: per-item statuses plus
@@ -748,6 +868,10 @@ type batchResponse struct {
 	Results  []batchItem `json:"results"`
 	OK       int         `json:"ok"`
 	Rejected int         `json:"rejected"`
+	// Degraded/Tier mark an envelope with at least one slot answered
+	// by a fallback tier (DESIGN §15); omitted on healthy responses.
+	Degraded bool   `json:"degraded,omitempty"`
+	Tier     string `json:"tier,omitempty"`
 }
 
 func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
@@ -768,19 +892,45 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		s.annotateBatchCached(w, r, req.Phrases)
 		return
 	}
+	n := len(req.Phrases)
+	tk := s.brk.Acquire()
+	if !tk.OK() {
+		// Breaker open: the whole batch resolves on the rules tier.
+		s.finishBatchRules(w, req.Phrases, make([]core.IngredientRecord, n), make([]bool, n), nil)
+		return
+	}
 	// a batch occupies as many admission units as it has phrases, so
 	// one giant batch can't starve the interactive endpoints silently.
-	release, ok := s.admit(w, len(req.Phrases))
+	release, ok := s.limiter.TryAcquire(n)
 	if !ok {
+		s.brk.Cancel(tk)
+		if s.cfg.Rules != nil {
+			s.finishBatchRules(w, req.Phrases, make([]core.IngredientRecord, n), make([]bool, n), nil)
+			return
+		}
+		s.shed(w)
 		return
 	}
 	defer release()
 	recs, rejs, err := s.pipeline().AnnotateIngredientsPartial(r.Context(), req.Phrases)
 	if err != nil {
+		s.brk.Cancel(tk)
 		s.ctxError(w, err)
 		return
 	}
-	writeBatch(w, len(req.Phrases), recs, rejs, &s.quarantined)
+	crfOK := batchCRFSuccess(rejs)
+	s.brk.Done(tk, crfOK)
+	if !crfOK && s.cfg.Rules != nil {
+		// Contained pipeline panics are the CRF tier's failure: those
+		// slots re-serve on the rules tier; input poison stands as 422.
+		done := make([]bool, n)
+		for i := range done {
+			done[i] = true
+		}
+		s.finishBatchRules(w, req.Phrases, recs, done, splitCRFFailures(rejs, done))
+		return
+	}
+	writeBatch(w, n, recs, rejs, &s.quarantined)
 }
 
 // writeBatch assembles and writes the /annotate/batch envelope from
@@ -788,10 +938,23 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 // rejection carries index i), counting rejections into quarantined.
 // Shared by the cached and uncached paths so the bytes are identical.
 func writeBatch(w http.ResponseWriter, n int, recs []core.IngredientRecord, rejs []quarantine.Rejection, quarantined *quarantine.Counters) {
-	resp := batchResponse{Results: make([]batchItem, n)}
+	writeBatchTier(w, n, recs, rejs, quarantined, nil, false, "")
+}
+
+// writeBatchTier is writeBatch with the degradation markers: tiers[i]
+// (when non-nil) labels slot i's serving tier ("" for CRF/cache slots,
+// omitted from JSON), and degraded/tier stamp the envelope. The healthy
+// path passes nil/false/"" and produces bytes identical to the
+// pre-tier envelope via omitempty.
+func writeBatchTier(w http.ResponseWriter, n int, recs []core.IngredientRecord, rejs []quarantine.Rejection, quarantined *quarantine.Counters, tiers []string, degraded bool, tier string) {
+	resp := batchResponse{Results: make([]batchItem, n), Degraded: degraded, Tier: tier}
 	for i := range resp.Results {
 		rec := recs[i]
-		resp.Results[i] = batchItem{Status: "ok", Record: &rec}
+		item := batchItem{Status: "ok", Record: &rec}
+		if tiers != nil {
+			item.Tier = tiers[i]
+		}
+		resp.Results[i] = item
 	}
 	for _, rej := range rejs {
 		quarantined.Observe(rej.Code)
@@ -865,17 +1028,38 @@ func (s *Server) annotateBatchCached(w http.ResponseWriter, r *http.Request, phr
 		missKeys = append(missKeys, keys[i])
 		missKeyOK = append(missKeyOK, keyOK[i])
 	}
+	fellBack := false
 	if len(missPhrases) > 0 {
-		release, ok := s.admit(w, len(missPhrases))
+		tk := s.brk.Acquire()
+		if !tk.OK() {
+			// Breaker open: cache hits stand, every other slot resolves
+			// on the rules tier.
+			s.finishBatchRules(w, phrases, recs, done, nil)
+			return
+		}
+		release, ok := s.limiter.TryAcquire(len(missPhrases))
 		if !ok {
+			s.brk.Cancel(tk)
+			if s.cfg.Rules != nil {
+				if hits > 0 {
+					s.degradedHits.Add(int64(hits))
+				}
+				s.finishBatchRules(w, phrases, recs, done, nil)
+				return
+			}
+			s.shed(w)
 			return
 		}
 		defer release()
 		mrecs, mrejs, err := st.pipe.AnnotateIngredientsPartial(r.Context(), missPhrases)
 		if err != nil {
+			s.brk.Cancel(tk)
 			s.ctxError(w, err)
 			return
 		}
+		crfOK := batchCRFSuccess(mrejs)
+		s.brk.Done(tk, crfOK)
+		rulesRetry := !crfOK && s.cfg.Rules != nil
 		rejected := make(map[int]quarantine.Rejection, len(mrejs))
 		for _, rej := range mrejs {
 			rejected[rej.Index] = rej
@@ -894,6 +1078,12 @@ func (s *Server) annotateBatchCached(w http.ResponseWriter, r *http.Request, phr
 			}
 			j := missIdx[p]
 			if rej, bad := rejected[j]; bad {
+				if rulesRetry && isPanicCode(rej.Code) {
+					// The CRF tier panicked on this phrase: leave the
+					// slot undone for the rules tier below.
+					fellBack = true
+					continue
+				}
 				rej.Index = i
 				rejs = append(rejs, rej)
 				continue
@@ -906,6 +1096,10 @@ func (s *Server) annotateBatchCached(w http.ResponseWriter, r *http.Request, phr
 	}
 	if degraded {
 		s.degradedHits.Add(int64(hits))
+	}
+	if fellBack {
+		s.finishBatchRules(w, phrases, recs, done, rejs)
+		return
 	}
 	writeBatch(w, n, recs, rejs, &s.quarantined)
 }
