@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare profile tables crash-test poison-test herd-test tier-test query-chaos-test fuzz-smoke clean
+.PHONY: build vet test test-race verify lint staticcheck bench bench-parallel bench-smoke bench-baseline bench-compare bench-tiers profile tables crash-test poison-test herd-test tier-test query-chaos-test fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,19 @@ test-race:
 
 verify: build vet test lint staticcheck
 
-# Project-specific static analysis (DESIGN §11): the recipelint rule
-# suite enforces the invariants the reproduction rests on — determinism
-# of the modeling packages, context threading, durable-write
-# discipline, fault-point hygiene, and the quarantine error taxonomy.
-# Built on the stdlib go/types toolchain, so it needs nothing beyond
-# the Go toolchain itself.
+# Project-specific static analysis (DESIGN §11, §16): the recipelint
+# rule suite enforces the invariants the reproduction rests on —
+# determinism of the modeling packages, context threading, durable-
+# write discipline, fault-point hygiene, the quarantine error
+# taxonomy, and since PR 10 the concurrency contracts (lock discipline,
+# pool lifetimes, generation pinning, sleep-free tests). The load
+# includes _test.go universes, so test code is linted too. -budget
+# pins the //recipelint:allow count to the checked-in
+# lint-budget.json: a new suppression fails the build until the budget
+# is raised in the same change. Built on the stdlib go/types
+# toolchain, so it needs nothing beyond the Go toolchain itself.
 lint:
-	$(GO) run ./cmd/recipelint ./...
+	$(GO) run ./cmd/recipelint -budget lint-budget.json ./...
 
 # Static analysis beyond vet. The tool is not vendored: when it is
 # absent the target skips with a notice instead of failing, so `make
@@ -148,6 +153,12 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateIngredient' -fuzztime 15s
 	$(GO) test ./internal/core -run '^$$' -fuzz 'FuzzAnnotateInstruction' -fuzztime 15s
 	$(GO) test ./internal/snapshot -run '^$$' -fuzz 'FuzzLoadSnapshot' -fuzztime 15s
+
+# Rules-tier vs CRF-tier score card (DESIGN §15/§16): per-tier entity
+# F1 and single-goroutine phrases/sec on the shared gold ingredient
+# corpus. The committed BENCH_PR10.json is this target's output.
+bench-tiers:
+	$(GO) run ./cmd/benchtiers -out BENCH_PR10.json
 
 # Paper-scale artifact generation.
 tables:

@@ -7,23 +7,34 @@
 //
 // Usage:
 //
-//	recipelint [-rules nondeterminism,ctxflow,...] [-list] [patterns]
+//	recipelint [-rules nondeterminism,ctxflow,...] [-list] [-report out.json] [-budget lint-budget.json] [patterns]
 //
 // Patterns follow the go tool's shape: ./... (the default) lints the
 // whole module, ./internal/core lints one package, ./internal/...
 // lints a subtree. The whole module is always loaded and type-checked
 // (rules like faultpoint are module-wide); patterns only filter which
-// packages' findings are reported.
+// packages' findings are reported. Since PR 10 the load includes
+// _test.go universes, so test-only rules (nosleep) and test code run
+// under the same suite.
 //
-// Exit status: 0 — clean; 1 — findings; 2 — usage, load, or
-// type-check errors. Every finding prints file:line:col, the rule,
-// the violation, and a fix hint. Findings are silenced line-by-line
-// with a justified directive (see DESIGN §11 for the policy):
+// -report writes the machine-readable outcome (findings plus the used
+// suppression inventory) as JSON to the given path, or to stdout with
+// "-". -budget reads a checked-in {"suppressions": N} file and fails
+// the run unless the used-suppression count equals N exactly: a new
+// //recipelint:allow needs the budget raised in the same change, and a
+// removed one needs it lowered — the count stays honest both ways.
+//
+// Exit status: 0 — clean; 1 — findings or a busted budget; 2 — usage,
+// load, or type-check errors. Every finding prints file:line:col, the
+// rule, the violation, and a fix hint. Findings are silenced
+// line-by-line with a justified directive (see DESIGN §11 for the
+// policy):
 //
 //	//recipelint:allow <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +54,8 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	list := fs.Bool("list", false, "list the rules and exit")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	reportPath := fs.String("report", "", "write the JSON lint report (findings + suppression inventory) to this path, or - for stdout")
+	budgetPath := fs.String("budget", "", "enforce the checked-in suppression budget ({\"suppressions\": N}); the used count must equal N")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,16 +111,77 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	findings := analyzers.RunRules(fset, selected, suite)
-	for _, f := range findings {
-		f.Pos.Filename = relPath(cwd, f.Pos.Filename)
-		fmt.Fprintln(out, f)
+	rep := analyzers.RunReport(fset, selected, suite)
+	for i := range rep.Findings {
+		rep.Findings[i].Pos.Filename = relPath(cwd, rep.Findings[i].Pos.Filename)
+		fmt.Fprintln(out, rep.Findings[i])
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(errOut, "recipelint: %d finding(s)\n", len(findings))
-		return 1
+	// The report (and budget) addresses files module-relative so the
+	// checked-in numbers don't depend on the checkout path.
+	for i := range rep.Suppressions {
+		rep.Suppressions[i].File = relPath(root, rep.Suppressions[i].File)
 	}
-	return 0
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, rep, out); err != nil {
+			fmt.Fprintln(errOut, "recipelint:", err)
+			return 2
+		}
+	}
+	status := 0
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(errOut, "recipelint: %d finding(s)\n", len(rep.Findings))
+		status = 1
+	}
+	if *budgetPath != "" {
+		if err := checkBudget(*budgetPath, rep); err != nil {
+			fmt.Fprintln(errOut, "recipelint:", err)
+			status = max(status, 1)
+		}
+	}
+	return status
+}
+
+// writeReport renders the report as indented JSON to path ("-" =
+// stdout).
+func writeReport(path string, rep analyzers.Report, stdout io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// budgetFile is the checked-in suppression budget's shape.
+type budgetFile struct {
+	Suppressions int `json:"suppressions"`
+}
+
+// checkBudget enforces the exact-match suppression budget: more used
+// directives than budgeted means new unreviewed debt; fewer means the
+// budget is stale and must shrink with the cleanup.
+func checkBudget(path string, rep analyzers.Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("budget: %w", err)
+	}
+	var b budgetFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("budget %s: %w", path, err)
+	}
+	switch {
+	case rep.SuppressionCount > b.Suppressions:
+		return fmt.Errorf("suppression budget exceeded: %d //recipelint:allow directives in use, budget %s allows %d — remove the new suppression or raise the budget in the same change",
+			rep.SuppressionCount, path, b.Suppressions)
+	case rep.SuppressionCount < b.Suppressions:
+		return fmt.Errorf("suppression budget stale: %d //recipelint:allow directives in use, budget %s still says %d — lower the budget to match",
+			rep.SuppressionCount, path, b.Suppressions)
+	}
+	return nil
 }
 
 // moduleRoot walks up from dir to the directory holding go.mod.

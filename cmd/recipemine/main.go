@@ -621,7 +621,7 @@ func mineDurable(ctx context.Context, p *recipemodel.Pipeline, inputs []recipemo
 			// Simulated-kill point for crash tests: an injected error
 			// aborts before any flush or checkpoint, losing buffered
 			// bytes exactly like a SIGKILL would.
-			if err := faults.Inject(FaultEmit); err != nil {
+			if err := faults.InjectContext(ctx, FaultEmit); err != nil {
 				return fmt.Errorf("mine: %w", err)
 			}
 			mined++

@@ -75,6 +75,7 @@ import (
 	"recipemodel"
 	"recipemodel/internal/breaker"
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/index"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/resilience"
@@ -238,6 +239,21 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 	}
 }
 
+// FaultSighup fires after a SIGHUP reload round (model and, when
+// configured, corpus) has fully completed. Tests gate on its OnHit
+// instead of sleep-polling the served versions.
+const FaultSighup = "recipeserver.sighup_done"
+
+// FaultDrain fires right after a termination signal flips readiness
+// false, before the drain starts — the exact instant load balancers
+// stop routing here.
+const FaultDrain = "recipeserver.drain_start"
+
+var (
+	_ = faults.MustRegister(FaultSighup)
+	_ = faults.MustRegister(FaultDrain)
+)
+
 // serve runs srv on ln until a termination signal arrives on sigs,
 // then drains gracefully: readiness flips false (load balancers stop
 // routing here), in-flight requests get up to drain to finish, and a
@@ -266,10 +282,12 @@ func serve(srv *http.Server, s *server.Server, ln net.Listener, drain time.Durat
 						logger.Printf("SIGHUP corpus reload ok: serving snapshot %s", version)
 					}
 				}
+				_ = faults.Inject(FaultSighup)
 				continue
 			}
 			logger.Printf("received %v; draining in-flight requests (up to %v)", sig, drain)
 			s.SetReady(false)
+			_ = faults.Inject(FaultDrain)
 			ctx, cancel := context.WithTimeout(context.Background(), drain)
 			defer cancel()
 			if err := srv.Shutdown(ctx); err != nil {

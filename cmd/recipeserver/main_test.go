@@ -16,6 +16,7 @@ import (
 
 	"recipemodel"
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/quarantine"
 	"recipemodel/internal/server"
 )
@@ -188,11 +189,15 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}()
 	<-entered // the request is now inside the pipeline, holding its connection
 
+	// the drain_start fault point fires right after readiness flips
+	// false, so gating on it replaces sleep-polling s.Ready().
+	draining := make(chan struct{})
+	defer faults.Enable(FaultDrain, faults.Fault{OnHit: func(int) { close(draining) }})()
 	sigs <- syscall.SIGTERM
-	// readiness must flip promptly even while the drain waits.
-	deadline := time.Now().Add(3 * time.Second)
-	for s.Ready() && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-draining:
+	case <-time.After(3 * time.Second):
+		t.Fatal("drain never started after termination signal")
 	}
 	if s.Ready() {
 		t.Fatal("readiness still true after termination signal")

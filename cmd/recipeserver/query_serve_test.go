@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/server"
 	"recipemodel/internal/snapshot"
 )
@@ -129,10 +130,18 @@ func TestServeSIGHUPReloadsCorpus(t *testing.T) {
 	if _, err := st.Build(corpusModels(6)); err != nil {
 		t.Fatal(err)
 	}
+	hupDone := make(chan struct{}, 1)
+	defer faults.Enable(FaultSighup, faults.Fault{OnHit: func(int) {
+		select {
+		case hupDone <- struct{}{}:
+		default:
+		}
+	}})()
 	sigs <- syscall.SIGHUP
-	deadline := time.Now().Add(3 * time.Second)
-	for s.CorpusVersion() != "v000002" && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-hupDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("SIGHUP round never completed")
 	}
 	if got := s.CorpusVersion(); got != "v000002" {
 		t.Fatalf("corpus after SIGHUP = %q, want v000002", got)

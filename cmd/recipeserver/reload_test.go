@@ -15,6 +15,7 @@ import (
 
 	"recipemodel"
 	"recipemodel/internal/core"
+	"recipemodel/internal/faults"
 	"recipemodel/internal/server"
 )
 
@@ -116,16 +117,25 @@ func TestServeSIGHUPReloads(t *testing.T) {
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)
 
+	// sighup_done fires after the whole reload round lands, so the
+	// version assertions below need no polling.
+	hupDone := make(chan struct{}, 1)
+	defer faults.Enable(FaultSighup, faults.Fault{OnHit: func(int) {
+		select {
+		case hupDone <- struct{}{}:
+		default:
+		}
+	}})()
 	sigs <- syscall.SIGHUP
 	select {
 	case <-reloaded:
 	case <-time.After(3 * time.Second):
 		t.Fatal("SIGHUP did not trigger the loader")
 	}
-	// still serving after the reload signal.
-	deadline := time.Now().Add(3 * time.Second)
-	for s.ModelVersion() != "v2" && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-hupDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("SIGHUP round never completed")
 	}
 	if got := s.ModelVersion(); got != "v2" {
 		t.Fatalf("model after SIGHUP = %q, want v2", got)
@@ -142,13 +152,12 @@ func TestServeSIGHUPReloads(t *testing.T) {
 
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if resp, err := http.Get(base + "/healthz"); err == nil {
-			resp.Body.Close()
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+	// The listener is bound before serve starts, so a connection made
+	// here queues in the accept backlog until Serve picks it up — one
+	// blocking GET replaces the old retry-and-sleep loop.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("server never became healthy: %v", err)
 	}
-	t.Fatal("server never became healthy")
+	resp.Body.Close()
 }

@@ -76,7 +76,7 @@ func TestAnnotateIngredientsContextCancel(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)

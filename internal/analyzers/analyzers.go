@@ -75,6 +75,12 @@ type Analyzer struct {
 	Run func(*Pass)
 	// Finish reports module-wide findings after all packages ran.
 	Finish func(report func(pos token.Pos, msg, hint string))
+	// Tests opts the rule into test universes (Package.Test). Rules
+	// that encode production-path invariants leave it false and see
+	// only base packages; the concurrency-contract rules (DESIGN §16)
+	// set it — test helpers hold locks and borrow pool values too,
+	// and nosleep exists only for test packages.
+	Tests bool
 }
 
 // All returns a fresh instance of every analyzer, in reporting order.
@@ -85,6 +91,10 @@ func All() []*Analyzer {
 		NewAtomicwrite(),
 		NewFaultpoint(),
 		NewErrtaxonomy(),
+		NewLocksafe(),
+		NewPoolscope(),
+		NewSingleload(),
+		NewNosleep(),
 	}
 }
 

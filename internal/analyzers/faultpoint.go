@@ -4,9 +4,10 @@
 // colliding name silently turns a drill into a no-op. Module-wide
 // checks:
 //
-//  1. Every faults.Inject / faults.InjectIndexed call site passes a
-//     declared package-level constant whose name starts with "Fault"
-//     — never a raw string literal or computed value.
+//  1. Every faults.Inject / InjectIndexed / InjectContext /
+//     InjectIndexedContext call site passes a declared package-level
+//     constant whose name starts with "Fault" — never a raw string
+//     literal or computed value.
 //  2. Fault-point names are unique across the module: two Fault*
 //     constants with the same string value collide.
 //  3. No orphans: a Fault* constant that no Inject/InjectIndexed call
@@ -83,12 +84,18 @@ func NewFaultpoint() *Analyzer {
 				if fn == nil || fn.Pkg() == nil || !pathEndsWith(fn.Pkg().Path(), faultsPkgSuffix) || len(call.Args) == 0 {
 					return true
 				}
+				// The Context variants carry the point name after the
+				// context argument.
+				nameArg := call.Args[0]
+				if strings.HasSuffix(fn.Name(), "Context") && len(call.Args) > 1 {
+					nameArg = call.Args[1]
+				}
 				switch fn.Name() {
-				case "Inject", "InjectIndexed":
-					if c := faultConstArg(p.Info(), call.Args[0]); c != nil {
+				case "Inject", "InjectIndexed", "InjectContext", "InjectIndexedContext":
+					if c := faultConstArg(p.Info(), nameArg); c != nil {
 						injected[constant.StringVal(c.Val())] = true
 					} else {
-						p.Report(call.Args[0].Pos(),
+						p.Report(nameArg.Pos(),
 							"faults."+fn.Name()+" called without a declared Fault* constant",
 							"declare `const FaultX = \"pkg.point\"` at package level and pass it")
 					}

@@ -1,0 +1,391 @@
+// Path-sensitive control-flow walking shared by the concurrency-
+// contract rules (DESIGN §16). The engine tracks "obligations" — a
+// held mutex, a pool value that must be returned — through one
+// function body without building a CFG: Go's structured statements
+// are walked in order, branches fork the abstract state, and only the
+// branches that fall through merge back. A path that returns (or
+// provably terminates: panic, os.Exit, t.Fatal) while an obligation
+// is live and has no registered deferred release is reported through
+// the atExit hook.
+//
+// The engine deliberately stays intra-procedural and first-order:
+// nested function literals are independent functions (the analyzers
+// visit them separately), and loop bodies are walked once — an
+// obligation acquired before a loop and released inside it merges
+// conservatively to "maybe held". The rules this engine backs all
+// offer a //recipelint:allow escape hatch for the patterns it cannot
+// prove.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// heldInfo is one live obligation.
+type heldInfo struct {
+	// pos is the acquisition site (the Lock call, the pool Get) —
+	// exit reports anchor here so one directive silences every path.
+	pos token.Pos
+	// what names the obligation in reports ("mutex s.mu", "pool value sc").
+	what string
+	// deferred records a registered deferred release: the obligation
+	// stays live for forbidden-op checks but is satisfied at exits.
+	deferred bool
+}
+
+// flowState maps obligation keys to their info. Keys are canonical
+// expression strings (exprKey) or variable identities, chosen by the
+// analyzer's effects hook.
+type flowState map[string]*heldInfo
+
+func (st flowState) clone() flowState {
+	out := make(flowState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// mergeStates joins two fall-through branch states: an obligation
+// live in either branch stays live (conservative for forbidden-op
+// checks), and a deferred release must cover both branches to count.
+func mergeStates(a, b flowState) flowState {
+	out := a.clone()
+	for k, v := range b {
+		if prev, ok := out[k]; ok {
+			prev.deferred = prev.deferred && v.deferred
+		} else {
+			c := *v
+			out[k] = &c
+		}
+	}
+	return out
+}
+
+// Effect opcodes, produced by the effects hook.
+const (
+	opAcquire = iota
+	opRelease
+	opDeferRelease
+)
+
+// effect is one state transition derived from a statement.
+type effect struct {
+	op   int
+	key  string
+	pos  token.Pos
+	what string
+}
+
+// flowHooks parameterize the engine for one rule.
+type flowHooks struct {
+	// effects extracts obligation transitions from one simple
+	// statement (ExprStmt, AssignStmt, DeclStmt, DeferStmt, ...).
+	effects func(stmt ast.Stmt) []effect
+	// inspect, when non-nil, is called with every simple statement
+	// and branch-condition expression after effects apply, together
+	// with the live obligations — forbidden-op checks live here. The
+	// hook must not descend into nested *ast.FuncLit bodies.
+	inspect func(n ast.Node, held flowState)
+	// atExit is called once per obligation that is live, not covered
+	// by a deferred release, on some exiting path.
+	atExit func(h *heldInfo)
+}
+
+// flowEngine walks one function body.
+type flowEngine struct {
+	info   *types.Info
+	hooks  flowHooks
+	exited map[token.Pos]bool // atExit dedupe across paths
+}
+
+// runFlow analyzes one function body with the given hooks.
+func runFlow(info *types.Info, body *ast.BlockStmt, hooks flowHooks) {
+	e := &flowEngine{info: info, hooks: hooks, exited: map[token.Pos]bool{}}
+	st, falls := e.stmts(body.List, flowState{})
+	if falls {
+		e.exit(st)
+	}
+}
+
+// exit fires atExit for live, non-deferred obligations (once each).
+func (e *flowEngine) exit(st flowState) {
+	for _, h := range st {
+		if !h.deferred && !e.exited[h.pos] {
+			e.exited[h.pos] = true
+			e.hooks.atExit(h)
+		}
+	}
+}
+
+// stmts walks a statement sequence, returning the out-state and
+// whether control falls off the end.
+func (e *flowEngine) stmts(list []ast.Stmt, st flowState) (flowState, bool) {
+	for _, s := range list {
+		var falls bool
+		st, falls = e.stmt(s, st)
+		if !falls {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+// inspect forwards a node to the rule's forbidden-op hook.
+func (e *flowEngine) inspect(n ast.Node, st flowState) {
+	if e.hooks.inspect != nil && n != nil {
+		e.hooks.inspect(n, st)
+	}
+}
+
+// apply runs the effects hook over one simple statement.
+func (e *flowEngine) apply(s ast.Stmt, st flowState) flowState {
+	if e.hooks.effects == nil {
+		return st
+	}
+	for _, ef := range e.hooks.effects(s) {
+		switch ef.op {
+		case opAcquire:
+			st[ef.key] = &heldInfo{pos: ef.pos, what: ef.what}
+		case opRelease:
+			delete(st, ef.key)
+		case opDeferRelease:
+			if h, ok := st[ef.key]; ok {
+				h.deferred = true
+			}
+		}
+	}
+	return st
+}
+
+// stmt walks one statement.
+func (e *flowEngine) stmt(s ast.Stmt, st flowState) (flowState, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return e.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return e.stmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = e.stmt(s.Init, st)
+		}
+		e.inspect(s.Cond, st)
+		thenSt, thenFalls := e.stmt(s.Body, st.clone())
+		elseSt, elseFalls := st.clone(), true
+		if s.Else != nil {
+			elseSt, elseFalls = e.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenFalls && elseFalls:
+			return mergeStates(thenSt, elseSt), true
+		case thenFalls:
+			return thenSt, true
+		case elseFalls:
+			return elseSt, true
+		default:
+			return st, false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = e.stmt(s.Init, st)
+		}
+		e.inspect(s.Cond, st)
+		bodySt, bodyFalls := e.stmts(s.Body.List, st.clone())
+		if s.Post != nil && bodyFalls {
+			bodySt, _ = e.stmt(s.Post, bodySt)
+		}
+		// The body runs zero or more times; merge its out-state with
+		// the skip path. An infinite `for {}` with no falls-through
+		// body still conservatively falls here — break edges are not
+		// tracked.
+		if bodyFalls {
+			return mergeStates(st, bodySt), true
+		}
+		return st, true
+
+	case *ast.RangeStmt:
+		e.inspect(s.X, st)
+		bodySt, bodyFalls := e.stmts(s.Body.List, st.clone())
+		if bodyFalls {
+			return mergeStates(st, bodySt), true
+		}
+		return st, true
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = e.stmt(s.Init, st)
+		}
+		e.inspect(s.Tag, st)
+		return e.caseBodies(s.Body, st, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = e.stmt(s.Init, st)
+		}
+		e.inspect(s.Assign, st)
+		return e.caseBodies(s.Body, st, nil)
+
+	case *ast.SelectStmt:
+		// With a default clause the comm ops are non-blocking polls;
+		// without one, a send/receive here blocks while obligations
+		// are held, so the comm statements go through the normal
+		// simple-statement path (and get inspected).
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		return e.caseBodies(s.Body, st, func(clause ast.Stmt, cst flowState) flowState {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm != nil && !hasDefault {
+				cst, _ = e.stmt(cc.Comm, cst)
+			}
+			return cst
+		})
+
+	case *ast.ReturnStmt:
+		e.inspect(s, st)
+		e.exit(st)
+		return st, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current sequence; the engine
+		// does not track their target, so the path conservatively
+		// stops here.
+		return st, false
+
+	default:
+		// Simple statements: ExprStmt, AssignStmt, DeclStmt,
+		// SendStmt, IncDecStmt, DeferStmt, GoStmt, EmptyStmt.
+		st = e.apply(s, st)
+		e.inspect(s, st)
+		if es, ok := s.(*ast.ExprStmt); ok && e.terminates(es.X) {
+			return st, false
+		}
+		return st, true
+	}
+}
+
+// caseBodies walks every clause body of a switch/select block with a
+// forked state and merges the fall-through results. prep, when
+// non-nil, pre-processes the clause (select comm statements) on the
+// forked state.
+func (e *flowEngine) caseBodies(body *ast.BlockStmt, st flowState, prep func(clause ast.Stmt, cst flowState) flowState) (flowState, bool) {
+	var merged flowState
+	anyFalls := false
+	hasDefault := false
+	for _, clause := range body.List {
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		default:
+			continue
+		}
+		cst := st.clone()
+		if prep != nil {
+			cst = prep(clause, cst)
+		}
+		cst, falls := e.stmts(list, cst)
+		if !falls {
+			continue
+		}
+		anyFalls = true
+		if merged == nil {
+			merged = cst
+		} else {
+			merged = mergeStates(merged, cst)
+		}
+	}
+	// Without a default clause the zero-match path skips the block.
+	if !hasDefault {
+		if merged == nil {
+			merged = st
+		} else {
+			merged = mergeStates(merged, st)
+		}
+		anyFalls = true
+	}
+	if !anyFalls {
+		return st, false
+	}
+	return merged, true
+}
+
+// terminates reports whether a call expression provably ends the
+// path: panic, os.Exit, runtime.Goexit, log.Fatal*/Panic*, or a
+// testing Fatal/FailNow/Skip method. Obligations held here are not
+// reported — the deferred-release machinery (or process death)
+// covers them.
+func (e *flowEngine) terminates(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := e.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := callee(e.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "os":
+		return name == "Exit"
+	case "runtime":
+		return name == "Goexit"
+	case "log":
+		return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+	case "testing":
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey renders an expression as a canonical obligation key:
+// "s.mu", "*p", "shards[i].mu". Expressions the renderer cannot
+// resolve get a position-qualified fallback so distinct sites never
+// collide.
+func exprKey(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprKey(x.X)
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[" + exprKey(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	default:
+		return fmt.Sprintf("expr@%d", x.Pos())
+	}
+}

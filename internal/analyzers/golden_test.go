@@ -91,6 +91,10 @@ func TestGolden(t *testing.T) {
 		{"atomicwrite", NewAtomicwrite},
 		{"faultpoint", NewFaultpoint},
 		{"errtaxonomy", NewErrtaxonomy},
+		{"locksafe", NewLocksafe},
+		{"poolscope", NewPoolscope},
+		{"singleload", NewSingleload},
+		{"nosleep", NewNosleep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

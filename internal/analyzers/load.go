@@ -4,11 +4,21 @@
 // needed).
 //
 // The loader walks a directory tree for Go packages, parses every
-// non-test file, and type-checks the packages in dependency order.
-// Imports that resolve inside the walked tree are served from the
-// loader's own results (so intra-module types are shared); everything
-// else — the standard library — is compiled from source by the
-// stdlib "source" importer, which needs no pre-built export data.
+// file, and type-checks the packages in dependency order. Imports
+// that resolve inside the walked tree are served from the loader's
+// own results (so intra-module types are shared); everything else —
+// the standard library — is compiled from source by the stdlib
+// "source" importer, which needs no pre-built export data.
+//
+// Test universes load too (DESIGN §16): every directory with
+// _test.go files yields, beyond its base package, a test-augmented
+// variant (base sources + in-package test files, type-checked
+// together the way `go test` compiles them) and, when external
+// package foo_test files exist, an external test package whose import
+// of the base path resolves to the augmented variant — so
+// export_test.go helpers type-check. Test packages carry Test=true
+// and expose only their _test.go files for analysis, keeping base
+// findings single-reported.
 
 package analyzers
 
@@ -28,16 +38,25 @@ import (
 // Package is one loaded, type-checked package of the analyzed tree.
 type Package struct {
 	// Path is the package's import path inside the loaded universe.
+	// External test packages carry the base path + "_test".
 	Path string
 	// Dir is the directory the package's files live in.
 	Dir string
-	// Files are the parsed non-test source files, sorted by file name.
+	// Files are the files rules analyze and report on, sorted by file
+	// name: the non-test sources for a base package, only the _test.go
+	// files for a test package (the base sources are type-checked into
+	// a test package's universe but their findings belong to the base
+	// entry).
 	Files []*ast.File
 	// Types is the type-checked package.
 	Types *types.Package
 	// Info carries the type-checker's expression, use, and selection
 	// facts for the package's files.
 	Info *types.Info
+	// Test marks a test universe (in-package augmented variant or
+	// external _test package). Rules that don't opt into test
+	// packages (Analyzer.Tests) skip these.
+	Test bool
 }
 
 // LoadModule loads every non-test package of the Go module rooted at
@@ -73,6 +92,10 @@ type rawPkg struct {
 	dir   string
 	files []*ast.File
 	names []string // file names, parallel to files
+	// testFiles are the in-package _test.go files (package foo);
+	// xtestFiles the external ones (package foo_test).
+	testFiles  []*ast.File
+	xtestFiles []*ast.File
 }
 
 // LoadTree parses and type-checks every package under root, assigning
@@ -113,8 +136,9 @@ func LoadTree(root, basePath string) (*token.FileSet, []*Package, error) {
 	return fset, pkgs, nil
 }
 
-// parseDir parses the non-test Go files of one directory, returning
-// nil when the directory holds none.
+// parseDir parses the Go files of one directory — base sources plus
+// the _test.go files, split into in-package and external (package
+// foo_test) groups — returning nil when the directory holds none.
 func parseDir(fset *token.FileSet, dir, root, basePath string) (*rawPkg, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -132,7 +156,6 @@ func parseDir(fset *token.FileSet, dir, root, basePath string) (*rawPkg, error) 
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
@@ -140,10 +163,17 @@ func parseDir(fset *token.FileSet, dir, root, basePath string) (*rawPkg, error) 
 		if err != nil {
 			return nil, err
 		}
-		rp.files = append(rp.files, f)
-		rp.names = append(rp.names, name)
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			rp.files = append(rp.files, f)
+			rp.names = append(rp.names, name)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			rp.xtestFiles = append(rp.xtestFiles, f)
+		default:
+			rp.testFiles = append(rp.testFiles, f)
+		}
 	}
-	if len(rp.files) == 0 {
+	if len(rp.files) == 0 && len(rp.testFiles) == 0 && len(rp.xtestFiles) == 0 {
 		return nil, nil
 	}
 	return rp, nil
@@ -169,11 +199,21 @@ func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*t
 	return m.fallback.ImportFrom(path, dir, mode)
 }
 
-// typeCheck type-checks the raw packages in dependency order.
+// typeCheck type-checks the raw packages in dependency order: first
+// every base package, then the test universes (which may import any
+// base package).
 func typeCheck(fset *token.FileSet, raw map[string]*rawPkg) ([]*Package, error) {
 	imp := &moduleImporter{
 		local:    make(map[string]*types.Package, len(raw)),
 		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	newInfo := func() *types.Info {
+		return &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
 	}
 	order, err := topoOrder(raw)
 	if err != nil {
@@ -182,12 +222,10 @@ func typeCheck(fset *token.FileSet, raw map[string]*rawPkg) ([]*Package, error) 
 	var pkgs []*Package
 	for _, path := range order {
 		rp := raw[path]
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		if len(rp.files) == 0 {
+			continue // test-only directory; handled below
 		}
+		info := newInfo()
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(path, fset, rp.files, info)
 		if err != nil {
@@ -196,8 +234,65 @@ func typeCheck(fset *token.FileSet, raw map[string]*rawPkg) ([]*Package, error) 
 		imp.local[path] = tpkg
 		pkgs = append(pkgs, &Package{Path: path, Dir: rp.dir, Files: rp.files, Types: tpkg, Info: info})
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+
+	// Test universes. The augmented variant re-checks the base sources
+	// together with the in-package test files — the same compilation
+	// unit `go test` builds — into a fresh types.Package that never
+	// enters the import graph (other packages keep importing the base
+	// result). External foo_test packages resolve their base import to
+	// the augmented variant so export_test.go helpers are visible.
+	for _, path := range order {
+		rp := raw[path]
+		var augmented *types.Package
+		if len(rp.testFiles) > 0 {
+			info := newInfo()
+			conf := types.Config{Importer: imp}
+			all := append(append([]*ast.File{}, rp.files...), rp.testFiles...)
+			tpkg, err := conf.Check(path, fset, all, info)
+			if err != nil {
+				return nil, fmt.Errorf("analyzers: type-check %s [tests]: %w", path, err)
+			}
+			augmented = tpkg
+			pkgs = append(pkgs, &Package{Path: path, Dir: rp.dir, Files: rp.testFiles, Types: tpkg, Info: info, Test: true})
+		}
+		if len(rp.xtestFiles) > 0 {
+			info := newInfo()
+			conf := types.Config{Importer: &overrideImporter{base: imp, path: path, pkg: augmented}}
+			tpkg, err := conf.Check(path+"_test", fset, rp.xtestFiles, info)
+			if err != nil {
+				return nil, fmt.Errorf("analyzers: type-check %s_test: %w", path, err)
+			}
+			pkgs = append(pkgs, &Package{Path: path + "_test", Dir: rp.dir, Files: rp.xtestFiles, Types: tpkg, Info: info, Test: true})
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return !pkgs[i].Test && pkgs[j].Test
+	})
 	return pkgs, nil
+}
+
+// overrideImporter resolves one import path to a specific package (the
+// test-augmented variant an external _test package compiles against)
+// and defers everything else to the module importer. A nil pkg (no
+// in-package test files) falls through to the base package.
+type overrideImporter struct {
+	base *moduleImporter
+	path string
+	pkg  *types.Package
+}
+
+func (o *overrideImporter) Import(path string) (*types.Package, error) {
+	return o.ImportFrom(path, "", 0)
+}
+
+func (o *overrideImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == o.path && o.pkg != nil {
+		return o.pkg, nil
+	}
+	return o.base.ImportFrom(path, dir, mode)
 }
 
 // topoOrder sorts the raw packages so every package follows its

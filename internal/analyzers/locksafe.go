@@ -1,0 +1,359 @@
+// The locksafe rule. PRs 6–9 made the serving hot path concurrent,
+// and every deadlock post-mortem in that style of system starts the
+// same way: something slow or re-entrant ran while a sync.Mutex was
+// held. The project discipline — breaker tickets fire outside locks,
+// singleflight leaders run after Unlock, fault points sit outside
+// critical sections — is enforced here:
+//
+//  1. While a sync.Mutex/RWMutex acquired in the current function is
+//     held, the critical section must not: fire a fault point
+//     (faults.Inject* — an armed Delay/OnHit would stall every other
+//     request on the lock), call into internal/flight (Do blocks on a
+//     leader; a flight inside a lock inverts the coalescing order),
+//     call through a function value (callbacks run arbitrary user
+//     code — the breaker-ticket rule), perform blocking I/O (os file
+//     ops, net, net/http, io/bufio reads and writes, log output), or
+//     send on / receive from a channel (a full or empty channel
+//     parks the goroutine with the lock held). Select statements
+//     with a default clause are non-blocking polls and exempt.
+//  2. A lock acquired in a function must be released on every path
+//     out of it: either a deferred unlock (directly or inside a
+//     deferred closure) or an unlock on all fall-through and return
+//     paths. Functions that intentionally hand a locked mutex to a
+//     caller carry a justified //recipelint:allow.
+//
+// The analysis is intra-procedural: function literals are independent
+// functions, and a callee that locks and returns is the callee's
+// business.
+
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flightPkgSuffix identifies the singleflight package by import path.
+const flightPkgSuffix = "internal/flight"
+
+// NewLocksafe builds the locksafe rule.
+func NewLocksafe() *Analyzer {
+	return &Analyzer{
+		Name:  "locksafe",
+		Doc:   "no fault-point fire, flight call, callback, blocking I/O, or channel op while a sync lock is held; unlocks deferred or on all paths",
+		Run:   runLocksafe,
+		Tests: true,
+	}
+}
+
+func runLocksafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				lockFlow(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// lockFlow runs the flow engine over one function body with
+// lock-obligation semantics.
+func lockFlow(p *Pass, body *ast.BlockStmt) {
+	reported := map[token.Pos]bool{}
+	runFlow(p.Info(), body, flowHooks{
+		effects: func(stmt ast.Stmt) []effect {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if recv, method, ok := syncLockCall(p.Info(), call); ok {
+						key := exprKey(recv)
+						switch method {
+						case "Lock", "RLock":
+							return []effect{{op: opAcquire, key: key, pos: call.Pos(), what: "lock " + key}}
+						case "Unlock", "RUnlock":
+							return []effect{{op: opRelease, key: key}}
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				return deferredUnlocks(p.Info(), s)
+			}
+			return nil
+		},
+		inspect: func(n ast.Node, held flowState) {
+			if len(held) == 0 {
+				return
+			}
+			checkCriticalSection(p, n, held, reported)
+		},
+		atExit: func(h *heldInfo) {
+			p.Report(h.pos,
+				h.what+" acquired here is not released on every path out of the function",
+				"defer the unlock right after the Lock, or unlock on every return path")
+		},
+	})
+}
+
+// deferredUnlocks extracts deferred lock releases: `defer mu.Unlock()`
+// directly, or unlock calls inside a deferred closure.
+func deferredUnlocks(info *types.Info, s *ast.DeferStmt) []effect {
+	if recv, method, ok := syncLockCall(info, s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+		return []effect{{op: opDeferRelease, key: exprKey(recv)}}
+	}
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var effs []effect
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, method, ok := syncLockCall(info, call); ok && (method == "Unlock" || method == "RUnlock") {
+				effs = append(effs, effect{op: opDeferRelease, key: exprKey(recv)})
+			}
+		}
+		return true
+	})
+	return effs
+}
+
+// checkCriticalSection scans one statement (or condition expression)
+// for operations forbidden while a lock is held.
+func checkCriticalSection(p *Pass, root ast.Node, held flowState, reported map[token.Pos]bool) {
+	what := heldDescription(held)
+	report := func(pos token.Pos, msg, hint string) {
+		if !reported[pos] {
+			reported[pos] = true
+			p.Report(pos, msg, hint)
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is an independent function; merely
+			// defining it does nothing under the lock.
+			return false
+		case *ast.SendStmt:
+			report(n.Arrow, "channel send while "+what+" is held",
+				"move the send outside the critical section (unlock first, or collect and send after)")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.OpPos, "channel receive while "+what+" is held",
+					"receive outside the critical section; a parked receiver holds the lock against every other goroutine")
+			}
+			return true
+		case *ast.CallExpr:
+			checkCallUnderLock(p, n, what, report)
+			return true
+		}
+		return true
+	})
+}
+
+// checkCallUnderLock classifies one call made while a lock is held.
+func checkCallUnderLock(p *Pass, call *ast.CallExpr, what string, report func(pos token.Pos, msg, hint string)) {
+	fn := callee(p.Info(), call)
+	if fn == nil {
+		if dynamicCall(p.Info(), call) {
+			report(call.Pos(), "call through a function value while "+what+" is held",
+				"callbacks run arbitrary code; capture the value under the lock, unlock, then call (the breaker-ticket discipline)")
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case pathEndsWith(path, faultsPkgSuffix) && isInjectName(fn.Name()):
+		report(call.Pos(), "fault point fired while "+what+" is held",
+			"move the faults.Inject outside the critical section; an armed Delay or OnHit gate stalls every goroutine behind the lock")
+	case pathEndsWith(path, flightPkgSuffix):
+		report(call.Pos(), "flight."+fn.Name()+" called while "+what+" is held",
+			"a flight blocks on its leader; unlock before joining or leading a flight")
+	case blockingIO(fn):
+		report(call.Pos(), path+"."+fn.Name()+" (blocking I/O) while "+what+" is held",
+			"do the I/O outside the critical section; copy what you need under the lock and release it first")
+	}
+}
+
+// isInjectName reports whether name is a fault-injection entry point.
+func isInjectName(name string) bool {
+	switch name {
+	case "Inject", "InjectIndexed", "InjectContext", "InjectIndexedContext":
+		return true
+	}
+	return false
+}
+
+// heldDescription names the held lock(s) for a report, picking the
+// lexicographically first key so messages are deterministic.
+func heldDescription(held flowState) string {
+	best := ""
+	for _, h := range held {
+		if best == "" || h.what < best {
+			best = h.what
+		}
+	}
+	return best
+}
+
+// syncLockCall matches a call to a sync.Mutex/RWMutex lock method and
+// returns the receiver expression and method name.
+func syncLockCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	rv := recvOf(fn)
+	if rv == nil {
+		return nil, "", false
+	}
+	t := rv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// dynamicCall reports whether call invokes a function value (not a
+// statically resolved function, builtin, or type conversion).
+func dynamicCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.FuncLit:
+		return true // invoking a literal immediately still runs code under the lock
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation F[T](...) resolves statically.
+		return callee(info, call) == nil && !isTypeExpr(info, f)
+	default:
+		return true // e.g. f()() — a computed function value
+	}
+	switch info.Uses[id].(type) {
+	case *types.Builtin, *types.TypeName, *types.Nil:
+		return false
+	case *types.Func:
+		return false
+	}
+	// A *types.Var (field, parameter, local) of function type.
+	if obj := info.Uses[id]; obj != nil {
+		_, isSig := obj.Type().Underlying().(*types.Signature)
+		return isSig
+	}
+	return false
+}
+
+// isTypeExpr reports whether x denotes a type (generic conversion).
+func isTypeExpr(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	return ok && tv.IsType()
+}
+
+// pureIOFuncs are the functions of otherwise-blocking packages that
+// never touch the outside world — predicates, env reads, parsers,
+// constructors — and so are fine under a lock.
+var pureIOFuncs = map[string]map[string]bool{
+	"os": {
+		"IsNotExist": true, "IsExist": true, "IsPermission": true,
+		"IsTimeout": true, "IsPathSeparator": true, "Getenv": true,
+		"LookupEnv": true, "Environ": true, "Getpid": true,
+		"Getppid": true, "Getuid": true, "Geteuid": true,
+		"Getpagesize": true, "Expand": true, "ExpandEnv": true,
+		"TempDir": true, "UserHomeDir": true, "UserCacheDir": true,
+		"UserConfigDir": true, "Exit": true, // Exit never returns; the terminator logic owns it
+	},
+	"net": {
+		"JoinHostPort": true, "SplitHostPort": true, "ParseIP": true,
+		"ParseMAC": true, "ParseCIDR": true, "CIDRMask": true,
+		"IPv4": true, "IPv4Mask": true,
+	},
+	"net/http": {
+		"StatusText": true, "CanonicalHeaderKey": true,
+		"DetectContentType": true, "NewRequest": true,
+		"NewRequestWithContext": true, "NewServeMux": true,
+		"ProxyURL": true,
+	},
+	"bufio": {
+		"NewReader": true, "NewReaderSize": true, "NewWriter": true,
+		"NewWriterSize": true, "NewScanner": true, "NewReadWriter": true,
+		"ScanLines": true, "ScanWords": true, "ScanRunes": true,
+		"ScanBytes": true,
+	},
+	"log": {
+		"New": true, "Default": true, "Flags": true, "Prefix": true,
+		"SetFlags": true, "SetPrefix": true, "SetOutput": true,
+		"Writer": true,
+	},
+}
+
+// ioBlockingFuncs are the package-level io functions that drive reads
+// or writes (the rest of io — constructors, wrappers — is pure).
+var ioBlockingFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true,
+	"ReadFull": true, "ReadAtLeast": true, "WriteString": true,
+	"Pipe": false, // constructor
+}
+
+// blockingIO reports whether fn performs (potentially) blocking I/O:
+// file-system and network operations, io/bufio reads and writes, and
+// log output — none of which belong inside a critical section.
+func blockingIO(fn *types.Func) bool {
+	pkg := fn.Pkg().Path()
+	name := fn.Name()
+	switch pkg {
+	case "os", "net", "net/http", "bufio":
+		if pure, ok := pureIOFuncs[pkg]; ok && recvOf(fn) == nil && pure[name] {
+			return false
+		}
+		return true
+	case "io":
+		if recvOf(fn) != nil {
+			return true // io.Reader/Writer/Closer interface methods
+		}
+		return ioBlockingFuncs[name]
+	case "log":
+		if recvOf(fn) == nil && pureIOFuncs["log"][name] {
+			return false
+		}
+		switch name {
+		case "Flags", "Prefix", "SetFlags", "SetPrefix", "SetOutput", "Writer":
+			return false // Logger config accessors
+		}
+		return true // Print*/Fatal*/Panic*/Output/Write emit to the sink
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// The nosleep rule. Sleep-based test synchronization is the repo's
+// most persistent flake source: a time.Sleep long enough to pass
+// under the race detector on a loaded CI box is long enough to
+// dominate the suite's wall clock, and one short enough to be fast is
+// a coin flip. The fault-injection registry (PR 8) exists precisely
+// so tests can wait on events instead of durations: OnHit callbacks
+// close channels at the exact instrumented point, injected clocks
+// advance deterministically, and condition loops can yield with
+// runtime.Gosched under a deadline. Test packages therefore may not
+// call time.Sleep at all.
+//
+// The rule only fires in test universes (Package.Test); production
+// code has legitimate sleeps (backoff, jitter) policed by review, not
+// lint. A deliberately-slow test documenting a real-time dependency
+// can carry a //recipelint:allow nosleep directive with its reason.
+
+package analyzers
+
+import "go/ast"
+
+// NewNosleep builds the nosleep rule.
+func NewNosleep() *Analyzer {
+	return &Analyzer{
+		Name:  "nosleep",
+		Doc:   "test packages must not call time.Sleep — wait on fault-point OnHit channels, injected clocks, or Gosched condition loops",
+		Tests: true,
+		Run: func(p *Pass) {
+			if !p.Pkg.Test {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := callee(p.Info(), call)
+					if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+						p.Report(call.Pos(),
+							"time.Sleep in a test package",
+							"wait on a fault-point OnHit channel, an injected clock, or a deadline-bounded runtime.Gosched loop instead")
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,426 @@
+// The poolscope rule. The zero-alloc hot path (PR 6) leans on
+// sync.Pool scratch buffers — decode scratch in crf, extract scratch
+// in ner, annotation scratch in core/rules. The whole optimization is
+// safe only under a strict borrowing contract: a pooled value lives
+// inside the function that got it, and goes back on every path out.
+// A single retained buffer aliases two concurrent requests and
+// silently reintroduces the data races the differential tests catch
+// only probabilistically. Checks, per function:
+//
+//  1. No escape: a value from (*sync.Pool).Get — or from a project
+//     pool accessor (see below) — must not be returned, stored into a
+//     struct field, global, map, slice element, or pointer target,
+//     sent on a channel, or captured by a spawned goroutine.
+//  2. Put on every path: the value must be released — pool.Put(v)
+//     directly, deferred, or via a put*/release*/free* helper — on
+//     every return path (a deferred release covers them all).
+//
+// The one sanctioned hand-off is the accessor idiom the compiled hot
+// path uses: a function named get* / Get* whose body Gets from a
+// sync.Pool and returns the value (crf.getScratch, ner.getScratch,
+// postag.getScratch). Accessors transfer the obligation: the rule
+// exempts their own return and instead tracks the value at every
+// call site, exactly as if the caller had called pool.Get itself. A
+// function that returns a pooled value under any other name is an
+// escape.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewPoolscope builds the poolscope rule.
+func NewPoolscope() *Analyzer {
+	return &Analyzer{
+		Name:  "poolscope",
+		Doc:   "sync.Pool values must not escape their function (return, store, goroutine capture, channel) and must be Put on every return path",
+		Run:   runPoolscope,
+		Tests: true,
+	}
+}
+
+func runPoolscope(p *Pass) {
+	// First pass: find the package's pool accessors, so call sites
+	// acquire obligations and the accessors' own returns are exempt.
+	accessors := map[*types.Func]bool{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isPoolAccessor(p.Info(), fd) {
+				if fn, ok := p.Info().Defs[fd.Name].(*types.Func); ok {
+					accessors[fn] = true
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzePoolFunc(p, fn.Body, accessors, isPoolAccessor(p.Info(), fn))
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					analyzePoolFunc(p, fn.Body, accessors, false)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPoolAccessor reports whether fd is a sanctioned pool accessor: a
+// get*-named function with results whose body Gets from a sync.Pool.
+func isPoolAccessor(info *types.Info, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if !strings.HasPrefix(name, "get") && !strings.HasPrefix(name, "Get") {
+		return false
+	}
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPoolMethod(info, call, "Get") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPoolMethod matches a call to (*sync.Pool).<method>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, method string) bool {
+	fn := callee(info, call)
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	rv := recvOf(fn)
+	if rv == nil {
+		return false
+	}
+	t := rv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// poolAcquisition matches the RHS of an assignment that borrows a
+// pooled value: pool.Get(), pool.Get().(T), or a call to a package
+// pool accessor.
+func poolAcquisition(info *types.Info, rhs ast.Expr, accessors map[*types.Func]bool) bool {
+	x := ast.Unparen(rhs)
+	if ta, ok := x.(*ast.TypeAssertExpr); ok {
+		x = ast.Unparen(ta.X)
+	}
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isPoolMethod(info, call, "Get") {
+		return true
+	}
+	fn := callee(info, call)
+	return fn != nil && accessors[fn]
+}
+
+// trackedVar resolves the variable object an acquisition binds.
+func trackedVar(info *types.Info, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// releaseName reports whether a function name is a release helper.
+func releaseName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "put") || strings.HasPrefix(lower, "release") || strings.HasPrefix(lower, "free")
+}
+
+// analyzePoolFunc checks one function body: escape analysis over the
+// whole body, then put-on-every-path via the flow engine. accessor
+// marks a sanctioned get* accessor, whose return hands the value (and
+// the Put obligation) to its caller.
+func analyzePoolFunc(p *Pass, body *ast.BlockStmt, accessors map[*types.Func]bool, accessor bool) {
+	info := p.Info()
+
+	// Collect this function's tracked pool variables (not those of
+	// nested literals — each literal is analyzed on its own).
+	tracked := map[*types.Var]token.Pos{}
+	inOwnBody(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return
+		}
+		if !poolAcquisition(info, as.Rhs[0], accessors) {
+			return
+		}
+		if v := trackedVar(info, as.Lhs[0]); v != nil {
+			tracked[v] = as.Pos()
+		}
+	})
+	if len(tracked) == 0 {
+		return
+	}
+	// trackedRoot resolves the base identifier of a selector / index /
+	// slice / deref / address chain and returns it if it is a tracked
+	// pool variable. s, s.delta, s.path[i], &s.buf all root at s.
+	trackedRoot := func(x ast.Expr) *types.Var {
+		for {
+			switch e := x.(type) {
+			case *ast.Ident:
+				v, ok := info.Uses[e].(*types.Var)
+				if !ok {
+					return nil
+				}
+				if _, yes := tracked[v]; yes {
+					return v
+				}
+				return nil
+			case *ast.SelectorExpr:
+				x = e.X
+			case *ast.IndexExpr:
+				x = e.X
+			case *ast.SliceExpr:
+				x = e.X
+			case *ast.StarExpr:
+				x = e.X
+			case *ast.ParenExpr:
+				x = e.X
+			case *ast.UnaryExpr:
+				if e.Op != token.AND {
+					return nil
+				}
+				x = e.X
+			case *ast.TypeAssertExpr:
+				x = e.X
+			default:
+				return nil
+			}
+		}
+	}
+	// storedAlias reports the tracked variable whose pooled memory the
+	// expression would leak if stored: the pooled pointer itself, its
+	// address, or a reference-typed projection (slice field, sub-slice,
+	// pointer field). Scalar and string projections are copies —
+	// `out[i] = h.tags[s.path[i]]` stores a value, not the buffer.
+	// Calls are assumed to return copies; that is the escape the
+	// callee's own analysis polices.
+	storedAlias := func(x ast.Expr) *types.Var {
+		v := trackedRoot(x)
+		if v == nil {
+			return nil
+		}
+		if t := info.TypeOf(x); t != nil && refType(t) {
+			return v
+		}
+		return nil
+	}
+
+	// Escape analysis.
+	inOwnBody(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if accessor {
+				return
+			}
+			for _, res := range s.Results {
+				if v := storedAlias(res); v != nil {
+					p.Report(s.Pos(),
+						"pool value "+v.Name()+" escapes via return",
+						"only a get*-named pool accessor may return a pooled value; Put it here and let the caller Get its own")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(s.Rhs) == len(s.Lhs):
+					rhs = s.Rhs[i]
+				case len(s.Rhs) == 1:
+					rhs = s.Rhs[0]
+				default:
+					continue
+				}
+				v := storedAlias(rhs)
+				if v == nil {
+					continue
+				}
+				// A store into the pooled value's own fields or
+				// elements (s.delta = s.delta[:need]) stays inside
+				// the borrow.
+				if trackedRoot(lhs) != nil {
+					continue
+				}
+				if escapingLHS(info, lhs) {
+					p.Report(s.Pos(),
+						"pool value "+v.Name()+" escapes via store to "+exprKey(lhs),
+						"a pooled buffer stored outside the function aliases future borrowers; copy the data out instead")
+				}
+			}
+		case *ast.SendStmt:
+			if v := storedAlias(s.Value); v != nil {
+				p.Report(s.Pos(),
+					"pool value "+v.Name()+" escapes via channel send",
+					"the receiver outlives this function's borrow; send a copy, or hand over ownership without Put and document it")
+			}
+		case *ast.GoStmt:
+			var v *types.Var
+			for _, arg := range s.Call.Args {
+				if v = storedAlias(arg); v != nil {
+					break
+				}
+			}
+			if v == nil {
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok {
+							if tv, ok := info.Uses[id].(*types.Var); ok {
+								if _, yes := tracked[tv]; yes {
+									v = tv
+									return false
+								}
+							}
+						}
+						return v == nil
+					})
+				}
+			}
+			if v != nil {
+				p.Report(s.Pos(),
+					"pool value "+v.Name()+" captured by a spawned goroutine",
+					"the goroutine can outlive the borrow and race the next Get; give the goroutine its own Get or pass a copy")
+			}
+		}
+	})
+
+	// Put-on-every-path. Accessors hand the obligation to their
+	// caller, so only non-accessor functions are checked.
+	if accessor {
+		return
+	}
+	varKey := func(v *types.Var) string { return "pool:" + v.Name() + "@" + fmt.Sprint(v.Pos()) }
+	releasedVar := func(call *ast.CallExpr) *types.Var {
+		isPut := isPoolMethod(info, call, "Put")
+		if !isPut {
+			fn := callee(info, call)
+			if fn == nil || !releaseName(fn.Name()) {
+				return nil
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					if _, yes := tracked[v]; yes {
+						return v
+					}
+				}
+			}
+		}
+		return nil
+	}
+	runFlow(info, body, flowHooks{
+		effects: func(stmt ast.Stmt) []effect {
+			switch s := stmt.(type) {
+			case *ast.AssignStmt:
+				if len(s.Rhs) == 1 && len(s.Lhs) > 0 && poolAcquisition(info, s.Rhs[0], accessors) {
+					if v := trackedVar(info, s.Lhs[0]); v != nil {
+						return []effect{{op: opAcquire, key: varKey(v), pos: s.Pos(), what: "pool value " + v.Name()}}
+					}
+				}
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if v := releasedVar(call); v != nil {
+						return []effect{{op: opRelease, key: varKey(v)}}
+					}
+				}
+			case *ast.DeferStmt:
+				if v := releasedVar(s.Call); v != nil {
+					return []effect{{op: opDeferRelease, key: varKey(v)}}
+				}
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					var effs []effect
+					ast.Inspect(lit.Body, func(n ast.Node) bool {
+						if call, ok := n.(*ast.CallExpr); ok {
+							if v := releasedVar(call); v != nil {
+								effs = append(effs, effect{op: opDeferRelease, key: varKey(v)})
+							}
+						}
+						return true
+					})
+					return effs
+				}
+			}
+			return nil
+		},
+		atExit: func(h *heldInfo) {
+			p.Report(h.pos,
+				h.what+" borrowed here is not Put on every path out of the function",
+				"defer pool.Put right after the Get (or the get* accessor call)")
+		},
+	})
+}
+
+// refType reports whether a type carries a reference into the pooled
+// allocation: pointers, slices, maps, channels, funcs, and interfaces
+// alias; scalars and strings are copies (string headers share bytes,
+// but the repo's pooled byte buffers are only turned into strings via
+// copying conversions).
+func refType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// escapingLHS reports whether an assignment target outlives the
+// function: a struct field, slice/map element, pointer target, or
+// package-level variable. A plain local identifier is a harmless
+// rebinding.
+func escapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			if dv, ok := info.Defs[x].(*types.Var); ok {
+				v = dv
+			}
+		}
+		return v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// inOwnBody walks a function body, visiting every node except the
+// interiors of nested function literals.
+func inOwnBody(body *ast.BlockStmt, visit func(n ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

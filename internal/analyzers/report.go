@@ -1,0 +1,78 @@
+// The machine-readable lint report. Beyond pass/fail, the quantity CI
+// guards is the suppression inventory: every //recipelint:allow is a
+// debt note, and the checked-in budget (lint-budget.json) pins their
+// exact count. A new suppression fails the build until the budget is
+// consciously raised in the same change — the review-time speed bump
+// that keeps "just silence it" from becoming the default. The budget
+// can only drift downward silently: removing a suppression without
+// lowering the budget is reported too, so the number stays honest in
+// both directions.
+
+package analyzers
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Suppression is one used //recipelint:allow directive.
+type Suppression struct {
+	// File is the path as resolved by the loader (the driver
+	// relativizes it for display and for the checked-in report).
+	File string `json:"file"`
+	// Line is the directive's own line.
+	Line int `json:"line"`
+	// Rule is the silenced rule.
+	Rule string `json:"rule"`
+	// Reason is the directive's justification text.
+	Reason string `json:"reason"`
+}
+
+// Report is the full machine-readable outcome of a lint run.
+type Report struct {
+	// Rules lists the analyzers that ran, sorted.
+	Rules []string `json:"rules"`
+	// Packages counts the packages linted (test universes included).
+	Packages int `json:"packages"`
+	// Findings are the violations that survived suppression.
+	Findings []Finding `json:"findings"`
+	// Suppressions inventories the used directives, in file order.
+	Suppressions []Suppression `json:"suppressions"`
+	// SuppressionCount = len(Suppressions), the budgeted quantity.
+	SuppressionCount int `json:"suppression_count"`
+	// SuppressionsPerRule breaks the count down by silenced rule.
+	SuppressionsPerRule map[string]int `json:"suppressions_per_rule"`
+}
+
+// RunReport runs the rule suite like RunRules and additionally
+// returns the suppression inventory for budget enforcement.
+func RunReport(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) Report {
+	findings, dirs := runRules(fset, pkgs, rules)
+	rep := Report{
+		Packages:            len(pkgs),
+		Findings:            findings,
+		SuppressionsPerRule: map[string]int{},
+	}
+	for _, a := range rules {
+		rep.Rules = append(rep.Rules, a.Name)
+	}
+	sort.Strings(rep.Rules)
+	for _, d := range dirs {
+		if !d.used {
+			continue
+		}
+		rep.Suppressions = append(rep.Suppressions, Suppression{
+			File: d.file, Line: d.line, Rule: d.rule, Reason: d.reason,
+		})
+		rep.SuppressionsPerRule[d.rule]++
+	}
+	sort.Slice(rep.Suppressions, func(i, j int) bool {
+		a, b := rep.Suppressions[i], rep.Suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	rep.SuppressionCount = len(rep.Suppressions)
+	return rep
+}

@@ -17,6 +17,14 @@ import (
 // this run, so a partial -rules invocation does not misreport
 // directives belonging to the rules it skipped.
 func RunRules(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) []Finding {
+	findings, _ := runRules(fset, pkgs, rules)
+	return findings
+}
+
+// runRules is the shared core: it returns the surviving findings and
+// the full directive inventory (with used flags resolved), which
+// RunReport turns into the suppression-budget report.
+func runRules(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) ([]Finding, []*directive) {
 	type raw struct {
 		pos  token.Pos
 		rule string
@@ -29,6 +37,9 @@ func RunRules(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) []Finding
 			found = append(found, raw{pos: pos, rule: a.Name, msg: msg, hint: hint})
 		}
 		for _, pkg := range pkgs {
+			if pkg.Test && !a.Tests {
+				continue
+			}
 			a.Run(&Pass{Fset: fset, Pkg: pkg, report: report})
 		}
 		if a.Finish != nil {
@@ -83,5 +94,5 @@ func RunRules(fset *token.FileSet, pkgs []*Package, rules []*Analyzer) []Finding
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+	return out, dirs
 }

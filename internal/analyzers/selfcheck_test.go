@@ -2,16 +2,22 @@
 // This is the acceptance bar for the suite, and the reason deleting
 // any justified //recipelint:allow fails the build — the directive
 // machinery reports the re-exposed finding (or a stale directive) and
-// this test prints it.
+// this test prints it. The companion budget check pins the used
+// suppression count to the checked-in lint-budget.json, so directives
+// can neither accrete nor vanish without the number moving in the
+// same change.
 package analyzers
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
-func TestRecipelintSelfCheck(t *testing.T) {
+// moduleRootForTest walks up from the working directory to go.mod.
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
 	cwd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -19,7 +25,7 @@ func TestRecipelintSelfCheck(t *testing.T) {
 	root := cwd
 	for {
 		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
-			break
+			return root
 		}
 		parent := filepath.Dir(root)
 		if parent == root {
@@ -27,6 +33,10 @@ func TestRecipelintSelfCheck(t *testing.T) {
 		}
 		root = parent
 	}
+}
+
+func TestRecipelintSelfCheck(t *testing.T) {
+	root := moduleRootForTest(t)
 	fset, pkgs, err := LoadModule(root)
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +44,39 @@ func TestRecipelintSelfCheck(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded from the module")
 	}
-	for _, f := range RunRules(fset, pkgs, All()) {
+	sawTest := false
+	for _, pkg := range pkgs {
+		if pkg.Test {
+			sawTest = true
+			break
+		}
+	}
+	if !sawTest {
+		t.Error("LoadModule returned no test universes; the nosleep rule has nothing to police")
+	}
+	rep := RunReport(fset, pkgs, All())
+	for _, f := range rep.Findings {
 		t.Errorf("recipelint: %s", f)
+	}
+
+	// The suppression inventory must match the checked-in budget
+	// exactly: adding a //recipelint:allow requires raising the budget
+	// in the same change, removing one requires lowering it.
+	data, err := os.ReadFile(filepath.Join(root, "lint-budget.json"))
+	if err != nil {
+		t.Fatalf("read lint-budget.json: %v", err)
+	}
+	var budget struct {
+		Suppressions int `json:"suppressions"`
+	}
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatalf("parse lint-budget.json: %v", err)
+	}
+	if rep.SuppressionCount != budget.Suppressions {
+		for _, s := range rep.Suppressions {
+			t.Logf("suppression: %s:%d %s (%s)", s.File, s.Line, s.Rule, s.Reason)
+		}
+		t.Errorf("suppressions in use = %d, lint-budget.json = %d; adjust the budget with the change that moved the count",
+			rep.SuppressionCount, budget.Suppressions)
 	}
 }

@@ -1,0 +1,194 @@
+// The singleload rule. The server's consistency story (PRs 3, 7, 9)
+// is generation pinning: a handler calls s.pipe.Load() (or s.state(),
+// its accessor) exactly once, and everything the request touches —
+// model, cache generation, corpus snapshot — comes off that one
+// pinned value. Two Loads in one request straddle a hot reload: the
+// first answers from generation N, the second from N+1, and the
+// response mixes models — the torn-generation read the differential
+// reload tests catch only when the race window cooperates. Checks:
+//
+//  1. Direct: a sync/atomic Value or Pointer may be .Load()ed at most
+//     once per function. The second Load is reported. Functions that
+//     also Store/Swap/CompareAndSwap the same atomic are exempt —
+//     they are writers (reload, publish), not pinned readers, and
+//     their double reads are guarded by the reload mutex.
+//  2. Through accessors: a function whose body is a single
+//     `return x.Load()` (possibly type-asserted) of an atomic
+//     Value/Pointer is a pinning accessor (server.state,
+//     server.lastReload). Calling the same accessor twice on the
+//     same receiver in one function is the same torn read one hop
+//     removed, and is reported module-wide.
+//
+// Function literals are separate functions: a closure that pins its
+// own generation (a retry loop re-resolving deliberately) counts on
+// its own.
+
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewSingleload builds the singleload rule.
+func NewSingleload() *Analyzer {
+	type accessorCall struct {
+		fn   *types.Func // the accessor being called
+		recv string      // receiver expression key
+		pos  token.Pos
+		n    int // 1-based call index within the enclosing function
+	}
+	accessors := map[*types.Func]bool{}
+	var pending []accessorCall
+	a := &Analyzer{
+		Name:  "singleload",
+		Doc:   "a generation-pinned atomic.Value/Pointer (or its accessor) loads at most once per function — two loads straddle a reload",
+		Tests: true,
+	}
+	a.Run = func(p *Pass) {
+		// Accessor discovery must precede call counting only for
+		// reporting, and reporting happens in Finish — so one pass
+		// does both.
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if isPinnedAccessor(p.Info(), fd) {
+					if fn, ok := p.Info().Defs[fd.Name].(*types.Func); ok {
+						accessors[fn] = true
+					}
+				}
+			}
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				loads := map[string][]token.Pos{} // direct Loads per atomic
+				writes := map[string]bool{}       // Store/Swap/CAS per atomic
+				calls := map[*types.Func]map[string]int{}
+				inOwnBody(body, func(n ast.Node) {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					if recv, method, ok := atomicCall(p.Info(), call); ok {
+						key := exprKey(recv)
+						if method == "Load" {
+							loads[key] = append(loads[key], call.Pos())
+						} else {
+							writes[key] = true
+						}
+						return
+					}
+					fn := callee(p.Info(), call)
+					if fn == nil {
+						return
+					}
+					// Record every static method call; Finish keeps
+					// only the ones that resolved to accessors.
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						recvKey := exprKey(sel.X)
+						if calls[fn] == nil {
+							calls[fn] = map[string]int{}
+						}
+						calls[fn][recvKey]++
+						if calls[fn][recvKey] == 2 {
+							pending = append(pending, accessorCall{fn: fn, recv: recvKey, pos: call.Pos(), n: 2})
+						}
+					}
+				})
+				for key, positions := range loads {
+					if len(positions) < 2 || writes[key] {
+						continue
+					}
+					for _, pos := range positions[1:] {
+						p.Report(pos,
+							"second atomic Load of "+key+" in one function — a reload between the loads mixes generations",
+							"Load once at the top and thread the pinned value through the request")
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(report func(pos token.Pos, msg, hint string)) {
+		for _, c := range pending {
+			if accessors[c.fn] {
+				report(c.pos,
+					"second call to generation-pinning accessor "+c.fn.Name()+" on "+c.recv+" in one function",
+					"call "+c.fn.Name()+" once and pass the pinned value; a second call may observe a newer generation")
+			}
+		}
+	}
+	return a
+}
+
+// atomicCall matches a method call on sync/atomic.Value or
+// sync/atomic.Pointer and returns the receiver expression and method.
+func atomicCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, "", false
+	}
+	rv := recvOf(fn)
+	if rv == nil {
+		return nil, "", false
+	}
+	t := rv.Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	if name := named.Obj().Name(); name != "Value" && name != "Pointer" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Load", "Store", "Swap", "CompareAndSwap":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// isPinnedAccessor reports whether fd is a generation-pinning
+// accessor: a single-statement `return x.Load()` (the Load possibly
+// wrapped in a type assertion) of an atomic Value/Pointer.
+func isPinnedAccessor(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	x := ast.Unparen(ret.Results[0])
+	if ta, isTA := x.(*ast.TypeAssertExpr); isTA {
+		x = ast.Unparen(ta.X)
+	}
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, method, ok := atomicCall(info, call)
+	return ok && method == "Load"
+}

@@ -1,0 +1,134 @@
+// Package guard seeds every class of critical-section violation the
+// locksafe rule catches, next to the disciplined forms it must stay
+// quiet about.
+package guard
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"locksafe/internal/faults"
+	"locksafe/internal/flight"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+	cb func()
+	ch chan int
+	g  *flight.Group
+}
+
+// A fault point fired inside the critical section: an armed Delay or
+// OnHit gate would stall every goroutine queued on the lock.
+func (s *store) badInject() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return faults.Inject("guard.point") // want `fault point fired while lock s\.mu is held`
+}
+
+// A flight joined under the lock inverts the coalescing order.
+func (s *store) badFlight() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.Do("key", func() error { return nil }) // want `flight\.Do called while lock s\.mu is held`
+}
+
+// Blocking I/O under the lock.
+func (s *store) badIO() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.ReadFile("state.json") // want `os\.ReadFile \(blocking I/O\) while lock s\.mu is held`
+}
+
+// A callback through a function value runs arbitrary code under the
+// lock — the breaker-ticket rule.
+func (s *store) badCallback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cb() // want `call through a function value while lock s\.mu is held`
+}
+
+// A channel send parks the goroutine with the lock held when the
+// buffer is full.
+func (s *store) badSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while lock s\.mu is held`
+	s.mu.Unlock()
+}
+
+// A channel receive parks the same way on an empty channel.
+func (s *store) badRecv() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = <-s.ch // want `channel receive while lock s\.mu is held`
+}
+
+// An early return that skips the unlock leaks the lock forever.
+func (s *store) badLeak(flag bool) error {
+	s.mu.Lock() // want `lock s\.mu acquired here is not released on every path out of the function`
+	if flag {
+		return fmt.Errorf("early exit with the lock held")
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// The disciplined forms: deferred unlock, capture-then-call outside
+// the lock, unlocks on every branch, and non-blocking polls.
+func (s *store) okDeferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+func (s *store) okUnlockThenCall() {
+	s.mu.Lock()
+	cb := s.cb
+	s.mu.Unlock()
+	cb()
+}
+
+func (s *store) okBranches(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// A select with a default clause is a non-blocking poll and is exempt.
+func (s *store) okPoll() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+		return true
+	default:
+		return false
+	}
+}
+
+// A panic path needs no unlock — the deferred release (or process
+// death) owns it.
+func (s *store) okPanicPath(flag bool) {
+	s.mu.Lock()
+	if flag {
+		panic("invariant broken")
+	}
+	s.mu.Unlock()
+}
+
+// lockForUpdate hands the locked mutex to its caller by contract (the
+// two-phase update API); the caller must Unlock after mutating.
+func (s *store) lockForUpdate() *store {
+	//recipelint:allow locksafe lockForUpdate hands the locked mutex to its caller by contract; the caller unlocks after the two-phase update
+	s.mu.Lock()
+	return s
+}

@@ -1,0 +1,17 @@
+// Package faults is a miniature stand-in for the real injection
+// harness: locksafe recognizes it by its import-path suffix,
+// internal/faults.
+package faults
+
+// Inject fires the named fault point.
+func Inject(name string) error {
+	_ = name
+	return nil
+}
+
+// InjectContext fires the named fault point with a caller context
+// (modeled as any to keep the stand-in dependency-free).
+func InjectContext(ctx any, name string) error {
+	_, _ = ctx, name
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package flight is a miniature stand-in for the real singleflight
+// package: locksafe recognizes it by its import-path suffix,
+// internal/flight, and forbids calling into it under a lock.
+package flight
+
+// Group coalesces duplicate work per key.
+type Group struct{}
+
+// Do runs the keyed work, blocking followers on the leader.
+func (g *Group) Do(key string, fn func() error) error {
+	_ = key
+	return fn()
+}

@@ -1,0 +1,25 @@
+package poll_test
+
+import (
+	"time"
+
+	"nosleep/poll"
+)
+
+// External test packages are test universes too.
+func waitExternal() bool {
+	for i := 0; i < 100; i++ {
+		if poll.Ready() {
+			return true
+		}
+		time.Sleep(time.Millisecond) // want `time\.Sleep in a test package`
+	}
+	return false
+}
+
+// slowByDesign documents a genuine wall-clock dependency; the
+// suppression carries the justification.
+func slowByDesign() {
+	//recipelint:allow nosleep this check measures a real 1ms wall-clock interval by design
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,13 @@
+// Package poll exists so its in-package and external test files
+// exercise the nosleep rule over _test.go universes — and so its own
+// production sleep proves the rule leaves non-test code alone.
+package poll
+
+import "time"
+
+// Ready reports whether the poller is ready.
+func Ready() bool { return true }
+
+// Backoff sleeps between retries. Production code may sleep; nosleep
+// polices test packages only.
+func Backoff() { time.Sleep(time.Millisecond) }

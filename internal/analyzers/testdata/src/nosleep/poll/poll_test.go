@@ -1,0 +1,15 @@
+package poll
+
+import "time"
+
+// The classic flake: sleep-polling a condition from an in-package
+// test.
+func waitReady() bool {
+	for i := 0; i < 100; i++ {
+		if Ready() {
+			return true
+		}
+		time.Sleep(time.Millisecond) // want `time\.Sleep in a test package`
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+// Package bufpool seeds the pool-borrowing violations poolscope
+// catches — escapes and missed Puts — next to the sanctioned accessor
+// and release-helper idioms it must stay quiet about.
+package bufpool
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var leaked *buf
+
+var sink = make(chan *buf, 1)
+
+// Returning a pooled value from a non-accessor leaks the borrow (and,
+// with no Put anywhere, trips the every-path check at the Get).
+func fetch() *buf {
+	s := pool.Get().(*buf) // want `pool value s borrowed here is not Put on every path`
+	return s               // want `pool value s escapes via return`
+}
+
+// Storing the pooled pointer in a global aliases the next borrower.
+func stash() {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	leaked = s // want `pool value s escapes via store to leaked`
+}
+
+// Sending the pooled pointer hands it to a receiver that outlives the
+// borrow.
+func send() {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	sink <- s // want `pool value s escapes via channel send`
+}
+
+// A goroutine capturing the borrow can race the next Get.
+func spawn() {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	go func() { // want `pool value s captured by a spawned goroutine`
+		s.b = s.b[:0]
+	}()
+}
+
+// A branch that returns before the Put leaks the buffer.
+func leakOnSkip(skip bool) {
+	s := pool.Get().(*buf) // want `pool value s borrowed here is not Put on every path`
+	if skip {
+		return
+	}
+	pool.Put(s)
+}
+
+// getBuf is the sanctioned accessor: a get*-named function may return
+// the pooled value, transferring the Put obligation to its caller.
+func getBuf() *buf {
+	s := pool.Get().(*buf)
+	if s.b == nil {
+		s.b = make([]byte, 0, 64)
+	}
+	return s
+}
+
+// putBuf is a put*-named release helper; poolscope credits it like a
+// direct pool.Put.
+func putBuf(s *buf) { pool.Put(s) }
+
+// The disciplined borrow: accessor Get, deferred Put, all mutation of
+// the pooled value's own fields in between.
+func okAccessorUse() int {
+	s := getBuf()
+	defer pool.Put(s)
+	s.b = append(s.b[:0], 'x')
+	return len(s.b)
+}
+
+func okHelperRelease() int {
+	s := getBuf()
+	defer putBuf(s)
+	s.b = s.b[:0]
+	return cap(s.b)
+}
+
+// Copying data out of the borrow is not an escape.
+func okCopyOut() []byte {
+	s := getBuf()
+	defer putBuf(s)
+	s.b = append(s.b[:0], "payload"...)
+	out := make([]byte, len(s.b))
+	copy(out, s.b)
+	return out
+}
+
+// hand transfers ownership of the buffer to the channel consumer,
+// which Puts it back after draining — the one documented handoff, so
+// both the missing local Put and the channel escape are justified.
+func hand() {
+	//recipelint:allow poolscope ownership moves to the channel consumer, which Puts the buffer after draining it
+	s := getBuf()
+	//recipelint:allow poolscope ownership moves to the channel consumer, which Puts the buffer after draining it
+	sink <- s
+}

@@ -1,0 +1,68 @@
+// Package gen seeds the torn-generation reads singleload catches —
+// double Loads of a pinned atomic, directly and through the pinning
+// accessor — next to the writer and single-pin forms it must stay
+// quiet about.
+package gen
+
+import "sync/atomic"
+
+type state struct{ v int }
+
+type Server struct {
+	pipe atomic.Value
+}
+
+// state is the generation-pinning accessor: a single `return Load`
+// body, recognized module-wide.
+func (s *Server) state() *state {
+	return s.pipe.Load().(*state)
+}
+
+// Two direct Loads in one handler straddle a reload.
+func (s *Server) badDouble() int {
+	a := s.pipe.Load().(*state)
+	b := s.pipe.Load().(*state) // want `second atomic Load of s\.pipe in one function`
+	return a.v + b.v
+}
+
+// The same torn read one hop removed: two accessor calls.
+func (s *Server) badAccessor() int {
+	a := s.state()
+	b := s.state() // want `second call to generation-pinning accessor state on s`
+	return a.v + b.v
+}
+
+// Writers are exempt: a function that Stores (or CASes) the same
+// atomic is a reload path, serialized elsewhere, not a pinned reader.
+func (s *Server) reload(n *state) *state {
+	old, _ := s.pipe.Load().(*state)
+	if cur, _ := s.pipe.Load().(*state); cur != nil {
+		old = cur
+	}
+	s.pipe.Store(n)
+	return old
+}
+
+// The pinned form: one Load, threaded through the request.
+func (s *Server) ok() int {
+	st := s.state()
+	return st.v * st.v
+}
+
+// A closure pins its own generation independently of its parent.
+func (s *Server) okClosurePins() func() int {
+	first := s.state()
+	_ = first
+	return func() int {
+		return s.state().v
+	}
+}
+
+// refresh deliberately reads the generation before and after a reload
+// barrier — a diagnostic, not a request path.
+func (s *Server) refresh() (int, int) {
+	before := s.state()
+	//recipelint:allow singleload deliberate before/after generation read across the reload barrier in this diagnostic
+	after := s.state()
+	return before.v, after.v
+}

@@ -207,6 +207,7 @@ func (b *Breaker) Acquire() Ticket {
 		return Ticket{ok: true}
 	}
 	b.mu.Lock()
+	//recipelint:allow locksafe Config.Clock is the injected time source — a pure, non-blocking read; every state decision must see it under the same lock acquisition
 	if b.state == StateOpen && b.cfg.Clock().Sub(b.openedAt) >= b.reopenDelay(b.delayIdx) {
 		// Reopen delay elapsed: lazily transition to half-open. No
 		// background timer — the state machine only moves under

@@ -73,7 +73,7 @@ func (p *Pipeline) ModelRecipesContext(ctx context.Context, recipes []RecipeInpu
 // model together with ctx.Err(); the completed portions are identical
 // to what ModelRecipe produces.
 func (p *Pipeline) ModelRecipeContext(ctx context.Context, title, cuisine string, ingredientLines []string, instructionText string) (*RecipeModel, error) {
-	_ = faults.Inject(FaultModel)
+	_ = faults.InjectContext(ctx, FaultModel)
 	m := &RecipeModel{Title: title, Cuisine: cuisine}
 	for _, line := range ingredientLines {
 		if err := ctx.Err(); err != nil {

@@ -75,7 +75,7 @@ func RunConclusionContext(ctx context.Context, cfg Config, ingredientNER, instru
 		names   []string
 	}
 	stats, err := parallel.MapOrderedCtx(ctx, cfg.Workers, recipes, func(_ int, r recipedb.Recipe) recipeStats {
-		_ = faults.Inject(FaultMine)
+		_ = faults.InjectContext(ctx, FaultMine)
 		st := recipeStats{mined: true}
 		for _, in := range r.Instructions {
 			spans := pipe.InstructionNER.Predict(in.Tokens)

@@ -20,6 +20,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -242,7 +243,16 @@ func (f *Fault) fires(name string, n, idx int) bool {
 // that order). A plain Inject carries index -1 and so never matches a
 // fault armed with Indices.
 func Inject(name string) error {
-	return InjectIndexed(name, -1)
+	//recipelint:allow ctxflow Inject is the documented non-ctx wrapper shim for call sites with no context; ctx-bearing callers use InjectContext
+	return InjectIndexedContext(context.Background(), name, -1)
+}
+
+// InjectContext is Inject for points planted on request paths that
+// carry a context: an injected Delay is interruptible — cancellation
+// cuts the stall short and the context error is returned, exactly as
+// if the stalled dependency had honored the caller's deadline.
+func InjectContext(ctx context.Context, name string) error {
+	return InjectIndexedContext(ctx, name, -1)
 }
 
 // InjectIndexed is Inject for points planted inside per-record batch
@@ -251,6 +261,12 @@ func Inject(name string) error {
 // scheduling-independent way to poison "record i" under a worker
 // pool.
 func InjectIndexed(name string, index int) error {
+	//recipelint:allow ctxflow InjectIndexed is the documented non-ctx wrapper shim for batch workers without a context; ctx-bearing callers use InjectIndexedContext
+	return InjectIndexedContext(context.Background(), name, index)
+}
+
+// InjectIndexedContext combines InjectIndexed and InjectContext.
+func InjectIndexedContext(ctx context.Context, name string, index int) error {
 	if armed.Load() == 0 {
 		return nil
 	}
@@ -271,7 +287,16 @@ func InjectIndexed(name string, index int) error {
 	mu.Unlock()
 
 	if f.Delay > 0 {
-		time.Sleep(f.Delay)
+		// A cancelled caller escapes the stall immediately: the delay
+		// models a slow dependency, and a slow dependency does not get
+		// to hold a request past its deadline.
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
 	}
 	if f.OnHit != nil {
 		f.OnHit(hit)

@@ -1,12 +1,14 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var errBoom = errors.New("boom")
@@ -234,5 +236,37 @@ func TestRegisteredNamesSorted(t *testing.T) {
 	}
 	if found != 2 {
 		t.Fatalf("registered names missing from inventory %q", names)
+	}
+}
+
+// TestDelayHonorsContext: an injected Delay models a slow dependency,
+// and a slow dependency must not hold a cancelled caller — the stall
+// breaks the instant the context dies and the context error surfaces.
+func TestDelayHonorsContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("p", Fault{Err: errBoom, Delay: time.Hour})()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- InjectContext(ctx, "p") }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled delayed inject = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled InjectContext still stalled in the injected delay")
+	}
+}
+
+// TestDelayContextUncancelled: with a live context the delayed fault
+// behaves exactly like the plain path — delay, then the armed error.
+func TestDelayContextUncancelled(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer Enable("p", Fault{Err: errBoom, Delay: time.Microsecond})()
+	if err := InjectContext(context.Background(), "p"); !errors.Is(err, errBoom) {
+		t.Fatalf("delayed inject = %v, want errBoom", err)
 	}
 }

@@ -105,7 +105,7 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 		c.panicked = !completed
 		close(c.done)
 	}()
-	if ferr := faults.Inject(FaultLeader); ferr != nil {
+	if ferr := faults.InjectContext(ctx, FaultLeader); ferr != nil {
 		c.err = ferr
 		completed = true
 		return v, false, ferr

@@ -166,7 +166,6 @@ func TestMapOrderedCtxNoGoroutineLeak(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		runtime.Gosched()
-		time.Sleep(time.Millisecond)
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)

@@ -178,6 +178,7 @@ func (s *Server) ReloadCorpus() (version string, err error) {
 	}
 	s.corpusMu.Lock()
 	defer s.corpusMu.Unlock()
+	//recipelint:allow locksafe corpusMu exists only to serialize reloads — holding it across the load is the point, and no query path ever blocks on it (reads go through s.corpus.Load)
 	snap, err := s.cfg.CorpusLoader()
 	if err != nil {
 		s.corpusRejected.Add(1)

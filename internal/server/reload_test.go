@@ -259,7 +259,8 @@ func TestReloadKeepsServingMidReload(t *testing.T) {
 // model while new requests see the new one.
 func TestReloadDoesNotDropInFlight(t *testing.T) {
 	gate := make(chan struct{})
-	old := versionedPipe{fakePipe: fakePipe{gate: gate}, marker: "v1"}
+	entered := make(chan struct{}, 1)
+	old := versionedPipe{fakePipe: fakePipe{gate: gate, entered: entered}, marker: "v1"}
 	s := NewWithConfig(old, nil, Config{
 		Canary: onionCanary,
 		Loader: func() (Pipeline, string, error) {
@@ -270,9 +271,12 @@ func TestReloadDoesNotDropInFlight(t *testing.T) {
 
 	inFlight := make(chan *httptest.ResponseRecorder, 1)
 	go func() { inFlight <- do(t, s, http.MethodPost, "/annotate", `{"phrase":"held"}`) }()
-	deadline := time.Now().Add(2 * time.Second)
-	for s.limiter.InFlight() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// entered fires once the request is inside the old pipeline (past
+	// the limiter), which is the state the reload must not disturb.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("held request never reached the pipe")
 	}
 
 	if w := do(t, s, http.MethodPost, "/admin/reload", ""); w.Code != 200 {

@@ -26,11 +26,22 @@ import (
 // the shedding and deadline tests.
 type fakePipe struct {
 	gate chan struct{}
+	// entered, when non-nil, receives one (non-blocking) signal each
+	// time a gated annotation reaches the pipe — i.e. after the
+	// limiter admitted the request. Tests wait on it instead of
+	// sleep-polling the in-flight gauge.
+	entered chan struct{}
 }
 
 func (f fakePipe) wait(ctx context.Context) error {
 	if f.gate == nil {
 		return nil
+	}
+	if f.entered != nil {
+		select {
+		case f.entered <- struct{}{}:
+		default:
+		}
 	}
 	select {
 	case <-f.gate:
@@ -447,16 +458,19 @@ func TestPanicContained(t *testing.T) {
 // after the gate opens everything is admitted again.
 func TestSheddingAt429(t *testing.T) {
 	gate := make(chan struct{})
-	s := NewWithConfig(fakePipe{gate: gate}, nil, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	entered := make(chan struct{}, 1)
+	s := NewWithConfig(fakePipe{gate: gate, entered: entered}, nil, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
 
 	firstDone := make(chan *httptest.ResponseRecorder, 1)
 	go func() {
 		firstDone <- do(t, s, http.MethodPost, "/annotate", `{"phrase":"slow"}`)
 	}()
-	// wait (bounded) for the first request to occupy the limiter.
-	deadline := time.Now().Add(2 * time.Second)
-	for s.limiter.InFlight() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// the pipe signals entered only after the limiter admitted the
+	// request, so the in-flight slot is provably occupied here.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the pipe")
 	}
 	if s.limiter.InFlight() != 1 {
 		t.Fatal("first request never reached the limiter")
@@ -484,15 +498,19 @@ func TestSheddingAt429(t *testing.T) {
 // batch but still admits a single annotate.
 func TestBatchWeightedAdmission(t *testing.T) {
 	gate := make(chan struct{})
-	s := NewWithConfig(fakePipe{gate: gate}, nil, Config{MaxInFlight: 4})
+	entered := make(chan struct{}, 1)
+	s := NewWithConfig(fakePipe{gate: gate, entered: entered}, nil, Config{MaxInFlight: 4})
 
 	bigDone := make(chan *httptest.ResponseRecorder, 1)
 	go func() {
 		bigDone <- do(t, s, http.MethodPost, "/annotate/batch", `{"phrases":["a","b","c"]}`)
 	}()
-	deadline := time.Now().Add(2 * time.Second)
-	for s.limiter.InFlight() < 3 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// one batch = one pipe call; its entered signal fires after the
+	// limiter charged the full 3-phrase weight.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never reached the pipe")
 	}
 	if s.limiter.InFlight() != 3 {
 		t.Fatalf("inflight = %d, want 3 (batch weight)", s.limiter.InFlight())
